@@ -1,0 +1,260 @@
+package certa_test
+
+// One benchmark per table/figure of the paper's evaluation (§5), plus
+// ablation and micro benchmarks. Each experiment benchmark runs the eval
+// harness in its Quick profile so `go test -bench=.` finishes in
+// minutes; `cmd/certa-bench` regenerates the same artifacts at full
+// scale.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"certa"
+	"certa/internal/core"
+	"certa/internal/dataset"
+	"certa/internal/eval"
+	"certa/internal/matchers"
+)
+
+// benchHarness is shared across experiment benchmarks so dataset
+// generation and model training are paid once.
+var (
+	bhOnce sync.Once
+	bh     *eval.Harness
+)
+
+func benchEvalHarness() *eval.Harness {
+	bhOnce.Do(func() {
+		bh = eval.NewHarness(eval.Config{Seed: 7, Quick: true})
+	})
+	return bh
+}
+
+func runExperiment(b *testing.B, id string) {
+	h := benchEvalHarness()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := h.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tables {
+			if err := t.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1DatasetGen regenerates Table 1 (dataset statistics).
+func BenchmarkTable1DatasetGen(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFigure2Predictions regenerates Figure 2 (system predictions
+// on the Figure 1 pairs).
+func BenchmarkFigure2Predictions(b *testing.B) { runExperiment(b, "figure2") }
+
+// BenchmarkFigure3Saliency regenerates Figures 3-4 (wrong-prediction
+// saliency comparison and the faithfulness probe).
+func BenchmarkFigure3Saliency(b *testing.B) { runExperiment(b, "figure3") }
+
+// BenchmarkFigure5Counterfactual regenerates Figure 5 (CERTA vs DiCE
+// counterfactuals).
+func BenchmarkFigure5Counterfactual(b *testing.B) { runExperiment(b, "figure5") }
+
+// BenchmarkTable2Faithfulness regenerates Table 2.
+func BenchmarkTable2Faithfulness(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3Confidence regenerates Table 3.
+func BenchmarkTable3Confidence(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4Proximity regenerates Table 4.
+func BenchmarkTable4Proximity(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5Sparsity regenerates Table 5.
+func BenchmarkTable5Sparsity(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6Diversity regenerates Table 6.
+func BenchmarkTable6Diversity(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkFigure10CFCount regenerates Figure 10 (average number of
+// counterfactuals per method).
+func BenchmarkFigure10CFCount(b *testing.B) { runExperiment(b, "figure10") }
+
+// BenchmarkFigure11Triangles regenerates Figure 11 (the τ sweep).
+func BenchmarkFigure11Triangles(b *testing.B) { runExperiment(b, "figure11") }
+
+// BenchmarkTable7Monotonicity regenerates Table 7 (lattice savings vs
+// error of the monotone-classifier assumption).
+func BenchmarkTable7Monotonicity(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkTable8Augmentation regenerates Table 8 (natural triangles
+// without augmentation).
+func BenchmarkTable8Augmentation(b *testing.B) { runExperiment(b, "table8") }
+
+// BenchmarkTable9AugmentationEffect regenerates Tables 9-10 (metric
+// deltas under forced augmentation).
+func BenchmarkTable9AugmentationEffect(b *testing.B) { runExperiment(b, "table9") }
+
+// BenchmarkFigure12CaseStudy regenerates Figure 12 (actual vs explained
+// saliency on BA).
+func BenchmarkFigure12CaseStudy(b *testing.B) { runExperiment(b, "figure12") }
+
+// --- ablation benchmarks (DESIGN.md §5) --------------------------------
+
+// benchCell builds one small trained cell outside the harness for the
+// micro/ablation benchmarks.
+type benchCell struct {
+	bench *dataset.Benchmark
+	model *matchers.Model
+}
+
+var (
+	cellOnce sync.Once
+	cellAB   benchCell
+)
+
+func abCell() benchCell {
+	cellOnce.Do(func() {
+		bench := dataset.MustGenerate("AB", dataset.Options{Seed: 9, MaxRecords: 120, MaxMatches: 60})
+		model := matchers.MustTrain(matchers.DeepMatcher, bench, matchers.Config{Seed: 9})
+		cellAB = benchCell{bench: bench, model: model}
+	})
+	return cellAB
+}
+
+// BenchmarkAblationMonotoneOn measures one CERTA explanation with the
+// monotone-propagation optimization enabled (the default).
+func BenchmarkAblationMonotoneOn(b *testing.B) {
+	c := abCell()
+	e := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: 20, Seed: 1})
+	p := c.bench.Test[0].Pair
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Explain(c.model, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMonotoneOff measures the same explanation with exact
+// lattice evaluation (every node tested), quantifying what Table 7's
+// savings buy in wall-clock terms.
+func BenchmarkAblationMonotoneOff(b *testing.B) {
+	c := abCell()
+	e := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: 20, Seed: 1, NoMonotone: true})
+	p := c.bench.Test[0].Pair
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Explain(c.model, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTriangleBudget sweeps τ, the explanation's main cost
+// knob (Figure 11's x-axis).
+func BenchmarkAblationTriangleBudget(b *testing.B) {
+	c := abCell()
+	p := c.bench.Test[0].Pair
+	for _, tau := range []int{10, 50, 100} {
+		e := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: tau, Seed: 1})
+		b.Run(sprintTau(tau), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Explain(c.model, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sprintTau(tau int) string {
+	switch tau {
+	case 10:
+		return "tau=10"
+	case 50:
+		return "tau=50"
+	default:
+		return "tau=100"
+	}
+}
+
+// BenchmarkAblationTriangleSides compares the paper's symmetric
+// left+right triangle design against a left-only ablation at the same
+// total budget.
+func BenchmarkAblationTriangleSides(b *testing.B) {
+	c := abCell()
+	p := c.bench.Test[0].Pair
+	for _, leftOnly := range []bool{false, true} {
+		e := core.New(c.bench.Left, c.bench.Right, core.Options{
+			Triangles: 20, Seed: 1, LeftTrianglesOnly: leftOnly,
+		})
+		name := "both-sides"
+		if leftOnly {
+			name = "left-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Explain(c.model, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelism measures the effect of exploring triangle
+// lattices concurrently.
+func BenchmarkAblationParallelism(b *testing.B) {
+	c := abCell()
+	p := c.bench.Test[0].Pair
+	for _, par := range []int{1, 4} {
+		e := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: 40, Seed: 1, Parallelism: par})
+		name := "serial"
+		if par > 1 {
+			name = "parallel4"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Explain(c.model, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatcherScore measures raw model-call throughput, the unit
+// cost every explainer multiplies.
+func BenchmarkMatcherScore(b *testing.B) {
+	c := abCell()
+	p := c.bench.Test[0].Pair
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.model.Score(p)
+	}
+}
+
+// BenchmarkPublicAPIExplain measures one end-to-end explanation through
+// the public facade.
+func BenchmarkPublicAPIExplain(b *testing.B) {
+	c := abCell()
+	e := certa.New(c.bench.Left, c.bench.Right, certa.Options{Triangles: 20, Seed: 1})
+	p := c.bench.Test[0].Pair
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Explain(c.model, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package certa is a Go implementation of CERTA — "Effective
+// Explanations for Entity Resolution Models" (Teofili et al., ICDE
+// 2022): post-hoc, model-agnostic saliency and counterfactual
+// explanations for entity-resolution classifiers.
+//
+// CERTA explains a single prediction M(⟨u,v⟩) by building open
+// triangles: support records from the two sources whose pairing with the
+// pivot record is predicted oppositely. Copying attribute values from a
+// support record into the free record perturbs the input; walking the
+// power-set lattice of attribute subsets under a monotone-classifier
+// assumption identifies the minimal attribute sets that flip the
+// prediction. Flip frequencies yield the probability of necessity of
+// each attribute (the saliency explanation) and the probability of
+// sufficiency of each attribute set (ranking the counterfactual
+// explanations).
+//
+// # Quick start
+//
+//	bench, _ := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{Seed: 1})
+//	model, _ := certa.TrainMatcher(certa.Ditto, bench, certa.MatcherConfig{Seed: 1})
+//	explainer := certa.New(bench.Left, bench.Right, certa.Options{Triangles: 100})
+//	res, _ := explainer.Explain(model, bench.Test[0].Pair)
+//	fmt.Println(res.Saliency)          // probability of necessity per attribute
+//	fmt.Println(res.Counterfactuals)   // perturbed pairs that flip the prediction
+//
+// Any classifier can be explained by wrapping a score function:
+//
+//	model := certa.MatcherFunc("mine", func(p certa.Pair) float64 { ... })
+//
+// The package also ships the three DL-style ER systems the paper
+// evaluates (DeepER, DeepMatcher, Ditto), the baseline explainers it
+// compares against (Mojito, LandMark, SHAP, DiCE, LIME-C, SHAP-C), the
+// twelve synthetic benchmark generators, and the paper's evaluation
+// metrics — see the cmd/certa-bench tool for regenerating every table
+// and figure of the paper.
+package certa
+
+import (
+	"certa/internal/baselines"
+	"certa/internal/blocking"
+	"certa/internal/core"
+	"certa/internal/dataset"
+	"certa/internal/explain"
+	"certa/internal/lime"
+	"certa/internal/matchers"
+	"certa/internal/metrics"
+	"certa/internal/record"
+	"certa/internal/shap"
+)
+
+// Core data model (see internal/record).
+type (
+	// Record is a structured entity description.
+	Record = record.Record
+	// Schema names a source and its ordered attributes.
+	Schema = record.Schema
+	// Pair is the unit of ER prediction (left record, right record).
+	Pair = record.Pair
+	// LabeledPair is a pair with its ground-truth match label.
+	LabeledPair = record.LabeledPair
+	// Table is a collection of records sharing a schema.
+	Table = record.Table
+	// AttrRef is a side-qualified attribute reference (L_name, R_price).
+	AttrRef = record.AttrRef
+	// Side selects the left (U) or right (V) source.
+	Side = record.Side
+)
+
+// Source sides.
+const (
+	// Left is the U source.
+	Left = record.Left
+	// Right is the V source.
+	Right = record.Right
+)
+
+// Explanation types (see internal/explain).
+type (
+	// Model is the black-box classifier interface every explainer
+	// accepts: Score returns the matching probability in [0,1].
+	Model = explain.Model
+	// Saliency maps each attribute to its importance for one prediction.
+	Saliency = explain.Saliency
+	// Counterfactual is a perturbed pair that flips the prediction.
+	Counterfactual = explain.Counterfactual
+	// SaliencyExplainer produces saliency explanations.
+	SaliencyExplainer = explain.SaliencyExplainer
+	// CounterfactualExplainer produces counterfactual examples.
+	CounterfactualExplainer = explain.CounterfactualExplainer
+)
+
+// CERTA itself (see internal/core).
+type (
+	// Explainer computes CERTA explanations against two sources.
+	Explainer = core.Explainer
+	// Options tunes CERTA (τ, monotonicity, augmentation...).
+	Options = core.Options
+	// Result is a full CERTA explanation (saliency + counterfactuals +
+	// diagnostics).
+	Result = core.Result
+	// AttrSet is a side-qualified set of attributes (a lattice node).
+	AttrSet = core.AttrSet
+	// Diagnostics reports the work one explanation performed.
+	Diagnostics = core.Diagnostics
+	// TokenScore is a token-level saliency entry (the paper's §6
+	// future-work extension, implemented by Explainer.TokenSaliency).
+	TokenScore = core.TokenScore
+	// TokenOptions tunes the token-level refinement.
+	TokenOptions = core.TokenOptions
+)
+
+// New creates a CERTA explainer over the two sources U and V.
+func New(left, right *Table, opts Options) *Explainer {
+	return core.New(left, right, opts)
+}
+
+// NewSchema builds a schema, validating attribute names.
+func NewSchema(name string, attrs ...string) (*Schema, error) {
+	return record.NewSchema(name, attrs...)
+}
+
+// NewRecord builds a record for a schema.
+func NewRecord(id string, schema *Schema, values ...string) (*Record, error) {
+	return record.New(id, schema, values...)
+}
+
+// NewTable creates an empty table for a schema.
+func NewTable(schema *Schema) *Table { return record.NewTable(schema) }
+
+// matcherFunc adapts a plain scoring function to Model.
+type matcherFunc struct {
+	name string
+	fn   func(Pair) float64
+}
+
+func (m matcherFunc) Name() string         { return m.name }
+func (m matcherFunc) Score(p Pair) float64 { return m.fn(p) }
+
+// MatcherFunc wraps a scoring function as a Model so arbitrary
+// classifiers can be explained.
+func MatcherFunc(name string, fn func(Pair) float64) Model {
+	return matcherFunc{name: name, fn: fn}
+}
+
+// Benchmarks (see internal/dataset).
+type (
+	// Benchmark is a generated two-source ER dataset with splits.
+	Benchmark = dataset.Benchmark
+	// BenchmarkOptions scales generation.
+	BenchmarkOptions = dataset.Options
+	// BenchmarkSpec describes one of the twelve paper benchmarks.
+	BenchmarkSpec = dataset.Spec
+)
+
+// BenchmarkCodes lists the twelve paper benchmarks (AB, AG, BA, DA, DS,
+// FZ, IA, WA, DDA, DDS, DIA, DWA).
+func BenchmarkCodes() []string { return dataset.Codes() }
+
+// GenerateBenchmark synthesizes one of the twelve paper benchmarks.
+func GenerateBenchmark(code string, opts BenchmarkOptions) (*Benchmark, error) {
+	return dataset.Generate(code, opts)
+}
+
+// ER systems (see internal/matchers).
+type (
+	// Matcher is a trained ER model (implements Model).
+	Matcher = matchers.Model
+	// MatcherKind selects DeepER, DeepMatcher, Ditto or SVM.
+	MatcherKind = matchers.Kind
+	// MatcherConfig tunes training.
+	MatcherConfig = matchers.Config
+)
+
+// The ER systems evaluated in the paper, plus a linear baseline.
+const (
+	// DeepER is the record-level LSTM-style system.
+	DeepER = matchers.DeepER
+	// DeepMatcher is the attribute-level Hybrid system.
+	DeepMatcher = matchers.DeepMatcher
+	// Ditto is the sequence-level transformer-style system.
+	Ditto = matchers.Ditto
+	// SVM is a classic linear baseline.
+	SVM = matchers.SVM
+)
+
+// TrainMatcher fits one of the ER systems on a benchmark.
+func TrainMatcher(kind MatcherKind, b *Benchmark, cfg MatcherConfig) (*Matcher, error) {
+	return matchers.Train(kind, b, cfg)
+}
+
+// F1 computes a matcher's F1 on labeled pairs.
+func F1(m Model, pairs []LabeledPair) float64 {
+	return matchers.F1(modelAdapter{m}, pairs)
+}
+
+// modelAdapter bridges explain.Model to matchers.Matcher (identical
+// method sets; Go needs the nominal hop).
+type modelAdapter struct{ explain.Model }
+
+// Baseline explainers (see internal/baselines).
+
+// LIMEConfig tunes the LIME-based baselines (Mojito, LandMark, LIME-C).
+type LIMEConfig = lime.Config
+
+// SHAPConfig tunes the SHAP-based baselines (SHAP, SHAP-C).
+type SHAPConfig = shap.Config
+
+// DiCEConfig tunes the DiCE baseline.
+type DiCEConfig = baselines.DiCEConfig
+
+// NewMojito creates the Mojito saliency baseline (LIME with ER
+// drop/copy operators).
+func NewMojito(cfg LIMEConfig) SaliencyExplainer { return baselines.NewMojito(cfg) }
+
+// NewLandMark creates the LandMark saliency baseline (double LIME with a
+// landmark record).
+func NewLandMark(cfg LIMEConfig) SaliencyExplainer { return baselines.NewLandMark(cfg) }
+
+// NewSHAP creates the task-agnostic Kernel SHAP saliency baseline.
+func NewSHAP(cfg SHAPConfig) SaliencyExplainer { return baselines.NewSHAP(cfg) }
+
+// NewDiCE creates the DiCE counterfactual baseline over the two sources'
+// value domains.
+func NewDiCE(left, right *Table, cfg DiCEConfig) CounterfactualExplainer {
+	return baselines.NewDiCE(left, right, cfg)
+}
+
+// NewLIMEC creates the LIME-C counterfactual baseline (k counterfactuals
+// max; 0 = default).
+func NewLIMEC(cfg LIMEConfig, k int) CounterfactualExplainer { return baselines.NewLIMEC(cfg, k) }
+
+// NewSHAPC creates the SHAP-C counterfactual baseline.
+func NewSHAPC(cfg SHAPConfig, k int) CounterfactualExplainer { return baselines.NewSHAPC(cfg, k) }
+
+// Blocking (see internal/blocking).
+type (
+	// BlockingCandidate is one blocked pair with its retrieval score.
+	BlockingCandidate = blocking.Candidate
+	// BlockingConfig tunes the token blocker.
+	BlockingConfig = blocking.Config
+	// TokenBlocker generates candidate pairs by shared IDF-weighted
+	// tokens, avoiding the quadratic cross product.
+	TokenBlocker = blocking.TokenBlocker
+	// BlockingQuality reports recall and reduction ratio of a candidate
+	// set.
+	BlockingQuality = blocking.Quality
+)
+
+// NewTokenBlocker indexes the right source for candidate generation.
+func NewTokenBlocker(right *Table, cfg BlockingConfig) (*TokenBlocker, error) {
+	return blocking.NewTokenBlocker(right, cfg)
+}
+
+// EvaluateBlocking scores a candidate set against ground truth.
+func EvaluateBlocking(cands []BlockingCandidate, leftN, rightN, totalMatches int, isMatch func(l, r string) bool) BlockingQuality {
+	return blocking.Evaluate(cands, leftN, rightN, totalMatches, isMatch)
+}
+
+// Evaluation metrics (see internal/metrics).
+
+// Faithfulness is the AUC of the threshold/F1 masking curve (lower =
+// more faithful saliency).
+func Faithfulness(m Model, pairs []LabeledPair, sals []*Saliency) (float64, error) {
+	return metrics.Faithfulness(m, pairs, sals)
+}
+
+// ConfidenceIndication is the MAE of a logistic model predicting the
+// classifier score from saliency vectors (lower is better).
+func ConfidenceIndication(sals []*Saliency) (float64, error) {
+	return metrics.ConfidenceIndication(sals)
+}
+
+// Proximity, Sparsity, Diversity and Validity evaluate counterfactual
+// explanation sets (higher is better for the first three).
+func Proximity(cfs []Counterfactual) float64 { return metrics.Proximity(cfs) }
+
+// Sparsity is the mean fraction of unchanged attributes.
+func Sparsity(cfs []Counterfactual) float64 { return metrics.Sparsity(cfs) }
+
+// Diversity is the mean pairwise distance among a pair's counterfactuals.
+func Diversity(cfs []Counterfactual) float64 { return metrics.Diversity(cfs) }
+
+// Validity is the fraction of counterfactuals that actually flip.
+func Validity(cfs []Counterfactual) float64 { return metrics.Validity(cfs) }

@@ -1,0 +1,187 @@
+package certa_test
+
+import (
+	"strings"
+	"testing"
+
+	"certa"
+	"certa/internal/strutil"
+)
+
+// TestPublicAPIEndToEnd is the quickstart flow: generate, train, explain.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{
+		Seed: 1, MaxRecords: 100, MaxMatches: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := certa.TrainMatcher(certa.Ditto, bench, certa.MatcherConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := certa.F1(model, bench.Test); f1 < 0.5 {
+		t.Fatalf("trained model F1 = %v", f1)
+	}
+	explainer := certa.New(bench.Left, bench.Right, certa.Options{Triangles: 20, Seed: 1})
+	res, err := explainer.Explain(model, bench.Test[0].Pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saliency == nil || len(res.Saliency.Scores) == 0 {
+		t.Fatal("no saliency produced")
+	}
+	if res.Diag.LeftTriangles+res.Diag.RightTriangles == 0 {
+		t.Error("no triangles found")
+	}
+}
+
+func TestMatcherFuncCustomModel(t *testing.T) {
+	model := certa.MatcherFunc("jaccard", func(p certa.Pair) float64 {
+		return strutil.Jaccard(p.Left.Text(), p.Right.Text())
+	})
+	if model.Name() != "jaccard" {
+		t.Error("Name lost")
+	}
+	bench, err := certa.GenerateBenchmark("FZ", certa.BenchmarkOptions{
+		Seed: 2, MaxRecords: 60, MaxMatches: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explainer := certa.New(bench.Left, bench.Right, certa.Options{Triangles: 10, Seed: 2})
+	res, err := explainer.Explain(model, bench.Test[0].Pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saliency == nil {
+		t.Fatal("custom model could not be explained")
+	}
+}
+
+func TestManualSchemaConstruction(t *testing.T) {
+	ls, err := certa.NewSchema("U", "name", "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := certa.NewSchema("V", "name", "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := certa.NewTable(ls)
+	right := certa.NewTable(rs)
+	for i, n := range []string{"ann arbor deli", "boston chowder", "chicago pizza", "denver omelette"} {
+		lr, err := certa.NewRecord(string(rune('a'+i)), ls, n, "city "+n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := left.Add(lr); err != nil {
+			t.Fatal(err)
+		}
+		rr, err := certa.NewRecord(string(rune('a'+i)), rs, n, "city "+n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := right.Add(rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model := certa.MatcherFunc("name-eq", func(p certa.Pair) float64 {
+		if p.Left.Value("name") == p.Right.Value("name") {
+			return 0.95
+		}
+		return 0.05
+	})
+	u, _ := left.Get("a")
+	v, _ := right.Get("b")
+	explainer := certa.New(left, right, certa.Options{Triangles: 4, Seed: 3})
+	res, err := explainer.Explain(model, certa.Pair{Left: u, Right: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Saliency.TopK(1)
+	if len(top) == 0 || top[0].Attr != "name" {
+		t.Errorf("top attribute = %v, want name", top)
+	}
+}
+
+func TestBaselineConstructors(t *testing.T) {
+	bench, err := certa.GenerateBenchmark("BA", certa.BenchmarkOptions{
+		Seed: 4, MaxRecords: 50, MaxMatches: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := certa.TrainMatcher(certa.DeepMatcher, bench, certa.MatcherConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Test[0].Pair
+
+	for _, ex := range []certa.SaliencyExplainer{
+		certa.NewMojito(certa.LIMEConfig{Samples: 40, Seed: 1}),
+		certa.NewLandMark(certa.LIMEConfig{Samples: 40, Seed: 1}),
+		certa.NewSHAP(certa.SHAPConfig{Samples: 64, Seed: 1}),
+	} {
+		sal, err := ex.ExplainSaliency(model, p)
+		if err != nil {
+			t.Fatalf("%s: %v", ex.Name(), err)
+		}
+		if len(sal.Scores) != 8 {
+			t.Errorf("%s: %d scores, want 8", ex.Name(), len(sal.Scores))
+		}
+	}
+	for _, ex := range []certa.CounterfactualExplainer{
+		certa.NewDiCE(bench.Left, bench.Right, certa.DiCEConfig{Seed: 1}),
+		certa.NewLIMEC(certa.LIMEConfig{Samples: 40, Seed: 1}, 2),
+		certa.NewSHAPC(certa.SHAPConfig{Samples: 64, Seed: 1}, 2),
+	} {
+		if _, err := ex.ExplainCounterfactuals(model, p); err != nil {
+			t.Fatalf("%s: %v", ex.Name(), err)
+		}
+	}
+}
+
+func TestMetricsReexports(t *testing.T) {
+	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{
+		Seed: 5, MaxRecords: 60, MaxMatches: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := certa.MatcherFunc("jac", func(p certa.Pair) float64 {
+		return strutil.Jaccard(p.Left.Text(), p.Right.Text())
+	})
+	explainer := certa.New(bench.Left, bench.Right, certa.Options{Triangles: 8, Seed: 5})
+	pairs := bench.Test[:6]
+	var sals []*certa.Saliency
+	var allCFs []certa.Counterfactual
+	for _, p := range pairs {
+		res, err := explainer.Explain(model, p.Pair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sals = append(sals, res.Saliency)
+		allCFs = append(allCFs, res.Counterfactuals...)
+	}
+	if _, err := certa.Faithfulness(model, pairs, sals); err != nil {
+		t.Errorf("Faithfulness: %v", err)
+	}
+	if _, err := certa.ConfidenceIndication(sals); err != nil {
+		t.Errorf("ConfidenceIndication: %v", err)
+	}
+	_ = certa.Proximity(allCFs)
+	_ = certa.Sparsity(allCFs)
+	_ = certa.Diversity(allCFs)
+	_ = certa.Validity(allCFs)
+}
+
+func TestBenchmarkCodes(t *testing.T) {
+	codes := certa.BenchmarkCodes()
+	if len(codes) != 12 {
+		t.Fatalf("codes = %v", codes)
+	}
+	if strings.Join(codes[:3], ",") != "AB,AG,BA" {
+		t.Errorf("order = %v", codes[:3])
+	}
+}

@@ -1,0 +1,50 @@
+package certa_test
+
+import (
+	"fmt"
+	"log"
+
+	"certa"
+	"certa/internal/strutil"
+)
+
+// Example explains a hand-written rule-based matcher: CERTA needs only a
+// Score function and the two source tables.
+func Example() {
+	u, err := certa.NewSchema("U", "name", "city")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := certa.NewSchema("V", "name", "city")
+	if err != nil {
+		log.Fatal(err)
+	}
+	left, right := certa.NewTable(u), certa.NewTable(v)
+	for i, name := range []string{"golden dragon", "casa luna", "blue harbor", "mama rosa"} {
+		lr, _ := certa.NewRecord(fmt.Sprintf("l%d", i), u, name, "springfield")
+		rr, _ := certa.NewRecord(fmt.Sprintf("r%d", i), v, name, "springfield")
+		left.MustAdd(lr)
+		right.MustAdd(rr)
+	}
+
+	// The "model": match iff the names overlap. It never reads the city.
+	model := certa.MatcherFunc("rules", func(p certa.Pair) float64 {
+		return strutil.Jaccard(p.Left.Value("name"), p.Right.Value("name"))
+	})
+
+	l0, _ := left.Get("l0")
+	r1, _ := right.Get("r1") // golden dragon vs casa luna: non-match
+	explainer := certa.New(left, right, certa.Options{Triangles: 4, Seed: 1, DisableAugmentation: true})
+	res, err := explainer.Explain(model, certa.Pair{Left: l0, Right: r1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("top attribute: %s\n", res.Saliency.Ranked()[0].Attr)
+	fmt.Printf("counterfactual set: %s (probability %.0f%%)\n", res.BestSet.Key(), 100*res.BestSufficiency)
+	fmt.Printf("counterfactuals flip: %v\n", res.Counterfactuals[0].Flips())
+	// Output:
+	// top attribute: name
+	// counterfactual set: L:{name} (probability 100%)
+	// counterfactuals flip: true
+}

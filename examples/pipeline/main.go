@@ -1,0 +1,94 @@
+// Pipeline: the full production ER loop the paper's setting assumes —
+// block candidate pairs out of the quadratic cross product, match them
+// with a trained model, then explain the low-confidence verdicts so a
+// reviewer knows *which attributes* to check.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"certa"
+)
+
+func main() {
+	bench, err := certa.GenerateBenchmark("WA", certa.BenchmarkOptions{
+		Seed: 31, MaxRecords: 250, MaxMatches: 120,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Blocking: avoid the |U| x |V| cross product.
+	blocker, err := certa.NewTokenBlocker(bench.Right, certa.BlockingConfig{MaxPerRecord: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands := blocker.Block(bench.Left)
+	q := certa.EvaluateBlocking(cands, bench.Left.Len(), bench.Right.Len(), len(bench.Matches), bench.IsMatch)
+	fmt.Printf("blocking: %d candidates (%.1f%% of cross product pruned), recall %.2f\n",
+		q.Candidates, 100*q.ReductionRatio, q.Recall)
+
+	// 2. Matching: score every candidate with a trained model.
+	model, err := certa.TrainMatcher(certa.DeepMatcher, bench, certa.MatcherConfig{Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	type scored struct {
+		pair  certa.Pair
+		score float64
+	}
+	var verdicts []scored
+	for _, c := range cands {
+		verdicts = append(verdicts, scored{pair: c.Pair, score: model.Score(c.Pair)})
+	}
+	matches := 0
+	for _, v := range verdicts {
+		if v.score > 0.5 {
+			matches++
+		}
+	}
+	fmt.Printf("matching: %d of %d candidates predicted Match\n", matches, len(verdicts))
+
+	// 3. Triage: the scores closest to the boundary are the ones a human
+	//    should review — explain them.
+	sort.Slice(verdicts, func(i, j int) bool {
+		di := abs(verdicts[i].score - 0.5)
+		dj := abs(verdicts[j].score - 0.5)
+		return di < dj
+	})
+	explainer := certa.New(bench.Left, bench.Right, certa.Options{Triangles: 50, Seed: 31})
+	fmt.Println("\nmost uncertain verdicts, with the attributes a reviewer should check first:")
+	for i := 0; i < 3 && i < len(verdicts); i++ {
+		v := verdicts[i]
+		res, err := explainer.Explain(model, v.pair)
+		if err != nil {
+			log.Fatal(err)
+		}
+		top := res.Saliency.TopK(2)
+		fmt.Printf("  <%s> score %.3f -> check %v", v.pair.Key(), v.score, refNames(top))
+		if len(res.Counterfactuals) > 0 {
+			fmt.Printf("  (changing %s would flip it, p=%.2f)",
+				res.BestSet.Key(), res.BestSufficiency)
+		}
+		fmt.Println()
+	}
+}
+
+func refNames(refs []certa.AttrRef) []string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = r.String()
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

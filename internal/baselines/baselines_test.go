@@ -1,0 +1,287 @@
+package baselines
+
+import (
+	"fmt"
+	"testing"
+
+	"certa/internal/explain"
+	"certa/internal/lime"
+	"certa/internal/record"
+	"certa/internal/shap"
+	"certa/internal/strutil"
+)
+
+// nameModel matches iff the name attributes overlap by more than half;
+// transparent ground truth for saliency assertions.
+type nameModel struct{}
+
+func (nameModel) Name() string { return "name-oracle" }
+func (nameModel) Score(p record.Pair) float64 {
+	// Two missing names are no evidence of a match (unlike raw Jaccard,
+	// which scores NaN-vs-NaN as 1).
+	if strutil.IsMissing(p.Left.Value("name")) || strutil.IsMissing(p.Right.Value("name")) {
+		return 0.1
+	}
+	if strutil.Jaccard(p.Left.Value("name"), p.Right.Value("name")) > 0.5 {
+		return 0.9
+	}
+	return 0.1
+}
+
+func buildTables() (*record.Table, *record.Table) {
+	ls := record.MustSchema("U", "name", "desc", "price")
+	rs := record.MustSchema("V", "name", "desc", "price")
+	left := record.NewTable(ls)
+	right := record.NewTable(rs)
+	names := []string{"alpha beta", "gamma delta", "epsilon zeta", "eta theta",
+		"iota kappa", "lambda mu", "nu xi", "omicron pi"}
+	for i, n := range names {
+		left.MustAdd(record.MustNew(fmt.Sprintf("l%d", i), ls, n, "desc "+n, fmt.Sprintf("%d", 10+i)))
+		right.MustAdd(record.MustNew(fmt.Sprintf("r%d", i), rs, n, "desc "+n, fmt.Sprintf("%d", 10+i)))
+	}
+	return left, right
+}
+
+func matchPair(left, right *record.Table) record.Pair {
+	u, _ := left.Get("l0")
+	v, _ := right.Get("r0")
+	return record.Pair{Left: u, Right: v}
+}
+
+func nonMatchPair(left, right *record.Table) record.Pair {
+	u, _ := left.Get("l0")
+	v, _ := right.Get("r1")
+	return record.Pair{Left: u, Right: v}
+}
+
+func nameRefs() (l, r record.AttrRef) {
+	return record.AttrRef{Side: record.Left, Attr: "name"},
+		record.AttrRef{Side: record.Right, Attr: "name"}
+}
+
+func assertNameDominates(t *testing.T, sal *explain.Saliency, method string) {
+	t.Helper()
+	lName, rName := nameRefs()
+	nameScore := sal.Scores[lName] + sal.Scores[rName]
+	var otherMax float64
+	for ref, v := range sal.Scores {
+		if ref.Attr != "name" && v > otherMax {
+			otherMax = v
+		}
+	}
+	if nameScore <= otherMax {
+		t.Errorf("%s: name saliency %v should dominate other attrs (max %v); full: %v",
+			method, nameScore, otherMax, sal)
+	}
+}
+
+func TestMojitoMatchPrediction(t *testing.T) {
+	left, right := buildTables()
+	mj := NewMojito(lime.Config{Samples: 150, Seed: 1})
+	sal, err := mj.ExplainSaliency(nameModel{}, matchPair(left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNameDominates(t, sal, "Mojito(drop)")
+}
+
+func TestMojitoNonMatchUsesCopy(t *testing.T) {
+	left, right := buildTables()
+	mj := NewMojito(lime.Config{Samples: 150, Seed: 2})
+	sal, err := mj.ExplainSaliency(nameModel{}, nonMatchPair(left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With copy semantics, deactivating name copies the other record's
+	// name and flips the prediction — name must carry the weight.
+	assertNameDominates(t, sal, "Mojito(copy)")
+}
+
+func TestLandMark(t *testing.T) {
+	left, right := buildTables()
+	lm := NewLandMark(lime.Config{Samples: 150, Seed: 3})
+	sal, err := lm.ExplainSaliency(nameModel{}, matchPair(left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNameDominates(t, sal, "LandMark")
+	// Both sides must be populated (two separate LIME runs).
+	lName, rName := nameRefs()
+	if sal.Scores[lName] == 0 || sal.Scores[rName] == 0 {
+		t.Errorf("LandMark should populate both sides: L=%v R=%v", sal.Scores[lName], sal.Scores[rName])
+	}
+}
+
+func TestSHAP(t *testing.T) {
+	left, right := buildTables()
+	sh := NewSHAP(shap.Config{Samples: 400, Seed: 4})
+	sal, err := sh.ExplainSaliency(nameModel{}, matchPair(left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNameDominates(t, sal, "SHAP")
+	// Token-level attributions are sampled; null attributes must stay
+	// small relative to the decisive one.
+	nameScore := sal.Scores[record.AttrRef{Side: record.Left, Attr: "name"}] +
+		sal.Scores[record.AttrRef{Side: record.Right, Attr: "name"}]
+	for ref, v := range sal.Scores {
+		if ref.Attr != "name" && v > nameScore/2 {
+			t.Errorf("SHAP: null attribute %v got %v vs name %v", ref, v, nameScore)
+		}
+	}
+}
+
+func TestSaliencyDeterminism(t *testing.T) {
+	left, right := buildTables()
+	p := matchPair(left, right)
+	for _, mk := range []func() explain.SaliencyExplainer{
+		func() explain.SaliencyExplainer { return NewMojito(lime.Config{Samples: 80, Seed: 5}) },
+		func() explain.SaliencyExplainer { return NewLandMark(lime.Config{Samples: 80, Seed: 5}) },
+		func() explain.SaliencyExplainer { return NewSHAP(shap.Config{Seed: 5}) },
+	} {
+		a, err := mk().ExplainSaliency(nameModel{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mk().ExplainSaliency(nameModel{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ref, v := range a.Scores {
+			if b.Scores[ref] != v {
+				t.Errorf("%T: non-deterministic for %v", mk(), ref)
+			}
+		}
+	}
+}
+
+func TestDiCEFindsFlippingCounterfactuals(t *testing.T) {
+	left, right := buildTables()
+	d := NewDiCE(left, right, DiCEConfig{Seed: 6})
+	p := nonMatchPair(left, right)
+	cfs, err := d.ExplainCounterfactuals(nameModel{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfs) == 0 {
+		t.Fatal("DiCE returned no counterfactuals")
+	}
+	flipped := 0
+	for _, cf := range cfs {
+		if len(cf.Changed) == 0 {
+			t.Error("counterfactual with no changes")
+		}
+		if cf.Flips() {
+			flipped++
+		}
+	}
+	// The name-only model flips whenever a matching name is copied from
+	// the domain; the genetic search must find at least one.
+	if flipped == 0 {
+		t.Error("DiCE found no flipping counterfactual on an easy model")
+	}
+}
+
+func TestDiCEDiversity(t *testing.T) {
+	left, right := buildTables()
+	d := NewDiCE(left, right, DiCEConfig{Seed: 7, K: 4})
+	cfs, err := d.ExplainCounterfactuals(nameModel{}, nonMatchPair(left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfs) < 2 {
+		t.Skip("need 2+ counterfactuals to check diversity")
+	}
+	for i := 0; i < len(cfs); i++ {
+		for j := i + 1; j < len(cfs); j++ {
+			if pairProximity(cfs[i].Pair, cfs[j].Pair) > 0.99 {
+				t.Errorf("counterfactuals %d and %d are near-identical", i, j)
+			}
+		}
+	}
+}
+
+func TestLIMECOnMatch(t *testing.T) {
+	left, right := buildTables()
+	lc := NewLIMEC(lime.Config{Samples: 150, Seed: 8}, 4)
+	p := matchPair(left, right)
+	cfs, err := lc.ExplainCounterfactuals(nameModel{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the salient name must flip a match to non-match.
+	if len(cfs) == 0 {
+		t.Fatal("LIME-C found no counterfactual for a match prediction")
+	}
+	for _, cf := range cfs {
+		if !cf.Flips() {
+			t.Error("LIME-C returned a non-flipping counterfactual")
+		}
+	}
+}
+
+func TestLIMECOnNonMatchUsesCopy(t *testing.T) {
+	left, right := buildTables()
+	lc := NewLIMEC(lime.Config{Samples: 150, Seed: 9}, 4)
+	cfs, err := lc.ExplainCounterfactuals(nameModel{}, nonMatchPair(left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy semantics lets LIME-C flip non-matches too (name copied from
+	// the other side).
+	if len(cfs) == 0 {
+		t.Error("LIME-C with copy operator should flip the non-match")
+	}
+}
+
+func TestSHAPCMaskingCannotFlipNonMatch(t *testing.T) {
+	left, right := buildTables()
+	sc := NewSHAPC(shap.Config{Seed: 10}, 4)
+	cfs, err := sc.ExplainCounterfactuals(nameModel{}, nonMatchPair(left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure evidence removal cannot make the names overlap: SHAP-C finds
+	// nothing — the asymmetry Figure 10 of the paper reports.
+	if len(cfs) != 0 {
+		t.Errorf("SHAP-C flipped a non-match by masking alone: %d cfs", len(cfs))
+	}
+}
+
+func TestSHAPCOnMatch(t *testing.T) {
+	left, right := buildTables()
+	sc := NewSHAPC(shap.Config{Seed: 11}, 4)
+	cfs, err := sc.ExplainCounterfactuals(nameModel{}, matchPair(left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfs) == 0 {
+		t.Error("SHAP-C should flip a match by masking the name")
+	}
+}
+
+func TestExplainersImplementInterfaces(t *testing.T) {
+	left, right := buildTables()
+	var _ explain.SaliencyExplainer = NewMojito(lime.Config{})
+	var _ explain.SaliencyExplainer = NewLandMark(lime.Config{})
+	var _ explain.SaliencyExplainer = NewSHAP(shap.Config{})
+	var _ explain.CounterfactualExplainer = NewDiCE(left, right, DiCEConfig{})
+	var _ explain.CounterfactualExplainer = NewLIMEC(lime.Config{}, 0)
+	var _ explain.CounterfactualExplainer = NewSHAPC(shap.Config{}, 0)
+}
+
+func TestNames(t *testing.T) {
+	left, right := buildTables()
+	for want, got := range map[string]string{
+		"Mojito":   NewMojito(lime.Config{}).Name(),
+		"LandMark": NewLandMark(lime.Config{}).Name(),
+		"SHAP":     NewSHAP(shap.Config{}).Name(),
+		"DiCE":     NewDiCE(left, right, DiCEConfig{}).Name(),
+		"LIME-C":   NewLIMEC(lime.Config{}, 0).Name(),
+		"SHAP-C":   NewSHAPC(shap.Config{}, 0).Name(),
+	} {
+		if want != got {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+
+	"certa/internal/explain"
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+// DiCE is the model-agnostic diverse-counterfactual baseline (Mothilal
+// et al., FAT* 2020) adapted to ER: candidate counterfactuals replace
+// attribute values with values drawn from the corresponding source
+// column's domain, and a genetic search optimizes a combination of
+// validity (crossing the decision boundary), proximity to the original
+// pair and diversity among the returned set. Like the original, DiCE may
+// return candidates that do not actually flip the prediction (the paper
+// drops the Validity metric for this reason, footnote 6).
+type DiCE struct {
+	domains map[record.AttrRef][]string
+
+	// K is the number of counterfactuals to return (default 4, DiCE's
+	// default).
+	K int
+	// Population and Generations size the genetic search (defaults 24/12).
+	Population, Generations int
+	// Seed drives the search.
+	Seed int64
+}
+
+// DiCEConfig tunes the search.
+type DiCEConfig struct {
+	K, Population, Generations int
+	Seed                       int64
+	// DomainCap bounds per-attribute value pools (default 150).
+	DomainCap int
+}
+
+// NewDiCE builds the explainer, harvesting attribute value domains from
+// the two sources.
+func NewDiCE(left, right *record.Table, cfg DiCEConfig) *DiCE {
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	if cfg.Population <= 0 {
+		cfg.Population = 24
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = 12
+	}
+	if cfg.DomainCap <= 0 {
+		cfg.DomainCap = 150
+	}
+	d := &DiCE{
+		domains:     make(map[record.AttrRef][]string),
+		K:           cfg.K,
+		Population:  cfg.Population,
+		Generations: cfg.Generations,
+		Seed:        cfg.Seed,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	harvest := func(t *record.Table, side record.Side) {
+		for _, a := range t.Schema.Attrs {
+			ref := record.AttrRef{Side: side, Attr: a}
+			seen := make(map[string]struct{})
+			var pool []string
+			for _, r := range t.Records {
+				v := r.Value(a)
+				if strutil.IsMissing(v) {
+					continue
+				}
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				pool = append(pool, v)
+			}
+			rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+			if len(pool) > cfg.DomainCap {
+				pool = pool[:cfg.DomainCap]
+			}
+			d.domains[ref] = pool
+		}
+	}
+	harvest(left, record.Left)
+	harvest(right, record.Right)
+	return d
+}
+
+// Name implements explain.CounterfactualExplainer.
+func (d *DiCE) Name() string { return "DiCE" }
+
+// candidate is one individual of the genetic search.
+type candidate struct {
+	pair    record.Pair
+	changed []record.AttrRef
+	score   float64
+	fitness float64
+}
+
+// ExplainCounterfactuals implements explain.CounterfactualExplainer.
+func (d *DiCE) ExplainCounterfactuals(m explain.Model, p record.Pair) ([]explain.Counterfactual, error) {
+	origScore := m.Score(p)
+	wantMatch := origScore <= 0.5 // the flipped target outcome
+	rng := rand.New(rand.NewSource(d.Seed*13 + int64(len(p.Key()))))
+	refs := p.AttrRefs()
+
+	evaluate := func(pair record.Pair, changed []record.AttrRef) candidate {
+		score := m.Score(pair)
+		// Validity term: distance of the score past the boundary in the
+		// desired direction.
+		var validity float64
+		if wantMatch {
+			validity = score
+		} else {
+			validity = 1 - score
+		}
+		// Proximity term: attribute-wise similarity to the original.
+		prox := pairProximity(p, pair)
+		// Sparsity pressure: fewer changes are better.
+		sparse := 1 - float64(len(changed))/float64(len(refs))
+		return candidate{
+			pair:    pair,
+			changed: changed,
+			score:   score,
+			fitness: 2*validity + 0.5*prox + 0.3*sparse,
+		}
+	}
+
+	mutate := func(c candidate) candidate {
+		ref := refs[rng.Intn(len(refs))]
+		pool := d.domains[ref]
+		if len(pool) == 0 {
+			return c
+		}
+		v := pool[rng.Intn(len(pool))]
+		next := c.pair.WithValue(ref, v)
+		changed := diffRefs(p, next)
+		return evaluate(next, changed)
+	}
+
+	// Initial population: single-attribute replacements.
+	pop := make([]candidate, 0, d.Population)
+	for len(pop) < d.Population {
+		c := mutate(evaluate(p, nil))
+		pop = append(pop, c)
+	}
+
+	for g := 0; g < d.Generations; g++ {
+		sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
+		elite := pop[:d.Population/2]
+		next := append([]candidate(nil), elite...)
+		for len(next) < d.Population {
+			parent := elite[rng.Intn(len(elite))]
+			next = append(next, mutate(parent))
+		}
+		pop = next
+	}
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
+
+	// Greedy diverse selection of K results.
+	var out []explain.Counterfactual
+	var chosen []candidate
+	for _, c := range pop {
+		if len(chosen) >= d.K {
+			break
+		}
+		if len(c.changed) == 0 {
+			continue
+		}
+		tooClose := false
+		for _, prev := range chosen {
+			if pairProximity(prev.pair, c.pair) > 0.95 {
+				tooClose = true
+				break
+			}
+		}
+		if tooClose {
+			continue
+		}
+		chosen = append(chosen, c)
+		prob := 0.0
+		if (c.score > 0.5) == wantMatch {
+			prob = 1
+		}
+		out = append(out, explain.Counterfactual{
+			Original:    p,
+			Pair:        c.pair,
+			Changed:     c.changed,
+			Score:       c.score,
+			Probability: prob,
+		}.WithOriginalScore(origScore))
+	}
+	return out, nil
+}
+
+// pairProximity is the mean attribute-wise token similarity between two
+// pairs (1 = identical).
+func pairProximity(a, b record.Pair) float64 {
+	refs := a.AttrRefs()
+	if len(refs) == 0 {
+		return 1
+	}
+	var total float64
+	for _, ref := range refs {
+		total += strutil.Jaccard(a.Value(ref), b.Value(ref))
+	}
+	return total / float64(len(refs))
+}
+
+// diffRefs lists the attributes where the two pairs differ.
+func diffRefs(orig, perturbed record.Pair) []record.AttrRef {
+	var out []record.AttrRef
+	for _, ref := range orig.AttrRefs() {
+		if orig.Value(ref) != perturbed.Value(ref) {
+			out = append(out, ref)
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package baselines
+
+import (
+	"fmt"
+
+	"certa/internal/explain"
+	"certa/internal/record"
+	"certa/internal/shap"
+)
+
+// SHAPER is the task-agnostic Kernel SHAP baseline: the record pair is
+// treated as text whose tokens are the features; a token absent from a
+// coalition is removed from its attribute value. Attribute saliency is
+// the aggregated absolute attribution of the attribute's tokens. It
+// knows nothing about the ER semantics — exactly the property the paper
+// contrasts CERTA against.
+type SHAPER struct {
+	cfg shap.Config
+}
+
+// NewSHAP creates the explainer; zero config gives Kernel SHAP defaults.
+func NewSHAP(cfg shap.Config) *SHAPER { return &SHAPER{cfg: cfg} }
+
+// Name implements explain.SaliencyExplainer.
+func (s *SHAPER) Name() string { return "SHAP" }
+
+// ExplainSaliency implements explain.SaliencyExplainer.
+func (s *SHAPER) ExplainSaliency(m explain.Model, p record.Pair) (*explain.Saliency, error) {
+	score := m.Score(p)
+	feats := tokenFeatures(p, []record.Side{record.Left, record.Right})
+	sal := explain.NewSaliency(p, score)
+	if len(feats) == 0 {
+		return sal, nil
+	}
+	value := func(coalition []bool) float64 {
+		return m.Score(applyTokenDrop(p, feats, coalition))
+	}
+	phi, err := shap.Explain(len(feats), value, s.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: SHAP failed: %w", err)
+	}
+	aggregateTokenWeights(sal, feats, phi)
+	return sal, nil
+}

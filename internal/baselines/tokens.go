@@ -1,0 +1,109 @@
+package baselines
+
+import (
+	"certa/internal/explain"
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+// The paper's saliency baselines are text-level methods: Mojito runs
+// LIME over the *words* of the record pair, LandMark over the words of
+// one record at a time, and SHAP treats the pair as text. Their
+// attribute-level scores are aggregates of token-level attributions.
+// This file provides the shared token-feature representation.
+
+// tokenFeature is one interpretable feature: a token at a position
+// inside one side-qualified attribute.
+type tokenFeature struct {
+	ref   record.AttrRef
+	index int // token position within the attribute value
+	token string
+}
+
+// maxTokensPerAttr caps the interpretable representation per attribute;
+// tokens beyond the cap stay fixed (LIME's max-features practice bounds
+// the regression size on very long values).
+const maxTokensPerAttr = 16
+
+// tokenFeatures enumerates the perturbable tokens of the selected sides
+// in deterministic order.
+func tokenFeatures(p record.Pair, sides []record.Side) []tokenFeature {
+	var out []tokenFeature
+	for _, side := range sides {
+		rec := p.Record(side)
+		for _, a := range rec.Schema.Attrs {
+			toks := strutil.Tokenize(rec.Value(a))
+			if len(toks) > maxTokensPerAttr {
+				toks = toks[:maxTokensPerAttr]
+			}
+			for i, t := range toks {
+				out = append(out, tokenFeature{
+					ref:   record.AttrRef{Side: side, Attr: a},
+					index: i,
+					token: t,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyTokenDrop rebuilds the pair with every deactivated feature's
+// token removed from its attribute value (the DROP operator).
+func applyTokenDrop(p record.Pair, feats []tokenFeature, active []bool) record.Pair {
+	dropped := make(map[record.AttrRef]map[int]bool)
+	for i, f := range feats {
+		if active[i] {
+			continue
+		}
+		if dropped[f.ref] == nil {
+			dropped[f.ref] = make(map[int]bool)
+		}
+		dropped[f.ref][f.index] = true
+	}
+	out := p
+	for ref, idxs := range dropped {
+		toks := strutil.Tokenize(p.Value(ref))
+		kept := toks[:0]
+		for i, t := range toks {
+			if !idxs[i] {
+				kept = append(kept, t)
+			}
+		}
+		out = out.WithValue(ref, strutil.JoinTokens(kept))
+	}
+	return out
+}
+
+// applyTokenCopy rebuilds the pair with every deactivated feature's
+// token appended to the *aligned attribute of the opposite record* (the
+// Mojito COPY operator for non-match predictions: copying tokens across
+// makes the records more similar).
+func applyTokenCopy(p record.Pair, feats []tokenFeature, active []bool) record.Pair {
+	appended := make(map[record.AttrRef][]string)
+	for i, f := range feats {
+		if active[i] {
+			continue
+		}
+		opposite := record.AttrRef{Side: f.ref.Side.Opposite(), Attr: f.ref.Attr}
+		appended[opposite] = append(appended[opposite], f.token)
+	}
+	out := p
+	for ref, toks := range appended {
+		base := strutil.Tokenize(p.Value(ref))
+		out = out.WithValue(ref, strutil.JoinTokens(append(base, toks...)))
+	}
+	return out
+}
+
+// aggregateTokenWeights folds absolute token-level attributions into
+// per-attribute saliency scores (total attribution mass per attribute).
+func aggregateTokenWeights(sal *explain.Saliency, feats []tokenFeature, weights []float64) {
+	for i, f := range feats {
+		w := weights[i]
+		if w < 0 {
+			w = -w
+		}
+		sal.Scores[f.ref] += w
+	}
+}

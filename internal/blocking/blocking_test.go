@@ -1,0 +1,173 @@
+package blocking
+
+import (
+	"fmt"
+	"testing"
+
+	"certa/internal/dataset"
+	"certa/internal/record"
+)
+
+func smallTables() (*record.Table, *record.Table) {
+	ls := record.MustSchema("U", "name", "desc")
+	rs := record.MustSchema("V", "name", "desc")
+	left := record.NewTable(ls)
+	right := record.NewTable(rs)
+	rows := []struct{ name, desc string }{
+		{"sony bravia tv", "black panel"},
+		{"canon pixma printer", "ink tank"},
+		{"apple ipod nano", "music player"},
+		{"sony walkman player", "cassette era"},
+	}
+	for i, r := range rows {
+		left.MustAdd(record.MustNew(fmt.Sprintf("l%d", i), ls, r.name, r.desc))
+		right.MustAdd(record.MustNew(fmt.Sprintf("r%d", i), rs, r.name, r.desc))
+	}
+	return left, right
+}
+
+func TestTokenBlockerFindsSharedTokenPairs(t *testing.T) {
+	left, right := smallTables()
+	b, err := NewTokenBlocker(right, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, _ := left.Get("l0") // sony bravia tv
+	cands := b.CandidatesFor(l0)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The identical record must rank first.
+	if cands[0].Pair.Right.ID != "r0" {
+		t.Errorf("top candidate = %s, want r0", cands[0].Pair.Right.ID)
+	}
+	// "sony walkman player" shares the brand token and must appear.
+	found := false
+	for _, c := range cands {
+		if c.Pair.Right.ID == "r3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("brand-sharing record not retrieved")
+	}
+}
+
+func TestTokenBlockerScoresOrdered(t *testing.T) {
+	left, right := smallTables()
+	b, err := NewTokenBlocker(right, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range left.Records {
+		cands := b.CandidatesFor(l)
+		for i := 1; i < len(cands); i++ {
+			if cands[i-1].Score < cands[i].Score {
+				t.Fatalf("candidates not sorted by score: %v", cands)
+			}
+		}
+	}
+}
+
+func TestTokenBlockerCap(t *testing.T) {
+	left, right := smallTables()
+	b, err := NewTokenBlocker(right, Config{MaxPerRecord: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range left.Records {
+		if got := len(b.CandidatesFor(l)); got > 1 {
+			t.Errorf("cap violated: %d candidates", got)
+		}
+	}
+}
+
+func TestTokenBlockerEmptyRight(t *testing.T) {
+	ls := record.MustSchema("U", "a")
+	if _, err := NewTokenBlocker(record.NewTable(ls), Config{}); err == nil {
+		t.Error("empty right table should error")
+	}
+}
+
+func TestStopTokenPruning(t *testing.T) {
+	// A token present in every right record must be pruned from the
+	// index (it cannot discriminate).
+	ls := record.MustSchema("U", "a")
+	rs := record.MustSchema("V", "a")
+	right := record.NewTable(rs)
+	for i := 0; i < 10; i++ {
+		right.MustAdd(record.MustNew(fmt.Sprintf("r%d", i), rs, fmt.Sprintf("common unique%d", i)))
+	}
+	b, err := NewTokenBlocker(right, Config{MaxTokenFrequency: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := record.NewTable(ls)
+	left.MustAdd(record.MustNew("l0", ls, "common"))
+	if cands := b.CandidatesFor(left.Records[0]); len(cands) != 0 {
+		t.Errorf("stop token should retrieve nothing, got %d", len(cands))
+	}
+}
+
+func TestFirstTokenBlocker(t *testing.T) {
+	left, right := smallTables()
+	b, err := NewFirstTokenBlocker(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := b.Block(left)
+	// l0 and l3 are both "sony ..." so each pairs with r0 and r3.
+	sonyPairs := 0
+	for _, c := range cands {
+		if c.Pair.Left.ID == "l0" || c.Pair.Left.ID == "l3" {
+			sonyPairs++
+		}
+	}
+	if sonyPairs != 4 {
+		t.Errorf("sony block should yield 4 pairs, got %d", sonyPairs)
+	}
+}
+
+func TestBlockingOnBenchmarkRecall(t *testing.T) {
+	bench := dataset.MustGenerate("AB", dataset.Options{Seed: 3, MaxRecords: 150, MaxMatches: 80})
+	b, err := NewTokenBlocker(bench.Right, Config{MaxPerRecord: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := b.Block(bench.Left)
+	q := Evaluate(cands, bench.Left.Len(), bench.Right.Len(), len(bench.Matches), bench.IsMatch)
+	t.Logf("AB blocking: recall=%.3f reduction=%.3f candidates=%d", q.Recall, q.ReductionRatio, q.Candidates)
+	if q.Recall < 0.7 {
+		t.Errorf("blocking recall %.3f too low for a token blocker", q.Recall)
+	}
+	if q.ReductionRatio < 0.5 {
+		t.Errorf("reduction ratio %.3f too low", q.ReductionRatio)
+	}
+}
+
+func TestEvaluateDedupes(t *testing.T) {
+	left, right := smallTables()
+	l0, _ := left.Get("l0")
+	r0, _ := right.Get("r0")
+	dup := Candidate{Pair: record.Pair{Left: l0, Right: r0}}
+	q := Evaluate([]Candidate{dup, dup}, 4, 4, 1, func(l, r string) bool { return l == "l0" && r == "r0" })
+	if q.Candidates != 1 {
+		t.Errorf("duplicates should collapse: %d", q.Candidates)
+	}
+	if q.Recall != 1 {
+		t.Errorf("recall = %v", q.Recall)
+	}
+}
+
+func BenchmarkTokenBlocker(b *testing.B) {
+	bench := dataset.MustGenerate("WA", dataset.Options{Seed: 3, MaxRecords: 200, MaxMatches: 100})
+	blocker, err := NewTokenBlocker(bench.Right, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blocker.CandidatesFor(bench.Left.Records[i%bench.Left.Len()])
+	}
+}

@@ -1,0 +1,435 @@
+// Package core implements CERTA, the paper's contribution: a post-hoc
+// local explanation method for ER classifiers that produces saliency
+// explanations (probability of necessity per attribute, Eq. 1) and
+// counterfactual explanations (perturbed pairs ranked by probability of
+// sufficiency, Eqs. 2–3).
+//
+// Given a prediction M(⟨u,v⟩)=y, CERTA:
+//
+//  1. collects open triangles — support records w ∈ U with M(⟨w,v⟩)=¬y
+//     (left triangles) and q ∈ V with M(⟨u,q⟩)=¬y (right triangles),
+//     topping up with token-drop data augmentation when the sources
+//     cannot supply τ of them (§3.3);
+//  2. for each triangle, explores the power-set lattice of the free
+//     record's attributes bottom-up, copying attribute values from the
+//     support record (the perturbation ψ) and asking whether the
+//     prediction flips; under the monotone-classifier assumption a flip
+//     propagates to all supersets without further model calls (§4);
+//  3. counts flips to estimate the probability of necessity φ_a of every
+//     attribute and the probability of sufficiency χ_A of every changed
+//     attribute set, and emits the counterfactuals whose changed set A★
+//     maximizes χ with the fewest attributes (Algorithm 1).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"certa/internal/explain"
+	"certa/internal/lattice"
+	"certa/internal/record"
+)
+
+// Options tunes the CERTA explainer. The zero value gives the paper's
+// defaults: τ=100 triangles, monotone propagation on, data augmentation
+// on.
+type Options struct {
+	// Triangles is τ, the total number of open triangles to use (half
+	// left, half right). Default 100 (the paper's setting, §5.3).
+	Triangles int
+	// NoMonotone disables the monotone-classifier optimization and
+	// evaluates every lattice node exactly (the "Expected" baseline of
+	// Table 7).
+	NoMonotone bool
+	// DisableAugmentation turns off the token-drop data augmentation of
+	// §3.3, reproducing the Table 8 ablation.
+	DisableAugmentation bool
+	// ForceAugmentation uses *only* augmented support records even when
+	// the sources could supply natural ones, reproducing the Tables 9–10
+	// ablation.
+	ForceAugmentation bool
+	// LeftTrianglesOnly restricts the explanation to left open triangles
+	// (no right-side supports): an ablation of the paper's symmetric
+	// design (DESIGN.md §5). Right-record attributes then receive no
+	// saliency mass.
+	LeftTrianglesOnly bool
+	// EvaluateMonotonicity re-tests every lattice node skipped by the
+	// monotone optimization and records how many inferences were wrong
+	// (Table 7's error rate). Costly; off by default.
+	EvaluateMonotonicity bool
+	// Seed drives candidate shuffling; explanations are deterministic
+	// given (Options, model, pair).
+	Seed int64
+	// Parallelism bounds concurrent lattice explorations (default 1;
+	// results are identical at any setting).
+	Parallelism int
+	// MaxLatticeAttrs guards against schemas too wide for power-set
+	// exploration (default 12; the paper's benchmarks have at most 8).
+	MaxLatticeAttrs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Triangles <= 0 {
+		o.Triangles = 100
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+	if o.MaxLatticeAttrs <= 0 {
+		o.MaxLatticeAttrs = 12
+	}
+	return o
+}
+
+// Explainer computes CERTA explanations against a pair of sources.
+type Explainer struct {
+	left  *record.Table
+	right *record.Table
+	opts  Options
+}
+
+// New creates an explainer over the benchmark's two sources U and V.
+func New(left, right *record.Table, opts Options) *Explainer {
+	return &Explainer{left: left, right: right, opts: opts.withDefaults()}
+}
+
+// Name implements the explainer interfaces.
+func (e *Explainer) Name() string { return "CERTA" }
+
+// AttrSet identifies a side-qualified set of attributes (a lattice node).
+type AttrSet struct {
+	Side  record.Side
+	Attrs []string
+}
+
+// Key renders the set canonically, e.g. "L:{description,name}".
+func (s AttrSet) Key() string {
+	attrs := append([]string(nil), s.Attrs...)
+	sort.Strings(attrs)
+	return s.Side.String() + ":{" + strings.Join(attrs, ",") + "}"
+}
+
+// Refs converts the set into side-qualified attribute references.
+func (s AttrSet) Refs() []record.AttrRef {
+	out := make([]record.AttrRef, len(s.Attrs))
+	for i, a := range s.Attrs {
+		out[i] = record.AttrRef{Side: s.Side, Attr: a}
+	}
+	return out
+}
+
+// Diagnostics reports the work CERTA did for one explanation; the Table 7
+// and Table 8 experiments read these.
+type Diagnostics struct {
+	// LeftTriangles and RightTriangles are the numbers of open triangles
+	// actually used per side.
+	LeftTriangles, RightTriangles int
+	// AugmentedLeft and AugmentedRight count how many of them came from
+	// data augmentation.
+	AugmentedLeft, AugmentedRight int
+	// LatticePredictions counts model calls made during lattice
+	// exploration; ExpectedPredictions is the exhaustive 2^l-2 baseline
+	// summed over triangles.
+	LatticePredictions, ExpectedPredictions int
+	// SavedPredictions = Expected - Performed.
+	SavedPredictions int
+	// WrongInferences counts monotone inferences contradicted by the
+	// model (only populated with Options.EvaluateMonotonicity).
+	WrongInferences int
+	// TriangleSearchCalls counts model calls spent finding support
+	// records.
+	TriangleSearchCalls int
+	// Flips is the total number of flipped lattice nodes (the f of
+	// Algorithm 1).
+	Flips int
+}
+
+// Result is a full CERTA explanation.
+type Result struct {
+	// Saliency holds the probability of necessity per attribute (Eq. 1).
+	Saliency *explain.Saliency
+	// Counterfactuals are the examples whose changed attribute set is A★
+	// (Eq. 3), annotated with the recomputed model score.
+	Counterfactuals []explain.Counterfactual
+	// BestSet is A★ and BestSufficiency its χ value.
+	BestSet         AttrSet
+	BestSufficiency float64
+	// Sufficiency maps every flipped attribute set (by Key()) to its χ.
+	Sufficiency map[string]float64
+	// Diag reports the work performed.
+	Diag Diagnostics
+}
+
+// Explain runs the CERTA algorithm (Algorithm 1) for one prediction.
+func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
+	if p.Left == nil || p.Right == nil {
+		return nil, fmt.Errorf("core: pair has nil record")
+	}
+	origScore := m.Score(p)
+	y := origScore > 0.5
+
+	tri, searchCalls := e.findTriangles(m, p, y)
+
+	res := &Result{
+		Saliency:    explain.NewSaliency(p, origScore),
+		Sufficiency: make(map[string]float64),
+	}
+	res.Diag.TriangleSearchCalls = searchCalls
+	res.Diag.LeftTriangles = len(tri.left)
+	res.Diag.RightTriangles = len(tri.right)
+	res.Diag.AugmentedLeft = tri.augLeft
+	res.Diag.AugmentedRight = tri.augRight
+
+	// Per-side lattice exploration.
+	leftCounts := e.exploreSide(m, p, y, record.Left, tri.left, &res.Diag)
+	rightCounts := e.exploreSide(m, p, y, record.Right, tri.right, &res.Diag)
+
+	// Necessity (Eq. 1): φ_a = N[a] / f, with f the global flip count
+	// across both sides' lattices.
+	f := leftCounts.flips + rightCounts.flips
+	res.Diag.Flips = f
+	if f > 0 {
+		for ref, n := range leftCounts.necessity {
+			res.Saliency.Scores[ref] = float64(n) / float64(f)
+		}
+		for ref, n := range rightCounts.necessity {
+			res.Saliency.Scores[ref] = float64(n) / float64(f)
+		}
+	}
+
+	// Sufficiency (Eq. 2): χ_A = S[A] / |T_side|. Algorithm 1 divides by
+	// |T|; the paper's worked example (§4) divides by the number of
+	// triangles on the set's own side, which is the probability the text
+	// defines — we follow the worked example.
+	best := AttrSet{}
+	bestChi := -1.0
+	bestSize := 1 << 30
+	consider := func(counts *sideCounts, nTri int) {
+		if nTri == 0 {
+			return
+		}
+		// Deterministic iteration order.
+		keys := make([]lattice.Mask, 0, len(counts.sufficiency))
+		for mask := range counts.sufficiency {
+			keys = append(keys, mask)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, mask := range keys {
+			set := counts.attrSet(mask)
+			chi := float64(counts.sufficiency[mask]) / float64(nTri)
+			res.Sufficiency[set.Key()] = chi
+			sz := mask.Count()
+			if chi > bestChi || (chi == bestChi && sz < bestSize) {
+				bestChi = chi
+				bestSize = sz
+				best = set
+			}
+		}
+	}
+	consider(leftCounts, len(tri.left))
+	consider(rightCounts, len(tri.right))
+
+	if bestChi > 0 {
+		res.BestSet = best
+		res.BestSufficiency = bestChi
+		res.Counterfactuals = e.buildCounterfactuals(m, p, origScore, best, leftCounts, rightCounts, bestChi)
+	}
+	return res, nil
+}
+
+// sideCounts accumulates per-side flip statistics.
+type sideCounts struct {
+	side  record.Side
+	attrs []string // schema attrs of the free record's side
+
+	flips       int
+	necessity   map[record.AttrRef]int
+	sufficiency map[lattice.Mask]int
+	// supports lists, per flipped mask, the support records whose
+	// triangle flipped it (for counterfactual materialization).
+	supports map[lattice.Mask][]*record.Record
+}
+
+func (c *sideCounts) attrSet(mask lattice.Mask) AttrSet {
+	var names []string
+	for _, i := range mask.Elems() {
+		names = append(names, c.attrs[i])
+	}
+	return AttrSet{Side: c.side, Attrs: names}
+}
+
+// exploreSide runs the lattice exploration for every triangle of one
+// side and aggregates the counters.
+func (e *Explainer) exploreSide(m explain.Model, p record.Pair, y bool, side record.Side, supports []*record.Record, diag *Diagnostics) *sideCounts {
+	free := p.Record(side)
+	counts := &sideCounts{
+		side:        side,
+		attrs:       free.Schema.Attrs,
+		necessity:   make(map[record.AttrRef]int),
+		sufficiency: make(map[lattice.Mask]int),
+		supports:    make(map[lattice.Mask][]*record.Record),
+	}
+	n := len(counts.attrs)
+	if n == 0 || n > e.opts.MaxLatticeAttrs || len(supports) == 0 {
+		return counts
+	}
+
+	type triangleResult struct {
+		res   *lattice.Result
+		saved int
+		wrong int
+	}
+	results := make([]triangleResult, len(supports))
+
+	run := func(idx int) {
+		w := supports[idx]
+		oracle := func(mask lattice.Mask) bool {
+			perturbed := perturb(p, side, w, counts.attrs, mask)
+			return (m.Score(perturbed) > 0.5) != y
+		}
+		lr := lattice.Explore(n, oracle, !e.opts.NoMonotone)
+		tr := triangleResult{res: lr}
+		if e.opts.EvaluateMonotonicity && !e.opts.NoMonotone {
+			tr.saved, tr.wrong = lattice.CompareExact(lr, oracle)
+		}
+		results[idx] = tr
+	}
+
+	if e.opts.Parallelism > 1 && len(supports) > 1 {
+		runParallel(len(supports), e.opts.Parallelism, run)
+	} else {
+		for i := range supports {
+			run(i)
+		}
+	}
+
+	full := lattice.Mask(1<<uint(n)) - 1
+	for idx, tr := range results {
+		diag.LatticePredictions += tr.res.Performed
+		diag.ExpectedPredictions += tr.res.Expected
+		diag.SavedPredictions += tr.res.Expected - tr.res.Performed
+		diag.WrongInferences += tr.wrong
+		if e.opts.EvaluateMonotonicity {
+			// CompareExact's model calls are bookkeeping, not part of the
+			// algorithm's cost; they are intentionally not added to
+			// LatticePredictions.
+			_ = tr.saved
+		}
+		for _, mask := range tr.res.Flipped() {
+			counts.flips++
+			for _, ai := range mask.Elems() {
+				counts.necessity[record.AttrRef{Side: side, Attr: counts.attrs[ai]}]++
+			}
+			if mask != full { // Eq. 3 excludes the full attribute set
+				counts.sufficiency[mask]++
+				counts.supports[mask] = append(counts.supports[mask], supports[idx])
+			}
+		}
+	}
+	return counts
+}
+
+// perturb applies ψ(free, w, A): copy the attribute values selected by
+// mask from the support record into the free record.
+func perturb(p record.Pair, side record.Side, w *record.Record, attrs []string, mask lattice.Mask) record.Pair {
+	vals := make(map[string]string, mask.Count())
+	for _, ai := range mask.Elems() {
+		vals[attrs[ai]] = w.Value(attrs[ai])
+	}
+	return p.WithRecord(side, p.Record(side).WithValues(vals))
+}
+
+// buildCounterfactuals materializes the counterfactual examples for A★:
+// one per support record whose triangle flipped exactly that set.
+func (e *Explainer) buildCounterfactuals(m explain.Model, p record.Pair, origScore float64, best AttrSet, left, right *sideCounts, chi float64) []explain.Counterfactual {
+	counts := left
+	if best.Side == record.Right {
+		counts = right
+	}
+	mask := maskFor(counts.attrs, best.Attrs)
+	var out []explain.Counterfactual
+	seen := make(map[string]bool)
+	for _, w := range counts.supports[mask] {
+		cp := perturb(p, best.Side, w, counts.attrs, mask)
+		key := cp.Record(best.Side).String()
+		if seen[key] {
+			continue // identical perturbations from duplicate supports
+		}
+		seen[key] = true
+		cf := explain.Counterfactual{
+			Original:    p,
+			Pair:        cp,
+			Changed:     changedRefs(p, cp, best.Side),
+			Score:       m.Score(cp),
+			Probability: chi,
+		}.WithOriginalScore(origScore)
+		out = append(out, cf)
+	}
+	return out
+}
+
+func maskFor(attrs, subset []string) lattice.Mask {
+	var m lattice.Mask
+	for i, a := range attrs {
+		for _, s := range subset {
+			if a == s {
+				m |= 1 << uint(i)
+			}
+		}
+	}
+	return m
+}
+
+// changedRefs lists attributes that actually differ between the original
+// and the perturbed pair (copying an identical value changes nothing).
+func changedRefs(orig, perturbed record.Pair, side record.Side) []record.AttrRef {
+	var out []record.AttrRef
+	o, c := orig.Record(side), perturbed.Record(side)
+	for _, a := range o.ChangedAttrs(c) {
+		out = append(out, record.AttrRef{Side: side, Attr: a})
+	}
+	return out
+}
+
+// runParallel executes fn(0..n-1) with at most workers goroutines.
+func runParallel(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				fn(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// ExplainSaliency implements explain.SaliencyExplainer.
+func (e *Explainer) ExplainSaliency(m explain.Model, p record.Pair) (*explain.Saliency, error) {
+	res, err := e.Explain(m, p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Saliency, nil
+}
+
+// ExplainCounterfactuals implements explain.CounterfactualExplainer.
+func (e *Explainer) ExplainCounterfactuals(m explain.Model, p record.Pair) ([]explain.Counterfactual, error) {
+	res, err := e.Explain(m, p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Counterfactuals, nil
+}

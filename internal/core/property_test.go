@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+// randomTables builds two random sources whose names come from a small
+// vocabulary, guaranteeing a mix of matching and non-matching pairs for
+// the name-only model.
+func randomTables(rng *rand.Rand, n int) (*record.Table, *record.Table) {
+	ls := record.MustSchema("U", "name", "desc", "price")
+	rs := record.MustSchema("V", "name", "desc", "price")
+	left := record.NewTable(ls)
+	right := record.NewTable(rs)
+	words := []string{"ares", "boreas", "chronos", "demeter", "eos", "freya"}
+	val := func() string {
+		return words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+	}
+	for i := 0; i < n; i++ {
+		left.MustAdd(record.MustNew(fmt.Sprintf("l%d", i), ls, val(), val(), fmt.Sprint(rng.Intn(50))))
+		right.MustAdd(record.MustNew(fmt.Sprintf("r%d", i), rs, val(), val(), fmt.Sprint(rng.Intn(50))))
+	}
+	return left, right
+}
+
+// Property: on arbitrary random tables and pairs, a CERTA explanation of
+// the (monotone) name-only model maintains its core invariants:
+// probabilities in range, counterfactuals actually flip, changed
+// attributes belong to A★'s side, and the saliency of attributes the
+// model ignores never exceeds attributes it reads.
+func TestExplainInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		left, right := randomTables(rng, 4+rng.Intn(6))
+		u := left.Records[rng.Intn(left.Len())]
+		v := right.Records[rng.Intn(right.Len())]
+		p := record.Pair{Left: u, Right: v}
+
+		e := New(left, right, Options{Triangles: 8, Seed: seed, DisableAugmentation: true})
+		res, err := e.Explain(nameModel{}, p)
+		if err != nil {
+			return false
+		}
+		for _, phi := range res.Saliency.Scores {
+			if phi < 0 || phi > 1 {
+				return false
+			}
+		}
+		for _, chi := range res.Sufficiency {
+			if chi < 0 || chi > 1 {
+				return false
+			}
+		}
+		for _, cf := range res.Counterfactuals {
+			if !cf.Flips() {
+				// Counterfactuals for the monotone name model are exact.
+				return false
+			}
+			for _, ref := range cf.Changed {
+				if ref.Side != res.BestSet.Side {
+					return false
+				}
+			}
+		}
+		// The model reads only names: any flip must involve a name, so
+		// name saliency (summed over sides) dominates every other attr.
+		if res.Diag.Flips > 0 {
+			nameScore := res.Saliency.Scores[record.AttrRef{Side: record.Left, Attr: "name"}] +
+				res.Saliency.Scores[record.AttrRef{Side: record.Right, Attr: "name"}]
+			for ref, phi := range res.Saliency.Scores {
+				if ref.Attr != "name" && phi > nameScore {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: diagnostics bookkeeping always balances, for any model
+// behaviour (here: a hash-based pseudo-random but deterministic model).
+func TestDiagnosticsBalanceProperty(t *testing.T) {
+	f := func(seed int64, modelSeed uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		left, right := randomTables(rng, 5)
+		u := left.Records[rng.Intn(left.Len())]
+		v := right.Records[rng.Intn(right.Len())]
+
+		model := hashModel(modelSeed)
+		e := New(left, right, Options{Triangles: 6, Seed: seed})
+		res, err := e.Explain(model, record.Pair{Left: u, Right: v})
+		if err != nil {
+			return false
+		}
+		d := res.Diag
+		return d.SavedPredictions == d.ExpectedPredictions-d.LatticePredictions &&
+			d.LatticePredictions >= 0 &&
+			d.LeftTriangles >= d.AugmentedLeft &&
+			d.RightTriangles >= d.AugmentedRight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// hashModel is a deterministic but arbitrary classifier: the score is a
+// hash of the pair's full text. It is intentionally non-monotone,
+// stressing the bookkeeping rather than the semantics.
+type hashModel uint32
+
+func (hashModel) Name() string { return "hash" }
+func (h hashModel) Score(p record.Pair) float64 {
+	s := strutil.Normalize(p.Left.Text() + "|" + p.Right.Text())
+	v := uint32(h)
+	for i := 0; i < len(s); i++ {
+		v = v*16777619 ^ uint32(s[i])
+	}
+	return float64(v%1000) / 999
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+// brandModel matches iff the *first token* of the name attributes agree
+// — so within the name value, exactly one token matters.
+type brandModel struct{}
+
+func (brandModel) Name() string { return "brand-oracle" }
+func (brandModel) Score(p record.Pair) float64 {
+	lt := strutil.Tokenize(p.Left.Value("name"))
+	rt := strutil.Tokenize(p.Right.Value("name"))
+	if len(lt) > 0 && len(rt) > 0 && lt[0] == rt[0] {
+		return 0.9
+	}
+	return 0.1
+}
+
+func TestTokenSaliencyFindsDecisiveToken(t *testing.T) {
+	left, right := buildTables()
+	e := New(left, right, Options{Triangles: 10, Seed: 1, DisableAugmentation: true})
+	p := matchPair(left, right) // names "alpha beta" on both sides
+	res, err := e.Explain(brandModel{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens, err := e.TokenSaliency(brandModel{}, p, res, TokenOptions{Samples: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) == 0 {
+		t.Fatal("no token scores")
+	}
+	// The first token of a name attribute must outrank the second token
+	// of the same attribute.
+	first := map[record.AttrRef]float64{}
+	second := map[record.AttrRef]float64{}
+	for _, ts := range tokens {
+		if ts.Ref.Attr != "name" {
+			continue
+		}
+		switch ts.Index {
+		case 0:
+			first[ts.Ref] = ts.Score
+		case 1:
+			second[ts.Ref] = ts.Score
+		}
+	}
+	if len(first) == 0 {
+		t.Fatal("name tokens not analysed")
+	}
+	for ref, f := range first {
+		if s, ok := second[ref]; ok && f <= s {
+			t.Errorf("%v: first token score %v should exceed second %v (model reads only token 0)", ref, f, s)
+		}
+	}
+}
+
+func TestTokenSaliencyMassMatchesAttribute(t *testing.T) {
+	left, right := buildTables()
+	e := New(left, right, Options{Triangles: 10, Seed: 3, DisableAugmentation: true})
+	p := nonMatchPair(left, right)
+	res, err := e.Explain(nameModel{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens, err := e.TokenSaliency(nameModel{}, p, res, TokenOptions{Samples: 80, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per attribute, token scores sum to the attribute's necessity.
+	sums := map[record.AttrRef]float64{}
+	for _, ts := range tokens {
+		sums[ts.Ref] += ts.Score
+	}
+	for ref, sum := range sums {
+		want := res.Saliency.Scores[ref]
+		if math.Abs(sum-want) > 1e-9 && want > 0 {
+			t.Errorf("%v: token mass %v != attribute necessity %v", ref, sum, want)
+		}
+	}
+}
+
+func TestTokenSaliencySortedAndDeterministic(t *testing.T) {
+	left, right := buildTables()
+	e := New(left, right, Options{Triangles: 8, Seed: 5, DisableAugmentation: true})
+	p := matchPair(left, right)
+	res, err := e.Explain(nameModel{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.TokenSaliency(nameModel{}, p, res, TokenOptions{Samples: 60, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.TokenSaliency(nameModel{}, p, res, TokenOptions{Samples: 60, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic token count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic token scores")
+		}
+		if i > 0 && a[i-1].Score < a[i].Score {
+			t.Fatal("token scores not sorted descending")
+		}
+	}
+}
+
+func TestTokenSaliencyNeedsResult(t *testing.T) {
+	left, right := buildTables()
+	e := New(left, right, Options{})
+	if _, err := e.TokenSaliency(nameModel{}, matchPair(left, right), nil, TokenOptions{}); err == nil {
+		t.Error("nil result should error")
+	}
+}
+
+func TestTokenSaliencyTopAttrsCap(t *testing.T) {
+	left, right := buildTables()
+	e := New(left, right, Options{Triangles: 8, Seed: 7, DisableAugmentation: true})
+	p := matchPair(left, right)
+	res, err := e.Explain(nameModel{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens, err := e.TokenSaliency(nameModel{}, p, res, TokenOptions{Samples: 40, Seed: 8, TopAttrs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := map[record.AttrRef]bool{}
+	for _, ts := range tokens {
+		attrs[ts.Ref] = true
+	}
+	if len(attrs) > 1 {
+		t.Errorf("TopAttrs=1 should analyse a single attribute, got %d", len(attrs))
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+
+	"certa/internal/explain"
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+// triangles holds the support records selected for one explanation.
+type triangles struct {
+	left, right       []*record.Record
+	augLeft, augRight int
+}
+
+// findTriangles implements get_triangles of Algorithm 1: τ/2 left
+// supports (w ∈ U with M(⟨w,v⟩)=¬y) and τ/2 right supports (q ∈ V with
+// M(⟨u,q⟩)=¬y), topped up by data augmentation on shortage (§3.3).
+func (e *Explainer) findTriangles(m explain.Model, p record.Pair, y bool) (triangles, int) {
+	perSide := e.opts.Triangles / 2
+	if perSide < 1 {
+		perSide = 1
+	}
+	var tri triangles
+	calls := 0
+
+	if e.opts.LeftTrianglesOnly {
+		perSide = e.opts.Triangles
+	}
+	if !e.opts.ForceAugmentation {
+		tri.left = e.naturalSupports(m, p, y, record.Left, perSide, &calls)
+		if !e.opts.LeftTrianglesOnly {
+			tri.right = e.naturalSupports(m, p, y, record.Right, perSide, &calls)
+		}
+	}
+	if !e.opts.DisableAugmentation || e.opts.ForceAugmentation {
+		if len(tri.left) < perSide {
+			aug := e.augmentedSupports(m, p, y, record.Left, perSide-len(tri.left), &calls)
+			tri.augLeft = len(aug)
+			tri.left = append(tri.left, aug...)
+		}
+		if !e.opts.LeftTrianglesOnly && len(tri.right) < perSide {
+			aug := e.augmentedSupports(m, p, y, record.Right, perSide-len(tri.right), &calls)
+			tri.augRight = len(aug)
+			tri.right = append(tri.right, aug...)
+		}
+	}
+	return tri, calls
+}
+
+// naturalSupports scans one source for records that predict opposite to y
+// when paired with the pivot. Candidates are scanned in a seeded shuffle
+// so different explanations sample different supports, then the first
+// `want` eligible records (in scan order) are returned.
+func (e *Explainer) naturalSupports(m explain.Model, p record.Pair, y bool, side record.Side, want int, calls *int) []*record.Record {
+	table := e.left
+	if side == record.Right {
+		table = e.right
+	}
+	self := p.Record(side)
+
+	idx := make([]int, table.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(e.opts.Seed*131 + int64(side) + int64(hashString(p.Key()))))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+	var out []*record.Record
+	for _, i := range idx {
+		w := table.Records[i]
+		if w.ID == self.ID {
+			continue
+		}
+		cand := p.WithRecord(side, w)
+		*calls++
+		if (m.Score(cand) > 0.5) != y {
+			out = append(out, w)
+			if len(out) >= want {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// augmentedSupports implements the data augmentation of §3.3: derive new
+// candidate records from source records by dropping the first-k or
+// last-k tokens of attribute values (k = 1..n-1), keep those that
+// predict opposite to y.
+func (e *Explainer) augmentedSupports(m explain.Model, p record.Pair, y bool, side record.Side, want int, calls *int) []*record.Record {
+	if want <= 0 {
+		return nil
+	}
+	table := e.left
+	if side == record.Right {
+		table = e.right
+	}
+	self := p.Record(side)
+
+	idx := make([]int, table.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(e.opts.Seed*197 + 7 + int64(side)))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+	// Attempt budget so pathological models cannot make explanation cost
+	// unbounded.
+	budget := want * 200
+
+	var out []*record.Record
+	augID := 0
+	for _, ri := range idx {
+		if len(out) >= want || budget <= 0 {
+			break
+		}
+		w := table.Records[ri]
+		if w.ID == self.ID {
+			continue
+		}
+		for _, a := range w.Schema.Attrs {
+			if len(out) >= want || budget <= 0 {
+				break
+			}
+			toks := strutil.Tokenize(w.Value(a))
+			n := len(toks)
+			if n < 2 {
+				continue
+			}
+			for k := 1; k < n && len(out) < want && budget > 0; k++ {
+				for _, variant := range []string{
+					strutil.DropFirstTokens(w.Value(a), k),
+					strutil.DropLastTokens(w.Value(a), k),
+				} {
+					if budget <= 0 || len(out) >= want {
+						break
+					}
+					cand := w.WithValue(a, variant)
+					cand.ID = w.ID + "#aug" + itoa(augID)
+					augID++
+					pp := p.WithRecord(side, cand)
+					*calls++
+					budget--
+					if (m.Score(pp) > 0.5) != y {
+						out = append(out, cand)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hashString is FNV-1a, decorrelating the support shuffle across pairs.
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// itoa avoids strconv import for tiny IDs.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

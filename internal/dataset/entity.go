@@ -1,0 +1,279 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"certa/internal/strutil"
+)
+
+// entity is a canonical real-world object from which the left and right
+// record views are derived. values are in schema-attribute order.
+type entity struct {
+	values []string
+	// family groups entities that are deliberately similar (same brand
+	// line, same authors...) so the pair sampler can build hard
+	// negatives.
+	family int
+}
+
+// synthesizer creates canonical entities and their per-source views for a
+// domain.
+type synthesizer interface {
+	// newEntity generates a canonical entity. family is an integer tag:
+	// entities sharing a family share discriminating-but-confusable
+	// surface tokens (brand + family words, same author group...).
+	newEntity(rng *rand.Rand, family int) entity
+	// view derives one source's record values from the canonical entity.
+	// hard selects the noisier source style.
+	view(rng *rand.Rand, n *noiser, e entity, hard bool, nanRate float64) []string
+}
+
+func synthesizerFor(d Domain) synthesizer {
+	switch d {
+	case Product:
+		return productSynth{}
+	case Bibliographic:
+		return biblioSynth{}
+	case Beer:
+		return beerSynth{}
+	case Restaurant:
+		return restaurantSynth{}
+	case Music:
+		return musicSynth{}
+	}
+	panic(fmt.Sprintf("dataset: no synthesizer for domain %v", d))
+}
+
+// --- products (AB, AG, WA, DWA) ---------------------------------------
+
+type productSynth struct{}
+
+// Product entities: brand + family line + model number + qualifiers.
+// Schema order is dataset-specific; the generator emits a canonical
+// 5-tuple (name, description, price, category, brand+modelno) and the
+// spec maps what it needs. To keep things simple each spec's attributes
+// are generated positionally in view().
+func (productSynth) newEntity(rng *rand.Rand, family int) entity {
+	// Same-family entities share brand, line, noun and lead adjective —
+	// they differ mainly in the model number and descriptive tail, the
+	// way confusable products do in the real Abt-Buy/Walmart-Amazon
+	// sources.
+	brand := productBrands[family%len(productBrands)]
+	fam := productFamilies[(family*7)%len(productFamilies)]
+	model := fmt.Sprintf("%s%d%s", string(rune('a'+rng.Intn(26))), 100+rng.Intn(9900),
+		[]string{"", "b", "x", "s", "u"}[rng.Intn(5)])
+	noun := productNouns[(family*5)%len(productNouns)]
+	adj1 := productAdjectives[(family*3)%len(productAdjectives)]
+	adj2 := pick(rng, productAdjectives)
+	name := strings.Join([]string{brand, fam, adj1, noun, model}, " ")
+	// Real product descriptions run long (20-100 tokens in Abt-Buy);
+	// the tail mixes spec words with a second adjective run.
+	desc := strings.Join([]string{brand, fam, noun, model, adj1, adj2,
+		pickN(rng, productDescWords, 10+rng.Intn(14)),
+		pickN(rng, productAdjectives, 2+rng.Intn(3)),
+		pickN(rng, productDescWords, 4+rng.Intn(8))}, " ")
+	price := fmt.Sprintf("%d.%02d", 20+rng.Intn(1500), rng.Intn(100))
+	category := pick(rng, productCategories)
+	return entity{values: []string{name, desc, price, category, brand, model}, family: family}
+}
+
+func (productSynth) view(rng *rand.Rand, n *noiser, e entity, hard bool, nanRate float64) []string {
+	name, desc, price, category, brand, model := e.values[0], e.values[1], e.values[2], e.values[3], e.values[4], e.values[5]
+	name = n.apply(name, hard)
+	desc = n.apply(desc, hard)
+	if hard {
+		desc = n.truncate(desc, 8+rng.Intn(8))
+	}
+	if rng.Float64() < nanRate {
+		price = strutil.NaN
+	}
+	if rng.Float64() < nanRate*0.6 {
+		category = strutil.NaN
+	}
+	if rng.Float64() < nanRate*0.5 {
+		model = strutil.NaN
+	}
+	return []string{name, desc, price, category, brand, model}
+}
+
+// --- bibliographic (DA, DS, DDA, DDS) ----------------------------------
+
+type biblioSynth struct{}
+
+func (biblioSynth) newEntity(rng *rand.Rand, family int) entity {
+	// Same-family papers share a topical title prefix (the way a group's
+	// papers do), so non-matching titles overlap substantially.
+	t1 := csTitleWords[(family*7)%len(csTitleWords)]
+	t2 := csTitleWords[(family*13+5)%len(csTitleWords)]
+	nTitle := 3 + rng.Intn(5)
+	title := t1 + " " + t2 + " " + pickN(rng, csTitleWords, nTitle)
+	nAuth := 1 + rng.Intn(3)
+	authors := make([]string, nAuth)
+	for i := range authors {
+		first := authorFirst[(family+i*7)%len(authorFirst)]
+		last := authorLast[(family*3+i)%len(authorLast)]
+		authors[i] = first + " " + last
+	}
+	vi := rng.Intn(len(venuesFull))
+	year := fmt.Sprint(1985 + rng.Intn(38))
+	return entity{
+		values: []string{title, strings.Join(authors, " , "), venuesFull[vi], year, venuesAbbrev[vi]},
+		family: family,
+	}
+}
+
+func (biblioSynth) view(rng *rand.Rand, n *noiser, e entity, hard bool, nanRate float64) []string {
+	title, authors, venueFull, year, venueAbbr := e.values[0], e.values[1], e.values[2], e.values[3], e.values[4]
+	title = n.apply(title, hard)
+	if hard {
+		// The Scholar-style source abbreviates author first names and
+		// sometimes drops authors.
+		parts := strings.Split(authors, " , ")
+		for i, a := range parts {
+			parts[i] = n.abbreviateFirst(a)
+		}
+		if len(parts) > 1 && n.maybe(0.4) {
+			parts = parts[:len(parts)-1]
+		}
+		authors = strings.Join(parts, " , ")
+	}
+	venue := venueFull
+	if hard {
+		venue = venueAbbr
+	}
+	if rng.Float64() < nanRate {
+		venue = strutil.NaN
+	}
+	if rng.Float64() < nanRate*0.8 {
+		year = strutil.NaN
+	}
+	return []string{title, authors, venue, year}
+}
+
+// --- beer (BA) ----------------------------------------------------------
+
+type beerSynth struct{}
+
+func (beerSynth) newEntity(rng *rand.Rand, family int) entity {
+	w1 := beerNameWords[family%len(beerNameWords)]
+	w2 := pick(rng, beerNameWords)
+	style := beerStyles[(family*3)%len(beerStyles)]
+	brewery := w1 + " " + pick(rng, beerNameWords) + " " + pick(rng, breweryWords)
+	name := w1 + " " + w2 + " " + strings.Split(style, " ")[len(strings.Split(style, " "))-1]
+	abv := fmt.Sprintf("%d.%d %%", 4+rng.Intn(8), rng.Intn(10))
+	return entity{values: []string{name, brewery, style, abv}, family: family}
+}
+
+func (beerSynth) view(rng *rand.Rand, n *noiser, e entity, hard bool, nanRate float64) []string {
+	name, brewery, style, abv := e.values[0], e.values[1], e.values[2], e.values[3]
+	name = n.apply(name, hard)
+	brewery = n.apply(brewery, hard)
+	if hard && n.maybe(0.5) {
+		// RateBeer-style: brewery prefixed to the beer name.
+		name = strings.Split(brewery, " ")[0] + " " + name
+	}
+	if rng.Float64() < nanRate {
+		abv = strutil.NaN
+	}
+	if rng.Float64() < nanRate*0.7 {
+		style = strutil.NaN
+	}
+	return []string{name, brewery, style, abv}
+}
+
+// --- restaurants (FZ) ----------------------------------------------------
+
+type restaurantSynth struct{}
+
+func (restaurantSynth) newEntity(rng *rand.Rand, family int) entity {
+	// Same-family restaurants share name stem, city and cuisine (chain
+	// branches and homonymous venues), differing in address and phone.
+	name := restaurantNames[family%len(restaurantNames)] + " " +
+		restaurantNames[(family*5+2)%len(restaurantNames)] + " " + pick(rng, restaurantWords)
+	addr := fmt.Sprintf("%d %s %s", 1+rng.Intn(9999), pick(rng, streetNames),
+		[]string{"st.", "ave.", "blvd.", "rd."}[rng.Intn(4)])
+	city := cities[(family*3)%len(cities)]
+	phone := fmt.Sprintf("%d-%d-%04d", 200+rng.Intn(700), 200+rng.Intn(700), rng.Intn(10000))
+	cuisine := cuisines[(family*7)%len(cuisines)]
+	class := fmt.Sprint(rng.Intn(700))
+	return entity{values: []string{name, addr, city, phone, cuisine, class}, family: family}
+}
+
+func (restaurantSynth) view(rng *rand.Rand, n *noiser, e entity, hard bool, nanRate float64) []string {
+	out := append([]string(nil), e.values...)
+	out[0] = n.apply(out[0], hard)
+	out[1] = n.apply(out[1], hard)
+	if hard && n.maybe(0.5) {
+		// Zagat-style phone formatting: slashes instead of dashes.
+		out[3] = strings.ReplaceAll(out[3], "-", "/")
+	}
+	if rng.Float64() < nanRate {
+		out[4] = strutil.NaN
+	}
+	if rng.Float64() < nanRate {
+		out[5] = strutil.NaN
+	}
+	return out
+}
+
+// --- music (IA, DIA) ------------------------------------------------------
+
+type musicSynth struct{}
+
+func (musicSynth) newEntity(rng *rand.Rand, family int) entity {
+	// Same-family tracks share artist, genre and album stem (tracks of
+	// one album are the classic iTunes-Amazon confusables).
+	song := songWords[(family*11)%len(songWords)] + " " + pickN(rng, songWords, 1+rng.Intn(3))
+	artist := artistWords[family%len(artistWords)] + " " + artistWords[(family*3+1)%len(artistWords)]
+	album := songWords[(family*5+2)%len(songWords)] + " " +
+		[]string{"", "( deluxe edition )", "( remastered )", "ep", "( live )"}[rng.Intn(5)]
+	genre := genres[(family*3)%len(genres)]
+	price := fmt.Sprintf("$ %d.%02d", rng.Intn(2), 29+rng.Intn(70))
+	copyright := fmt.Sprintf("%d %s", 1990+rng.Intn(33), pick(rng, labels))
+	timeStr := fmt.Sprintf("%d:%02d", 2+rng.Intn(5), rng.Intn(60))
+	released := fmt.Sprintf("%s %d , %d",
+		[]string{"january", "february", "march", "april", "may", "june", "july",
+			"august", "september", "october", "november", "december"}[rng.Intn(12)],
+		1+rng.Intn(28), 1990+rng.Intn(33))
+	return entity{
+		values: []string{song, artist, album, genre, price, copyright, timeStr, released},
+		family: family,
+	}
+}
+
+func (musicSynth) view(rng *rand.Rand, n *noiser, e entity, hard bool, nanRate float64) []string {
+	out := append([]string(nil), e.values...)
+	out[0] = n.apply(out[0], hard)
+	out[2] = n.apply(out[2], hard)
+	if hard && n.maybe(0.6) {
+		out[0] = out[0] + " " + []string{"[ explicit ]", "( album version )", "( single )", "- single"}[rng.Intn(4)]
+	}
+	for _, i := range []int{4, 5, 6, 7} {
+		if rng.Float64() < nanRate {
+			out[i] = strutil.NaN
+		}
+	}
+	return out
+}
+
+// viewValues maps the canonical per-domain value tuple onto the spec's
+// schema. Product specs differ in attribute layout; all other domains
+// emit values already in schema order.
+func viewValues(spec Spec, vals []string) []string {
+	if spec.Domain != Product {
+		return vals[:len(spec.Attrs)]
+	}
+	// Canonical product tuple: name, desc, price, category, brand, model.
+	switch len(spec.Attrs) {
+	case 3:
+		if spec.Attrs[1] == "manufacturer" { // AG: title, manufacturer, price
+			return []string{vals[0], vals[4], vals[2]}
+		}
+		return []string{vals[0], vals[1], vals[2]} // AB: name, description, price
+	case 5: // WA/DWA: title, category, brand, modelno, price
+		return []string{vals[0], vals[3], vals[4], vals[5], vals[2]}
+	}
+	panic(fmt.Sprintf("dataset: unexpected product schema %v", spec.Attrs))
+}

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+// Figure1 reproduces the sample Abt-Buy records of Figure 1 in the paper
+// (u1..u3 from Abt, v1..v3 from Buy). They are used by the examples, the
+// Figure 2-5 experiments and the documentation.
+func Figure1() (abt, buy *record.Table) {
+	abtSchema := record.MustSchema("Abt", "name", "description", "price")
+	buySchema := record.MustSchema("Buy", "name", "description", "price")
+
+	abt = record.NewTable(abtSchema)
+	abt.MustAdd(record.MustNew("u1", abtSchema,
+		"sony bravia theater black micro system davis50b",
+		"sony bravia theater black micro system davis50b 5.1-channel surround sound dvd home theater",
+		strutil.NaN))
+	abt.MustAdd(record.MustNew("u2", abtSchema,
+		"altec lansing inmotion portable audio system",
+		"altec lansing inmotion ipod portable audio system im600usb with rechargeable battery",
+		strutil.NaN))
+	abt.MustAdd(record.MustNew("u3", abtSchema,
+		"sony 19 ' bravia m-series silver lcd flat panel hdtv",
+		"sony 19 ' bravia m-series silver lcd flat panel hdtv kdl19m4000 integrated atsc tuner",
+		strutil.NaN))
+
+	buy = record.NewTable(buySchema)
+	buy.MustAdd(record.MustNew("v1", buySchema,
+		"sony bravia dav-is50 / b home theater system",
+		"dvd player , 5.1 speakers 1 disc ( s ) progressive scan black",
+		strutil.NaN))
+	buy.MustAdd(record.MustNew("v2", buySchema,
+		"altec lansing inmotion im600 portable audio",
+		strutil.NaN,
+		strutil.NaN))
+	buy.MustAdd(record.MustNew("v3", buySchema,
+		"sony bravia m series kdl-19m4000 ...",
+		"19 ' atsc , ntsc 16:9 1440 x 900 lcd flat panel hdtv",
+		"379.72"))
+	return abt, buy
+}
+
+// Figure1Pairs returns the three matching pairs of Figure 2
+// (⟨u1,v1⟩, ⟨u2,v2⟩, ⟨u3,v3⟩); all three are ground-truth matches.
+func Figure1Pairs() []record.LabeledPair {
+	abt, buy := Figure1()
+	var out []record.LabeledPair
+	for i := 1; i <= 3; i++ {
+		u, _ := abt.Get("u" + string(rune('0'+i)))
+		v, _ := buy.Get("v" + string(rune('0'+i)))
+		out = append(out, record.LabeledPair{Pair: record.Pair{Left: u, Right: v}, Match: true})
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"testing"
+)
+
+// TestFullScaleSmallBenchmarks checks that FullScale generation
+// reproduces the paper's Table 1 record and match counts exactly for the
+// benchmarks small enough to generate quickly in tests.
+func TestFullScaleSmallBenchmarks(t *testing.T) {
+	for _, code := range []string{"FZ", "AB"} {
+		spec := MustGet(code)
+		b := MustGenerate(code, Options{Seed: 1, FullScale: true})
+		s := b.Stats()
+		if s.LeftRecords != spec.PaperLeft || s.RightRecords != spec.PaperRight {
+			t.Errorf("%s: records %d-%d, want %d-%d",
+				code, s.LeftRecords, s.RightRecords, spec.PaperLeft, spec.PaperRight)
+		}
+		if s.Matches != spec.PaperMatches {
+			t.Errorf("%s: matches %d, want %d", code, s.Matches, spec.PaperMatches)
+		}
+	}
+}
+
+// TestFullScaleLargeBenchmark exercises a right-heavy source at paper
+// scale (DS has 64263 right records); generation must stay fast and the
+// multiplicity structure must hold.
+func TestFullScaleLargeBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates 64k records")
+	}
+	spec := MustGet("DS")
+	b := MustGenerate("DS", Options{Seed: 1, FullScale: true})
+	s := b.Stats()
+	if s.RightRecords != spec.PaperRight {
+		t.Errorf("DS right records = %d, want %d", s.RightRecords, spec.PaperRight)
+	}
+	if s.Matches != spec.PaperMatches {
+		t.Errorf("DS matches = %d, want %d", s.Matches, spec.PaperMatches)
+	}
+	// DS matches (5547) exceed the matched-entity cap; right-side
+	// duplicates must exist.
+	perLeft := map[string]int{}
+	for _, m := range b.Matches {
+		perLeft[m.Left.ID]++
+	}
+	multi := 0
+	for _, c := range perLeft {
+		if c > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("full-scale DS should have left records with multiple right matches")
+	}
+}
+
+// TestDistinctValueShape sanity-checks that the right-heavy benchmarks
+// generate more distinct values on the heavy side, mirroring Table 1.
+func TestDistinctValueShape(t *testing.T) {
+	b := MustGenerate("WA", Options{Seed: 5, MaxRecords: 150, MaxMatches: 60})
+	s := b.Stats()
+	if s.RightRecords <= s.LeftRecords {
+		t.Skip("scaling flattened the asymmetry")
+	}
+	if s.RightDistinct <= s.LeftDistinct {
+		t.Errorf("WA right side should have more distinct values: %d vs %d",
+			s.RightDistinct, s.LeftDistinct)
+	}
+}

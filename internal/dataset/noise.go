@@ -1,0 +1,203 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+
+	"certa/internal/strutil"
+)
+
+// noiser applies per-source formatting noise to attribute values so the
+// two views of one entity differ the way the real benchmark sources do
+// (Abt vs Buy phrasing, DBLP vs Scholar venue abbreviation, typos in the
+// dirty variants).
+type noiser struct {
+	rng   *rand.Rand
+	level float64 // 0..1, from Spec.NoiseLevel
+}
+
+func newNoiser(rng *rand.Rand, level float64) *noiser {
+	return &noiser{rng: rng, level: level}
+}
+
+// maybe returns true with probability p scaled by the noise level.
+func (n *noiser) maybe(p float64) bool {
+	return n.rng.Float64() < p*n.level
+}
+
+// typo injects a single character edit (delete, duplicate or swap) into a
+// random token of s.
+func (n *noiser) typo(s string) string {
+	toks := strutil.Tokenize(s)
+	if len(toks) == 0 {
+		return s
+	}
+	i := n.rng.Intn(len(toks))
+	t := []rune(toks[i])
+	if len(t) < 3 {
+		return s
+	}
+	pos := 1 + n.rng.Intn(len(t)-2)
+	switch n.rng.Intn(3) {
+	case 0: // delete
+		t = append(t[:pos], t[pos+1:]...)
+	case 1: // duplicate
+		t = append(t[:pos+1], t[pos:]...)
+	case 2: // swap
+		t[pos], t[pos-1] = t[pos-1], t[pos]
+	}
+	toks[i] = string(t)
+	return strutil.JoinTokens(toks)
+}
+
+// dropTokens removes each token independently with probability p,
+// keeping at least one token.
+func (n *noiser) dropTokens(s string, p float64) string {
+	toks := strutil.Tokenize(s)
+	if len(toks) <= 1 {
+		return s
+	}
+	kept := toks[:0]
+	for _, t := range toks {
+		if n.rng.Float64() >= p {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) == 0 {
+		kept = toks[:1]
+	}
+	return strutil.JoinTokens(kept)
+}
+
+// truncate keeps at most k leading tokens.
+func (n *noiser) truncate(s string, k int) string {
+	toks := strutil.Tokenize(s)
+	if len(toks) <= k {
+		return s
+	}
+	return strutil.JoinTokens(toks[:k])
+}
+
+// abbreviateFirst shortens the first token to its initial plus a dot
+// ("michael stonebraker" -> "m. stonebraker"), the classic bibliographic
+// author formatting difference.
+func (n *noiser) abbreviateFirst(s string) string {
+	toks := strutil.Tokenize(s)
+	if len(toks) < 2 {
+		return s
+	}
+	first := []rune(toks[0])
+	if len(first) < 2 {
+		return s
+	}
+	toks[0] = string(first[0]) + "."
+	return strutil.JoinTokens(toks)
+}
+
+// apply perturbs one attribute value according to the per-source style.
+// harder sources get more aggressive edits.
+func (n *noiser) apply(v string, hard bool) string {
+	if strutil.IsMissing(v) {
+		return v
+	}
+	out := v
+	if n.maybe(0.85) {
+		out = n.dropTokens(out, 0.2)
+	}
+	if hard && n.maybe(0.7) {
+		out = n.dropTokens(out, 0.3)
+	}
+	if n.maybe(0.5) {
+		out = n.typo(out)
+	}
+	if hard && n.maybe(0.4) {
+		out = n.typo(out)
+	}
+	if hard && n.maybe(0.6) {
+		out = n.perturbNumbers(out)
+	}
+	return out
+}
+
+// perturbNumbers reformats numeric-ish tokens the way real sources
+// disagree on model numbers and prices: hyphens dropped or inserted,
+// trailing digits cut, prefixes split. Matching on numbers alone becomes
+// probabilistic instead of exact.
+func (n *noiser) perturbNumbers(s string) string {
+	toks := strutil.Tokenize(s)
+	changed := false
+	for i, t := range toks {
+		if !hasDigit(t) || n.rng.Float64() > 0.5 {
+			continue
+		}
+		switch n.rng.Intn(3) {
+		case 0: // strip separators: dav-is50 -> davis50
+			toks[i] = strings.Map(func(r rune) rune {
+				if r == '-' || r == '.' || r == '/' {
+					return -1
+				}
+				return r
+			}, t)
+		case 1: // cut the trailing character: m4000 -> m400
+			if len(t) > 2 {
+				toks[i] = t[:len(t)-1]
+			}
+		case 2: // split the alpha prefix: kdl19 -> kdl 19
+			for j := 1; j < len(t); j++ {
+				if t[j] >= '0' && t[j] <= '9' && !(t[j-1] >= '0' && t[j-1] <= '9') {
+					toks[i] = t[:j] + " " + t[j:]
+					break
+				}
+			}
+		}
+		changed = true
+	}
+	if !changed {
+		return s
+	}
+	return strutil.JoinTokens(toks)
+}
+
+func hasDigit(s string) bool {
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtyDisplace implements the Dirty-benchmark construction: with
+// probability p each non-title attribute value is appended to the title
+// attribute and the source attribute is blanked. values is mutated in
+// place; attrs is the schema order; titleIdx locates the title attribute.
+func dirtyDisplace(rng *rand.Rand, values []string, titleIdx int, p float64) {
+	for i := range values {
+		if i == titleIdx || strutil.IsMissing(values[i]) {
+			continue
+		}
+		if rng.Float64() < p {
+			if strutil.IsMissing(values[titleIdx]) {
+				values[titleIdx] = values[i]
+			} else {
+				values[titleIdx] = values[titleIdx] + " " + values[i]
+			}
+			values[i] = strutil.NaN
+		}
+	}
+}
+
+// pick returns a uniformly random element of the bank.
+func pick(rng *rand.Rand, bank []string) string {
+	return bank[rng.Intn(len(bank))]
+}
+
+// pickN returns k distinct-ish random elements joined by a space
+// (duplicates allowed for small banks; fine for free-text fields).
+func pickN(rng *rand.Rand, bank []string, k int) string {
+	parts := make([]string, k)
+	for i := range parts {
+		parts[i] = pick(rng, bank)
+	}
+	return strings.Join(parts, " ")
+}

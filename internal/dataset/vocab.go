@@ -1,0 +1,203 @@
+package dataset
+
+// Word banks for the synthetic value generators. All names are generic or
+// invented; they only need to give realistic token statistics (brand and
+// model tokens shared across matching views, long descriptive tails,
+// numbers that carry matching signal).
+
+var productBrands = []string{
+	"sony", "altec", "panasonic", "samsung", "toshiba", "philips", "canon",
+	"nikon", "logitech", "kenwood", "pioneer", "yamaha", "denon", "onkyo",
+	"sharp", "sanyo", "jvc", "vizio", "garmin", "netgear", "linksys",
+	"belkin", "epson", "brother", "lexmark", "apple", "compaq", "acer",
+	"asus", "lenovo", "dell", "gateway", "fujitsu", "olympus", "pentax",
+	"kodak", "sandisk", "kingston", "seagate", "maxtor", "iomega", "tdk",
+	"memorex", "plantronics", "jabra", "bose", "klipsch", "polk", "infinity",
+	"harman",
+}
+
+var productFamilies = []string{
+	"bravia", "viera", "aquos", "cybershot", "powershot", "coolpix",
+	"walkman", "diamante", "lumix", "xperia", "regza", "travelmate",
+	"pavilion", "inspiron", "satellite", "thinkpad", "ideapad", "vaio",
+	"stylus", "finepix", "optio", "easyshare", "genius", "inmotion",
+	"soundlink", "wave", "acoustimass", "reference", "prestige", "elite",
+}
+
+var productNouns = []string{
+	"theater", "system", "speaker", "speakers", "receiver", "amplifier",
+	"subwoofer", "headphones", "camera", "camcorder", "television", "tv",
+	"monitor", "projector", "player", "recorder", "drive", "adapter",
+	"router", "printer", "scanner", "keyboard", "mouse", "dock", "charger",
+	"battery", "cable", "remote", "tuner", "turntable", "microphone",
+	"radio", "clock", "phone", "telephone", "notebook", "laptop", "desktop",
+	"tablet", "reader", "frame", "console",
+}
+
+var productAdjectives = []string{
+	"black", "white", "silver", "red", "blue", "portable", "wireless",
+	"digital", "compact", "mini", "micro", "slim", "hd", "stereo",
+	"bluetooth", "usb", "hdmi", "lcd", "led", "plasma", "flat", "panel",
+	"widescreen", "progressive", "surround", "rechargeable", "dual",
+	"professional", "premium", "home",
+}
+
+var productDescWords = []string{
+	"with", "and", "for", "includes", "built-in", "output", "input",
+	"watts", "channel", "disc", "scan", "zoom", "optical", "resolution",
+	"refresh", "rate", "contrast", "ratio", "warranty", "edition",
+	"series", "model", "pack", "kit", "bundle", "accessory", "mount",
+	"stand", "case", "ipod", "mp3", "cd", "dvd", "blu-ray", "memory",
+	"expansion", "inch", "color", "display", "energy", "star", "certified",
+}
+
+var productCategories = []string{
+	"electronics - audio", "electronics - video", "computers - accessories",
+	"cameras - digital", "home theater", "tv & video", "audio components",
+	"portable audio", "office electronics", "networking", "storage",
+	"printers & supplies", "car electronics", "gps & navigation",
+	"musical instruments", "cell phones", "video games",
+}
+
+var csTitleWords = []string{
+	"efficient", "scalable", "adaptive", "distributed", "parallel",
+	"incremental", "approximate", "optimal", "robust", "secure", "dynamic",
+	"query", "processing", "optimization", "indexing", "mining", "learning",
+	"clustering", "classification", "integration", "resolution", "matching",
+	"databases", "streams", "graphs", "networks", "systems", "transactions",
+	"storage", "memory", "cache", "join", "aggregation", "sampling",
+	"estimation", "selectivity", "views", "schema", "xml", "relational",
+	"spatial", "temporal", "probabilistic", "uncertain", "knowledge",
+	"semantic", "web", "services", "cloud", "mapreduce", "recovery",
+	"concurrency", "replication", "partitioning", "compression", "privacy",
+	"anonymization", "provenance", "workflow", "benchmark", "evaluation",
+	"framework", "architecture", "algorithms", "techniques", "analysis",
+	"management", "retrieval", "extraction", "discovery", "detection",
+	"entity", "record", "linkage", "deduplication", "crowdsourcing",
+}
+
+var authorFirst = []string{
+	"michael", "david", "john", "sarah", "wei", "jennifer", "rakesh",
+	"hector", "jeffrey", "christos", "divesh", "surajit", "joseph",
+	"raghu", "jim", "donald", "peter", "anna", "maria", "elena", "laura",
+	"thomas", "richard", "daniel", "kevin", "brian", "susan", "linda",
+	"carlos", "antonio", "giovanni", "paolo", "marco", "andrea", "luigi",
+	"yannis", "dimitrios", "nikos", "timos", "gerhard", "hans", "klaus",
+	"volker", "xin", "jian", "feng", "ming", "hong", "yu", "chen",
+}
+
+var authorLast = []string{
+	"garcia-molina", "stonebraker", "dewitt", "gray", "ullman", "widom",
+	"abiteboul", "bernstein", "chaudhuri", "agrawal", "srivastava",
+	"ramakrishnan", "faloutsos", "koudas", "ioannidis", "sellis",
+	"weikum", "kossmann", "naughton", "carey", "franklin", "hellerstein",
+	"madden", "dean", "ghemawat", "zaharia", "li", "wang", "chen", "zhang",
+	"liu", "yang", "huang", "zhou", "wu", "xu", "sun", "lin", "rossi",
+	"bianchi", "ferrari", "romano", "ricci", "marino", "greco", "conti",
+	"esposito", "russo", "papadimitriou",
+}
+
+var venuesFull = []string{
+	"acm sigmod international conference on management of data",
+	"international conference on very large data bases",
+	"ieee international conference on data engineering",
+	"acm transactions on database systems",
+	"the vldb journal",
+	"acm sigmod record",
+	"ieee transactions on knowledge and data engineering",
+	"international conference on extending database technology",
+	"international conference on database theory",
+	"acm symposium on principles of database systems",
+}
+
+var venuesAbbrev = []string{
+	"sigmod conference", "vldb", "icde", "tods", "vldb j.", "sigmod record",
+	"tkde", "edbt", "icdt", "pods",
+}
+
+var beerNameWords = []string{
+	"hoppy", "golden", "amber", "dark", "pale", "imperial", "double",
+	"old", "wild", "lazy", "crazy", "flying", "howling", "raging",
+	"sleepy", "rusty", "iron", "copper", "stone", "river", "mountain",
+	"valley", "harbor", "lighthouse", "anchor", "barrel", "oak", "maple",
+	"honey", "winter", "summer", "harvest", "midnight", "sunrise", "fog",
+	"storm", "thunder", "moon", "star", "fox", "bear", "wolf", "eagle",
+	"owl", "moose", "bison", "jackrabbit", "coyote",
+}
+
+var beerStyles = []string{
+	"american ipa", "imperial stout", "pale ale", "amber ale", "porter",
+	"pilsner", "hefeweizen", "saison", "belgian dubbel", "belgian tripel",
+	"brown ale", "barleywine", "kolsch", "lager", "wheat ale", "red ale",
+	"scotch ale", "golden ale", "session ipa", "double ipa", "sour ale",
+	"fruit beer", "oktoberfest", "bock", "doppelbock", "witbier",
+}
+
+var breweryWords = []string{
+	"brewing", "brewery", "brewers", "beer", "ales", "craft", "company",
+	"co.", "works", "house",
+}
+
+var cuisines = []string{
+	"italian", "french", "american", "chinese", "japanese", "mexican",
+	"thai", "indian", "mediterranean", "seafood", "steakhouse", "bbq",
+	"cajun", "continental", "californian", "delis", "diners", "pizza",
+	"coffee shops", "vegetarian",
+}
+
+var streetNames = []string{
+	"main", "oak", "maple", "market", "broadway", "sunset", "wilshire",
+	"melrose", "ocean", "park", "lake", "hill", "spring", "union",
+	"madison", "franklin", "washington", "lincoln", "jefferson", "adams",
+	"central", "highland", "valley", "canyon", "mission", "geary",
+	"columbus", "grant", "powell", "lombard",
+}
+
+var cities = []string{
+	"new york", "los angeles", "san francisco", "chicago", "atlanta",
+	"boston", "seattle", "denver", "austin", "portland", "miami",
+	"philadelphia", "phoenix", "dallas", "houston", "san diego",
+	"las vegas", "new orleans", "nashville", "memphis",
+}
+
+var restaurantWords = []string{
+	"cafe", "bistro", "grill", "kitchen", "house", "garden", "palace",
+	"room", "table", "corner", "place", "inn", "tavern", "bar", "club",
+	"restaurant", "trattoria", "osteria", "cantina", "brasserie",
+}
+
+var restaurantNames = []string{
+	"golden", "blue", "red", "silver", "royal", "little", "grand", "old",
+	"new", "happy", "lucky", "jade", "pearl", "ruby", "emerald", "ivory",
+	"sunset", "harbor", "garden", "spring", "ocean", "mountain", "river",
+	"villa", "casa", "chez", "la", "le", "el", "mama", "papa", "uncle",
+}
+
+var genres = []string{
+	"pop", "rock", "hip-hop/rap", "country", "r&b/soul", "alternative",
+	"electronic", "dance", "jazz", "classical", "reggae", "latin", "folk",
+	"blues", "metal", "indie rock", "soundtrack", "gospel", "punk", "funk",
+}
+
+var songWords = []string{
+	"love", "heart", "night", "day", "dream", "fire", "rain", "summer",
+	"dance", "baby", "home", "road", "sky", "star", "light", "shadow",
+	"river", "ocean", "city", "girl", "boy", "time", "life", "world",
+	"stay", "run", "fall", "rise", "shine", "burn", "break", "hold",
+	"forever", "tonight", "yesterday", "tomorrow", "again", "alone",
+	"together", "crazy", "beautiful", "golden", "wild", "young", "free",
+}
+
+var artistWords = []string{
+	"the", "crystal", "electric", "velvet", "midnight", "silver", "neon",
+	"lunar", "solar", "atomic", "cosmic", "urban", "rebel", "phantom",
+	"echo", "mirage", "horizon", "cascade", "ember", "aurora", "indigo",
+	"scarlet", "wolves", "foxes", "tigers", "ravens", "sparrows", "kings",
+	"queens", "riders", "drifters", "wanderers", "dreamers", "outlaws",
+}
+
+var labels = []string{
+	"harmony records", "northstar music", "bluebird entertainment",
+	"crescent audio", "redwood records", "silverlake music group",
+	"atlantic crossing", "pacific sound", "meridian music", "skyline",
+}

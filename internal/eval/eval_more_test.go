@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure11QuickSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("τ sweep is slow")
+	}
+	tables, err := quickHarness().Run("figure11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seven measures: sufficiency, necessity, confidence, faithfulness,
+	// proximity, sparsity, diversity.
+	if len(tables) != 7 {
+		t.Fatalf("figure11 produced %d tables, want 7", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s has no rows", tab.Title)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: ragged row %v", tab.Title, row)
+			}
+			for _, cell := range row[1:] {
+				v := parseCell(t, cell)
+				if v < 0 {
+					t.Errorf("%s: negative measure %v", tab.Title, v)
+				}
+			}
+		}
+	}
+}
+
+func TestTable9AugmentationDeltas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("augmentation comparison is slow")
+	}
+	tables, err := quickHarness().Run("table9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 { // Tables 9 and 10
+		t.Fatalf("table9 produced %d tables, want 2", len(tables))
+	}
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				// Deltas are signed and should be small in magnitude
+				// (the paper reports |delta| <= 0.15).
+				v := parseCell(t, strings.TrimPrefix(cell, "+"))
+				if v > 0.6 || v < -0.6 {
+					t.Errorf("%s: implausibly large delta %v", tab.Title, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure3Tables(t *testing.T) {
+	tables, err := quickHarness().Run("figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("figure3 should produce the saliency and probe tables, got %d", len(tables))
+	}
+	if tables[0].ID != "figure3" || tables[1].ID != "figure4" {
+		t.Errorf("table IDs = %s, %s", tables[0].ID, tables[1].ID)
+	}
+}
+
+func TestFigure5Table(t *testing.T) {
+	tables, err := quickHarness().Run("figure5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	// Two methods: CERTA and DiCE.
+	if len(tab.Rows) != 2 {
+		t.Fatalf("figure5 rows = %d, want 2", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "CERTA" || tab.Rows[1][0] != "DiCE" {
+		t.Errorf("methods = %v, %v", tab.Rows[0][0], tab.Rows[1][0])
+	}
+}
+
+func TestLatencyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every explainer")
+	}
+	tables, err := quickHarness().Run("latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Header) != 8 { // Model + 7 methods
+		t.Fatalf("header = %v", tab.Header)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per model", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if !strings.Contains(cell, "/") {
+				t.Errorf("cell %q should be time/calls", cell)
+			}
+		}
+	}
+}
+
+func TestHarnessParallelGridMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two grids")
+	}
+	// Two fresh harnesses (no shared cache), identical seeds, different
+	// parallelism: the rendered rows must be identical.
+	serial := NewHarness(Config{Seed: 11, Quick: true, Parallelism: 1})
+	parallel := NewHarness(Config{Seed: 11, Quick: true, Parallelism: 4})
+	ts, err := serial.Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := parallel.Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts[0].Rows) != len(tp[0].Rows) {
+		t.Fatal("row counts differ")
+	}
+	for i := range ts[0].Rows {
+		if strings.Join(ts[0].Rows[i], "|") != strings.Join(tp[0].Rows[i], "|") {
+			t.Errorf("row %d differs across parallelism", i)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package eval
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"certa/internal/matchers"
+	"certa/internal/record"
+)
+
+// quickHarness is shared across tests; experiments cache cells so the
+// grid trains once.
+var (
+	qhOnce sync.Once
+	qh     *Harness
+)
+
+func quickHarness() *Harness {
+	qhOnce.Do(func() {
+		qh = NewHarness(Config{Seed: 5, Quick: true})
+	})
+	return qh
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Triangles != 100 || cfg.ExplainPairs != 12 || len(cfg.Datasets) != 12 {
+		t.Errorf("full defaults wrong: %+v", cfg)
+	}
+	q := Config{Quick: true}.withDefaults()
+	if q.Triangles != 20 || len(q.Datasets) != 2 {
+		t.Errorf("quick defaults wrong: %+v", q)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{"table1", "figure2", "figure3", "figure5", "table2", "table3",
+		"table4", "table5", "table6", "figure10", "figure11", "table7", "table8",
+		"table9", "figure12", "latency"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry size %d, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("registry[%d] = %q, want %q", i, ids[i], id)
+		}
+	}
+	if _, err := quickHarness().Run("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tables, err := quickHarness().Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("table1 should produce 1 table")
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 2 { // quick profile: AB, BA
+		t.Errorf("rows = %d, want 2", len(tab.Rows))
+	}
+	// Attribute counts must match the paper (AB=3, BA=4).
+	if tab.Rows[0][2] != "3" || tab.Rows[1][2] != "4" {
+		t.Errorf("attribute counts wrong: %v", tab.Rows)
+	}
+}
+
+func TestTable2FaithfulnessGrid(t *testing.T) {
+	tables, err := quickHarness().Run("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	// Header: Dataset + 3 models x 4 methods.
+	if len(tab.Header) != 1+3*4 {
+		t.Fatalf("header width = %d", len(tab.Header))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row: %v", row)
+		}
+		// All values parse as floats (with optional * marker).
+		for _, cell := range row[1:] {
+			v := strings.TrimSuffix(cell, "*")
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				t.Errorf("cell %q not numeric", cell)
+			}
+		}
+	}
+}
+
+func TestTable4ProximityGrid(t *testing.T) {
+	tables, err := quickHarness().Run("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestFigure10Counts(t *testing.T) {
+	tables, err := quickHarness().Run("figure10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 3 { // one per model
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// CERTA (column 1) should generate at least as many CFs as SHAP-C
+	// (column 3) for every model — the Figure 10 shape.
+	for _, row := range tab.Rows {
+		certa := parseCell(t, row[1])
+		shapc := parseCell(t, row[3])
+		if certa < shapc {
+			t.Errorf("%s: CERTA %v < SHAP-C %v contradicts Figure 10", row[0], certa, shapc)
+		}
+	}
+}
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "*"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTable7Monotonicity(t *testing.T) {
+	tables, err := quickHarness().Run("table7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	for _, row := range tab.Rows {
+		expected := parseCell(t, row[2])
+		performed := parseCell(t, row[3])
+		saved := parseCell(t, row[4])
+		errRate := parseCell(t, row[5])
+		if performed > expected {
+			t.Errorf("%s: performed %v > expected %v", row[0], performed, expected)
+		}
+		if saved < 0 {
+			t.Errorf("%s: negative savings", row[0])
+		}
+		if errRate < 0 || errRate > 1 {
+			t.Errorf("%s: error rate %v out of range", row[0], errRate)
+		}
+	}
+}
+
+func TestTable8Augmentation(t *testing.T) {
+	tables, err := quickHarness().Run("table8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (BA, FZ)", len(tab.Rows))
+	}
+	target := float64(quickHarness().Config().Triangles)
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			v := parseCell(t, cell)
+			if v > target {
+				t.Errorf("%s: %v natural triangles exceeds target %v", row[0], v, target)
+			}
+		}
+	}
+}
+
+func TestFigure12CaseStudy(t *testing.T) {
+	tables, err := quickHarness().Run("figure12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no case-study tables")
+	}
+	// BA has 4 attrs per side: 8 attribute rows + 3 Aggr rows.
+	for _, tab := range tables {
+		if len(tab.Rows) != 8+3 {
+			t.Errorf("%s: rows = %d, want 11", tab.Title, len(tab.Rows))
+		}
+		if len(tab.Header) != 2+4 { // Attribute, Actual, 4 methods
+			t.Errorf("header = %v", tab.Header)
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  "a note",
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "A", "1", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoldBest(t *testing.T) {
+	cells := boldBest([]float64{0.5, 0.2, 0.9}, true, f2)
+	if cells[1] != "0.20*" {
+		t.Errorf("lower-better best = %v", cells)
+	}
+	cells = boldBest([]float64{0.5, 0.2, 0.9}, false, f2)
+	if cells[2] != "0.90*" {
+		t.Errorf("higher-better best = %v", cells)
+	}
+}
+
+func TestSamplePairsBalance(t *testing.T) {
+	b, err := quickHarness().benchmark("AB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := samplePairs(b.Test, 4)
+	if len(pairs) != 4 {
+		t.Fatalf("sampled %d pairs", len(pairs))
+	}
+	pos := 0
+	for _, p := range pairs {
+		if p.Match {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(pairs) {
+		t.Errorf("sample not balanced: %d/%d matches", pos, len(pairs))
+	}
+	// Requesting more than available returns everything.
+	all := samplePairs(b.Test, 1<<20)
+	if len(all) != len(b.Test) {
+		t.Error("oversized request should return the full split")
+	}
+}
+
+func TestCellCachingIsStable(t *testing.T) {
+	h := quickHarness()
+	a, err := h.cell("AB", matchers.Ditto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.cell("AB", matchers.Ditto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cell should be cached")
+	}
+	s1, err := a.saliencies(h, "SHAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.saliencies(h, "SHAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s1[0] != &s2[0] {
+		t.Error("saliencies should be cached")
+	}
+}
+
+func TestCopyAcross(t *testing.T) {
+	ls := record.MustSchema("U", "name")
+	rs := record.MustSchema("V", "name")
+	p := record.Pair{
+		Left:  record.MustNew("u", ls, "left value"),
+		Right: record.MustNew("v", rs, "right value"),
+	}
+	out := copyAcross(p, []record.AttrRef{{Side: record.Left, Attr: "name"}})
+	if out.Right.Value("name") != "left value" {
+		t.Errorf("copyAcross should copy L->R: %v", out.Right)
+	}
+	if out.Left.Value("name") != "left value" {
+		t.Error("source attribute must be unchanged")
+	}
+}

@@ -1,0 +1,284 @@
+package eval
+
+import (
+	"fmt"
+
+	"certa/internal/core"
+	"certa/internal/explain"
+	"certa/internal/matchers"
+	"certa/internal/metrics"
+)
+
+// figure11 regenerates Figure 11: how the number of triangles τ affects
+// the probability estimates and every quality metric, on the paper's
+// four datasets (WA, AB, DDA, IA), averaged across the three
+// classifiers.
+func figure11(h *Harness) ([]*Table, error) {
+	taus := []int{5, 10, 25, 50, 75, 100}
+	codes := []string{"WA", "AB", "DDA", "IA"}
+	if h.cfg.Quick {
+		taus = []int{5, 10, 20}
+		codes = []string{"AB"}
+	}
+
+	measures := []string{
+		"sufficiency", "necessity", "confidence", "faithfulness",
+		"proximity", "sparsity", "diversity",
+	}
+	tables := make([]*Table, len(measures))
+	for i, m := range measures {
+		tables[i] = &Table{
+			ID:     "figure11",
+			Title:  fmt.Sprintf("Figure 11(%c): average %s as τ increases", 'a'+i, m),
+			Header: append([]string{"Dataset"}, taosHeader(taus)...),
+		}
+	}
+
+	for _, code := range codes {
+		rows := make([][]string, len(measures))
+		for i := range rows {
+			rows[i] = []string{code}
+		}
+		for _, tau := range taus {
+			agg := make([]float64, len(measures))
+			n := 0.0
+			for _, kind := range h.cfg.Models {
+				c, err := h.cell(code, kind)
+				if err != nil {
+					return nil, err
+				}
+				vals, err := tauMeasures(h, c, tau)
+				if err != nil {
+					return nil, err
+				}
+				for i, v := range vals {
+					agg[i] += v
+				}
+				n++
+			}
+			for i := range agg {
+				rows[i] = append(rows[i], f3(agg[i]/n))
+			}
+		}
+		for i := range measures {
+			tables[i].Rows = append(tables[i].Rows, rows[i])
+		}
+	}
+	tables[0].Notes = "each measure should stabilize around τ≈75-80 per §5.5 of the paper"
+	return tables, nil
+}
+
+func taosHeader(taus []int) []string {
+	out := make([]string, len(taus))
+	for i, t := range taus {
+		out[i] = fmt.Sprintf("τ=%d", t)
+	}
+	return out
+}
+
+// tauMeasures runs CERTA with a specific τ on the cell's pairs and
+// returns [sufficiency, necessity, confidence, faithfulness, proximity,
+// sparsity, diversity].
+func tauMeasures(h *Harness, c *cell, tau int) ([]float64, error) {
+	e := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: tau, Seed: h.cfg.Seed})
+	var sals []*explain.Saliency
+	var chis, phis, proxVals, sparVals, divVals []float64
+	for _, p := range c.pairs {
+		res, err := e.Explain(c.model, p.Pair)
+		if err != nil {
+			return nil, err
+		}
+		sals = append(sals, res.Saliency)
+		chis = append(chis, res.BestSufficiency)
+		var phiSum float64
+		for _, v := range res.Saliency.Scores {
+			phiSum += v
+		}
+		phis = append(phis, phiSum/float64(len(res.Saliency.Scores)))
+		proxVals = append(proxVals, metrics.Proximity(res.Counterfactuals))
+		sparVals = append(sparVals, metrics.Sparsity(res.Counterfactuals))
+		divVals = append(divVals, metrics.Diversity(res.Counterfactuals))
+	}
+	conf, err := metrics.ConfidenceIndication(sals)
+	if err != nil {
+		return nil, err
+	}
+	faith, err := metrics.Faithfulness(c.model, c.pairs, sals)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{
+		metrics.Mean(chis), metrics.Mean(phis), conf, faith,
+		metrics.Mean(proxVals), metrics.Mean(sparVals), metrics.Mean(divVals),
+	}, nil
+}
+
+// table7 regenerates Table 7: predictions saved by the monotonicity
+// assumption versus the error it introduces, per lattice.
+func table7(h *Harness) ([]*Table, error) {
+	codes := []string{"AB", "BA", "WA", "DDS", "IA"}
+	if h.cfg.Quick {
+		codes = []string{"AB", "BA"}
+	}
+	t := &Table{
+		ID:     "table7",
+		Title:  "Average expected, performed, saved and wrong predictions on a single lattice",
+		Header: []string{"Dataset", "Attributes", "Expected", "Performed", "Saved", "Error rate"},
+	}
+	for _, code := range codes {
+		var performed, expected, saved, wrong, lattices float64
+		var attrs int
+		for _, kind := range h.cfg.Models {
+			c, err := h.cell(code, kind)
+			if err != nil {
+				return nil, err
+			}
+			attrs = c.bench.Left.Schema.Len()
+			e := core.New(c.bench.Left, c.bench.Right, core.Options{
+				Triangles:            h.cfg.Triangles,
+				Seed:                 h.cfg.Seed,
+				EvaluateMonotonicity: true,
+			})
+			for _, p := range c.pairs {
+				res, err := e.Explain(c.model, p.Pair)
+				if err != nil {
+					return nil, err
+				}
+				nLat := float64(res.Diag.LeftTriangles + res.Diag.RightTriangles)
+				if nLat == 0 {
+					continue
+				}
+				lattices += nLat
+				performed += float64(res.Diag.LatticePredictions)
+				expected += float64(res.Diag.ExpectedPredictions)
+				saved += float64(res.Diag.SavedPredictions)
+				wrong += float64(res.Diag.WrongInferences)
+			}
+		}
+		if lattices == 0 {
+			continue
+		}
+		errRate := 0.0
+		if saved > 0 {
+			errRate = wrong / saved
+		}
+		t.Rows = append(t.Rows, []string{
+			code,
+			fmt.Sprint(attrs),
+			f2(expected / lattices),
+			f2(performed / lattices),
+			f2(saved / lattices),
+			f2(errRate),
+		})
+	}
+	t.Notes = "Expected = 2^l - 2 per lattice; the paper reports ~50-78% savings at 1-4% error"
+	return []*Table{t}, nil
+}
+
+// table8 regenerates Table 8: the average number of open triangles CERTA
+// obtains without data augmentation on the two smallest benchmarks.
+func table8(h *Harness) ([]*Table, error) {
+	codes := []string{"BA", "FZ"}
+	kinds := []matchers.Kind{matchers.DeepMatcher, matchers.Ditto}
+	t := &Table{
+		ID:     "table8",
+		Title:  fmt.Sprintf("Average number of open triangles with data augmentation disabled (target %d)", h.cfg.Triangles),
+		Header: []string{"Dataset", "DeepMatcher", "Ditto"},
+	}
+	for _, code := range codes {
+		row := []string{code}
+		for _, kind := range kinds {
+			c, err := h.cell(code, kind)
+			if err != nil {
+				return nil, err
+			}
+			e := core.New(c.bench.Left, c.bench.Right, core.Options{
+				Triangles:           h.cfg.Triangles,
+				Seed:                h.cfg.Seed,
+				DisableAugmentation: true,
+			})
+			var total float64
+			for _, p := range c.pairs {
+				res, err := e.Explain(c.model, p.Pair)
+				if err != nil {
+					return nil, err
+				}
+				total += float64(res.Diag.LeftTriangles + res.Diag.RightTriangles)
+			}
+			row = append(row, f2(total/float64(len(c.pairs))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "the paper observes 61-90 triangles of the requested 100, i.e. augmentation supplies 10-39%"
+	return []*Table{t}, nil
+}
+
+// table9 regenerates Tables 9 and 10: the effect on every metric of
+// forcing augmentation-generated triangles, as a delta against the
+// default configuration, for DeepMatcher (Table 9) and Ditto (Table 10).
+func table9(h *Harness) ([]*Table, error) {
+	codes := []string{"BA", "FZ"}
+	var tables []*Table
+	for ti, kind := range []matchers.Kind{matchers.DeepMatcher, matchers.Ditto} {
+		t := &Table{
+			ID:     fmt.Sprintf("table%d", 9+ti),
+			Title:  fmt.Sprintf("Effect of forced data-augmentation triangles on explanation metrics (%s)", kind),
+			Header: []string{"Dataset", "Proximity", "Sparsity", "Diversity", "Faithfulness", "CI"},
+		}
+		for _, code := range codes {
+			c, err := h.cell(code, kind)
+			if err != nil {
+				return nil, err
+			}
+			base, err := augmentationMetrics(h, c, false)
+			if err != nil {
+				return nil, err
+			}
+			forced, err := augmentationMetrics(h, c, true)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{code}
+			for i := range base {
+				row = append(row, fmt.Sprintf("%+.3f", forced[i]-base[i]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = "positive proximity/sparsity/diversity deltas and non-positive faithfulness/CI deltas mean augmentation does not hurt (Tables 9-10)"
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// augmentationMetrics computes [proximity, sparsity, diversity,
+// faithfulness, CI] for CERTA with or without forced augmentation.
+func augmentationMetrics(h *Harness, c *cell, forced bool) ([]float64, error) {
+	e := core.New(c.bench.Left, c.bench.Right, core.Options{
+		Triangles:         h.cfg.Triangles,
+		Seed:              h.cfg.Seed,
+		ForceAugmentation: forced,
+	})
+	var sals []*explain.Saliency
+	var prox, spar, div []float64
+	for _, p := range c.pairs {
+		res, err := e.Explain(c.model, p.Pair)
+		if err != nil {
+			return nil, err
+		}
+		sals = append(sals, res.Saliency)
+		prox = append(prox, metrics.Proximity(res.Counterfactuals))
+		spar = append(spar, metrics.Sparsity(res.Counterfactuals))
+		div = append(div, metrics.Diversity(res.Counterfactuals))
+	}
+	faith, err := metrics.Faithfulness(c.model, c.pairs, sals)
+	if err != nil {
+		return nil, err
+	}
+	conf, err := metrics.ConfidenceIndication(sals)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{
+		metrics.Mean(prox), metrics.Mean(spar), metrics.Mean(div), faith, conf,
+	}, nil
+}

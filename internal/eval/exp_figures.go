@@ -1,0 +1,347 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"certa/internal/baselines"
+	"certa/internal/core"
+	"certa/internal/dataset"
+	"certa/internal/explain"
+	"certa/internal/lime"
+	"certa/internal/matchers"
+	"certa/internal/metrics"
+	"certa/internal/record"
+	"certa/internal/shap"
+)
+
+// figure2 regenerates Figure 2: the predictions of the three DL systems
+// on the sample Abt-Buy pairs of Figure 1 (all ground-truth matches).
+func figure2(h *Harness) ([]*Table, error) {
+	b, err := h.benchmark("AB")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "figure2",
+		Title:  "ER predictions performed by different DL systems on the Figure 1 pairs",
+		Header: []string{"Input", "Ground-Truth", "Ditto", "DeepMatcher", "DeepER"},
+	}
+	pairs := dataset.Figure1Pairs()
+	models := map[matchers.Kind]*matchers.Model{}
+	for _, kind := range matchers.Kinds() {
+		c, err := h.cell("AB", kind)
+		if err != nil {
+			return nil, err
+		}
+		models[kind] = c.model
+	}
+	_ = b
+	for _, p := range pairs {
+		row := []string{
+			fmt.Sprintf("<%s,%s>", p.Left.ID, p.Right.ID),
+			"Match",
+		}
+		for _, kind := range []matchers.Kind{matchers.Ditto, matchers.DeepMatcher, matchers.DeepER} {
+			s := models[kind].Score(p.Pair)
+			verdict := "Non-Match"
+			if s > 0.5 {
+				verdict = "Match"
+			}
+			row = append(row, fmt.Sprintf("%s (%.2f)", verdict, s))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "models are trained on the synthetic AB benchmark; the Figure 1 records are the paper's original Abt-Buy samples"
+	return []*Table{t}, nil
+}
+
+// figure3 regenerates Figures 3 and 4: saliency explanations of wrong
+// predictions by the four methods, and the faithfulness probe (copying
+// the top-2 salient attribute values across records and re-scoring).
+func figure3(h *Harness) ([]*Table, error) {
+	sal := &Table{
+		ID:     "figure3",
+		Title:  "Saliency explanations (top-2 attributes) for wrong predictions",
+		Header: []string{"ER System on pair", "CERTA", "Mojito", "LandMark", "SHAP"},
+	}
+	probe := &Table{
+		ID:     "figure4",
+		Title:  "Faithfulness probe: matching score after copying the top-2 salient attribute values",
+		Header: []string{"ER System on pair", "Original", "CERTA", "Mojito", "LandMark", "SHAP"},
+	}
+
+	for _, kind := range h.cfg.Models {
+		c, err := h.cell("AB", kind)
+		if err != nil {
+			return nil, err
+		}
+		wrong := findWrongPrediction(c)
+		if wrong == nil {
+			sal.Rows = append(sal.Rows, []string{fmt.Sprintf("%s (no wrong prediction found)", kind), "-", "-", "-", "-"})
+			continue
+		}
+		p := *wrong
+		origScore := c.model.Score(p.Pair)
+
+		methods := []struct {
+			name string
+			ex   explain.SaliencyExplainer
+		}{
+			{"CERTA", core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed})},
+			{"Mojito", baselines.NewMojito(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 11})},
+			{"LandMark", baselines.NewLandMark(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 13})},
+			{"SHAP", baselines.NewSHAP(shap.Config{Samples: h.cfg.SHAPSamples, Seed: h.cfg.Seed + 17})},
+		}
+
+		salRow := []string{fmt.Sprintf("%s on <%s>", kind, p.Key())}
+		probeRow := []string{fmt.Sprintf("%s on <%s>", kind, p.Key()), f2(origScore)}
+		for _, m := range methods {
+			s, err := m.ex.ExplainSaliency(c.model, p.Pair)
+			if err != nil {
+				return nil, fmt.Errorf("eval: figure3 %s: %w", m.name, err)
+			}
+			top := s.TopK(2)
+			names := make([]string, len(top))
+			for i, ref := range top {
+				names[i] = ref.String()
+			}
+			salRow = append(salRow, strings.Join(names, ", "))
+			probeRow = append(probeRow, f2(c.model.Score(copyAcross(p.Pair, top))))
+		}
+		sal.Rows = append(sal.Rows, salRow)
+		probe.Rows = append(probe.Rows, probeRow)
+	}
+	probe.Notes = "for a wrong non-match, a faithful explanation's copied attributes should push the score toward 1 (Figure 4 of the paper)"
+	return []*Table{sal, probe}, nil
+}
+
+// findWrongPrediction returns the first misclassified pair of the cell's
+// test split, preferring false negatives (the Figure 2 scenario).
+func findWrongPrediction(c *cell) *record.LabeledPair {
+	var fallback *record.LabeledPair
+	for i := range c.bench.Test {
+		p := c.bench.Test[i]
+		pred := c.model.Score(p.Pair) > 0.5
+		if pred == p.Match {
+			continue
+		}
+		if p.Match { // false negative
+			return &c.bench.Test[i]
+		}
+		if fallback == nil {
+			fallback = &c.bench.Test[i]
+		}
+	}
+	return fallback
+}
+
+// copyAcross makes the pair more similar along the given attributes by
+// copying each one's value into the aligned attribute of the opposite
+// record (the probe of Figure 4).
+func copyAcross(p record.Pair, refs []record.AttrRef) record.Pair {
+	out := p
+	for _, ref := range refs {
+		opposite := record.AttrRef{Side: ref.Side.Opposite(), Attr: ref.Attr}
+		out = out.WithValue(opposite, p.Value(ref))
+	}
+	return out
+}
+
+// figure5 regenerates Figure 5: counterfactual explanations by CERTA and
+// DiCE for a DeepER non-match prediction.
+func figure5(h *Harness) ([]*Table, error) {
+	c, err := h.cell("AB", matchers.DeepER)
+	if err != nil {
+		return nil, err
+	}
+	// Find a non-match prediction to flip.
+	var target *record.LabeledPair
+	for i := range c.bench.Test {
+		if c.model.Score(c.bench.Test[i].Pair) <= 0.5 {
+			target = &c.bench.Test[i]
+			break
+		}
+	}
+	t := &Table{
+		ID:     "figure5",
+		Title:  "Counterfactual explanations by CERTA and DiCE for a DeepER non-match",
+		Header: []string{"Method", "Matching Score", "Changed attributes", "Changed values"},
+	}
+	if target == nil {
+		t.Notes = "no non-match prediction found in the test split"
+		return []*Table{t}, nil
+	}
+	p := target.Pair
+	orig := c.model.Score(p)
+
+	certaEx := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed})
+	certaCFs, err := certaEx.ExplainCounterfactuals(c.model, p)
+	if err != nil {
+		return nil, err
+	}
+	dice := baselines.NewDiCE(c.bench.Left, c.bench.Right, baselines.DiCEConfig{Seed: h.cfg.Seed + 19})
+	diceCFs, err := dice.ExplainCounterfactuals(c.model, p)
+	if err != nil {
+		return nil, err
+	}
+
+	appendCF := func(method string, cfs []explain.Counterfactual) {
+		if len(cfs) == 0 {
+			t.Rows = append(t.Rows, []string{method, "-", "(none)", ""})
+			return
+		}
+		cf := cfs[0]
+		var vals []string
+		for _, ref := range cf.Changed {
+			vals = append(vals, fmt.Sprintf("%s=%q", ref, truncate(cf.Pair.Value(ref), 40)))
+		}
+		t.Rows = append(t.Rows, []string{
+			method, f2(cf.Score), strings.Join(cf.ChangedAttrNames(), ", "), strings.Join(vals, "; "),
+		})
+	}
+	appendCF("CERTA", certaCFs)
+	appendCF("DiCE", diceCFs)
+	t.Notes = fmt.Sprintf("original score %.2f on pair <%s>; a counterfactual succeeds when its score crosses 0.5", orig, p.Key())
+	return []*Table{t}, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// figure10 regenerates Figure 10: the average number of counterfactual
+// examples generated by each method, per classifier, across datasets.
+func figure10(h *Harness) ([]*Table, error) {
+	t := &Table{
+		ID:     "figure10",
+		Title:  "Average number of CF examples generated by CF methods",
+		Header: append([]string{"Model"}, CFMethods...),
+	}
+	for _, kind := range h.cfg.Models {
+		sums := make([]float64, len(CFMethods))
+		counts := make([]float64, len(CFMethods))
+		for _, code := range h.cfg.Datasets {
+			c, err := h.cell(code, kind)
+			if err != nil {
+				return nil, err
+			}
+			for mi, method := range CFMethods {
+				perPair, err := c.counterfactuals(h, method)
+				if err != nil {
+					return nil, err
+				}
+				for _, cfs := range perPair {
+					sums[mi] += float64(len(cfs))
+					counts[mi]++
+				}
+			}
+		}
+		row := []string{string(kind)}
+		vals := make([]float64, len(CFMethods))
+		for i := range CFMethods {
+			if counts[i] > 0 {
+				vals[i] = sums[i] / counts[i]
+			}
+		}
+		row = append(row, boldBest(vals, false, f2)...)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "per the paper, CERTA should generate the most counterfactuals; SHAP-C/LIME-C may average below 1"
+	return []*Table{t}, nil
+}
+
+// figure12 regenerates the Figure 12 case study: Ditto predictions on BA
+// with per-attribute Actual saliency (single-attribute masking) compared
+// against every method, plus Aggr@k effects.
+func figure12(h *Harness) ([]*Table, error) {
+	c, err := h.cell("BA", matchers.Ditto)
+	if err != nil {
+		return nil, err
+	}
+	// Pick one TP, TN, FP, FN from the test split.
+	kinds := []string{"True positive", "True negative", "False positive", "False negative"}
+	picks := make([]*record.LabeledPair, 4)
+	for i := range c.bench.Test {
+		p := &c.bench.Test[i]
+		pred := c.model.Score(p.Pair) > 0.5
+		var slot int
+		switch {
+		case pred && p.Match:
+			slot = 0
+		case !pred && !p.Match:
+			slot = 1
+		case pred && !p.Match:
+			slot = 2
+		default:
+			slot = 3
+		}
+		if picks[slot] == nil {
+			picks[slot] = p
+		}
+	}
+
+	methods := []struct {
+		name string
+		ex   explain.SaliencyExplainer
+	}{
+		{"CERTA", core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed})},
+		{"Mojito", baselines.NewMojito(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 11})},
+		{"LandMark", baselines.NewLandMark(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 13})},
+		{"SHAP", baselines.NewSHAP(shap.Config{Samples: h.cfg.SHAPSamples, Seed: h.cfg.Seed + 17})},
+	}
+
+	var tables []*Table
+	for slot, p := range picks {
+		if p == nil {
+			continue
+		}
+		score := c.model.Score(p.Pair)
+		t := &Table{
+			ID: "figure12",
+			Title: fmt.Sprintf("Case study (%s): label=%v, score=%.2f, pair <%s>",
+				kinds[slot], boolInt(p.Match), score, p.Key()),
+			Header: []string{"Attribute", "Actual"},
+		}
+		actual := metrics.ActualSaliency(c.model, p.Pair)
+		sals := make([]*explain.Saliency, len(methods))
+		for mi, m := range methods {
+			t.Header = append(t.Header, m.name)
+			s, err := m.ex.ExplainSaliency(c.model, p.Pair)
+			if err != nil {
+				return nil, err
+			}
+			sals[mi] = s
+		}
+		for _, ref := range p.AttrRefs() {
+			row := []string{ref.String(), f3(actual.Scores[ref])}
+			for _, s := range sals {
+				row = append(row, f3(s.Scores[ref]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		// Aggr@k rows.
+		for _, k := range []int{1, 2, 4} {
+			row := []string{fmt.Sprintf("Aggr@%d", k), f3(metrics.AggrAtK(c.model, p.Pair, actual, k))}
+			for _, s := range sals {
+				row = append(row, f3(metrics.AggrAtK(c.model, p.Pair, s, k)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("eval: figure12 found no usable predictions")
+	}
+	return tables, nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

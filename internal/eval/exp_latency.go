@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"certa/internal/baselines"
+	"certa/internal/core"
+	"certa/internal/explain"
+	"certa/internal/lime"
+	"certa/internal/record"
+	"certa/internal/shap"
+)
+
+// latency is an experiment beyond the paper: the cost profile of each
+// explanation method — wall-clock time and number of black-box model
+// calls per explained pair. The paper argues CERTA's lattice pruning
+// keeps its cost manageable (§4, Table 7); this table quantifies where
+// every method actually spends its budget.
+func latency(h *Harness) ([]*Table, error) {
+	t := &Table{
+		ID:     "latency",
+		Title:  "Explanation cost per pair: wall time / model calls (beyond-paper systems profile)",
+		Header: []string{"Model", "CERTA", "Mojito", "LandMark", "SHAP", "DiCE", "LIME-C", "SHAP-C"},
+	}
+	code := "AB"
+	if len(h.cfg.Datasets) > 0 {
+		code = h.cfg.Datasets[0]
+	}
+	for _, kind := range h.cfg.Models {
+		c, err := h.cell(code, kind)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{string(kind)}
+
+		counted := &countingModel{inner: c.model}
+		certaEx := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed})
+		saliencyMethods := []struct {
+			name string
+			run  func(p record.Pair) error
+		}{
+			{"CERTA", func(p record.Pair) error { _, err := certaEx.Explain(counted, p); return err }},
+			{"Mojito", saliencyRunner(baselines.NewMojito(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed}), counted)},
+			{"LandMark", saliencyRunner(baselines.NewLandMark(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed}), counted)},
+			{"SHAP", saliencyRunner(baselines.NewSHAP(shap.Config{Samples: h.cfg.SHAPSamples, Seed: h.cfg.Seed}), counted)},
+			{"DiCE", cfRunner(baselines.NewDiCE(c.bench.Left, c.bench.Right, baselines.DiCEConfig{Seed: h.cfg.Seed}), counted)},
+			{"LIME-C", cfRunner(baselines.NewLIMEC(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed}, 4), counted)},
+			{"SHAP-C", cfRunner(baselines.NewSHAPC(shap.Config{Samples: h.cfg.SHAPSamples, Seed: h.cfg.Seed}, 4), counted)},
+		}
+		pairs := c.pairs
+		if len(pairs) > 4 {
+			pairs = pairs[:4]
+		}
+		for _, m := range saliencyMethods {
+			counted.calls.Store(0)
+			start := time.Now()
+			for _, p := range pairs {
+				if err := m.run(p.Pair); err != nil {
+					return nil, fmt.Errorf("eval: latency %s: %w", m.name, err)
+				}
+			}
+			elapsed := time.Since(start) / time.Duration(len(pairs))
+			calls := counted.calls.Load() / int64(len(pairs))
+			row = append(row, fmt.Sprintf("%s / %d", elapsed.Round(time.Millisecond), calls))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = fmt.Sprintf("averaged over %d pairs of %s; CERTA's calls scale with τ (here %d) and lattice size, LIME methods with sample count, SHAP with coalition budget", 4, code, h.cfg.Triangles)
+	return []*Table{t}, nil
+}
+
+func saliencyRunner(ex explain.SaliencyExplainer, m explain.Model) func(record.Pair) error {
+	return func(p record.Pair) error {
+		_, err := ex.ExplainSaliency(m, p)
+		return err
+	}
+}
+
+func cfRunner(ex explain.CounterfactualExplainer, m explain.Model) func(record.Pair) error {
+	return func(p record.Pair) error {
+		_, err := ex.ExplainCounterfactuals(m, p)
+		return err
+	}
+}
+
+// countingModel decorates a model with an atomic call counter.
+type countingModel struct {
+	inner explain.Model
+	calls atomic.Int64
+}
+
+func (c *countingModel) Name() string { return c.inner.Name() }
+
+func (c *countingModel) Score(p record.Pair) float64 {
+	c.calls.Add(1)
+	return c.inner.Score(p)
+}

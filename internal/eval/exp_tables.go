@@ -1,0 +1,177 @@
+package eval
+
+import (
+	"fmt"
+
+	"certa/internal/dataset"
+	"certa/internal/explain"
+	"certa/internal/metrics"
+)
+
+// table1 regenerates Table 1: dataset statistics. Generated counts are
+// shown next to the paper's; at the default scale the record counts are
+// capped, which the note records.
+func table1(h *Harness) ([]*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Datasets for experimental evaluation",
+		Header: []string{"Dataset", "Matches", "Attr.s", "Records", "Values", "Paper(Matches)", "Paper(Records)"},
+	}
+	for _, code := range h.cfg.Datasets {
+		b, err := h.benchmark(code)
+		if err != nil {
+			return nil, err
+		}
+		s := b.Stats()
+		spec := dataset.MustGet(code)
+		t.Rows = append(t.Rows, []string{
+			code,
+			fmt.Sprint(s.Matches),
+			fmt.Sprint(s.Attrs),
+			fmt.Sprintf("%d - %d", s.LeftRecords, s.RightRecords),
+			fmt.Sprintf("%d - %d", s.LeftDistinct, s.RightDistinct),
+			fmt.Sprint(spec.PaperMatches),
+			fmt.Sprintf("%d - %d", spec.PaperLeft, spec.PaperRight),
+		})
+	}
+	t.Notes = fmt.Sprintf("synthetic benchmarks scaled to ≤%d left records / ≤%d matches; regenerate with -full-scale for paper counts",
+		h.cfg.MaxRecords, h.cfg.MaxMatches)
+	return []*Table{t}, nil
+}
+
+// saliencyGrid runs one saliency metric over the dataset × model grid
+// (Tables 2 and 3).
+func saliencyGrid(h *Harness, id, title string, lowerBetter bool,
+	compute func(c *cell, sals []*explain.Saliency) (float64, error)) ([]*Table, error) {
+
+	header := []string{"Dataset"}
+	for _, kind := range h.cfg.Models {
+		for _, method := range SaliencyMethods {
+			header = append(header, fmt.Sprintf("%s/%s", kind, method))
+		}
+	}
+	t := &Table{ID: id, Title: title, Header: header}
+
+	rows, err := h.forEachDataset(func(code string) ([]string, error) {
+		row := []string{code}
+		for _, kind := range h.cfg.Models {
+			c, err := h.cell(code, kind)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, 0, len(SaliencyMethods))
+			for _, method := range SaliencyMethods {
+				sals, err := c.saliencies(h, method)
+				if err != nil {
+					return nil, err
+				}
+				v, err := compute(c, sals)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+			row = append(row, boldBest(vals, lowerBetter, f3)...)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	t.Notes = fmt.Sprintf("* marks the best method per (dataset, model); %d explained test pairs per cell", h.cfg.ExplainPairs)
+	return []*Table{t}, nil
+}
+
+// table2 regenerates Table 2: Faithfulness (lower is better).
+func table2(h *Harness) ([]*Table, error) {
+	return saliencyGrid(h, "table2", "Faithfulness evaluation on saliency explanations (lower = more faithful)", true,
+		func(c *cell, sals []*explain.Saliency) (float64, error) {
+			return metrics.Faithfulness(c.model, c.pairs, sals)
+		})
+}
+
+// table3 regenerates Table 3: Confidence Indication (lower is better).
+func table3(h *Harness) ([]*Table, error) {
+	return saliencyGrid(h, "table3", "Confidence Indication evaluation on saliency explanations (lower = better)", true,
+		func(c *cell, sals []*explain.Saliency) (float64, error) {
+			return metrics.ConfidenceIndication(sals)
+		})
+}
+
+// cfGrid runs one counterfactual metric over the grid (Tables 4-6).
+func cfGrid(h *Harness, id, title string,
+	compute func(perPair [][]explain.Counterfactual) float64) ([]*Table, error) {
+
+	header := []string{"Dataset"}
+	for _, kind := range h.cfg.Models {
+		for _, method := range CFMethods {
+			header = append(header, fmt.Sprintf("%s/%s", kind, method))
+		}
+	}
+	t := &Table{ID: id, Title: title, Header: header}
+
+	rows, err := h.forEachDataset(func(code string) ([]string, error) {
+		row := []string{code}
+		for _, kind := range h.cfg.Models {
+			c, err := h.cell(code, kind)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, 0, len(CFMethods))
+			for _, method := range CFMethods {
+				cfs, err := c.counterfactuals(h, method)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, compute(cfs))
+			}
+			row = append(row, boldBest(vals, false, f2)...)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	t.Notes = fmt.Sprintf("* marks the best method per (dataset, model); %d explained test pairs per cell", h.cfg.ExplainPairs)
+	return []*Table{t}, nil
+}
+
+// table4 regenerates Table 4: Proximity (higher is better).
+func table4(h *Harness) ([]*Table, error) {
+	return cfGrid(h, "table4", "Proximity evaluation on counterfactual explanations (higher = better)",
+		func(perPair [][]explain.Counterfactual) float64 {
+			var all []explain.Counterfactual
+			for _, cfs := range perPair {
+				all = append(all, cfs...)
+			}
+			return metrics.Proximity(all)
+		})
+}
+
+// table5 regenerates Table 5: Sparsity (higher is better).
+func table5(h *Harness) ([]*Table, error) {
+	return cfGrid(h, "table5", "Sparsity evaluation on counterfactual explanations (higher = better)",
+		func(perPair [][]explain.Counterfactual) float64 {
+			var all []explain.Counterfactual
+			for _, cfs := range perPair {
+				all = append(all, cfs...)
+			}
+			return metrics.Sparsity(all)
+		})
+}
+
+// table6 regenerates Table 6: Diversity (higher is better). Diversity is
+// computed within each explained pair's counterfactual set, then
+// averaged — methods that rarely produce 2+ examples score near zero.
+func table6(h *Harness) ([]*Table, error) {
+	return cfGrid(h, "table6", "Diversity evaluation on counterfactual explanations (higher = better)",
+		func(perPair [][]explain.Counterfactual) float64 {
+			var vals []float64
+			for _, cfs := range perPair {
+				vals = append(vals, metrics.Diversity(cfs))
+			}
+			return metrics.Mean(vals)
+		})
+}

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one registered paper artifact.
+type Experiment struct {
+	// ID matches the paper artifact ("table2", "figure11"...).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run produces the renderable tables.
+	Run func(h *Harness) ([]*Table, error)
+}
+
+// registry maps experiment IDs to implementations. figure4 is produced
+// together with figure3 (same probe) and tables 9/10 together.
+var registry = []Experiment{
+	{"table1", "Dataset statistics (Table 1)", table1},
+	{"figure2", "DL system predictions on Figure 1 pairs (Figure 2)", figure2},
+	{"figure3", "Saliency comparison + faithfulness probe (Figures 3-4)", figure3},
+	{"figure5", "Counterfactual comparison CERTA vs DiCE (Figure 5)", figure5},
+	{"table2", "Faithfulness of saliency explanations (Table 2)", table2},
+	{"table3", "Confidence Indication of saliency explanations (Table 3)", table3},
+	{"table4", "Proximity of counterfactual explanations (Table 4)", table4},
+	{"table5", "Sparsity of counterfactual explanations (Table 5)", table5},
+	{"table6", "Diversity of counterfactual explanations (Table 6)", table6},
+	{"figure10", "Average number of generated counterfactuals (Figure 10)", figure10},
+	{"figure11", "Impact of the number of triangles (Figure 11 a-g)", figure11},
+	{"table7", "Monotonicity assumption savings and error (Table 7)", table7},
+	{"table8", "Open triangles without data augmentation (Table 8)", table8},
+	{"table9", "Effect of forced augmentation on metrics (Tables 9-10)", table9},
+	{"figure12", "Case study: actual vs explained saliency (Figure 12)", figure12},
+	{"latency", "Explanation cost per method (beyond-paper profile)", latency},
+}
+
+// Experiments lists the registered experiments in registry order.
+func Experiments() []Experiment {
+	return append([]Experiment(nil), registry...)
+}
+
+// ExperimentIDs lists the registered IDs.
+func ExperimentIDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func (h *Harness) Run(id string) ([]*Table, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Run(h)
+		}
+	}
+	known := ExperimentIDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("eval: unknown experiment %q (known: %v)", id, known)
+}
+
+// RunAll executes every registered experiment in order, rendering each
+// to w as it completes.
+func (h *Harness) RunAll(w io.Writer) error {
+	for _, e := range registry {
+		tables, err := e.Run(h)
+		if err != nil {
+			return fmt.Errorf("eval: experiment %s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,387 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"certa/internal/baselines"
+	"certa/internal/core"
+	"certa/internal/dataset"
+	"certa/internal/explain"
+	"certa/internal/lime"
+	"certa/internal/matchers"
+	"certa/internal/record"
+	"certa/internal/shap"
+)
+
+// Config scales the experiment harness. The defaults run the full grid
+// in a few minutes on a laptop; Quick shrinks everything for use inside
+// testing.B benchmarks.
+type Config struct {
+	// Seed drives dataset generation, training and every explainer.
+	Seed int64
+	// MaxRecords / MaxMatches scale the synthetic benchmarks (defaults
+	// 300 / 150).
+	MaxRecords, MaxMatches int
+	// ExplainPairs caps how many test pairs are explained per
+	// (dataset, model) cell (default 12). The paper explains the whole
+	// test set; the cap keeps the grid tractable and is recorded in the
+	// table notes.
+	ExplainPairs int
+	// Triangles is CERTA's τ (default 100, the paper's setting).
+	Triangles int
+	// LIMESamples is the LIME sample count for Mojito/LandMark/LIME-C
+	// (default 150).
+	LIMESamples int
+	// SHAPSamples is the sampled-coalition budget for wide schemas
+	// (default 256).
+	SHAPSamples int
+	// Datasets and Models select the grid (defaults: all 12 datasets,
+	// all 3 DL systems).
+	Datasets []string
+	// Models picks the matcher kinds.
+	Models []matchers.Kind
+	// Parallelism bounds concurrent grid cells (default 1).
+	Parallelism int
+	// Quick switches to a tiny profile for benchmarks.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Quick {
+		if c.MaxRecords == 0 {
+			c.MaxRecords = 80
+		}
+		if c.MaxMatches == 0 {
+			c.MaxMatches = 40
+		}
+		if c.ExplainPairs == 0 {
+			c.ExplainPairs = 4
+		}
+		if c.Triangles == 0 {
+			c.Triangles = 20
+		}
+		if c.LIMESamples == 0 {
+			c.LIMESamples = 60
+		}
+		if c.SHAPSamples == 0 {
+			c.SHAPSamples = 96
+		}
+		if len(c.Datasets) == 0 {
+			c.Datasets = []string{"AB", "BA"}
+		}
+	}
+	if c.MaxRecords == 0 {
+		c.MaxRecords = 300
+	}
+	if c.MaxMatches == 0 {
+		c.MaxMatches = 150
+	}
+	if c.ExplainPairs == 0 {
+		c.ExplainPairs = 12
+	}
+	if c.Triangles == 0 {
+		c.Triangles = 100
+	}
+	if c.LIMESamples == 0 {
+		c.LIMESamples = 150
+	}
+	if c.SHAPSamples == 0 {
+		c.SHAPSamples = 256
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = dataset.Codes()
+	}
+	if len(c.Models) == 0 {
+		c.Models = matchers.Kinds()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	return c
+}
+
+// Harness caches benchmarks, trained models and explanations across
+// experiments so that running "all" does not retrain per table.
+type Harness struct {
+	cfg Config
+
+	mu     sync.Mutex
+	benchs map[string]*dataset.Benchmark
+	cells  map[string]*cell
+}
+
+// NewHarness creates a harness.
+func NewHarness(cfg Config) *Harness {
+	return &Harness{
+		cfg:    cfg.withDefaults(),
+		benchs: make(map[string]*dataset.Benchmark),
+		cells:  make(map[string]*cell),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (h *Harness) Config() Config { return h.cfg }
+
+// benchmark returns the cached synthetic benchmark for a dataset code.
+func (h *Harness) benchmark(code string) (*dataset.Benchmark, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if b, ok := h.benchs[code]; ok {
+		return b, nil
+	}
+	b, err := dataset.Generate(code, dataset.Options{
+		Seed:       h.cfg.Seed,
+		MaxRecords: h.cfg.MaxRecords,
+		MaxMatches: h.cfg.MaxMatches,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.benchs[code] = b
+	return b, nil
+}
+
+// cell is one (dataset, model) grid cell with lazily computed
+// explanations.
+type cell struct {
+	code  string
+	kind  matchers.Kind
+	bench *dataset.Benchmark
+	model *matchers.Model
+	pairs []record.LabeledPair
+
+	mu    sync.Mutex
+	certa []*core.Result
+	sal   map[string][]*explain.Saliency
+	cfs   map[string][][]explain.Counterfactual
+}
+
+// cell returns the cached cell for (code, kind), training the model on
+// first use.
+func (h *Harness) cell(code string, kind matchers.Kind) (*cell, error) {
+	key := code + "|" + string(kind)
+	h.mu.Lock()
+	if c, ok := h.cells[key]; ok {
+		h.mu.Unlock()
+		return c, nil
+	}
+	h.mu.Unlock()
+
+	b, err := h.benchmark(code)
+	if err != nil {
+		return nil, err
+	}
+	model, err := matchers.Train(kind, b, matchers.Config{Seed: h.cfg.Seed + 100})
+	if err != nil {
+		return nil, fmt.Errorf("eval: training %s on %s: %w", kind, code, err)
+	}
+	c := &cell{
+		code:  code,
+		kind:  kind,
+		bench: b,
+		model: model,
+		pairs: samplePairs(b.Test, h.cfg.ExplainPairs),
+		sal:   make(map[string][]*explain.Saliency),
+		cfs:   make(map[string][][]explain.Counterfactual),
+	}
+	h.mu.Lock()
+	// Another goroutine may have raced us; keep the first.
+	if prev, ok := h.cells[key]; ok {
+		c = prev
+	} else {
+		h.cells[key] = c
+	}
+	h.mu.Unlock()
+	return c, nil
+}
+
+// samplePairs picks an interleaved match/non-match subset of the test
+// split, preserving the split's order determinism.
+func samplePairs(test []record.LabeledPair, n int) []record.LabeledPair {
+	if n >= len(test) {
+		return test
+	}
+	var pos, neg []record.LabeledPair
+	for _, p := range test {
+		if p.Match {
+			pos = append(pos, p)
+		} else {
+			neg = append(neg, p)
+		}
+	}
+	out := make([]record.LabeledPair, 0, n)
+	pi, ni := 0, 0
+	for len(out) < n {
+		if pi < len(pos) {
+			out = append(out, pos[pi])
+			pi++
+		}
+		if len(out) >= n {
+			break
+		}
+		if ni < len(neg) {
+			out = append(out, neg[ni])
+			ni++
+		}
+		if pi >= len(pos) && ni >= len(neg) {
+			break
+		}
+	}
+	return out
+}
+
+// SaliencyMethods lists the saliency methods in the paper's column
+// order.
+var SaliencyMethods = []string{"CERTA", "LandMark", "Mojito", "SHAP"}
+
+// CFMethods lists the counterfactual methods in the paper's column
+// order.
+var CFMethods = []string{"CERTA", "DiCE", "SHAP-C", "LIME-C"}
+
+// certaResults computes (once) the full CERTA result for every explained
+// pair of the cell.
+func (c *cell) certaResults(h *Harness) ([]*core.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.certa != nil {
+		return c.certa, nil
+	}
+	e := core.New(c.bench.Left, c.bench.Right, core.Options{
+		Triangles: h.cfg.Triangles,
+		Seed:      h.cfg.Seed,
+	})
+	out := make([]*core.Result, len(c.pairs))
+	for i, p := range c.pairs {
+		res, err := e.Explain(c.model, p.Pair)
+		if err != nil {
+			return nil, fmt.Errorf("eval: CERTA on %s/%s pair %s: %w", c.code, c.kind, p.Key(), err)
+		}
+		out[i] = res
+	}
+	c.certa = out
+	return out, nil
+}
+
+// saliencies returns the per-pair saliency explanations of one method.
+func (c *cell) saliencies(h *Harness, method string) ([]*explain.Saliency, error) {
+	if method == "CERTA" {
+		results, err := c.certaResults(h)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*explain.Saliency, len(results))
+		for i, r := range results {
+			out[i] = r.Saliency
+		}
+		return out, nil
+	}
+
+	c.mu.Lock()
+	if cached, ok := c.sal[method]; ok {
+		c.mu.Unlock()
+		return cached, nil
+	}
+	c.mu.Unlock()
+
+	var ex explain.SaliencyExplainer
+	switch method {
+	case "Mojito":
+		ex = baselines.NewMojito(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 11})
+	case "LandMark":
+		ex = baselines.NewLandMark(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 13})
+	case "SHAP":
+		ex = baselines.NewSHAP(shap.Config{Samples: h.cfg.SHAPSamples, Seed: h.cfg.Seed + 17})
+	default:
+		return nil, fmt.Errorf("eval: unknown saliency method %q", method)
+	}
+	out := make([]*explain.Saliency, len(c.pairs))
+	for i, p := range c.pairs {
+		s, err := ex.ExplainSaliency(c.model, p.Pair)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s on %s/%s: %w", method, c.code, c.kind, err)
+		}
+		out[i] = s
+	}
+	c.mu.Lock()
+	c.sal[method] = out
+	c.mu.Unlock()
+	return out, nil
+}
+
+// counterfactuals returns per-pair counterfactual sets of one method.
+func (c *cell) counterfactuals(h *Harness, method string) ([][]explain.Counterfactual, error) {
+	if method == "CERTA" {
+		results, err := c.certaResults(h)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]explain.Counterfactual, len(results))
+		for i, r := range results {
+			out[i] = r.Counterfactuals
+		}
+		return out, nil
+	}
+
+	c.mu.Lock()
+	if cached, ok := c.cfs[method]; ok {
+		c.mu.Unlock()
+		return cached, nil
+	}
+	c.mu.Unlock()
+
+	var ex explain.CounterfactualExplainer
+	switch method {
+	case "DiCE":
+		ex = baselines.NewDiCE(c.bench.Left, c.bench.Right, baselines.DiCEConfig{Seed: h.cfg.Seed + 19})
+	case "LIME-C":
+		ex = baselines.NewLIMEC(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 23}, 4)
+	case "SHAP-C":
+		ex = baselines.NewSHAPC(shap.Config{Samples: h.cfg.SHAPSamples, Seed: h.cfg.Seed + 29}, 4)
+	default:
+		return nil, fmt.Errorf("eval: unknown counterfactual method %q", method)
+	}
+	out := make([][]explain.Counterfactual, len(c.pairs))
+	for i, p := range c.pairs {
+		cfs, err := ex.ExplainCounterfactuals(c.model, p.Pair)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s on %s/%s: %w", method, c.code, c.kind, err)
+		}
+		out[i] = cfs
+	}
+	c.mu.Lock()
+	c.cfs[method] = out
+	c.mu.Unlock()
+	return out, nil
+}
+
+// forEachDataset runs fn for every configured dataset, optionally in
+// parallel, collecting results in dataset order.
+func (h *Harness) forEachDataset(fn func(code string) ([]string, error)) ([][]string, error) {
+	rows := make([][]string, len(h.cfg.Datasets))
+	errs := make([]error, len(h.cfg.Datasets))
+	if h.cfg.Parallelism <= 1 {
+		for i, code := range h.cfg.Datasets {
+			rows[i], errs[i] = fn(code)
+		}
+	} else {
+		sem := make(chan struct{}, h.cfg.Parallelism)
+		var wg sync.WaitGroup
+		for i, code := range h.cfg.Datasets {
+			wg.Add(1)
+			go func(i int, code string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				rows[i], errs[i] = fn(code)
+			}(i, code)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report runs every experiment")
+	}
+	h := quickHarness()
+	var buf bytes.Buffer
+	if err := h.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every experiment section and its paper expectation must appear.
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"## table1", "## table2", "## table7", "## figure10", "## figure12",
+		"Paper:",
+		"| Dataset |",
+		"_measured in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Markdown tables must be well-formed: header separator rows follow
+	// header rows.
+	lines := strings.Split(out, "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "| Dataset |") && i+1 < len(lines) {
+			if !strings.HasPrefix(lines[i+1], "| ---") {
+				t.Errorf("header at line %d lacks separator: %q", i, lines[i+1])
+			}
+		}
+	}
+}
+
+func TestWriteMarkdownTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeMarkdownTable(&buf, &Table{
+		Title:  "demo",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  "a note",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**demo**", "| A | B |", "| --- | --- |", "| 1 | 2 |", "_a note_"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperExpectationsCoverRegistry(t *testing.T) {
+	for _, e := range Experiments() {
+		if _, ok := paperExpectations[e.ID]; !ok {
+			t.Errorf("experiment %s has no paper expectation recorded", e.ID)
+		}
+	}
+}

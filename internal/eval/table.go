@@ -1,0 +1,83 @@
+// Package eval is the experiment harness: it wires datasets, trained
+// matchers, CERTA and the baselines together and regenerates every table
+// and figure of the paper's evaluation (§5). Each experiment is
+// registered by the paper artifact's identifier ("table2", "figure11",
+// ...) and renders plain-text tables whose rows mirror the paper's.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a renderable experiment result.
+type Table struct {
+	// ID is the experiment identifier ("table2", "figure10"...).
+	ID string
+	// Title describes the artifact, e.g. "Faithfulness evaluation on
+	// saliency explanations".
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the cell values, already formatted.
+	Rows [][]string
+	// Notes carries caveats (scale, substitutions) printed under the
+	// table.
+	Notes string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+		sep := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			sep[i] = strings.Repeat("-", len(h))
+		}
+		fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if t.Notes != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Notes); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// f3 formats a float with 3 decimals, the paper's usual precision.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f2 formats a float with 2 decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// boldBest decorates the winning (minimum or maximum) value in a row
+// of floats with an asterisk, mimicking the paper's boldface.
+func boldBest(vals []float64, lowerBetter bool, format func(float64) string) []string {
+	best := 0
+	for i, v := range vals {
+		if (lowerBetter && v < vals[best]) || (!lowerBetter && v > vals[best]) {
+			best = i
+		}
+	}
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = format(v)
+		if i == best {
+			out[i] += "*"
+		}
+	}
+	return out
+}

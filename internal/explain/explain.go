@@ -1,0 +1,165 @@
+// Package explain defines the shared vocabulary of the explanation
+// subsystem: the black-box Model interface, saliency explanations
+// (attribute → importance score), counterfactual explanations (perturbed
+// pairs that flip the prediction), the explainer interfaces implemented
+// by CERTA and every baseline, and attribute-masking utilities used by
+// the evaluation metrics.
+package explain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+// Model is the black-box ER classifier every explainer works against.
+// Score returns the matching probability in [0,1]; above 0.5 means
+// Match. Implementations must be deterministic and safe for concurrent
+// use.
+type Model interface {
+	Name() string
+	Score(p record.Pair) float64
+}
+
+// Predicted applies the decision threshold of the paper.
+func Predicted(m Model, p record.Pair) bool { return m.Score(p) > 0.5 }
+
+// Saliency is an attribute-level saliency explanation for one
+// prediction: each side-qualified attribute gets an importance score
+// (for CERTA, the probability of necessity).
+type Saliency struct {
+	// Pair is the explained input.
+	Pair record.Pair
+	// Prediction is the model score on the original pair.
+	Prediction float64
+	// Scores maps each attribute to its saliency.
+	Scores map[record.AttrRef]float64
+}
+
+// NewSaliency initializes an explanation with zero scores for every
+// attribute of the pair.
+func NewSaliency(p record.Pair, prediction float64) *Saliency {
+	s := &Saliency{Pair: p, Prediction: prediction, Scores: make(map[record.AttrRef]float64)}
+	for _, ref := range p.AttrRefs() {
+		s.Scores[ref] = 0
+	}
+	return s
+}
+
+// Ranked returns the attributes sorted by descending saliency; ties are
+// broken by the deterministic attribute order so explanations are stable.
+func (s *Saliency) Ranked() []record.AttrRef {
+	refs := make([]record.AttrRef, 0, len(s.Scores))
+	for ref := range s.Scores {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		si, sj := s.Scores[refs[i]], s.Scores[refs[j]]
+		if si != sj {
+			return si > sj
+		}
+		if refs[i].Side != refs[j].Side {
+			return refs[i].Side < refs[j].Side
+		}
+		return refs[i].Attr < refs[j].Attr
+	})
+	return refs
+}
+
+// TopK returns the k most salient attributes.
+func (s *Saliency) TopK(k int) []record.AttrRef {
+	ranked := s.Ranked()
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ranked[:k]
+}
+
+// String renders the explanation compactly for logs and CLIs.
+func (s *Saliency) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "saliency(%s, score=%.3f):", s.Pair.Key(), s.Prediction)
+	for _, ref := range s.Ranked() {
+		fmt.Fprintf(&b, " %s=%.3f", ref, s.Scores[ref])
+	}
+	return b.String()
+}
+
+// Counterfactual is one counterfactual example: a copy of the original
+// pair, changed in the listed attributes, that flips the prediction.
+type Counterfactual struct {
+	// Original is the explained pair.
+	Original record.Pair
+	// Pair is the perturbed copy.
+	Pair record.Pair
+	// Changed lists the attributes whose values differ from Original.
+	Changed []record.AttrRef
+	// Score is the model score on the perturbed pair.
+	Score float64
+	// Probability is the method's confidence that changing these
+	// attributes flips the prediction (CERTA: the probability of
+	// sufficiency χ of the changed attribute set). Methods without such
+	// a notion report 1 for actual flips.
+	Probability float64
+
+	originalScore float64
+}
+
+// Flips reports whether the counterfactual actually crosses the decision
+// boundary relative to the original prediction (set the original score
+// with WithOriginalScore).
+func (c Counterfactual) Flips() bool {
+	return (c.Score > 0.5) != (c.originalScore > 0.5)
+}
+
+// WithOriginalScore returns a copy annotated with the original score.
+func (c Counterfactual) WithOriginalScore(s float64) Counterfactual {
+	c.originalScore = s
+	return c
+}
+
+// OriginalScore returns the model score on the original pair.
+func (c Counterfactual) OriginalScore() float64 { return c.originalScore }
+
+// ChangedAttrNames renders the changed attribute list.
+func (c Counterfactual) ChangedAttrNames() []string {
+	out := make([]string, len(c.Changed))
+	for i, r := range c.Changed {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// SaliencyExplainer produces attribute-level saliency explanations.
+type SaliencyExplainer interface {
+	Name() string
+	ExplainSaliency(m Model, p record.Pair) (*Saliency, error)
+}
+
+// CounterfactualExplainer produces counterfactual examples.
+type CounterfactualExplainer interface {
+	Name() string
+	ExplainCounterfactuals(m Model, p record.Pair) ([]Counterfactual, error)
+}
+
+// MaskAttr returns a copy of the pair with one attribute masked (set to
+// the missing value). Masking is how the Faithfulness metric and the
+// Figure 12 case study make the model "ignore" an attribute.
+func MaskAttr(p record.Pair, ref record.AttrRef) record.Pair {
+	return p.WithValue(ref, strutil.NaN)
+}
+
+// MaskAttrs masks several attributes at once.
+func MaskAttrs(p record.Pair, refs []record.AttrRef) record.Pair {
+	out := p
+	for _, r := range refs {
+		out = MaskAttr(out, r)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+func testPair() record.Pair {
+	abt := record.MustSchema("Abt", "name", "description", "price")
+	buy := record.MustSchema("Buy", "name", "description", "price")
+	return record.Pair{
+		Left:  record.MustNew("u1", abt, "sony bravia", "theater system", "100"),
+		Right: record.MustNew("v1", buy, "sony bravia is50", "home theater", "120"),
+	}
+}
+
+type constModel float64
+
+func (c constModel) Name() string              { return "const" }
+func (c constModel) Score(record.Pair) float64 { return float64(c) }
+
+func TestPredicted(t *testing.T) {
+	if !Predicted(constModel(0.9), testPair()) {
+		t.Error("0.9 should be a match")
+	}
+	if Predicted(constModel(0.1), testPair()) {
+		t.Error("0.1 should not be a match")
+	}
+	if Predicted(constModel(0.5), testPair()) {
+		t.Error("exactly 0.5 is non-match (strict >)")
+	}
+}
+
+func TestNewSaliencyInitializesAllAttrs(t *testing.T) {
+	s := NewSaliency(testPair(), 0.8)
+	if len(s.Scores) != 6 {
+		t.Fatalf("scores len = %d, want 6", len(s.Scores))
+	}
+	for ref, v := range s.Scores {
+		if v != 0 {
+			t.Errorf("initial score for %v = %v", ref, v)
+		}
+	}
+}
+
+func TestRankedAndTopK(t *testing.T) {
+	s := NewSaliency(testPair(), 0.8)
+	s.Scores[record.AttrRef{Side: record.Left, Attr: "name"}] = 0.9
+	s.Scores[record.AttrRef{Side: record.Right, Attr: "description"}] = 0.7
+	s.Scores[record.AttrRef{Side: record.Left, Attr: "price"}] = 0.4
+
+	ranked := s.Ranked()
+	if ranked[0].String() != "L_name" || ranked[1].String() != "R_description" || ranked[2].String() != "L_price" {
+		t.Errorf("ranked = %v", ranked)
+	}
+	top2 := s.TopK(2)
+	if len(top2) != 2 || top2[0].String() != "L_name" {
+		t.Errorf("top2 = %v", top2)
+	}
+	if len(s.TopK(100)) != 6 {
+		t.Error("TopK should clamp to attr count")
+	}
+	if len(s.TopK(-1)) != 0 {
+		t.Error("TopK(-1) should be empty")
+	}
+}
+
+func TestRankedDeterministicTies(t *testing.T) {
+	s := NewSaliency(testPair(), 0.5)
+	// All zeros: order must be deterministic (left side first, by name).
+	r1 := s.Ranked()
+	r2 := s.Ranked()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("tie order not deterministic")
+		}
+	}
+	if r1[0].Side != record.Left {
+		t.Error("ties should order left side first")
+	}
+}
+
+func TestSaliencyString(t *testing.T) {
+	s := NewSaliency(testPair(), 0.25)
+	str := s.String()
+	if !strings.Contains(str, "u1|v1") || !strings.Contains(str, "0.250") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestCounterfactualFlips(t *testing.T) {
+	p := testPair()
+	cf := Counterfactual{Original: p, Pair: p, Score: 0.8}.WithOriginalScore(0.2)
+	if !cf.Flips() {
+		t.Error("0.2 -> 0.8 should flip")
+	}
+	same := Counterfactual{Original: p, Pair: p, Score: 0.3}.WithOriginalScore(0.2)
+	if same.Flips() {
+		t.Error("0.2 -> 0.3 should not flip")
+	}
+	if cf.OriginalScore() != 0.2 {
+		t.Error("OriginalScore lost")
+	}
+}
+
+func TestChangedAttrNames(t *testing.T) {
+	cf := Counterfactual{Changed: []record.AttrRef{
+		{Side: record.Left, Attr: "name"},
+		{Side: record.Right, Attr: "price"},
+	}}
+	names := cf.ChangedAttrNames()
+	if len(names) != 2 || names[0] != "L_name" || names[1] != "R_price" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestMaskAttr(t *testing.T) {
+	p := testPair()
+	masked := MaskAttr(p, record.AttrRef{Side: record.Left, Attr: "name"})
+	if masked.Left.Value("name") != strutil.NaN {
+		t.Error("mask did not apply")
+	}
+	if p.Left.Value("name") == strutil.NaN {
+		t.Error("mask mutated original")
+	}
+	// Other attributes untouched.
+	if masked.Left.Value("description") != p.Left.Value("description") {
+		t.Error("mask touched other attribute")
+	}
+}
+
+func TestMaskAttrs(t *testing.T) {
+	p := testPair()
+	refs := []record.AttrRef{
+		{Side: record.Left, Attr: "name"},
+		{Side: record.Right, Attr: "description"},
+	}
+	masked := MaskAttrs(p, refs)
+	if masked.Left.Value("name") != strutil.NaN || masked.Right.Value("description") != strutil.NaN {
+		t.Error("masks did not apply")
+	}
+	if masked.Right.Value("name") != p.Right.Value("name") {
+		t.Error("unrelated attribute changed")
+	}
+}

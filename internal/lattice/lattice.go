@@ -1,0 +1,256 @@
+// Package lattice implements the power-set lattice machinery of the CERTA
+// algorithm (§4 of the paper): bottom-up breadth-first exploration of
+// attribute subsets, monotone flip propagation, and extraction of minimal
+// flipping antichains (MFAs).
+//
+// The lattice is generic over element indices 0..n-1; callers map indices
+// to attribute names. Subsets are represented as bitmasks. Following the
+// paper, the empty set and the full set are never tested against the
+// model (footnote 2): the full set can only be tagged by inference when a
+// proper subset flips.
+package lattice
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MaxElements bounds the lattice size; 2^20 nodes is already far beyond
+// the benchmark schemas (at most 8 attributes per side).
+const MaxElements = 20
+
+// Mask is a subset of lattice elements encoded as a bitmask.
+type Mask uint32
+
+// MaskOf builds a mask from element indices.
+func MaskOf(elems ...int) Mask {
+	var m Mask
+	for _, e := range elems {
+		m |= 1 << uint(e)
+	}
+	return m
+}
+
+// Contains reports whether element i is in the subset.
+func (m Mask) Contains(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Count returns the subset cardinality.
+func (m Mask) Count() int { return bits.OnesCount32(uint32(m)) }
+
+// SubsetOf reports whether m ⊆ o.
+func (m Mask) SubsetOf(o Mask) bool { return m&o == m }
+
+// Elems lists the element indices of the subset in increasing order.
+func (m Mask) Elems() []int {
+	out := make([]int, 0, m.Count())
+	for i := 0; i < 32; i++ {
+		if m.Contains(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the mask as {0,2,3} for debugging.
+func (m Mask) String() string {
+	elems := m.Elems()
+	s := "{"
+	for i, e := range elems {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(e)
+	}
+	return s + "}"
+}
+
+// Oracle answers whether perturbing the subset of attributes flips the
+// model prediction. Oracles are expected to be deterministic within one
+// exploration.
+type Oracle func(m Mask) bool
+
+// Tag records what the exploration concluded about one node.
+type Tag struct {
+	// Flip is true when the perturbation for this subset flips the
+	// prediction (tested or inferred).
+	Flip bool
+	// Tested is true when the oracle was actually consulted.
+	Tested bool
+	// Inferred is true when the flip was propagated from a subset under
+	// the monotone-classifier assumption.
+	Inferred bool
+}
+
+// Result is the outcome of exploring one lattice.
+type Result struct {
+	// N is the number of elements (attributes).
+	N int
+	// Tags is indexed by mask; index 0 (empty set) is always a non-flip.
+	Tags []Tag
+	// Performed counts oracle calls made.
+	Performed int
+	// Expected is the number of testable nodes, 2^n - 2 (paper, Table 7).
+	Expected int
+}
+
+// Explore walks the lattice bottom-up (by subset size) and tags every
+// node. When monotone is true it applies the monotone-classifier
+// assumption: as soon as a subset flips, every superset is tagged as an
+// inferred flip and never tested — the optimization evaluated in §5.6.
+// When monotone is false every testable node is evaluated exactly (the
+// "Expected" baseline of Table 7).
+//
+// Explore panics if n is out of (0, MaxElements]; the caller controls n
+// and an invalid value is a programming error.
+func Explore(n int, oracle Oracle, monotone bool) *Result {
+	if n <= 0 || n > MaxElements {
+		panic(fmt.Sprintf("lattice: invalid element count %d", n))
+	}
+	size := 1 << uint(n)
+	full := Mask(size - 1)
+	res := &Result{
+		N:        n,
+		Tags:     make([]Tag, size),
+		Expected: size - 2,
+	}
+	if n == 1 {
+		// Only the empty and the full set exist; nothing is testable.
+		return res
+	}
+
+	// Visit levels 1..n-1 (the full set is never tested).
+	byLevel := masksByLevel(n)
+	for level := 1; level < n; level++ {
+		for _, m := range byLevel[level] {
+			if monotone && res.Tags[m].Flip {
+				// Already inferred from a flipped subset.
+				continue
+			}
+			flip := oracle(m)
+			res.Performed++
+			res.Tags[m] = Tag{Flip: flip, Tested: true}
+			if flip && monotone {
+				propagate(res.Tags, m, full)
+			}
+		}
+	}
+	if !monotone {
+		// Even without the optimization, the full set inherits any flip
+		// from below so that flip counting matches the monotone run's
+		// universe of nodes.
+		for _, m := range byLevel[n-1] {
+			if res.Tags[m].Flip {
+				res.Tags[full] = Tag{Flip: true, Inferred: true}
+				break
+			}
+		}
+	}
+	return res
+}
+
+// propagate tags every proper superset of m (up to and including the full
+// set) as an inferred flip, leaving already-tested tags untouched.
+func propagate(tags []Tag, m, full Mask) {
+	// Enumerate supersets of m: iterate over subsets of the complement
+	// and union them in. Standard submask enumeration trick.
+	comp := full &^ m
+	for s := comp; ; s = (s - 1) & comp {
+		if s != 0 {
+			sup := m | s
+			if !tags[sup].Tested && !tags[sup].Flip {
+				tags[sup] = Tag{Flip: true, Inferred: true}
+			}
+		}
+		if s == 0 {
+			break
+		}
+	}
+}
+
+// masksByLevel groups all masks of an n-element lattice by cardinality.
+func masksByLevel(n int) [][]Mask {
+	size := 1 << uint(n)
+	levels := make([][]Mask, n+1)
+	for m := 1; m < size; m++ {
+		c := bits.OnesCount32(uint32(m))
+		levels[c] = append(levels[c], Mask(m))
+	}
+	// Within a level, masks are already in increasing numeric order,
+	// which keeps exploration deterministic.
+	return levels
+}
+
+// Flipped returns every mask tagged as a flip (tested or inferred),
+// including the full set if inferred, in deterministic order.
+func (r *Result) Flipped() []Mask {
+	var out []Mask
+	for m := 1; m < len(r.Tags); m++ {
+		if r.Tags[m].Flip {
+			out = append(out, Mask(m))
+		}
+	}
+	return out
+}
+
+// MFA returns the minimal flipping antichain: flipping nodes none of
+// whose proper subsets flip. Under monotone exploration these are exactly
+// the tested flips; the definition below also works for exact runs.
+func (r *Result) MFA() []Mask {
+	flipped := r.Flipped()
+	var mfa []Mask
+	for _, m := range flipped {
+		minimal := true
+		for _, s := range flipped {
+			if s != m && s.SubsetOf(m) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			mfa = append(mfa, m)
+		}
+	}
+	sort.Slice(mfa, func(i, j int) bool { return mfa[i] < mfa[j] })
+	return mfa
+}
+
+// IsAntichain reports whether no mask in the set is a subset of another —
+// the defining property of an antichain (used by property tests).
+func IsAntichain(masks []Mask) bool {
+	for i, a := range masks {
+		for j, b := range masks {
+			if i != j && a.SubsetOf(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CompareExact re-evaluates every node that a monotone exploration
+// skipped against the oracle's true answer and reports how many inferred
+// tags were wrong. This powers the error-rate column of Table 7.
+//
+// The returned saved is Expected - Performed of the monotone run; wrong
+// counts skipped nodes whose inferred flip disagrees with the oracle.
+func CompareExact(mono *Result, oracle Oracle) (saved, wrong int) {
+	full := Mask(len(mono.Tags) - 1)
+	for m := 1; m < len(mono.Tags); m++ {
+		t := mono.Tags[m]
+		if Mask(m) == full {
+			continue // never part of the testable universe
+		}
+		if t.Tested {
+			continue
+		}
+		// Skipped node: either inferred flip, or left untagged because
+		// the whole level was inferred.
+		saved++
+		actual := oracle(Mask(m))
+		if actual != t.Flip {
+			wrong++
+		}
+	}
+	return saved, wrong
+}

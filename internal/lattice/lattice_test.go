@@ -1,0 +1,310 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := MaskOf(0, 2)
+	if !m.Contains(0) || m.Contains(1) || !m.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if m.Count() != 2 {
+		t.Error("Count wrong")
+	}
+	if !MaskOf(0).SubsetOf(m) || m.SubsetOf(MaskOf(0)) {
+		t.Error("SubsetOf wrong")
+	}
+	elems := m.Elems()
+	if len(elems) != 2 || elems[0] != 0 || elems[1] != 2 {
+		t.Errorf("Elems = %v", elems)
+	}
+	if m.String() != "{0,2}" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+// paperOracle builds an oracle where exactly the given masks (and, for a
+// monotone classifier, their supersets) flip.
+func monotoneOracle(minimal ...Mask) Oracle {
+	return func(m Mask) bool {
+		for _, f := range minimal {
+			if f.SubsetOf(m) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Figure 9(a): N and D flip as singletons, P does not. Attributes are
+// indexed N=0, D=1, P=2.
+func TestExploreFigure9a(t *testing.T) {
+	oracle := monotoneOracle(MaskOf(0), MaskOf(1))
+	res := Explore(3, oracle, true)
+	// Performed: only the three singletons (everything above is inferred).
+	if res.Performed != 3 {
+		t.Errorf("Performed = %d, want 3", res.Performed)
+	}
+	mfa := res.MFA()
+	if len(mfa) != 2 || mfa[0] != MaskOf(0) || mfa[1] != MaskOf(1) {
+		t.Errorf("MFA = %v", mfa)
+	}
+	// Flips: {N},{D},{N,D},{N,P},{D,P},{N,D,P} = 6 (matches the example).
+	if got := len(res.Flipped()); got != 6 {
+		t.Errorf("flip count = %d, want 6", got)
+	}
+}
+
+// Figure 9(b): N flips alone; D and P only flip together.
+func TestExploreFigure9b(t *testing.T) {
+	oracle := monotoneOracle(MaskOf(0), MaskOf(1, 2))
+	res := Explore(3, oracle, true)
+	// Tested: singletons N, D, P plus the pair {D,P} = 4 calls
+	// ({N,D} and {N,P} are inferred from {N}).
+	if res.Performed != 4 {
+		t.Errorf("Performed = %d, want 4", res.Performed)
+	}
+	mfa := res.MFA()
+	if len(mfa) != 2 || mfa[0] != MaskOf(0) || mfa[1] != MaskOf(1, 2) {
+		t.Errorf("MFA = %v", mfa)
+	}
+	// Flips: {N},{N,D},{N,P},{D,P},{N,D,P} = 5.
+	if got := len(res.Flipped()); got != 5 {
+		t.Errorf("flip count = %d, want 5", got)
+	}
+}
+
+// Figure 9(c): only N flips; {D,P} tested and does not flip.
+func TestExploreFigure9c(t *testing.T) {
+	oracle := monotoneOracle(MaskOf(0))
+	res := Explore(3, oracle, true)
+	if res.Performed != 4 {
+		t.Errorf("Performed = %d, want 4", res.Performed)
+	}
+	mfa := res.MFA()
+	if len(mfa) != 1 || mfa[0] != MaskOf(0) {
+		t.Errorf("MFA = %v", mfa)
+	}
+	// Flips: {N},{N,D},{N,P},{N,D,P} = 4.
+	if got := len(res.Flipped()); got != 4 {
+		t.Errorf("flip count = %d, want 4", got)
+	}
+}
+
+// Figure 9(d): no singleton flips; all pairs flip.
+func TestExploreFigure9d(t *testing.T) {
+	oracle := monotoneOracle(MaskOf(0, 1), MaskOf(0, 2), MaskOf(1, 2))
+	res := Explore(3, oracle, true)
+	// Tested: 3 singletons + 3 pairs = 6.
+	if res.Performed != 6 {
+		t.Errorf("Performed = %d, want 6", res.Performed)
+	}
+	mfa := res.MFA()
+	if len(mfa) != 3 {
+		t.Errorf("MFA = %v", mfa)
+	}
+	// Flips: 3 pairs + full = 4.
+	if got := len(res.Flipped()); got != 4 {
+		t.Errorf("flip count = %d, want 4", got)
+	}
+}
+
+// The total flip count across the four Figure 9 lattices is 19 in the
+// paper's worked example.
+func TestFigure9TotalFlips(t *testing.T) {
+	oracles := []Oracle{
+		monotoneOracle(MaskOf(0), MaskOf(1)),
+		monotoneOracle(MaskOf(0), MaskOf(1, 2)),
+		monotoneOracle(MaskOf(0)),
+		monotoneOracle(MaskOf(0, 1), MaskOf(0, 2), MaskOf(1, 2)),
+	}
+	total := 0
+	for _, o := range oracles {
+		total += len(Explore(3, o, true).Flipped())
+	}
+	if total != 19 {
+		t.Errorf("total flips = %d, want 19 (paper §4 example)", total)
+	}
+}
+
+func TestExploreNoFlips(t *testing.T) {
+	oracle := func(Mask) bool { return false }
+	res := Explore(3, oracle, true)
+	if res.Performed != res.Expected {
+		t.Errorf("Performed = %d, want %d (nothing inferable)", res.Performed, res.Expected)
+	}
+	if len(res.Flipped()) != 0 {
+		t.Error("no flips expected")
+	}
+	if len(res.MFA()) != 0 {
+		t.Error("MFA should be empty")
+	}
+}
+
+func TestExploreExactMode(t *testing.T) {
+	calls := 0
+	oracle := func(m Mask) bool { calls++; return m.Contains(0) }
+	res := Explore(3, oracle, false)
+	if res.Performed != res.Expected || calls != res.Expected {
+		t.Errorf("exact mode should test all %d nodes, did %d", res.Expected, res.Performed)
+	}
+	// Full set should be tagged by inheritance.
+	full := Mask(len(res.Tags) - 1)
+	if !res.Tags[full].Flip {
+		t.Error("full set should inherit flip in exact mode")
+	}
+	// MFA should still be {0} alone.
+	mfa := res.MFA()
+	if len(mfa) != 1 || mfa[0] != MaskOf(0) {
+		t.Errorf("MFA = %v", mfa)
+	}
+}
+
+func TestExplorePanicsOnBadN(t *testing.T) {
+	for _, n := range []int{0, -1, MaxElements + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Explore(%d) should panic", n)
+				}
+			}()
+			Explore(n, func(Mask) bool { return false }, true)
+		}()
+	}
+}
+
+func TestExploreSingleElement(t *testing.T) {
+	res := Explore(1, func(Mask) bool { t.Fatal("oracle must not be called for n=1"); return false }, true)
+	if res.Performed != 0 || res.Expected != 0 {
+		t.Error("n=1 lattice has no testable nodes")
+	}
+}
+
+func TestCompareExactPerfectMonotone(t *testing.T) {
+	oracle := monotoneOracle(MaskOf(0))
+	mono := Explore(4, oracle, true)
+	saved, wrong := CompareExact(mono, oracle)
+	if wrong != 0 {
+		t.Errorf("monotone oracle should have 0 wrong, got %d", wrong)
+	}
+	if saved != mono.Expected-mono.Performed {
+		t.Errorf("saved = %d, want %d", saved, mono.Expected-mono.Performed)
+	}
+	if saved == 0 {
+		t.Error("expected some savings")
+	}
+}
+
+func TestCompareExactNonMonotone(t *testing.T) {
+	// Non-monotone oracle: {0} flips but {0,1} does not.
+	oracle := func(m Mask) bool {
+		if m == MaskOf(0, 1) {
+			return false
+		}
+		return m.Contains(0)
+	}
+	mono := Explore(3, oracle, true)
+	saved, wrong := CompareExact(mono, oracle)
+	if saved == 0 {
+		t.Fatal("expected savings")
+	}
+	if wrong == 0 {
+		t.Error("expected at least one wrong inference for the non-monotone oracle")
+	}
+}
+
+func TestIsAntichain(t *testing.T) {
+	if !IsAntichain([]Mask{MaskOf(0), MaskOf(1)}) {
+		t.Error("disjoint singletons form an antichain")
+	}
+	if IsAntichain([]Mask{MaskOf(0), MaskOf(0, 1)}) {
+		t.Error("nested masks are not an antichain")
+	}
+	if !IsAntichain(nil) {
+		t.Error("empty set is an antichain")
+	}
+}
+
+// Property: for any randomly generated monotone oracle, the monotone
+// exploration (a) agrees with the exact exploration on every node, and
+// (b) produces an MFA that is an antichain whose members are exactly the
+// minimal flipping sets.
+func TestMonotoneExplorationMatchesExactProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%4) // 2..5 elements
+		rng := rand.New(rand.NewSource(seed))
+		// Random minimal flipping sets.
+		var minimal []Mask
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			m := Mask(1 + rng.Intn(1<<uint(n)-1))
+			minimal = append(minimal, m)
+		}
+		oracle := monotoneOracle(minimal...)
+		mono := Explore(n, oracle, true)
+		exact := Explore(n, oracle, false)
+		for m := 1; m < len(mono.Tags); m++ {
+			if mono.Tags[m].Flip != exact.Tags[m].Flip {
+				return false
+			}
+		}
+		if !IsAntichain(mono.MFA()) {
+			return false
+		}
+		// Monotone must never test more than exact.
+		return mono.Performed <= exact.Performed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every flipped node in a monotone run has a flipped MFA member
+// below it, and every non-flipped node has none.
+func TestFlipsConsistentWithMFAProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		var minimal []Mask
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			minimal = append(minimal, Mask(1+rng.Intn(1<<uint(n)-1)))
+		}
+		oracle := monotoneOracle(minimal...)
+		res := Explore(n, oracle, true)
+		mfa := res.MFA()
+		for m := 1; m < len(res.Tags); m++ {
+			covered := false
+			for _, a := range mfa {
+				if a.SubsetOf(Mask(m)) {
+					covered = true
+					break
+				}
+			}
+			if res.Tags[m].Flip != covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExploreMonotone8(b *testing.B) {
+	oracle := monotoneOracle(MaskOf(0, 3), MaskOf(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Explore(8, oracle, true)
+	}
+}
+
+func BenchmarkExploreExact8(b *testing.B) {
+	oracle := monotoneOracle(MaskOf(0, 3), MaskOf(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Explore(8, oracle, false)
+	}
+}

@@ -1,0 +1,142 @@
+package lime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExplainRecoversAdditiveModel(t *testing.T) {
+	// Model: score = 0.6*f0 + 0.3*f1 + 0.0*f2 (+0.05 base).
+	predict := func(active []bool) float64 {
+		s := 0.05
+		if active[0] {
+			s += 0.6
+		}
+		if active[1] {
+			s += 0.3
+		}
+		return s
+	}
+	w, err := Explain(3, predict, Config{Samples: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(w[0] > w[1] && w[1] > w[2]) {
+		t.Errorf("weights not ordered: %v", w)
+	}
+	if math.Abs(w[0]-0.6) > 0.1 || math.Abs(w[1]-0.3) > 0.1 || math.Abs(w[2]) > 0.1 {
+		t.Errorf("weights = %v, want ~[0.6 0.3 0]", w)
+	}
+}
+
+func TestExplainNegativeContribution(t *testing.T) {
+	// Feature 1 lowers the score when present.
+	predict := func(active []bool) float64 {
+		s := 0.5
+		if active[0] {
+			s += 0.3
+		}
+		if active[1] {
+			s -= 0.4
+		}
+		return s
+	}
+	w, err := Explain(2, predict, Config{Samples: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] <= 0 || w[1] >= 0 {
+		t.Errorf("signs wrong: %v", w)
+	}
+}
+
+func TestExplainDeterministic(t *testing.T) {
+	predict := func(active []bool) float64 {
+		s := 0.0
+		for i, a := range active {
+			if a {
+				s += float64(i+1) * 0.1
+			}
+		}
+		return s
+	}
+	a, err := Explain(4, predict, Config{Samples: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explain(4, predict, Config{Samples: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical explanations")
+		}
+	}
+}
+
+func TestExplainSingleFeature(t *testing.T) {
+	predict := func(active []bool) float64 {
+		if active[0] {
+			return 0.9
+		}
+		return 0.1
+	}
+	w, err := Explain(1, predict, Config{Samples: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] < 0.5 {
+		t.Errorf("single decisive feature weight = %v", w[0])
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	if _, err := Explain(0, nil, Config{}); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestKernelFavorsLocalSamples(t *testing.T) {
+	// A model with an interaction far from the instance: local fit should
+	// mostly see near-complete coalitions.
+	predict := func(active []bool) float64 {
+		n := 0
+		for _, a := range active {
+			if a {
+				n++
+			}
+		}
+		if n >= 3 {
+			return 0.2 * float64(n)
+		}
+		return 0 // far-away cliff
+	}
+	w, err := Explain(4, predict, Config{Samples: 500, KernelWidth: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range w {
+		if v < 0 {
+			t.Errorf("feature %d weight %v; near the instance all features help", i, v)
+		}
+	}
+}
+
+func BenchmarkExplain8Features(b *testing.B) {
+	predict := func(active []bool) float64 {
+		s := 0.0
+		for i, a := range active {
+			if a {
+				s += float64(i) * 0.05
+			}
+		}
+		return s
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Explain(8, predict, Config{Samples: 200, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

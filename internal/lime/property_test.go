@@ -1,0 +1,68 @@
+package lime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a constant model gets near-zero weights on every feature.
+func TestConstantModelProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		c := float64(seed%97) / 97
+		w, err := Explain(n, func([]bool) float64 { return c }, Config{Samples: 100, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, v := range w {
+			if math.Abs(v) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for random additive models the weight ordering matches the
+// contribution ordering whenever contributions are well separated.
+func TestAdditiveOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		contrib := make([]float64, n)
+		for i := range contrib {
+			// Well-separated positive contributions.
+			contrib[i] = 0.1 + 0.3*float64(i) + 0.02*rng.Float64()
+		}
+		rng.Shuffle(n, func(i, j int) { contrib[i], contrib[j] = contrib[j], contrib[i] })
+		predict := func(active []bool) float64 {
+			s := 0.0
+			for i, on := range active {
+				if on {
+					s += contrib[i]
+				}
+			}
+			return s
+		}
+		w, err := Explain(n, predict, Config{Samples: 500, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if contrib[i] > contrib[j]+0.25 && w[i] <= w[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package linmodel provides a small logistic regression fitted by
+// gradient descent. It is used by the Confidence Indication metric
+// (Atanasova et al., EMNLP 2020), which trains a logistic model from
+// saliency scores to the classifier's confidence and reports the mean
+// absolute error.
+package linmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Logistic is a fitted logistic regression y = sigmoid(w·x + b). Labels
+// may be soft (any value in [0,1]).
+type Logistic struct {
+	// W holds the feature weights; B is the bias.
+	W []float64
+	B float64
+}
+
+// FitConfig controls the gradient-descent fit.
+type FitConfig struct {
+	// Epochs is the number of full-batch gradient steps (default 300).
+	Epochs int
+	// LearningRate is the step size (default 0.5).
+	LearningRate float64
+	// L2 is the weight-decay coefficient (default 1e-4).
+	L2 float64
+}
+
+func (c FitConfig) withDefaults() FitConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 300
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.5
+	}
+	if c.L2 <= 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// Fit trains a logistic regression on rows x with (possibly soft) labels
+// y in [0,1] by full-batch gradient descent on the cross-entropy loss.
+func Fit(x [][]float64, y []float64, cfg FitConfig) (*Logistic, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("linmodel: no training data")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("linmodel: x/y length mismatch %d vs %d", len(x), len(y))
+	}
+	d := len(x[0])
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("linmodel: row %d has width %d, want %d", i, len(row), d)
+		}
+	}
+	cfg = cfg.withDefaults()
+	m := &Logistic{W: make([]float64, d)}
+	n := float64(len(x))
+	gw := make([]float64, d)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i := range gw {
+			gw[i] = 0
+		}
+		gb := 0.0
+		for i, row := range x {
+			p := m.Predict(row)
+			diff := p - y[i]
+			for j, v := range row {
+				gw[j] += diff * v
+			}
+			gb += diff
+		}
+		for j := range m.W {
+			m.W[j] -= cfg.LearningRate * (gw[j]/n + cfg.L2*m.W[j])
+		}
+		m.B -= cfg.LearningRate * gb / n
+	}
+	return m, nil
+}
+
+// Predict returns sigmoid(w·x + b).
+func (m *Logistic) Predict(x []float64) float64 {
+	z := m.B
+	for i, v := range x {
+		z += m.W[i] * v
+	}
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// MAE computes the mean absolute error of the model on a labeled set.
+func (m *Logistic) MAE(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var total float64
+	for i, row := range x {
+		total += math.Abs(m.Predict(row) - y[i])
+	}
+	return total / float64(len(x))
+}

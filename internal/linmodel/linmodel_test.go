@@ -1,0 +1,99 @@
+package linmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitSeparable(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i)/50 - 1 // -1..1
+		x = append(x, []float64{v})
+		if v > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m, err := Fit(x, y, FitConfig{Epochs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{0.8}) < 0.7 {
+		t.Errorf("positive side prediction = %v", m.Predict([]float64{0.8}))
+	}
+	if m.Predict([]float64{-0.8}) > 0.3 {
+		t.Errorf("negative side prediction = %v", m.Predict([]float64{-0.8}))
+	}
+}
+
+func TestFitSoftLabels(t *testing.T) {
+	// Regression to soft targets: y = sigmoid(2x).
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := rng.Float64()*4 - 2
+		x = append(x, []float64{v})
+		y = append(y, 1/(1+math.Exp(-2*v)))
+	}
+	m, err := Fit(x, y, FitConfig{Epochs: 800, LearningRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae := m.MAE(x, y); mae > 0.05 {
+		t.Errorf("MAE = %v, want < 0.05", mae)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, FitConfig{}); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, FitConfig{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []float64{1, 0}, FitConfig{}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestMAEEmpty(t *testing.T) {
+	m := &Logistic{W: []float64{1}}
+	if m.MAE(nil, nil) != 0 {
+		t.Error("MAE on empty set should be 0")
+	}
+}
+
+func TestPredictStable(t *testing.T) {
+	m := &Logistic{W: []float64{1000}, B: 0}
+	if p := m.Predict([]float64{100}); p != 1 {
+		if math.IsNaN(p) || p < 0.999 {
+			t.Errorf("extreme logit prediction = %v", p)
+		}
+	}
+	if p := m.Predict([]float64{-100}); math.IsNaN(p) || p > 0.001 {
+		t.Errorf("extreme negative prediction = %v", p)
+	}
+}
+
+func TestUninformativeFeatures(t *testing.T) {
+	// Random labels: model should converge near the base rate.
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		x = append(x, []float64{rng.Float64()})
+		y = append(y, 0.7) // constant soft label
+	}
+	m, err := Fit(x, y, FitConfig{Epochs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{0.5}); math.Abs(p-0.7) > 0.05 {
+		t.Errorf("base-rate prediction = %v, want ~0.7", p)
+	}
+}

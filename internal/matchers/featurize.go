@@ -1,0 +1,310 @@
+package matchers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"certa/internal/dataset"
+	"certa/internal/embedding"
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+// featurizer converts a record pair into the fixed-width input vector of
+// one model architecture. Featurizers are pure after construction.
+type featurizer interface {
+	features(p record.Pair) []float64
+	dim() int
+}
+
+// newFeaturizer builds the featurizer and network architecture for a
+// model kind, fitting the shared embedder on the benchmark corpus.
+func newFeaturizer(kind Kind, b *dataset.Benchmark, cfg Config) (featurizer, arch, error) {
+	emb := embedding.New(cfg.EmbeddingDim)
+	var corpus []string
+	for _, r := range b.Left.Records {
+		corpus = append(corpus, r.Text())
+	}
+	for _, r := range b.Right.Records {
+		corpus = append(corpus, r.Text())
+	}
+	emb.Fit(corpus)
+
+	attrs := alignedAttrs(b.Left.Schema, b.Right.Schema)
+	switch kind {
+	case DeepER:
+		return &deepERFeat{emb: emb}, archFor(kind), nil
+	case DeepMatcher, SVM:
+		return &deepMatcherFeat{emb: emb, attrs: attrs}, archFor(kind), nil
+	case Ditto:
+		return &dittoFeat{emb: emb, attrs: attrs}, archFor(kind), nil
+	}
+	return nil, arch{}, fmt.Errorf("matchers: unknown kind %q", kind)
+}
+
+// alignedAttrs pairs attributes by name; attributes present on only one
+// side are dropped (the twelve benchmarks share schemas on both sides).
+func alignedAttrs(l, r *record.Schema) []string {
+	var out []string
+	for _, a := range l.Attrs {
+		if r.AttrIndex(a) >= 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// --- DeepER: record-level distributed representations -------------------
+
+// deepERFeat embeds each record as one IDF-weighted vector and feeds the
+// element-wise absolute difference and Hadamard product to the network —
+// the classic "distributed representations of tuples" recipe. Attribute
+// boundaries are invisible to the model.
+type deepERFeat struct {
+	emb *embedding.Embedder
+}
+
+func (f *deepERFeat) dim() int { return 2*f.emb.Dim + 2 }
+
+func (f *deepERFeat) features(p record.Pair) []float64 {
+	lt, rt := p.Left.Text(), p.Right.Text()
+	le := f.emb.Text(lt)
+	re := f.emb.Text(rt)
+	out := make([]float64, 0, f.dim())
+	for i := range le {
+		d := le[i] - re[i]
+		if d < 0 {
+			d = -d
+		}
+		out = append(out, d)
+	}
+	for i := range le {
+		out = append(out, le[i]*re[i])
+	}
+	jac := 0.0
+	if lt != "" && rt != "" {
+		jac = strutil.Jaccard(lt, rt)
+	}
+	out = append(out, embedding.Cosine(le, re), jac)
+	return out
+}
+
+// --- DeepMatcher: attribute-level similarity summaries --------------------
+
+// deepMatcherFeat computes a block of similarity features per aligned
+// attribute (the "attribute summarization" of the Hybrid model): the
+// model sees exactly which attribute agrees or disagrees.
+type deepMatcherFeat struct {
+	emb   *embedding.Embedder
+	attrs []string
+}
+
+const dmBlock = 7
+
+func (f *deepMatcherFeat) dim() int { return dmBlock * len(f.attrs) }
+
+func (f *deepMatcherFeat) features(p record.Pair) []float64 {
+	out := make([]float64, 0, f.dim())
+	for _, a := range f.attrs {
+		lv, rv := p.Left.Value(a), p.Right.Value(a)
+		out = append(out, attrBlock(f.emb, lv, rv)...)
+	}
+	return out
+}
+
+// attrBlock is the per-attribute feature block shared by DeepMatcher and
+// Ditto. A missing value on either side zeroes every similarity feature:
+// the absence of evidence is not evidence of similarity (real DL
+// matchers learn exactly this from their embedding of empty strings),
+// and the missing-value indicators carry what signal remains.
+func attrBlock(emb *embedding.Embedder, lv, rv string) []float64 {
+	lm, rm := strutil.IsMissing(lv), strutil.IsMissing(rv)
+	if lm || rm {
+		bothMissing, oneMissing := 0.0, 1.0
+		if lm && rm {
+			bothMissing, oneMissing = 1.0, 0.0
+		}
+		return []float64{0, 0, 0, 0, 0, bothMissing, oneMissing}
+	}
+	return []float64{
+		embedding.Cosine(emb.Text(lv), emb.Text(rv)),
+		strutil.Jaccard(lv, rv),
+		strutil.LevenshteinSimilarity(truncateForLev(lv), truncateForLev(rv)),
+		strutil.ContainmentSimilarity(lv, rv),
+		strutil.NumberOverlap(lv, rv),
+		0,
+		0,
+	}
+}
+
+// truncateForLev caps value length so edit distance stays cheap on long
+// descriptions.
+func truncateForLev(s string) string {
+	const maxLen = 64
+	if len(s) <= maxLen {
+		return s
+	}
+	return s[:maxLen]
+}
+
+// --- Ditto: serialized sequences with injected knowledge -----------------
+
+// dittoFeat serializes both records into Ditto's "[COL] a [VAL] v" token
+// sequence and derives sequence-level evidence: IDF-weighted token
+// overlap (a stand-in for cross-attention), trigram similarity (subword
+// robustness), injected domain knowledge (number overlap), and
+// alignment-free cross-attribute matching that tolerates the dirty
+// benchmarks' displaced values.
+type dittoFeat struct {
+	emb   *embedding.Embedder
+	attrs []string
+}
+
+func (f *dittoFeat) dim() int { return 11 }
+
+// serialize renders a record as Ditto's flat token sequence.
+func serialize(r *record.Record) string {
+	var b strings.Builder
+	for i, a := range r.Schema.Attrs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString("col " + strutil.Normalize(a) + " val ")
+		v := r.Values[i]
+		if strutil.IsMissing(v) {
+			b.WriteString("")
+		} else {
+			b.WriteString(strutil.Normalize(v))
+		}
+	}
+	return b.String()
+}
+
+func (f *dittoFeat) features(p record.Pair) []float64 {
+	lt, rt := p.Left.Text(), p.Right.Text()
+	if lt == "" || rt == "" {
+		// An all-missing record carries no evidence; only the emptiness
+		// indicators fire.
+		out := make([]float64, f.dim())
+		out[f.dim()-2] = boolF(lt == "")
+		out[f.dim()-1] = boolF(rt == "")
+		return out
+	}
+	ls, rs := serialize(p.Left), serialize(p.Right)
+
+	// IDF-weighted token overlap: Σ idf(shared) / Σ idf(all left)
+	// in both directions — a cheap analogue of attention mass landing on
+	// aligned tokens. Tokens are summed in sorted order so float
+	// accumulation is deterministic.
+	lSet, rSet := strutil.TokenSet(lt), strutil.TokenSet(rt)
+	var sharedW, lW, rW float64
+	for _, tok := range sortedTokens(lSet) {
+		w := f.emb.IDF(tok)
+		lW += w
+		if _, ok := rSet[tok]; ok {
+			sharedW += w
+		}
+	}
+	for _, tok := range sortedTokens(rSet) {
+		rW += f.emb.IDF(tok)
+	}
+	overlapL, overlapR := 0.0, 0.0
+	if lW > 0 {
+		overlapL = sharedW / lW
+	}
+	if rW > 0 {
+		overlapR = sharedW / rW
+	}
+
+	// Alignment-free cross-attribute similarity: each left attribute
+	// matched against its best right attribute (handles displaced
+	// values in the dirty benchmarks).
+	var crossSum float64
+	var crossCount int
+	for _, la := range f.attrs {
+		lv := p.Left.Value(la)
+		if strutil.IsMissing(lv) {
+			continue
+		}
+		best := 0.0
+		for _, ra := range f.attrs {
+			rv := p.Right.Value(ra)
+			if strutil.IsMissing(rv) {
+				continue
+			}
+			if s := strutil.ContainmentSimilarity(lv, rv); s > best {
+				best = s
+			}
+		}
+		crossSum += best
+		crossCount++
+	}
+	cross := 0.0
+	if crossCount > 0 {
+		cross = crossSum / float64(crossCount)
+	}
+
+	lenL, lenR := float64(len(strutil.Tokenize(lt))), float64(len(strutil.Tokenize(rt)))
+	lenRatio := 0.0
+	if lenL > 0 && lenR > 0 {
+		lenRatio = minF(lenL, lenR) / maxF(lenL, lenR)
+	}
+
+	// Injected domain knowledge: overlap of numeric tokens (model
+	// numbers, prices). Numbers on both sides are compared; numbers on
+	// neither side are neutral; numbers on exactly one side are weak
+	// negative evidence.
+	num := 0.5
+	ln, rn := strutil.NumericTokens(lt), strutil.NumericTokens(rt)
+	switch {
+	case len(ln) > 0 && len(rn) > 0:
+		num = strutil.NumberOverlap(lt, rt)
+	case len(ln) != len(rn):
+		num = 0.25
+	}
+
+	return []float64{
+		overlapL,
+		overlapR,
+		strutil.Jaccard(ls, rs),
+		strutil.TrigramJaccard(truncateForLev(lt), truncateForLev(rt)),
+		strutil.ContainmentSimilarity(lt, rt),
+		num,
+		embedding.Cosine(f.emb.Text(lt), f.emb.Text(rt)),
+		cross,
+		lenRatio,
+		boolF(lenL == 0),
+		boolF(lenR == 0),
+	}
+}
+
+func sortedTokens(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

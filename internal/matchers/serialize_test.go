@@ -1,0 +1,38 @@
+package matchers
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelSerializationRoundtrip(t *testing.T) {
+	b, models := testBenchmark(t)
+	for kind, m := range models {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		var back Model
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if back.Kind() != kind {
+			t.Errorf("kind lost: %s vs %s", back.Kind(), kind)
+		}
+		// Scores must be bit-identical across the roundtrip.
+		for _, p := range b.Test[:20] {
+			want := m.Score(p.Pair)
+			got := back.Score(p.Pair)
+			if math.Abs(want-got) > 1e-15 {
+				t.Fatalf("%s: score drift %v vs %v on %s", kind, got, want, p.Key())
+			}
+		}
+	}
+}
+
+func TestModelUnmarshalGarbage(t *testing.T) {
+	var m Model
+	if err := m.UnmarshalBinary([]byte("not a model")); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+}

@@ -1,0 +1,213 @@
+// Package metrics implements the explanation-quality measures of the
+// paper's evaluation (§5.3):
+//
+//   - Faithfulness (Atanasova et al.) — area under the threshold/F1
+//     curve as progressively more salient attributes are masked; lower
+//     AUC means more faithful saliency;
+//   - Confidence Indication (Atanasova et al.) — MAE of a logistic
+//     model predicting the classifier's score from the saliency vector;
+//     lower is better;
+//   - Proximity, Sparsity and Diversity (Mothilal et al.) for
+//     counterfactual explanations — higher is better;
+//   - the Figure 12 case-study measures (Actual saliency by single-
+//     attribute masking, and Aggr@k for top-k masking).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"certa/internal/explain"
+	"certa/internal/linmodel"
+	"certa/internal/record"
+	"certa/internal/strutil"
+	"certa/internal/vector"
+)
+
+// FaithfulnessThresholds is the masking-fraction grid of the paper.
+var FaithfulnessThresholds = []float64{0.1, 0.2, 0.33, 0.5, 0.7, 0.9}
+
+// Faithfulness computes the AUC of the threshold-performance curve: at
+// each threshold the top fraction of attributes (per the saliency
+// ranking of each pair) is masked and the model's F1 on the masked test
+// pairs is measured. Faithful explanations kill F1 quickly, so lower AUC
+// is better. sals must parallel pairs.
+func Faithfulness(m explain.Model, pairs []record.LabeledPair, sals []*explain.Saliency) (float64, error) {
+	if len(pairs) != len(sals) {
+		return 0, fmt.Errorf("metrics: %d pairs but %d saliency explanations", len(pairs), len(sals))
+	}
+	if len(pairs) == 0 {
+		return 0, fmt.Errorf("metrics: no pairs to evaluate")
+	}
+	f1s := make([]float64, len(FaithfulnessThresholds))
+	for ti, t := range FaithfulnessThresholds {
+		var tp, fp, fn int
+		for i, p := range pairs {
+			nAttrs := len(p.AttrRefs())
+			k := int(math.Ceil(t * float64(nAttrs)))
+			masked := explain.MaskAttrs(p.Pair, sals[i].TopK(k))
+			pred := m.Score(masked) > 0.5
+			switch {
+			case pred && p.Match:
+				tp++
+			case pred && !p.Match:
+				fp++
+			case !pred && p.Match:
+				fn++
+			}
+		}
+		f1s[ti] = f1(tp, fp, fn)
+	}
+	return vector.Trapezoid(FaithfulnessThresholds, f1s), nil
+}
+
+func f1(tp, fp, fn int) float64 {
+	if tp == 0 {
+		return 0
+	}
+	prec := float64(tp) / float64(tp+fp)
+	rec := float64(tp) / float64(tp+fn)
+	return 2 * prec * rec / (prec + rec)
+}
+
+// ConfidenceIndication trains a logistic model from saliency vectors to
+// the classifier's scores and returns its MAE. A low MAE means the
+// explanation scores are a good proxy for the model's confidence.
+func ConfidenceIndication(sals []*explain.Saliency) (float64, error) {
+	if len(sals) < 4 {
+		return 0, fmt.Errorf("metrics: need at least 4 explanations for confidence indication, got %d", len(sals))
+	}
+	// Saliency vectors in the deterministic attribute order of the first
+	// pair (all pairs of one benchmark share schemas).
+	refs := sals[0].Pair.AttrRefs()
+	x := make([][]float64, len(sals))
+	y := make([]float64, len(sals))
+	for i, s := range sals {
+		row := make([]float64, len(refs))
+		for j, ref := range refs {
+			row[j] = s.Scores[ref]
+		}
+		x[i] = row
+		y[i] = s.Prediction
+	}
+	model, err := linmodel.Fit(x, y, linmodel.FitConfig{Epochs: 400})
+	if err != nil {
+		return 0, fmt.Errorf("metrics: confidence-indication fit: %w", err)
+	}
+	return model.MAE(x, y), nil
+}
+
+// Proximity is the mean attribute-wise similarity between each
+// counterfactual and its original pair (1 = identical; higher is
+// better). Counterfactuals from multiple explained pairs may be mixed.
+func Proximity(cfs []explain.Counterfactual) float64 {
+	if len(cfs) == 0 {
+		return 0
+	}
+	var total float64
+	for _, cf := range cfs {
+		total += pairSimilarity(cf.Original, cf.Pair)
+	}
+	return total / float64(len(cfs))
+}
+
+// Sparsity is the mean fraction of attributes left unchanged by each
+// counterfactual (higher is better: fewer attributes changed).
+func Sparsity(cfs []explain.Counterfactual) float64 {
+	if len(cfs) == 0 {
+		return 0
+	}
+	var total float64
+	for _, cf := range cfs {
+		n := len(cf.Original.AttrRefs())
+		if n == 0 {
+			continue
+		}
+		total += 1 - float64(len(cf.Changed))/float64(n)
+	}
+	return total / float64(len(cfs))
+}
+
+// Diversity is the mean pairwise attribute-wise distance among the
+// counterfactuals generated for one explained pair (higher is better).
+// A set with fewer than two examples has zero diversity — methods that
+// rarely produce counterfactuals score near zero, as in Table 6 of the
+// paper.
+func Diversity(cfs []explain.Counterfactual) float64 {
+	if len(cfs) < 2 {
+		return 0
+	}
+	var total float64
+	var count int
+	for i := 0; i < len(cfs); i++ {
+		for j := i + 1; j < len(cfs); j++ {
+			total += 1 - pairSimilarity(cfs[i].Pair, cfs[j].Pair)
+			count++
+		}
+	}
+	return total / float64(count)
+}
+
+// Validity is the fraction of returned counterfactuals that actually
+// flip the prediction (the metric the paper drops for fairness reasons,
+// footnote 6; we keep it for diagnostics).
+func Validity(cfs []explain.Counterfactual) float64 {
+	if len(cfs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, cf := range cfs {
+		if cf.Flips() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(cfs))
+}
+
+// pairSimilarity is the mean attribute-wise token-Jaccard similarity of
+// two pairs sharing schemas.
+func pairSimilarity(a, b record.Pair) float64 {
+	refs := a.AttrRefs()
+	if len(refs) == 0 {
+		return 1
+	}
+	var total float64
+	for _, ref := range refs {
+		total += strutil.Jaccard(a.Value(ref), b.Value(ref))
+	}
+	return total / float64(len(refs))
+}
+
+// ActualSaliency is the case study's ground-truth importance (Figure 12):
+// for each attribute, the absolute change in the model score when that
+// attribute alone is masked.
+func ActualSaliency(m explain.Model, p record.Pair) *explain.Saliency {
+	base := m.Score(p)
+	sal := explain.NewSaliency(p, base)
+	for _, ref := range p.AttrRefs() {
+		masked := explain.MaskAttr(p, ref)
+		sal.Scores[ref] = math.Abs(base - m.Score(masked))
+	}
+	return sal
+}
+
+// AggrAtK is the Figure 12 "Aggr@k" column: the absolute score change
+// when the top-k attributes of a saliency explanation are masked
+// together.
+func AggrAtK(m explain.Model, p record.Pair, sal *explain.Saliency, k int) float64 {
+	base := m.Score(p)
+	masked := explain.MaskAttrs(p, sal.TopK(k))
+	return math.Abs(base - m.Score(masked))
+}
+
+// Mean is a tiny helper for aggregating per-pair metric values.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}

@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"certa/internal/explain"
+	"certa/internal/record"
+	"certa/internal/strutil"
+)
+
+type nameModel struct{}
+
+func (nameModel) Name() string { return "name-oracle" }
+func (nameModel) Score(p record.Pair) float64 {
+	if strutil.IsMissing(p.Left.Value("name")) || strutil.IsMissing(p.Right.Value("name")) {
+		return 0.1
+	}
+	if strutil.Jaccard(p.Left.Value("name"), p.Right.Value("name")) > 0.5 {
+		return 0.9
+	}
+	return 0.1
+}
+
+func schemaPair(lname, rname string) record.Pair {
+	ls := record.MustSchema("U", "name", "desc", "price")
+	rs := record.MustSchema("V", "name", "desc", "price")
+	return record.Pair{
+		Left:  record.MustNew("u", ls, lname, "some desc", "10"),
+		Right: record.MustNew("v", rs, rname, "other desc", "11"),
+	}
+}
+
+// saliencyFor builds an explanation putting all weight on the given attr.
+func saliencyFor(p record.Pair, score float64, attr string) *explain.Saliency {
+	s := explain.NewSaliency(p, score)
+	s.Scores[record.AttrRef{Side: record.Left, Attr: attr}] = 1
+	s.Scores[record.AttrRef{Side: record.Right, Attr: attr}] = 0.9
+	return s
+}
+
+func labeledPairs() []record.LabeledPair {
+	var out []record.LabeledPair
+	for i := 0; i < 6; i++ {
+		n := fmt.Sprintf("name%d word%d", i, i)
+		out = append(out, record.LabeledPair{Pair: schemaPair(n, n), Match: true})
+	}
+	for i := 0; i < 6; i++ {
+		out = append(out, record.LabeledPair{
+			Pair:  schemaPair(fmt.Sprintf("aaa%d bbb%d", i, i), fmt.Sprintf("ccc%d ddd%d", i, i)),
+			Match: false,
+		})
+	}
+	return out
+}
+
+func TestFaithfulnessPrefersTrueSaliency(t *testing.T) {
+	m := nameModel{}
+	pairs := labeledPairs()
+
+	good := make([]*explain.Saliency, len(pairs))
+	bad := make([]*explain.Saliency, len(pairs))
+	for i, p := range pairs {
+		score := m.Score(p.Pair)
+		good[i] = saliencyFor(p.Pair, score, "name") // truly salient
+		bad[i] = saliencyFor(p.Pair, score, "price") // irrelevant
+	}
+	aucGood, err := Faithfulness(m, pairs, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aucBad, err := Faithfulness(m, pairs, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Masking the truly salient attribute early destroys F1 -> lower AUC.
+	if aucGood >= aucBad {
+		t.Errorf("faithful explanation AUC %v should be below unfaithful %v", aucGood, aucBad)
+	}
+}
+
+func TestFaithfulnessErrors(t *testing.T) {
+	if _, err := Faithfulness(nameModel{}, nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	pairs := labeledPairs()
+	if _, err := Faithfulness(nameModel{}, pairs, nil); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestConfidenceIndication(t *testing.T) {
+	m := nameModel{}
+	pairs := labeledPairs()
+	// Informative explanations: saliency mass correlates with the score.
+	good := make([]*explain.Saliency, len(pairs))
+	for i, p := range pairs {
+		score := m.Score(p.Pair)
+		s := explain.NewSaliency(p.Pair, score)
+		for _, ref := range p.AttrRefs() {
+			s.Scores[ref] = score * 0.8 // perfectly informative of confidence
+		}
+		good[i] = s
+	}
+	maeGood, err := ConfidenceIndication(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uninformative explanations: constant saliency regardless of score.
+	flat := make([]*explain.Saliency, len(pairs))
+	for i, p := range pairs {
+		s := explain.NewSaliency(p.Pair, m.Score(p.Pair))
+		for _, ref := range p.AttrRefs() {
+			s.Scores[ref] = 0.5
+		}
+		flat[i] = s
+	}
+	maeFlat, err := ConfidenceIndication(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maeGood >= maeFlat {
+		t.Errorf("informative explanations MAE %v should beat flat %v", maeGood, maeFlat)
+	}
+}
+
+func TestConfidenceIndicationError(t *testing.T) {
+	if _, err := ConfidenceIndication(nil); err == nil {
+		t.Error("too few explanations should error")
+	}
+}
+
+func cfWith(p record.Pair, changed []string, newVal string) explain.Counterfactual {
+	out := p
+	var refs []record.AttrRef
+	for _, a := range changed {
+		ref := record.AttrRef{Side: record.Left, Attr: a}
+		out = out.WithValue(ref, newVal)
+		refs = append(refs, ref)
+	}
+	return explain.Counterfactual{Original: p, Pair: out, Changed: refs, Score: 0.9}.WithOriginalScore(0.1)
+}
+
+func TestProximity(t *testing.T) {
+	p := schemaPair("alpha beta", "gamma delta")
+	small := cfWith(p, []string{"price"}, "999")
+	big := cfWith(p, []string{"name", "desc", "price"}, "totally different value")
+	if Proximity([]explain.Counterfactual{small}) <= Proximity([]explain.Counterfactual{big}) {
+		t.Error("changing one attribute should be more proximate than changing three")
+	}
+	if Proximity(nil) != 0 {
+		t.Error("empty set proximity should be 0")
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	p := schemaPair("alpha", "beta")
+	one := cfWith(p, []string{"price"}, "999")
+	three := cfWith(p, []string{"name", "desc", "price"}, "x")
+	s1 := Sparsity([]explain.Counterfactual{one})
+	s3 := Sparsity([]explain.Counterfactual{three})
+	if math.Abs(s1-(1-1.0/6)) > 1e-9 {
+		t.Errorf("sparsity one-change = %v, want %v", s1, 1-1.0/6)
+	}
+	if s1 <= s3 {
+		t.Error("fewer changes must be sparser")
+	}
+}
+
+func TestDiversity(t *testing.T) {
+	p := schemaPair("alpha", "beta")
+	a := cfWith(p, []string{"name"}, "first replacement")
+	b := cfWith(p, []string{"name"}, "second other words")
+	same := []explain.Counterfactual{a, a}
+	diverse := []explain.Counterfactual{a, b}
+	if Diversity(same) != 0 {
+		t.Errorf("identical counterfactuals diversity = %v, want 0", Diversity(same))
+	}
+	if Diversity(diverse) <= 0 {
+		t.Error("distinct counterfactuals should have positive diversity")
+	}
+	if Diversity([]explain.Counterfactual{a}) != 0 {
+		t.Error("single counterfactual has zero diversity")
+	}
+}
+
+func TestValidity(t *testing.T) {
+	p := schemaPair("alpha", "beta")
+	flip := explain.Counterfactual{Original: p, Pair: p, Score: 0.9}.WithOriginalScore(0.1)
+	noflip := explain.Counterfactual{Original: p, Pair: p, Score: 0.3}.WithOriginalScore(0.1)
+	v := Validity([]explain.Counterfactual{flip, noflip})
+	if v != 0.5 {
+		t.Errorf("validity = %v, want 0.5", v)
+	}
+	if Validity(nil) != 0 {
+		t.Error("empty validity should be 0")
+	}
+}
+
+func TestActualSaliency(t *testing.T) {
+	m := nameModel{}
+	p := schemaPair("same name", "same name")
+	sal := ActualSaliency(m, p)
+	lName := sal.Scores[record.AttrRef{Side: record.Left, Attr: "name"}]
+	lPrice := sal.Scores[record.AttrRef{Side: record.Left, Attr: "price"}]
+	if lName <= lPrice {
+		t.Errorf("masking name must move the score: name %v price %v", lName, lPrice)
+	}
+	if math.Abs(lName-0.8) > 1e-9 {
+		t.Errorf("actual saliency of name = %v, want 0.8 (0.9 -> 0.1)", lName)
+	}
+}
+
+func TestAggrAtK(t *testing.T) {
+	m := nameModel{}
+	p := schemaPair("same name", "same name")
+	sal := saliencyFor(p, m.Score(p), "name")
+	// Masking top-1 (L_name) flips 0.9 -> 0.1.
+	if got := AggrAtK(m, p, sal, 1); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("Aggr@1 = %v, want 0.8", got)
+	}
+	if got := AggrAtK(m, p, sal, 0); got != 0 {
+		t.Errorf("Aggr@0 = %v, want 0", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+}

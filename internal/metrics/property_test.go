@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"certa/internal/explain"
+	"certa/internal/record"
+)
+
+// randomCF builds a random counterfactual over the shared test schema.
+func randomCF(rng *rand.Rand) explain.Counterfactual {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	val := func() string {
+		n := 1 + rng.Intn(3)
+		out := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				out += " "
+			}
+			out += words[rng.Intn(len(words))]
+		}
+		return out
+	}
+	p := schemaPair(val(), val())
+	cf := p
+	var changed []record.AttrRef
+	for _, ref := range p.AttrRefs() {
+		if rng.Intn(2) == 0 {
+			cf = cf.WithValue(ref, val())
+			if p.Value(ref) != cf.Value(ref) {
+				changed = append(changed, ref)
+			}
+		}
+	}
+	return explain.Counterfactual{Original: p, Pair: cf, Changed: changed, Score: rng.Float64()}.
+		WithOriginalScore(rng.Float64())
+}
+
+// Property: all counterfactual metrics are bounded in [0,1] regardless
+// of input.
+func TestCFMetricBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 6)
+		cfs := make([]explain.Counterfactual, n)
+		for i := range cfs {
+			cfs[i] = randomCF(rng)
+		}
+		for _, v := range []float64{Proximity(cfs), Sparsity(cfs), Diversity(cfs), Validity(cfs)} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a counterfactual identical to its original has proximity 1
+// and diversity against itself 0.
+func TestIdentityCFProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := schemaPair("alpha beta", "gamma delta")
+		cf := explain.Counterfactual{Original: p, Pair: p, Score: rng.Float64()}
+		if Proximity([]explain.Counterfactual{cf}) != 1 {
+			return false
+		}
+		return Diversity([]explain.Counterfactual{cf, cf}) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: masking more attributes can only lower (or keep) sparsity.
+func TestSparsityMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := schemaPair("alpha beta", "gamma delta")
+		refs := p.AttrRefs()
+		rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+		prev := 2.0
+		cf := p
+		var changed []record.AttrRef
+		for _, ref := range refs {
+			cf = cf.WithValue(ref, "replacement value")
+			changed = append(changed, ref)
+			s := Sparsity([]explain.Counterfactual{{Original: p, Pair: cf, Changed: append([]record.AttrRef(nil), changed...)}})
+			if s > prev {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ActualSaliency scores are bounded by 1 (score space is
+// [0,1]) and are zero for attributes the model provably ignores.
+func TestActualSaliencyBoundsProperty(t *testing.T) {
+	m := nameModel{}
+	f := func(a, b string) bool {
+		p := schemaPair(a, b)
+		sal := ActualSaliency(m, p)
+		for ref, v := range sal.Scores {
+			if v < 0 || v > 1 {
+				return false
+			}
+			// nameModel ignores desc and price entirely.
+			if ref.Attr != "name" && v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,404 @@
+// Package nn is a compact feed-forward neural network library built for
+// the ER matchers: dense layers, ReLU/Tanh activations, dropout, a
+// binary-cross-entropy-with-logits loss, SGD and Adam optimizers, and an
+// early-stopping trainer.
+//
+// Inference (Network.Predict / Apply) is pure and safe for concurrent
+// use; training mutates layer state and must be single-threaded, which
+// the Trainer enforces by construction.
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// param is one trainable tensor with its gradient accumulator and Adam
+// moment estimates.
+type param struct {
+	w, g   []float64
+	m, v   []float64 // Adam moments, allocated lazily
+	shape2 int       // fan-in for printing/debugging; 0 for biases
+}
+
+// Layer is one stage of a feed-forward network.
+type Layer interface {
+	// Apply runs pure inference (no stored state, concurrency-safe).
+	Apply(x []float64) []float64
+	// forwardTrain runs the training forward pass and may store state
+	// needed by backward (dropout masks, pre-activations).
+	forwardTrain(x []float64, rng *rand.Rand) []float64
+	// backward receives the layer input and the loss gradient w.r.t. the
+	// layer output, accumulates parameter gradients, and returns the
+	// gradient w.r.t. the input.
+	backward(x, gradOut []float64) []float64
+	// params exposes trainable tensors to the optimizer (may be nil).
+	params() []*param
+	// OutSize reports the output width given an input width.
+	OutSize(in int) int
+}
+
+// --- Dense -------------------------------------------------------------
+
+// Dense is a fully connected layer: y = W·x + b.
+type Dense struct {
+	In, Out int
+	w, b    *param
+}
+
+// NewDense creates a dense layer with Xavier/Glorot-uniform initialized
+// weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid Dense shape %dx%d", in, out))
+	}
+	d := &Dense{
+		In:  in,
+		Out: out,
+		w:   &param{w: make([]float64, in*out), g: make([]float64, in*out), shape2: in},
+		b:   &param{w: make([]float64, out), g: make([]float64, out)},
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.w.w {
+		d.w.w[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return d
+}
+
+// Apply computes W·x + b.
+func (d *Dense) Apply(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense expects input %d, got %d", d.In, len(x)))
+	}
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		row := d.w.w[o*d.In : (o+1)*d.In]
+		s := d.b.w[o]
+		for i, v := range x {
+			s += row[i] * v
+		}
+		y[o] = s
+	}
+	return y
+}
+
+func (d *Dense) forwardTrain(x []float64, _ *rand.Rand) []float64 { return d.Apply(x) }
+
+func (d *Dense) backward(x, gradOut []float64) []float64 {
+	gradIn := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := gradOut[o]
+		if g == 0 {
+			continue
+		}
+		row := d.w.w[o*d.In : (o+1)*d.In]
+		grow := d.w.g[o*d.In : (o+1)*d.In]
+		d.b.g[o] += g
+		for i, v := range x {
+			grow[i] += g * v
+			gradIn[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+func (d *Dense) params() []*param { return []*param{d.w, d.b} }
+
+// OutSize implements Layer.
+func (d *Dense) OutSize(int) int { return d.Out }
+
+// --- Activations ---------------------------------------------------------
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct{}
+
+// Apply implements Layer.
+func (ReLU) Apply(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+		}
+	}
+	return y
+}
+
+func (r ReLU) forwardTrain(x []float64, _ *rand.Rand) []float64 { return r.Apply(x) }
+
+func (ReLU) backward(x, gradOut []float64) []float64 {
+	g := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			g[i] = gradOut[i]
+		}
+	}
+	return g
+}
+
+func (ReLU) params() []*param { return nil }
+
+// OutSize implements Layer.
+func (ReLU) OutSize(in int) int { return in }
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct{}
+
+// Apply implements Layer.
+func (Tanh) Apply(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+	}
+	return y
+}
+
+func (t Tanh) forwardTrain(x []float64, _ *rand.Rand) []float64 { return t.Apply(x) }
+
+func (Tanh) backward(x, gradOut []float64) []float64 {
+	g := make([]float64, len(x))
+	for i, v := range x {
+		th := math.Tanh(v)
+		g[i] = gradOut[i] * (1 - th*th)
+	}
+	return g
+}
+
+func (Tanh) params() []*param { return nil }
+
+// OutSize implements Layer.
+func (Tanh) OutSize(in int) int { return in }
+
+// --- Dropout --------------------------------------------------------------
+
+// Dropout zeroes units with probability Rate during training and is the
+// identity at inference (inverted dropout: kept units are scaled up so no
+// rescaling is needed at inference).
+type Dropout struct {
+	Rate float64
+	mask []float64
+}
+
+// Apply implements Layer (inference: identity).
+func (d *Dropout) Apply(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+func (d *Dropout) forwardTrain(x []float64, rng *rand.Rand) []float64 {
+	if d.Rate <= 0 {
+		return d.Apply(x)
+	}
+	keep := 1 - d.Rate
+	d.mask = make([]float64, len(x))
+	y := make([]float64, len(x))
+	for i, v := range x {
+		if rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+			y[i] = v / keep
+		}
+	}
+	return y
+}
+
+func (d *Dropout) backward(_, gradOut []float64) []float64 {
+	if d.mask == nil {
+		g := make([]float64, len(gradOut))
+		copy(g, gradOut)
+		return g
+	}
+	g := make([]float64, len(gradOut))
+	for i := range gradOut {
+		g[i] = gradOut[i] * d.mask[i]
+	}
+	return g
+}
+
+func (d *Dropout) params() []*param { return nil }
+
+// OutSize implements Layer.
+func (d *Dropout) OutSize(in int) int { return in }
+
+// --- Network ---------------------------------------------------------------
+
+// Network is a feed-forward stack of layers ending in a single logit.
+type Network struct {
+	Layers []Layer
+}
+
+// NewMLP builds Dense+ReLU hidden layers followed by a single-logit
+// output layer, with optional dropout after each hidden activation.
+func NewMLP(in int, hidden []int, dropout float64, rng *rand.Rand) *Network {
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h, rng), ReLU{})
+		if dropout > 0 {
+			layers = append(layers, &Dropout{Rate: dropout})
+		}
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, 1, rng))
+	return &Network{Layers: layers}
+}
+
+// Logit runs pure inference and returns the raw output logit.
+func (n *Network) Logit(x []float64) float64 {
+	h := x
+	for _, l := range n.Layers {
+		h = l.Apply(h)
+	}
+	if len(h) != 1 {
+		panic(fmt.Sprintf("nn: network output width %d, want 1", len(h)))
+	}
+	return h[0]
+}
+
+// Predict returns the matching probability sigmoid(logit) in [0,1].
+func (n *Network) Predict(x []float64) float64 {
+	return sigmoid(n.Logit(x))
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// trainStep runs forward+backward for one example and accumulates
+// gradients. Returns the example loss.
+func (n *Network) trainStep(x []float64, y float64, rng *rand.Rand) float64 {
+	// Forward, caching inputs to each layer.
+	inputs := make([][]float64, len(n.Layers))
+	h := x
+	for i, l := range n.Layers {
+		inputs[i] = h
+		h = l.forwardTrain(h, rng)
+	}
+	z := h[0]
+	// BCE with logits; numerically stable.
+	loss := math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z)))
+	grad := []float64{sigmoid(z) - y}
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].backward(inputs[i], grad)
+	}
+	return loss
+}
+
+// allParams collects every trainable tensor.
+func (n *Network) allParams() []*param {
+	var ps []*param
+	for _, l := range n.Layers {
+		ps = append(ps, l.params()...)
+	}
+	return ps
+}
+
+// zeroGrads clears accumulated gradients.
+func (n *Network) zeroGrads() {
+	for _, p := range n.allParams() {
+		for i := range p.g {
+			p.g[i] = 0
+		}
+	}
+}
+
+// --- Serialization -----------------------------------------------------
+
+// netState is the gob-serializable view of a network.
+type netState struct {
+	Kinds  []string // "dense", "relu", "tanh", "dropout"
+	Ins    []int
+	Outs   []int
+	Rates  []float64
+	Tensor [][]float64 // dense weights then biases, in layer order
+}
+
+// MarshalBinary serializes the network architecture and weights.
+func (n *Network) MarshalBinary() ([]byte, error) {
+	var st netState
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			st.Kinds = append(st.Kinds, "dense")
+			st.Ins = append(st.Ins, t.In)
+			st.Outs = append(st.Outs, t.Out)
+			st.Rates = append(st.Rates, 0)
+			st.Tensor = append(st.Tensor, append([]float64(nil), t.w.w...))
+			st.Tensor = append(st.Tensor, append([]float64(nil), t.b.w...))
+		case ReLU:
+			st.Kinds = append(st.Kinds, "relu")
+			st.Ins = append(st.Ins, 0)
+			st.Outs = append(st.Outs, 0)
+			st.Rates = append(st.Rates, 0)
+		case Tanh:
+			st.Kinds = append(st.Kinds, "tanh")
+			st.Ins = append(st.Ins, 0)
+			st.Outs = append(st.Outs, 0)
+			st.Rates = append(st.Rates, 0)
+		case *Dropout:
+			st.Kinds = append(st.Kinds, "dropout")
+			st.Ins = append(st.Ins, 0)
+			st.Outs = append(st.Outs, 0)
+			st.Rates = append(st.Rates, t.Rate)
+		default:
+			return nil, fmt.Errorf("nn: cannot serialize layer of type %T", l)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("nn: encoding network: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a network serialized by MarshalBinary.
+func (n *Network) UnmarshalBinary(data []byte) error {
+	var st netState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decoding network: %w", err)
+	}
+	n.Layers = nil
+	ti := 0
+	for i, kind := range st.Kinds {
+		switch kind {
+		case "dense":
+			if ti+1 >= len(st.Tensor)+1 && ti+1 > len(st.Tensor) {
+				return fmt.Errorf("nn: truncated tensor data")
+			}
+			d := &Dense{
+				In:  st.Ins[i],
+				Out: st.Outs[i],
+				w:   &param{shape2: st.Ins[i]},
+				b:   &param{},
+			}
+			if ti+1 >= len(st.Tensor)+1 {
+				return fmt.Errorf("nn: missing tensors for dense layer %d", i)
+			}
+			d.w.w = append([]float64(nil), st.Tensor[ti]...)
+			d.b.w = append([]float64(nil), st.Tensor[ti+1]...)
+			d.w.g = make([]float64, len(d.w.w))
+			d.b.g = make([]float64, len(d.b.w))
+			if len(d.w.w) != d.In*d.Out || len(d.b.w) != d.Out {
+				return fmt.Errorf("nn: tensor shape mismatch for dense layer %d", i)
+			}
+			ti += 2
+			n.Layers = append(n.Layers, d)
+		case "relu":
+			n.Layers = append(n.Layers, ReLU{})
+		case "tanh":
+			n.Layers = append(n.Layers, Tanh{})
+		case "dropout":
+			n.Layers = append(n.Layers, &Dropout{Rate: st.Rates[i]})
+		default:
+			return fmt.Errorf("nn: unknown layer kind %q", kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TrainConfig controls the optimizer and schedule.
+type TrainConfig struct {
+	// Epochs is the maximum number of passes over the training data.
+	Epochs int
+	// BatchSize is the minibatch size for gradient accumulation.
+	BatchSize int
+	// LearningRate is the Adam step size.
+	LearningRate float64
+	// L2 is the weight-decay coefficient.
+	L2 float64
+	// Patience stops training after this many epochs without validation
+	// improvement; 0 disables early stopping.
+	Patience int
+	// Seed drives shuffling and dropout.
+	Seed int64
+}
+
+// DefaultTrainConfig returns a configuration that trains the benchmark
+// matchers to convergence in well under a second.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:       60,
+		BatchSize:    16,
+		LearningRate: 0.01,
+		L2:           1e-4,
+		Patience:     8,
+		Seed:         1,
+	}
+}
+
+// adam holds per-parameter Adam state.
+type adam struct {
+	lr, beta1, beta2, eps float64
+	t                     int
+}
+
+func newAdam(lr float64) *adam {
+	return &adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+}
+
+// step applies one Adam update to every parameter using the accumulated
+// gradients (divided by batchSize) plus L2 decay.
+func (a *adam) step(params []*param, batchSize int, l2 float64) {
+	a.t++
+	inv := 1.0 / float64(batchSize)
+	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for _, p := range params {
+		if p.m == nil {
+			p.m = make([]float64, len(p.w))
+			p.v = make([]float64, len(p.w))
+		}
+		for i := range p.w {
+			g := p.g[i]*inv + l2*p.w[i]
+			p.m[i] = a.beta1*p.m[i] + (1-a.beta1)*g
+			p.v[i] = a.beta2*p.v[i] + (1-a.beta2)*g*g
+			mh := p.m[i] / bc1
+			vh := p.v[i] / bc2
+			p.w[i] -= a.lr * mh / (math.Sqrt(vh) + a.eps)
+		}
+	}
+}
+
+// TrainResult reports what the trainer did.
+type TrainResult struct {
+	Epochs        int
+	TrainLoss     float64
+	ValidLoss     float64
+	BestValidLoss float64
+	Stopped       bool // true if early stopping triggered
+}
+
+// Train fits the network on (x, y) with optional validation-based early
+// stopping. y values must be 0 or 1. Validation slices may be nil.
+func (n *Network) Train(x [][]float64, y []float64, vx [][]float64, vy []float64, cfg TrainConfig) (TrainResult, error) {
+	if len(x) == 0 {
+		return TrainResult{}, fmt.Errorf("nn: no training data")
+	}
+	if len(x) != len(y) {
+		return TrainResult{}, fmt.Errorf("nn: x/y length mismatch %d vs %d", len(x), len(y))
+	}
+	if cfg.Epochs <= 0 {
+		cfg = DefaultTrainConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := newAdam(cfg.LearningRate)
+	params := n.allParams()
+
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	best := math.Inf(1)
+	bestWeights := n.snapshot()
+	sinceBest := 0
+	var res TrainResult
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			n.zeroGrads()
+			for _, i := range idx[start:end] {
+				epochLoss += n.trainStep(x[i], y[i], rng)
+			}
+			opt.step(params, end-start, cfg.L2)
+		}
+		res.Epochs = epoch + 1
+		res.TrainLoss = epochLoss / float64(len(x))
+
+		if len(vx) > 0 {
+			vl := n.Loss(vx, vy)
+			res.ValidLoss = vl
+			if vl < best-1e-6 {
+				best = vl
+				bestWeights = n.snapshot()
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+					res.Stopped = true
+					break
+				}
+			}
+		}
+	}
+	if len(vx) > 0 {
+		n.restore(bestWeights)
+		res.BestValidLoss = best
+	}
+	return res, nil
+}
+
+// Loss computes the mean BCE loss of the network on a labeled set.
+func (n *Network) Loss(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var total float64
+	for i := range x {
+		z := n.Logit(x[i])
+		total += math.Max(z, 0) - z*y[i] + math.Log1p(math.Exp(-math.Abs(z)))
+	}
+	return total / float64(len(x))
+}
+
+// Accuracy computes classification accuracy at threshold 0.5.
+func (n *Network) Accuracy(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range x {
+		pred := n.Predict(x[i]) > 0.5
+		if pred == (y[i] > 0.5) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+// snapshot copies all weights.
+func (n *Network) snapshot() [][]float64 {
+	var out [][]float64
+	for _, p := range n.allParams() {
+		out = append(out, append([]float64(nil), p.w...))
+	}
+	return out
+}
+
+// restore writes back a snapshot taken from the same architecture.
+func (n *Network) restore(ws [][]float64) {
+	params := n.allParams()
+	for i, p := range params {
+		copy(p.w, ws[i])
+	}
+}

@@ -1,0 +1,65 @@
+package shap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random additive models, exact Kernel SHAP recovers each
+// feature's contribution and satisfies local accuracy.
+func TestAdditiveRecoveryProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%5) // 2..6 features (exact regime)
+		rng := rand.New(rand.NewSource(seed))
+		contrib := make([]float64, n)
+		for i := range contrib {
+			contrib[i] = rng.Float64()*2 - 1
+		}
+		base := rng.Float64()
+		value := func(c []bool) float64 {
+			s := base
+			for i, on := range c {
+				if on {
+					s += contrib[i]
+				}
+			}
+			return s
+		}
+		phi, err := Explain(n, value, Config{})
+		if err != nil {
+			return false
+		}
+		for i := range contrib {
+			if math.Abs(phi[i]-contrib[i]) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a constant model yields all-zero attributions.
+func TestConstantModelProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		c := float64(seed%100) / 100
+		phi, err := Explain(n, func([]bool) float64 { return c }, Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, p := range phi {
+			if math.Abs(p) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

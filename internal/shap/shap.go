@@ -1,0 +1,172 @@
+// Package shap implements Kernel SHAP (Lundberg & Lee, NeurIPS 2017):
+// Shapley-value feature attributions estimated by a weighted linear
+// regression over feature coalitions with the Shapley kernel.
+//
+// For small feature counts (≤ ExactLimit) all 2^n coalitions are
+// enumerated, making the attribution exact; above that, coalitions are
+// sampled. The empty and full coalitions are pinned with a large weight,
+// enforcing the local-accuracy constraint softly.
+package shap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"certa/internal/vector"
+)
+
+// ExactLimit is the feature count up to which all coalitions are
+// enumerated.
+const ExactLimit = 10
+
+// Config tunes the estimator.
+type Config struct {
+	// Samples is the number of sampled coalitions when n > ExactLimit
+	// (default 512).
+	Samples int
+	// Lambda is a small ridge regularizer for numerical stability
+	// (default 1e-6; Kernel SHAP is ordinarily unregularized).
+	Lambda float64
+	// Seed drives coalition sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples <= 0 {
+		c.Samples = 512
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-6
+	}
+	return c
+}
+
+// Explain computes SHAP values for n binary features. value is called
+// with a coalition (true = feature present) and must return the model
+// output with absent features masked out. Returns one signed attribution
+// per feature; they approximately sum to value(full) - value(empty).
+func Explain(n int, value func(coalition []bool) float64, cfg Config) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shap: need at least one feature, got %d", n)
+	}
+	if n == 1 {
+		full := value([]bool{true})
+		empty := value([]bool{false})
+		return []float64{full - empty}, nil
+	}
+	cfg = cfg.withDefaults()
+
+	type row struct {
+		coalition []bool
+		weight    float64
+	}
+	var rows []row
+
+	const pinned = 1e7 // soft constraint weight for empty/full
+	empty := make([]bool, n)
+	full := onesTemplate(n)
+	rows = append(rows,
+		row{coalition: empty, weight: pinned},
+		row{coalition: full, weight: pinned},
+	)
+
+	if n <= ExactLimit {
+		for m := 1; m < (1 << uint(n)); m++ {
+			if m == (1<<uint(n))-1 {
+				continue
+			}
+			c := make([]bool, n)
+			size := 0
+			for i := 0; i < n; i++ {
+				if m&(1<<uint(i)) != 0 {
+					c[i] = true
+					size++
+				}
+			}
+			rows = append(rows, row{coalition: c, weight: kernelWeight(n, size)})
+		}
+	} else {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for s := 0; s < cfg.Samples; s++ {
+			// Sample coalition size from the (normalized) Shapley kernel
+			// distribution, then the members uniformly.
+			size := sampleSize(n, rng)
+			c := make([]bool, n)
+			for _, idx := range rng.Perm(n)[:size] {
+				c[idx] = true
+			}
+			rows = append(rows, row{coalition: c, weight: 1}) // weight folded into sampling
+		}
+	}
+
+	// Weighted least squares: value(z) ≈ φ0 + Σ z_i φ_i.
+	x := vector.NewMatrix(len(rows), n+1)
+	y := make([]float64, len(rows))
+	w := make([]float64, len(rows))
+	for i, r := range rows {
+		xr := x.Row(i)
+		for j, on := range r.coalition {
+			if on {
+				xr[j] = 1
+			}
+		}
+		xr[n] = 1 // intercept φ0
+		y[i] = value(r.coalition)
+		w[i] = r.weight
+	}
+	beta, err := vector.WeightedRidge(x, y, w, cfg.Lambda)
+	if err != nil {
+		return nil, fmt.Errorf("shap: weighted least squares failed: %w", err)
+	}
+	return beta[:n], nil
+}
+
+// kernelWeight is the Shapley kernel: (n-1) / (C(n,s) * s * (n-s)).
+func kernelWeight(n, size int) float64 {
+	if size == 0 || size == n {
+		return math.Inf(1)
+	}
+	return float64(n-1) / (binom(n, size) * float64(size) * float64(n-size))
+}
+
+// sampleSize draws a coalition size proportional to the kernel's
+// size-marginal weight C(n,s)·kernel(n,s) = (n-1)/(s(n-s)).
+func sampleSize(n int, rng *rand.Rand) int {
+	weights := make([]float64, n-1)
+	var total float64
+	for s := 1; s < n; s++ {
+		weights[s-1] = 1 / (float64(s) * float64(n-s))
+		total += weights[s-1]
+	}
+	r := rng.Float64() * total
+	for s := 1; s < n; s++ {
+		r -= weights[s-1]
+		if r <= 0 {
+			return s
+		}
+	}
+	return n - 1
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+func onesTemplate(n int) []bool {
+	t := make([]bool, n)
+	for i := range t {
+		t[i] = true
+	}
+	return t
+}

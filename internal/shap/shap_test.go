@@ -1,0 +1,180 @@
+package shap
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactAdditiveModel(t *testing.T) {
+	// Additive model: SHAP values equal the per-feature contributions.
+	contrib := []float64{0.5, 0.2, -0.1}
+	value := func(c []bool) float64 {
+		s := 0.1
+		for i, on := range c {
+			if on {
+				s += contrib[i]
+			}
+		}
+		return s
+	}
+	phi, err := Explain(3, value, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range contrib {
+		if math.Abs(phi[i]-contrib[i]) > 1e-3 {
+			t.Errorf("phi[%d] = %v, want %v", i, phi[i], contrib[i])
+		}
+	}
+}
+
+func TestLocalAccuracy(t *testing.T) {
+	// Σ phi ≈ value(full) - value(empty) for an interacting model.
+	value := func(c []bool) float64 {
+		s := 0.0
+		if c[0] && c[1] {
+			s += 0.6 // interaction
+		}
+		if c[2] {
+			s += 0.2
+		}
+		return s
+	}
+	phi, err := Explain(3, value, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := phi[0] + phi[1] + phi[2]
+	if math.Abs(sum-0.8) > 1e-3 {
+		t.Errorf("sum of phi = %v, want 0.8", sum)
+	}
+	// Symmetry: features 0 and 1 are exchangeable.
+	if math.Abs(phi[0]-phi[1]) > 1e-3 {
+		t.Errorf("symmetric features got %v vs %v", phi[0], phi[1])
+	}
+}
+
+func TestNullFeatureGetsZero(t *testing.T) {
+	value := func(c []bool) float64 {
+		if c[0] {
+			return 1
+		}
+		return 0
+	}
+	phi, err := Explain(4, value, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if math.Abs(phi[i]) > 1e-3 {
+			t.Errorf("null feature %d phi = %v", i, phi[i])
+		}
+	}
+	if math.Abs(phi[0]-1) > 1e-3 {
+		t.Errorf("decisive feature phi = %v", phi[0])
+	}
+}
+
+func TestSingleFeature(t *testing.T) {
+	value := func(c []bool) float64 {
+		if c[0] {
+			return 0.9
+		}
+		return 0.2
+	}
+	phi, err := Explain(1, value, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi[0]-0.7) > 1e-9 {
+		t.Errorf("phi = %v, want 0.7", phi[0])
+	}
+}
+
+func TestSampledModeLargeN(t *testing.T) {
+	// 12 features (> ExactLimit): sampled coalitions. The dominant
+	// feature should still rank first and local accuracy roughly hold.
+	value := func(c []bool) float64 {
+		s := 0.0
+		if c[0] {
+			s += 0.5
+		}
+		for i := 1; i < len(c); i++ {
+			if c[i] {
+				s += 0.02
+			}
+		}
+		return s
+	}
+	phi, err := Explain(12, value, Config{Samples: 600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 12; i++ {
+		if phi[0] <= phi[i] {
+			t.Errorf("dominant feature should rank first: phi[0]=%v phi[%d]=%v", phi[0], i, phi[i])
+		}
+	}
+	var sum float64
+	for _, p := range phi {
+		sum += p
+	}
+	if math.Abs(sum-(0.5+11*0.02)) > 0.05 {
+		t.Errorf("local accuracy violated: sum=%v", sum)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	value := func(c []bool) float64 {
+		s := 0.0
+		for i, on := range c {
+			if on {
+				s += float64(i) * 0.01
+			}
+		}
+		return s
+	}
+	a, _ := Explain(12, value, Config{Samples: 200, Seed: 7})
+	b, _ := Explain(12, value, Config{Samples: 200, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical SHAP values")
+		}
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	if _, err := Explain(0, nil, Config{}); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 2, 10}, {5, 0, 1}, {5, 5, 1}, {10, 3, 120}, {3, 5, 0}}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func BenchmarkExplainExact8(b *testing.B) {
+	value := func(c []bool) float64 {
+		s := 0.0
+		for i, on := range c {
+			if on {
+				s += float64(i) * 0.03
+			}
+		}
+		return s
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Explain(8, value, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package strutil
+
+import "testing"
+
+var benchA = "sony bravia theater black micro system davis50b 5.1-channel surround sound dvd home theater"
+var benchB = "sony bravia dav-is50 / b home theater system dvd player 5.1 speakers 1 disc progressive scan"
+
+func BenchmarkJaccard(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Jaccard(benchA, benchB)
+	}
+}
+
+func BenchmarkTrigramJaccard(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TrigramJaccard(benchA[:64], benchB[:64])
+	}
+}
+
+func BenchmarkLevenshteinDistance(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LevenshteinDistance(benchA[:64], benchB[:64])
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(benchA)
+	}
+}

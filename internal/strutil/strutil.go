@@ -1,0 +1,390 @@
+// Package strutil provides string and token utilities shared across the
+// certa codebase: tokenization, normalization, similarity measures and
+// n-gram extraction.
+//
+// All functions are deterministic and allocation-conscious; they are used
+// in the hot path of both the ER matchers and the explanation methods.
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// NaN is the canonical representation of a missing attribute value, kept
+// textual to match the benchmark CSV conventions ("NaN" cells in the
+// DeepMatcher datasets).
+const NaN = "NaN"
+
+// IsMissing reports whether a raw attribute value denotes a missing value.
+func IsMissing(s string) bool {
+	switch strings.TrimSpace(s) {
+	case "", NaN, "nan", "null", "NULL", "None":
+		return true
+	}
+	return false
+}
+
+// Normalize lower-cases s and collapses runs of whitespace into single
+// spaces. Punctuation is kept (product names such as "dav-is50 / b" carry
+// signal in the benchmarks), but control characters are dropped.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := true // suppress leading spaces
+	for _, r := range s {
+		switch {
+		case unicode.IsSpace(r):
+			if !space {
+				b.WriteByte(' ')
+				space = true
+			}
+		case unicode.IsControl(r):
+			continue
+		default:
+			b.WriteRune(unicode.ToLower(r))
+			space = false
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Tokenize splits s into whitespace-separated tokens after normalization.
+// Missing values tokenize to nil.
+func Tokenize(s string) []string {
+	if IsMissing(s) {
+		return nil
+	}
+	n := Normalize(s)
+	if n == "" {
+		return nil
+	}
+	return strings.Fields(n)
+}
+
+// JoinTokens is the inverse of Tokenize for round-tripping perturbed
+// values back into attribute strings.
+func JoinTokens(tokens []string) string {
+	if len(tokens) == 0 {
+		return NaN
+	}
+	return strings.Join(tokens, " ")
+}
+
+// TokenSet returns the set of distinct tokens of s.
+func TokenSet(s string) map[string]struct{} {
+	toks := Tokenize(s)
+	set := make(map[string]struct{}, len(toks))
+	for _, t := range toks {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// Jaccard computes the Jaccard similarity of the token sets of a and b.
+// Two missing values are considered identical (similarity 1); a missing
+// value against a present one scores 0.
+func Jaccard(a, b string) float64 {
+	am, bm := IsMissing(a), IsMissing(b)
+	if am && bm {
+		return 1
+	}
+	if am || bm {
+		return 0
+	}
+	sa, sb := TokenSet(a), TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// OverlapCoefficient computes |A∩B| / min(|A|,|B|) over token sets, a
+// similarity that is robust to one value being a strict subset of the
+// other (common between terse and verbose product titles).
+func OverlapCoefficient(a, b string) float64 {
+	am, bm := IsMissing(a), IsMissing(b)
+	if am && bm {
+		return 1
+	}
+	if am || bm {
+		return 0
+	}
+	sa, sb := TokenSet(a), TokenSet(b)
+	if len(sa) == 0 || len(sb) == 0 {
+		if len(sa) == len(sb) {
+			return 1
+		}
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	m := len(sa)
+	if len(sb) < m {
+		m = len(sb)
+	}
+	return float64(inter) / float64(m)
+}
+
+// LevenshteinDistance returns the edit distance between a and b with unit
+// costs. It runs in O(len(a)*len(b)) time and O(min) space.
+func LevenshteinDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSimilarity maps edit distance into [0,1]:
+// 1 - dist/max(len). Missing-vs-missing is 1, missing-vs-present is 0.
+func LevenshteinSimilarity(a, b string) float64 {
+	am, bm := IsMissing(a), IsMissing(b)
+	if am && bm {
+		return 1
+	}
+	if am || bm {
+		return 0
+	}
+	na, nb := Normalize(a), Normalize(b)
+	la, lb := len([]rune(na)), len([]rune(nb))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(LevenshteinDistance(na, nb))/float64(m)
+}
+
+// NGrams returns the character n-grams of the normalized input. Values
+// shorter than n yield a single gram with the whole string.
+func NGrams(s string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	norm := Normalize(s)
+	runes := []rune(norm)
+	if len(runes) == 0 {
+		return nil
+	}
+	if len(runes) <= n {
+		return []string{string(runes)}
+	}
+	grams := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+n]))
+	}
+	return grams
+}
+
+// TrigramJaccard is the Jaccard similarity of 3-gram sets, a softer
+// measure than token Jaccard that tolerates typos.
+func TrigramJaccard(a, b string) float64 {
+	am, bm := IsMissing(a), IsMissing(b)
+	if am && bm {
+		return 1
+	}
+	if am || bm {
+		return 0
+	}
+	ga, gb := NGrams(a, 3), NGrams(b, 3)
+	sa := make(map[string]struct{}, len(ga))
+	for _, g := range ga {
+		sa[g] = struct{}{}
+	}
+	sb := make(map[string]struct{}, len(gb))
+	for _, g := range gb {
+		sb[g] = struct{}{}
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for g := range sa {
+		if _, ok := sb[g]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// ContainmentSimilarity measures how much of the shorter token sequence
+// is contained (as tokens, order-free) in the longer one.
+func ContainmentSimilarity(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	short, long := ta, tb
+	if len(tb) < len(ta) {
+		short, long = tb, ta
+	}
+	set := make(map[string]int, len(long))
+	for _, t := range long {
+		set[t]++
+	}
+	hit := 0
+	for _, t := range short {
+		if set[t] > 0 {
+			set[t]--
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(short))
+}
+
+// NumericTokens extracts tokens that parse as plain numbers (model
+// numbers, prices, years). Used by the Ditto-style matcher for its
+// "domain knowledge injection".
+func NumericTokens(s string) []string {
+	var out []string
+	for _, t := range Tokenize(s) {
+		if isNumericToken(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func isNumericToken(t string) bool {
+	digits := 0
+	for _, r := range t {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '.' || r == ',' || r == '$':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// NumberOverlap computes Jaccard similarity restricted to numeric tokens,
+// which carry disproportionate signal for product matching (model numbers
+// and prices).
+func NumberOverlap(a, b string) float64 {
+	na, nb := NumericTokens(a), NumericTokens(b)
+	if len(na) == 0 && len(nb) == 0 {
+		return 1
+	}
+	if len(na) == 0 || len(nb) == 0 {
+		return 0
+	}
+	sa := make(map[string]struct{}, len(na))
+	for _, t := range na {
+		sa[t] = struct{}{}
+	}
+	sb := make(map[string]struct{}, len(nb))
+	for _, t := range nb {
+		sb[t] = struct{}{}
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// PrefixTokens returns the first k tokens of s joined back into a string,
+// used by the data-augmentation scheme of CERTA (§3.3 of the paper).
+func PrefixTokens(s string, k int) string {
+	toks := Tokenize(s)
+	if k < 0 {
+		k = 0
+	}
+	if k > len(toks) {
+		k = len(toks)
+	}
+	return JoinTokens(toks[:k])
+}
+
+// SuffixTokens returns the last k tokens of s joined back into a string.
+func SuffixTokens(s string, k int) string {
+	toks := Tokenize(s)
+	if k < 0 {
+		k = 0
+	}
+	if k > len(toks) {
+		k = len(toks)
+	}
+	return JoinTokens(toks[len(toks)-k:])
+}
+
+// DropFirstTokens removes the first k tokens (the paper's "drop first-k"
+// augmentation operator).
+func DropFirstTokens(s string, k int) string {
+	toks := Tokenize(s)
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(toks) {
+		return NaN
+	}
+	return JoinTokens(toks[k:])
+}
+
+// DropLastTokens removes the last k tokens (the paper's "drop last-k"
+// augmentation operator).
+func DropLastTokens(s string, k int) string {
+	toks := Tokenize(s)
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(toks) {
+		return NaN
+	}
+	return JoinTokens(toks[:len(toks)-k])
+}

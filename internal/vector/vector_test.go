@@ -1,0 +1,260 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDotNormAxpy(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	y := []float64{1, 1, 1}
+	Axpy(2, a, y)
+	if y[0] != 3 || y[1] != 5 || y[2] != 7 {
+		t.Errorf("Axpy = %v", y)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot should panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAddSubScaleMean(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	if s := Add(a, b); s[0] != 4 || s[1] != 7 {
+		t.Errorf("Add = %v", s)
+	}
+	if d := Sub(b, a); d[0] != 2 || d[1] != 3 {
+		t.Errorf("Sub = %v", d)
+	}
+	c := []float64{2, 4}
+	Scale(0.5, c)
+	if c[0] != 1 || c[1] != 2 {
+		t.Errorf("Scale = %v", c)
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if got := CosineSimilarity([]float64{1, 0}, []float64{1, 0}); !approx(got, 1, 1e-12) {
+		t.Errorf("parallel = %v", got)
+	}
+	if got := CosineSimilarity([]float64{1, 0}, []float64{0, 1}); !approx(got, 0, 1e-12) {
+		t.Errorf("orthogonal = %v", got)
+	}
+	if got := CosineSimilarity([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero vector = %v", got)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); !approx(got, 0.5, 1e-12) {
+		t.Errorf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid(1000); !approx(got, 1, 1e-12) {
+		t.Errorf("Sigmoid(+inf-ish) = %v", got)
+	}
+	if got := Sigmoid(-1000); !approx(got, 0, 1e-12) {
+		t.Errorf("Sigmoid(-inf-ish) = %v", got)
+	}
+	// Symmetry property: s(-x) = 1 - s(x).
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return approx(Sigmoid(-x), 1-Sigmoid(x), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 1, 3)
+	if m.At(0, 2) != 2 || m.At(1, 1) != 3 {
+		t.Error("Set/At roundtrip failed")
+	}
+	v := m.MulVec([]float64{1, 1, 1})
+	if v[0] != 3 || v[1] != 3 {
+		t.Errorf("MulVec = %v", v)
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 0) != 2 || tr.At(1, 1) != 3 {
+		t.Error("Transpose wrong")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	b := NewMatrix(2, 2)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	c := a.Mul(b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("Mul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0].
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{4, 2, 2, 3})
+	x, err := CholeskySolve(a, []float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 0.5, 1e-9) || !approx(x[1], 0, 1e-9) {
+		t.Errorf("solution = %v", x)
+	}
+}
+
+func TestCholeskySolveRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		// Build SPD as GᵀG + I.
+		g := NewMatrix(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		a := g.Transpose().Mul(g)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := CholeskySolve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if !approx(got[i], want[i], 1e-6) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCholeskySolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2) // all zeros: singular even with jitter? jitter makes it PD.
+	// A strongly indefinite matrix cannot be fixed by tiny jitter.
+	copy(a.Data, []float64{0, 1, 1, 0})
+	if _, err := CholeskySolve(a, []float64{1, 1}); err == nil {
+		t.Error("expected error for indefinite matrix")
+	}
+}
+
+func TestCholeskySolveShapeErrors(t *testing.T) {
+	if _, err := CholeskySolve(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	if _, err := CholeskySolve(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Error("expected error for b length mismatch")
+	}
+}
+
+func TestWeightedRidgeRecoversLine(t *testing.T) {
+	// y = 3x + 1 with intercept column; ridge with tiny lambda should
+	// recover the coefficients closely.
+	n := 50
+	x := NewMatrix(n, 2)
+	y := make([]float64, n)
+	w := make([]float64, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		xi := rng.Float64()*10 - 5
+		x.Set(i, 0, xi)
+		x.Set(i, 1, 1)
+		y[i] = 3*xi + 1
+		w[i] = 1
+	}
+	beta, err := WeightedRidge(x, y, w, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(beta[0], 3, 1e-3) || !approx(beta[1], 1, 1e-3) {
+		t.Errorf("beta = %v, want [3 1]", beta)
+	}
+}
+
+func TestWeightedRidgeHonorsWeights(t *testing.T) {
+	// Two clusters with conflicting slopes; weights select the first.
+	x := NewMatrix(4, 1)
+	x.Data = []float64{1, 2, 1, 2}
+	y := []float64{2, 4, -2, -4} // slope +2 vs slope -2
+	wPos := []float64{1, 1, 0, 0}
+	beta, err := WeightedRidge(x, y, wPos, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(beta[0], 2, 1e-4) {
+		t.Errorf("weighted slope = %v, want 2", beta[0])
+	}
+}
+
+func TestWeightedRidgeShapeError(t *testing.T) {
+	if _, err := WeightedRidge(NewMatrix(2, 1), []float64{1}, []float64{1, 1}, 0.1); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax(nil) should be -1")
+	}
+	if ArgMax([]float64{1, 5, 2}) != 1 {
+		t.Error("ArgMax wrong")
+	}
+	if ArgMax([]float64{3, 3, 3}) != 0 {
+		t.Error("ArgMax tie should pick first")
+	}
+}
+
+func TestTrapezoid(t *testing.T) {
+	// Area under y = x on [0,1] is 0.5.
+	xs := []float64{0, 0.5, 1}
+	ys := []float64{0, 0.5, 1}
+	if got := Trapezoid(xs, ys); !approx(got, 0.5, 1e-12) {
+		t.Errorf("Trapezoid = %v", got)
+	}
+	// Constant function.
+	if got := Trapezoid([]float64{0, 2}, []float64{3, 3}); !approx(got, 6, 1e-12) {
+		t.Errorf("Trapezoid const = %v", got)
+	}
+}
