@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all vet build test bench ci clean
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs a single iteration of every benchmark as a smoke pass.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# BENCH_explain.json records explanations/sec and cache hit rate so
+# future PRs can track the perf trajectory of the explanation pipeline.
+BENCH_explain.json: FORCE
+	$(GO) run ./cmd/certa-bench -benchjson $@ -parallelism 4
+
+ci: vet build test bench BENCH_explain.json
+
+clean:
+	rm -f BENCH_explain.json
+
+FORCE:

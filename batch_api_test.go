@@ -1,0 +1,93 @@
+package certa_test
+
+import (
+	"reflect"
+	"testing"
+
+	"certa"
+	"certa/internal/strutil"
+)
+
+// TestPublicExplainBatchMatchesSequential is the public-API contract of
+// the batched pipeline: ExplainBatch over >=32 pairs at Parallelism 8
+// returns exactly what a sequential Explain loop returns.
+func TestPublicExplainBatchMatchesSequential(t *testing.T) {
+	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{
+		Seed: 2, MaxRecords: 150, MaxMatches: 75,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := certa.MatcherFunc("jaccard", func(p certa.Pair) float64 {
+		if strutil.Jaccard(p.Left.Text(), p.Right.Text()) > 0.4 {
+			return 0.9
+		}
+		return 0.1
+	})
+	pairs := make([]certa.Pair, 0, 32)
+	for _, lp := range bench.Test {
+		pairs = append(pairs, lp.Pair)
+		if len(pairs) == 32 {
+			break
+		}
+	}
+	if len(pairs) < 32 {
+		t.Fatalf("only %d test pairs available, want 32", len(pairs))
+	}
+
+	seq := certa.New(bench.Left, bench.Right, certa.Options{Triangles: 10, Seed: 4})
+	want := make([]*certa.Result, len(pairs))
+	for i, p := range pairs {
+		res, err := seq.Explain(model, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	got, err := certa.ExplainBatch(model, bench.Left, bench.Right, pairs,
+		certa.Options{Triangles: 10, Seed: 4, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("pair %d (%s): batched explanation differs from sequential", i, pairs[i].Key())
+		}
+	}
+}
+
+// TestScoreBatchPublicAPI exercises the exported batch scoring helper
+// with both a batch-capable matcher and a plain wrapped function.
+func TestScoreBatchPublicAPI(t *testing.T) {
+	bench, err := certa.GenerateBenchmark("BA", certa.BenchmarkOptions{
+		Seed: 3, MaxRecords: 40, MaxMatches: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := certa.TrainMatcher(certa.SVM, bench, certa.MatcherConfig{Seed: 3, Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := interface{}(model).(certa.BatchModel); !ok {
+		t.Fatal("trained matchers must implement BatchModel")
+	}
+	pairs := []certa.Pair{bench.Test[0].Pair, bench.Test[1].Pair, bench.Test[0].Pair}
+	scores := certa.ScoreBatch(model, pairs)
+	for i, p := range pairs {
+		if scores[i] != model.Score(p) {
+			t.Errorf("batch score %d disagrees with scalar Score", i)
+		}
+	}
+
+	fn := certa.MatcherFunc("const", func(certa.Pair) float64 { return 0.25 })
+	for _, s := range certa.ScoreBatch(fn, pairs) {
+		if s != 0.25 {
+			t.Error("wrapped function batch scoring broken")
+		}
+	}
+}

@@ -244,6 +244,101 @@ func BenchmarkMatcherScore(b *testing.B) {
 	}
 }
 
+// --- batched scoring pipeline benchmarks --------------------------------
+
+// TestBatchedPipelineModelCallReduction is the acceptance gate of the
+// batched scoring refactor: on the AB benchmark, the batched pipeline
+// (score cache + guided support search) must reach the model at least
+// 2x less often per explanation than the seed path — blind augmentation
+// scan, point lookups, no memoization — did. Both runs explain the same
+// pairs with the same τ and seed; the diagnostics expose the call
+// counts.
+func TestBatchedPipelineModelCallReduction(t *testing.T) {
+	c := abCell()
+	seedExp := certa.New(c.bench.Left, c.bench.Right, certa.Options{
+		Triangles: 100, Seed: 1, DisableCache: true, SeedSearch: true,
+	})
+	newExp := certa.New(c.bench.Left, c.bench.Right, certa.Options{Triangles: 100, Seed: 1})
+	var seedCalls, modelCalls int
+	n := len(c.bench.Test)
+	if n > 8 {
+		n = 8
+	}
+	for _, lp := range c.bench.Test[:n] {
+		seedRes, err := seedExp.Explain(c.model, lp.Pair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// SeedPathCalls of a SeedSearch+DisableCache run is exactly what
+		// the sequential pre-refactor pipeline scored: the candidate scan
+		// up to the last accepted support plus every lattice query.
+		seedCalls += seedRes.Diag.SeedPathCalls
+
+		newRes, err := newExp.Explain(c.model, lp.Pair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modelCalls += newRes.Diag.ModelCalls
+	}
+	t.Logf("AB: seed path %d calls, batched pipeline %d unique calls (%.2fx reduction) over %d explanations",
+		seedCalls, modelCalls, float64(seedCalls)/float64(modelCalls), n)
+	if modelCalls*2 > seedCalls {
+		t.Errorf("batched pipeline made %d model calls; seed path made %d — want >=2x reduction",
+			modelCalls, seedCalls)
+	}
+}
+
+// BenchmarkExplainModelCalls reports the per-explanation model-call
+// economics of the batched pipeline as benchmark metrics.
+func BenchmarkExplainModelCalls(b *testing.B) {
+	c := abCell()
+	e := certa.New(c.bench.Left, c.bench.Right, certa.Options{Triangles: 100, Seed: 1})
+	p := c.bench.Test[0].Pair
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seedCalls, modelCalls, hits, lookups float64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Explain(c.model, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seedCalls += float64(res.Diag.SeedPathCalls)
+		modelCalls += float64(res.Diag.ModelCalls)
+		hits += float64(res.Diag.CacheHits)
+		lookups += float64(res.Diag.CacheLookups)
+	}
+	b.ReportMetric(modelCalls/float64(b.N), "modelcalls/explanation")
+	b.ReportMetric(seedCalls/float64(b.N), "seedcalls/explanation")
+	b.ReportMetric(hits/lookups, "cachehitrate")
+}
+
+// BenchmarkExplainBatch measures cross-pair concurrency through the
+// public batch API at several worker counts.
+func BenchmarkExplainBatch(b *testing.B) {
+	c := abCell()
+	pairs := make([]certa.Pair, 0, len(c.bench.Test))
+	for _, lp := range c.bench.Test {
+		pairs = append(pairs, lp.Pair)
+	}
+	for _, par := range []int{1, 4} {
+		name := "serial"
+		if par > 1 {
+			name = "parallel4"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := certa.New(c.bench.Left, c.bench.Right, certa.Options{Triangles: 20, Seed: 1, Parallelism: par})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ExplainBatch(c.model, pairs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(pairs)), "explanations/op")
+		})
+	}
+}
+
 // BenchmarkPublicAPIExplain measures one end-to-end explanation through
 // the public facade.
 func BenchmarkPublicAPIExplain(b *testing.B) {

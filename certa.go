@@ -27,6 +27,22 @@
 //
 //	model := certa.MatcherFunc("mine", func(p certa.Pair) float64 { ... })
 //
+// # Batched scoring
+//
+// Explanation cost is dominated by model calls, so the whole scoring
+// path is batched: triangle search, lattice exploration and the baseline
+// explainers' sampling all group their queries into batches, duplicate
+// perturbations are answered by a per-explanation score cache, and
+// models that implement BatchModel (all built-in matchers do) featurize
+// a batch at once. Whole workloads go through ExplainBatch, which fans
+// pairs out over Options.Parallelism workers with deterministic,
+// index-aligned results:
+//
+//	results, _ := certa.ExplainBatch(model, bench.Left, bench.Right, pairs,
+//		certa.Options{Triangles: 100, Parallelism: 8})
+//	fmt.Println(results[0].Diag.ModelCalls)     // unique model invocations
+//	fmt.Println(results[0].Diag.CacheHitRate()) // perturbation reuse
+//
 // The package also ships the three DL-style ER systems the paper
 // evaluates (DeepER, DeepMatcher, Ditto), the baseline explainers it
 // compares against (Mojito, LandMark, SHAP, DiCE, LIME-C, SHAP-C), the
@@ -79,6 +95,11 @@ type (
 	// Model is the black-box classifier interface every explainer
 	// accepts: Score returns the matching probability in [0,1].
 	Model = explain.Model
+	// BatchModel is the optional batch-scoring capability: models that
+	// implement ScoreBatch([]Pair) []float64 serve the explainers'
+	// grouped queries in one call. Plain Models are adapted
+	// automatically.
+	BatchModel = explain.BatchModel
 	// Saliency maps each attribute to its importance for one prediction.
 	Saliency = explain.Saliency
 	// Counterfactual is a perturbed pair that flips the prediction.
@@ -112,6 +133,22 @@ type (
 // New creates a CERTA explainer over the two sources U and V.
 func New(left, right *Table, opts Options) *Explainer {
 	return core.New(left, right, opts)
+}
+
+// ExplainBatch explains many predictions against the sources U and V,
+// fanning the pairs out over opts.Parallelism workers while each
+// explanation batches and memoizes its own model calls. Results are
+// index-aligned with pairs and identical to a sequential loop of
+// Explainer.Explain calls at any parallelism.
+func ExplainBatch(m Model, left, right *Table, pairs []Pair, opts Options) ([]*Result, error) {
+	return core.New(left, right, opts).ExplainBatch(m, pairs)
+}
+
+// ScoreBatch scores every pair with m, through its native batch entry
+// point when it implements BatchModel and one Score call per pair
+// otherwise.
+func ScoreBatch(m Model, pairs []Pair) []float64 {
+	return explain.ScoreBatch(m, pairs)
 }
 
 // NewSchema builds a schema, validating attribute names.

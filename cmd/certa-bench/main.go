@@ -13,12 +13,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"certa"
 	"certa/internal/eval"
 	"certa/internal/matchers"
 )
@@ -37,8 +39,17 @@ func main() {
 		parallelism = flag.Int("parallelism", 1, "concurrent grid cells")
 		quick       = flag.Bool("quick", false, "tiny profile (for smoke runs)")
 		report      = flag.String("report", "", "write a markdown paper-vs-measured report (all experiments) to this file")
+		benchJSON   = flag.String("benchjson", "", "run the batched-pipeline perf probe on AB and write JSON metrics to this file")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *seed, *parallelism); err != nil {
+			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range eval.Experiments() {
@@ -103,4 +114,86 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "certa-bench: done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// benchMetrics is the schema of the -benchjson output, tracked across
+// PRs to watch the explanation pipeline's perf trajectory.
+type benchMetrics struct {
+	Benchmark          string  `json:"benchmark"`
+	Model              string  `json:"model"`
+	Explanations       int     `json:"explanations"`
+	Parallelism        int     `json:"parallelism"`
+	WallSeconds        float64 `json:"wall_seconds"`
+	ExplanationsPerSec float64 `json:"explanations_per_sec"`
+	ModelCallsPerExpl  float64 `json:"model_calls_per_explanation"`
+	SeedCallsPerExpl   float64 `json:"seed_path_calls_per_explanation"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
+	CallReduction      float64 `json:"call_reduction_vs_uncached"`
+}
+
+// writeBenchJSON trains a matcher on a small AB benchmark, explains a
+// slice of its test split through ExplainBatch, and writes throughput
+// and cache metrics as JSON.
+func writeBenchJSON(path string, seed int64, parallelism int) error {
+	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{
+		Seed: seed, MaxRecords: 120, MaxMatches: 60,
+	})
+	if err != nil {
+		return err
+	}
+	model, err := certa.TrainMatcher(certa.DeepMatcher, bench, certa.MatcherConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	pairs := make([]certa.Pair, 0, 16)
+	for _, lp := range bench.Test {
+		pairs = append(pairs, lp.Pair)
+		if len(pairs) == 16 {
+			break
+		}
+	}
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+
+	start := time.Now()
+	results, err := certa.ExplainBatch(model, bench.Left, bench.Right, pairs, certa.Options{
+		Triangles: 100, Seed: seed, Parallelism: parallelism,
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+
+	var modelCalls, seedCalls, hits, lookups float64
+	for _, res := range results {
+		modelCalls += float64(res.Diag.ModelCalls)
+		seedCalls += float64(res.Diag.SeedPathCalls)
+		hits += float64(res.Diag.CacheHits)
+		lookups += float64(res.Diag.CacheLookups)
+	}
+	n := float64(len(results))
+	m := benchMetrics{
+		Benchmark:          "AB",
+		Model:              model.Name(),
+		Explanations:       len(results),
+		Parallelism:        parallelism,
+		WallSeconds:        wall,
+		ExplanationsPerSec: n / wall,
+		ModelCallsPerExpl:  modelCalls / n,
+		SeedCallsPerExpl:   seedCalls / n,
+		CacheHitRate:       hits / lookups,
+		CallReduction:      seedCalls / modelCalls,
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "certa-bench: %.1f explanations/sec, %.0f model calls/explanation, %.0f%% cache hits -> %s\n",
+		m.ExplanationsPerSec, m.ModelCallsPerExpl, 100*m.CacheHitRate, path)
+	return nil
 }

@@ -21,6 +21,7 @@ func main() {
 		pairIdx   = flag.Int("pair", 0, "index into the benchmark's test split")
 		wrong     = flag.Bool("wrong", false, "explain the first misclassified test pair instead")
 		triangles = flag.Int("triangles", 100, "CERTA triangle budget τ")
+		parallel  = flag.Int("parallelism", 1, "worker goroutines for batched scoring")
 		seed      = flag.Int64("seed", 7, "random seed")
 		records   = flag.Int("records", 300, "max records per source")
 		matches   = flag.Int("matches", 150, "max matching pairs")
@@ -30,13 +31,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *seed, *records, *matches, *tokens, *saveModel, *loadModel); err != nil {
+	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *parallel, *seed, *records, *matches, *tokens, *saveModel, *loadModel); err != nil {
 		fmt.Fprintf(os.Stderr, "certa-explain: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ds, model string, pairIdx int, wrong bool, triangles int, seed int64, records, matches int, tokens bool, saveModel, loadModel string) error {
+func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, seed int64, records, matches int, tokens bool, saveModel, loadModel string) error {
 	bench, err := certa.GenerateBenchmark(ds, certa.BenchmarkOptions{
 		Seed: seed, MaxRecords: records, MaxMatches: matches,
 	})
@@ -100,7 +101,9 @@ func run(ds, model string, pairIdx int, wrong bool, triangles int, seed int64, r
 		target.Key(), label(target.Match), m.Name(), score, label(score > 0.5))
 	fmt.Printf("  left : %s\n  right: %s\n\n", target.Left, target.Right)
 
-	explainer := certa.New(bench.Left, bench.Right, certa.Options{Triangles: triangles, Seed: seed})
+	explainer := certa.New(bench.Left, bench.Right, certa.Options{
+		Triangles: triangles, Seed: seed, Parallelism: parallel,
+	})
 	res, err := explainer.Explain(m, target.Pair)
 	if err != nil {
 		return err
@@ -136,10 +139,13 @@ func run(ds, model string, pairIdx int, wrong bool, triangles int, seed int64, r
 		}
 	}
 
-	fmt.Printf("\ndiagnostics: %d+%d triangles (%d augmented), %d lattice predictions (%d saved by monotonicity)\n",
+	fmt.Printf("\ndiagnostics: %d+%d triangles (%d augmented), %d lattice queries, %d unique lattice calls (%d saved)\n",
 		res.Diag.LeftTriangles, res.Diag.RightTriangles,
 		res.Diag.AugmentedLeft+res.Diag.AugmentedRight,
-		res.Diag.LatticePredictions, res.Diag.SavedPredictions)
+		res.Diag.LatticeQueries, res.Diag.LatticePredictions, res.Diag.SavedPredictions)
+	fmt.Printf("batched scoring: %d lookups in %d batches, %d unique model calls, cache hit rate %.1f%% (seed path: %d calls)\n",
+		res.Diag.CacheLookups, res.Diag.BatchCalls, res.Diag.ModelCalls,
+		100*res.Diag.CacheHitRate(), res.Diag.SeedPathCalls)
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module certa
+
+go 1.24

@@ -100,14 +100,17 @@ type candidate struct {
 }
 
 // ExplainCounterfactuals implements explain.CounterfactualExplainer.
+// Mutation proposals draw from the RNG in the exact order the
+// one-at-a-time search did, but each generation's offspring are scored
+// in one batched model call — scores never feed back into sampling, so
+// the search trajectory is identical.
 func (d *DiCE) ExplainCounterfactuals(m explain.Model, p record.Pair) ([]explain.Counterfactual, error) {
 	origScore := m.Score(p)
 	wantMatch := origScore <= 0.5 // the flipped target outcome
 	rng := rand.New(rand.NewSource(d.Seed*13 + int64(len(p.Key()))))
 	refs := p.AttrRefs()
 
-	evaluate := func(pair record.Pair, changed []record.AttrRef) candidate {
-		score := m.Score(pair)
+	build := func(pair record.Pair, changed []record.AttrRef, score float64) candidate {
 		// Validity term: distance of the score past the boundary in the
 		// desired direction.
 		var validity float64
@@ -128,34 +131,60 @@ func (d *DiCE) ExplainCounterfactuals(m explain.Model, p record.Pair) ([]explain
 		}
 	}
 
-	mutate := func(c candidate) candidate {
+	// proposal is one drawn mutation awaiting its batched evaluation;
+	// an unmutated proposal (empty value pool) passes the parent through.
+	type proposal struct {
+		pair    record.Pair
+		parent  candidate
+		mutated bool
+	}
+	propose := func(parent candidate) proposal {
 		ref := refs[rng.Intn(len(refs))]
 		pool := d.domains[ref]
 		if len(pool) == 0 {
-			return c
+			return proposal{parent: parent}
 		}
 		v := pool[rng.Intn(len(pool))]
-		next := c.pair.WithValue(ref, v)
-		changed := diffRefs(p, next)
-		return evaluate(next, changed)
+		return proposal{pair: parent.pair.WithValue(ref, v), parent: parent, mutated: true}
+	}
+	evalAll := func(props []proposal) []candidate {
+		pairs := make([]record.Pair, 0, len(props))
+		for _, pr := range props {
+			if pr.mutated {
+				pairs = append(pairs, pr.pair)
+			}
+		}
+		scores := explain.ScoreBatch(m, pairs)
+		out := make([]candidate, len(props))
+		si := 0
+		for i, pr := range props {
+			if pr.mutated {
+				out[i] = build(pr.pair, diffRefs(p, pr.pair), scores[si])
+				si++
+			} else {
+				out[i] = pr.parent
+			}
+		}
+		return out
 	}
 
-	// Initial population: single-attribute replacements.
-	pop := make([]candidate, 0, d.Population)
-	for len(pop) < d.Population {
-		c := mutate(evaluate(p, nil))
-		pop = append(pop, c)
+	// Initial population: single-attribute replacements of the original.
+	origCand := build(p, nil, origScore)
+	props := make([]proposal, 0, d.Population)
+	for len(props) < d.Population {
+		props = append(props, propose(origCand))
 	}
+	pop := evalAll(props)
 
 	for g := 0; g < d.Generations; g++ {
 		sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
 		elite := pop[:d.Population/2]
-		next := append([]candidate(nil), elite...)
-		for len(next) < d.Population {
+		props = props[:0]
+		for len(elite)+len(props) < d.Population {
 			parent := elite[rng.Intn(len(elite))]
-			next = append(next, mutate(parent))
+			props = append(props, propose(parent))
 		}
-		pop = next
+		pop = append(append([]candidate(nil), elite...), evalAll(props)...)
 	}
 	sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
 

@@ -35,10 +35,14 @@ func (lm *LandMark) ExplainSaliency(m explain.Model, p record.Pair) (*explain.Sa
 		}
 		cfg := lm.cfg
 		cfg.Seed = lm.cfg.Seed*2 + int64(side)
-		predict := func(active []bool) float64 {
-			return m.Score(applyTokenDrop(p, feats, active))
+		predictBatch := func(rows [][]bool) []float64 {
+			pairs := make([]record.Pair, len(rows))
+			for i, active := range rows {
+				pairs[i] = applyTokenDrop(p, feats, active)
+			}
+			return explain.ScoreBatch(m, pairs)
 		}
-		weights, err := lime.Explain(len(feats), predict, cfg)
+		weights, err := lime.ExplainBatch(len(feats), predictBatch, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("baselines: LandMark LIME on side %v failed: %w", side, err)
 		}

@@ -41,7 +41,9 @@ func NewMojito(cfg lime.Config) *Mojito { return &Mojito{cfg: cfg} }
 // Name implements explain.SaliencyExplainer.
 func (mj *Mojito) Name() string { return "Mojito" }
 
-// ExplainSaliency implements explain.SaliencyExplainer.
+// ExplainSaliency implements explain.SaliencyExplainer. The whole LIME
+// neighborhood is materialized first and scored through the model's
+// batch entry point.
 func (mj *Mojito) ExplainSaliency(m explain.Model, p record.Pair) (*explain.Saliency, error) {
 	score := m.Score(p)
 	isMatch := score > 0.5
@@ -51,13 +53,18 @@ func (mj *Mojito) ExplainSaliency(m explain.Model, p record.Pair) (*explain.Sali
 		return sal, nil
 	}
 
-	predict := func(active []bool) float64 {
-		if isMatch {
-			return m.Score(applyTokenDrop(p, feats, active))
+	predictBatch := func(rows [][]bool) []float64 {
+		pairs := make([]record.Pair, len(rows))
+		for i, active := range rows {
+			if isMatch {
+				pairs[i] = applyTokenDrop(p, feats, active)
+			} else {
+				pairs[i] = applyTokenCopy(p, feats, active)
+			}
 		}
-		return m.Score(applyTokenCopy(p, feats, active))
+		return explain.ScoreBatch(m, pairs)
 	}
-	weights, err := lime.Explain(len(feats), predict, mj.cfg)
+	weights, err := lime.ExplainBatch(len(feats), predictBatch, mj.cfg)
 	if err != nil {
 		return nil, fmt.Errorf("baselines: Mojito LIME failed: %w", err)
 	}

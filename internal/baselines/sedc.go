@@ -19,54 +19,81 @@ import (
 // evidence *removal* (masking). Removing evidence rarely turns a
 // non-match into a match, which is why these methods often return no
 // counterfactual at all — the behaviour Figure 10 of the paper reports.
+// The perturbed inputs never depend on earlier scores — only the stop
+// condition does — so both passes score their candidates in small
+// batches and stop scanning the answers once enough flips are found.
 func sedcSearch(m explain.Model, p record.Pair, ranked []record.AttrRef, maxResults int, perturb func(record.Pair, record.AttrRef) record.Pair) []explain.Counterfactual {
 	origScore := m.Score(p)
 	origPred := origScore > 0.5
 
+	// sedcChunk balances batching against scoring past the stop point.
+	const sedcChunk = 8
+
 	var out []explain.Counterfactual
+	// First pass: growing prefixes of the ranking.
+	prefixes := make([]record.Pair, 0, len(ranked))
 	current := p
-	var changed []record.AttrRef
 	for _, ref := range ranked {
 		current = perturb(current, ref)
-		changed = append(changed, ref)
-		score := m.Score(current)
-		if (score > 0.5) != origPred {
-			out = append(out, explain.Counterfactual{
-				Original:    p,
-				Pair:        current,
-				Changed:     append([]record.AttrRef(nil), changed...),
-				Score:       score,
-				Probability: 1,
-			}.WithOriginalScore(origScore))
-			if len(out) >= maxResults {
-				break
+		prefixes = append(prefixes, current)
+	}
+scanPrefixes:
+	for lo := 0; lo < len(prefixes); lo += sedcChunk {
+		hi := lo + sedcChunk
+		if hi > len(prefixes) {
+			hi = len(prefixes)
+		}
+		scores := explain.ScoreBatch(m, prefixes[lo:hi])
+		for i, score := range scores {
+			if (score > 0.5) != origPred {
+				out = append(out, explain.Counterfactual{
+					Original:    p,
+					Pair:        prefixes[lo+i],
+					Changed:     append([]record.AttrRef(nil), ranked[:lo+i+1]...),
+					Score:       score,
+					Probability: 1,
+				}.WithOriginalScore(origScore))
+				if len(out) >= maxResults {
+					break scanPrefixes
+				}
 			}
 		}
 	}
 	// Second pass: single-attribute perturbations beyond the greedy
 	// prefix, for additional (sparser) counterfactuals.
 	if len(out) < maxResults {
-		for _, ref := range ranked {
-			single := perturb(p, ref)
-			score := m.Score(single)
-			if (score > 0.5) != origPred {
-				dup := false
-				for _, prev := range out {
-					if len(prev.Changed) == 1 && prev.Changed[0] == ref {
-						dup = true
-						break
+		singles := make([]record.Pair, len(ranked))
+		for i, ref := range ranked {
+			singles[i] = perturb(p, ref)
+		}
+	scanSingles:
+		for lo := 0; lo < len(singles); lo += sedcChunk {
+			hi := lo + sedcChunk
+			if hi > len(singles) {
+				hi = len(singles)
+			}
+			scores := explain.ScoreBatch(m, singles[lo:hi])
+			for i, score := range scores {
+				ref := ranked[lo+i]
+				if (score > 0.5) != origPred {
+					dup := false
+					for _, prev := range out {
+						if len(prev.Changed) == 1 && prev.Changed[0] == ref {
+							dup = true
+							break
+						}
 					}
-				}
-				if !dup {
-					out = append(out, explain.Counterfactual{
-						Original:    p,
-						Pair:        single,
-						Changed:     []record.AttrRef{ref},
-						Score:       score,
-						Probability: 1,
-					}.WithOriginalScore(origScore))
-					if len(out) >= maxResults {
-						break
+					if !dup {
+						out = append(out, explain.Counterfactual{
+							Original:    p,
+							Pair:        singles[lo+i],
+							Changed:     []record.AttrRef{ref},
+							Score:       score,
+							Probability: 1,
+						}.WithOriginalScore(origScore))
+						if len(out) >= maxResults {
+							break scanSingles
+						}
 					}
 				}
 			}

@@ -32,10 +32,14 @@ func (s *SHAPER) ExplainSaliency(m explain.Model, p record.Pair) (*explain.Salie
 	if len(feats) == 0 {
 		return sal, nil
 	}
-	value := func(coalition []bool) float64 {
-		return m.Score(applyTokenDrop(p, feats, coalition))
+	valueBatch := func(coalitions [][]bool) []float64 {
+		pairs := make([]record.Pair, len(coalitions))
+		for i, coalition := range coalitions {
+			pairs[i] = applyTokenDrop(p, feats, coalition)
+		}
+		return explain.ScoreBatch(m, pairs)
 	}
-	phi, err := shap.Explain(len(feats), value, s.cfg)
+	phi, err := shap.ExplainBatch(len(feats), valueBatch, s.cfg)
 	if err != nil {
 		return nil, fmt.Errorf("baselines: SHAP failed: %w", err)
 	}

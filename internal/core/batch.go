@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"certa/internal/explain"
+	"certa/internal/record"
+	"certa/internal/workpool"
+)
+
+// ExplainBatch explains many predictions against the same model,
+// fanning the pairs out over Options.Parallelism workers. Every pair is
+// explained by the same deterministic per-pair pipeline Explain runs, so
+// the results — diagnostics included — are index-aligned and identical
+// to a sequential loop of Explain calls at any parallelism.
+//
+// Combined with the per-explanation batching this gives whole-benchmark
+// runs both levers at once: intra-explanation batch scoring and
+// cross-pair concurrency.
+func (e *Explainer) ExplainBatch(m explain.Model, pairs []record.Pair) ([]*Result, error) {
+	// Cross-pair concurrency takes the whole parallelism budget: giving
+	// each in-flight explanation its own sharding workers on top would
+	// oversubscribe the CPU (P*P goroutines) without changing results.
+	inner := e
+	if e.opts.Parallelism > 1 {
+		opts := e.opts
+		opts.Parallelism = 1
+		inner = &Explainer{left: e.left, right: e.right, opts: opts}
+	}
+	out := make([]*Result, len(pairs))
+	err := workpool.Each(len(pairs), e.opts.Parallelism, func(i int) error {
+		res, err := inner.Explain(m, pairs[i])
+		if err != nil {
+			return fmt.Errorf("core: explaining pair %d (%s): %w", i, pairKey(pairs[i]), err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pairKey renders a pair identity for error messages, tolerating the
+// nil records Explain rejects.
+func pairKey(p record.Pair) string {
+	if p.Left == nil || p.Right == nil {
+		return "<nil record>"
+	}
+	return p.Key()
+}

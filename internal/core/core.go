@@ -29,6 +29,7 @@ import (
 	"certa/internal/explain"
 	"certa/internal/lattice"
 	"certa/internal/record"
+	"certa/internal/scorecache"
 )
 
 // Options tunes the CERTA explainer. The zero value gives the paper's
@@ -58,11 +59,27 @@ type Options struct {
 	// monotone optimization and records how many inferences were wrong
 	// (Table 7's error rate). Costly; off by default.
 	EvaluateMonotonicity bool
+	// DisableCache turns off the perturbation score cache, so every
+	// lookup reaches the model — the seed scoring path, kept as an
+	// ablation to measure what memoization saves. Results are identical
+	// either way; only Diagnostics change.
+	DisableCache bool
+	// SeedSearch restores the original blind augmented-support scan: a
+	// seeded shuffle of the source scanned to a fixed attempt budget. The
+	// default search orders augmentation candidates by token overlap with
+	// the triangle's fixed record (similar records are the ones whose
+	// trimmed variants can flip the prediction) and abandons streams that
+	// yield nothing — the same supports are found orders of magnitude
+	// earlier when they exist, and hopeless scans stop early. The
+	// batched-pipeline benchmarks use SeedSearch as their baseline.
+	SeedSearch bool
 	// Seed drives candidate shuffling; explanations are deterministic
 	// given (Options, model, pair).
 	Seed int64
-	// Parallelism bounds concurrent lattice explorations (default 1;
-	// results are identical at any setting).
+	// Parallelism bounds the worker goroutines of the scoring pipeline:
+	// batch evaluations inside one explanation and, for ExplainBatch,
+	// concurrent explanations. Default 1; results are identical at any
+	// setting.
 	Parallelism int
 	// MaxLatticeAttrs guards against schemas too wide for power-set
 	// exploration (default 12; the paper's benchmarks have at most 8).
@@ -120,7 +137,8 @@ func (s AttrSet) Refs() []record.AttrRef {
 }
 
 // Diagnostics reports the work CERTA did for one explanation; the Table 7
-// and Table 8 experiments read these.
+// and Table 8 experiments read these, and the batch/cache counters make
+// the batched scoring pipeline's savings measurable.
 type Diagnostics struct {
 	// LeftTriangles and RightTriangles are the numbers of open triangles
 	// actually used per side.
@@ -128,21 +146,53 @@ type Diagnostics struct {
 	// AugmentedLeft and AugmentedRight count how many of them came from
 	// data augmentation.
 	AugmentedLeft, AugmentedRight int
-	// LatticePredictions counts model calls made during lattice
-	// exploration; ExpectedPredictions is the exhaustive 2^l-2 baseline
-	// summed over triangles.
-	LatticePredictions, ExpectedPredictions int
-	// SavedPredictions = Expected - Performed.
+	// LatticeQueries counts oracle questions asked during lattice
+	// exploration — the model calls the unbatched seed path would have
+	// paid. LatticePredictions counts the unique model invocations that
+	// actually reached the model for them (duplicate perturbations are
+	// answered by the score cache, so LatticePredictions <=
+	// LatticeQueries). ExpectedPredictions is the exhaustive 2^l-2
+	// baseline summed over triangles.
+	LatticeQueries, LatticePredictions, ExpectedPredictions int
+	// SavedPredictions = Expected - LatticePredictions: what monotone
+	// propagation and score memoization together avoided.
 	SavedPredictions int
 	// WrongInferences counts monotone inferences contradicted by the
 	// model (only populated with Options.EvaluateMonotonicity).
 	WrongInferences int
-	// TriangleSearchCalls counts model calls spent finding support
-	// records.
+	// TriangleSearchCalls counts score lookups spent finding support
+	// records (the chunked batch scan may look slightly past the last
+	// support the sequential scan would have stopped at).
 	TriangleSearchCalls int
 	// Flips is the total number of flipped lattice nodes (the f of
 	// Algorithm 1).
 	Flips int
+	// ModelCalls counts the unique model invocations of the whole
+	// explanation: original score, triangle search, lattice exploration
+	// and counterfactual materialization, after deduplication.
+	ModelCalls int
+	// BatchCalls counts the batched scoring requests those invocations
+	// were grouped into.
+	BatchCalls int
+	// CacheLookups and CacheHits report the perturbation score cache:
+	// CacheLookups = CacheHits + ModelCalls.
+	CacheLookups, CacheHits int
+	// SeedPathCalls counts the model calls a sequential, uncached
+	// point-lookup pipeline would have made over the same candidate
+	// streams this explanation scanned. With Options.SeedSearch it is
+	// exactly the pre-batching pipeline's cost; in default (guided
+	// search) mode the streams themselves are shorter, so comparing
+	// against the historical seed path additionally requires a
+	// SeedSearch baseline run (see TestBatchedPipelineModelCallReduction).
+	SeedPathCalls int
+}
+
+// CacheHitRate returns CacheHits/CacheLookups, or 0 before any lookup.
+func (d Diagnostics) CacheHitRate() float64 {
+	if d.CacheLookups == 0 {
+		return 0
+	}
+	return float64(d.CacheHits) / float64(d.CacheLookups)
 }
 
 // Result is a full CERTA explanation.
@@ -162,14 +212,24 @@ type Result struct {
 }
 
 // Explain runs the CERTA algorithm (Algorithm 1) for one prediction.
+//
+// All model access flows through a per-explanation memoizing batch
+// scorer: triangle search scores candidates in chunks, each lattice
+// level is evaluated in one batch across every triangle of a side, and
+// duplicate perturbations — which recur heavily across triangles that
+// share support records or copied values — reach the model exactly once.
 func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
 	if p.Left == nil || p.Right == nil {
 		return nil, fmt.Errorf("core: pair has nil record")
 	}
-	origScore := m.Score(p)
+	sc := scorecache.New(m, scorecache.Options{
+		Parallelism: e.opts.Parallelism,
+		Disabled:    e.opts.DisableCache,
+	})
+	origScore := sc.Score(p)
 	y := origScore > 0.5
 
-	tri, searchCalls := e.findTriangles(m, p, y)
+	tri, searchCalls, seedSearchCalls := e.findTriangles(sc, p, y)
 
 	res := &Result{
 		Saliency:    explain.NewSaliency(p, origScore),
@@ -182,8 +242,9 @@ func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
 	res.Diag.AugmentedRight = tri.augRight
 
 	// Per-side lattice exploration.
-	leftCounts := e.exploreSide(m, p, y, record.Left, tri.left, &res.Diag)
-	rightCounts := e.exploreSide(m, p, y, record.Right, tri.right, &res.Diag)
+	leftCounts := e.exploreSide(sc, p, y, record.Left, tri.left, &res.Diag)
+	rightCounts := e.exploreSide(sc, p, y, record.Right, tri.right, &res.Diag)
+	res.Diag.SavedPredictions = res.Diag.ExpectedPredictions - res.Diag.LatticePredictions
 
 	// Necessity (Eq. 1): φ_a = N[a] / f, with f the global flip count
 	// across both sides' lattices.
@@ -233,8 +294,18 @@ func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
 	if bestChi > 0 {
 		res.BestSet = best
 		res.BestSufficiency = bestChi
-		res.Counterfactuals = e.buildCounterfactuals(m, p, origScore, best, leftCounts, rightCounts, bestChi)
+		res.Counterfactuals = e.buildCounterfactuals(sc, p, origScore, best, leftCounts, rightCounts, bestChi)
 	}
+
+	st := sc.Stats()
+	res.Diag.ModelCalls = st.Misses
+	res.Diag.BatchCalls = st.Batches
+	res.Diag.CacheLookups = st.Lookups
+	res.Diag.CacheHits = st.Hits
+	// The seed pipeline scored: the original pair, the candidate scan up
+	// to the last accepted support, every lattice oracle question, and
+	// each deduplicated counterfactual.
+	res.Diag.SeedPathCalls = 1 + seedSearchCalls + res.Diag.LatticeQueries + len(res.Counterfactuals)
 	return res, nil
 }
 
@@ -260,8 +331,10 @@ func (c *sideCounts) attrSet(mask lattice.Mask) AttrSet {
 }
 
 // exploreSide runs the lattice exploration for every triangle of one
-// side and aggregates the counters.
-func (e *Explainer) exploreSide(m explain.Model, p record.Pair, y bool, side record.Side, supports []*record.Record, diag *Diagnostics) *sideCounts {
+// side and aggregates the counters. The triangles advance level by level
+// in lock step: all of a level's oracle questions, across every
+// triangle, become one batched (and deduplicated) scoring call.
+func (e *Explainer) exploreSide(sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, supports []*record.Record, diag *Diagnostics) *sideCounts {
 	free := p.Record(side)
 	counts := &sideCounts{
 		side:        side,
@@ -275,48 +348,44 @@ func (e *Explainer) exploreSide(m explain.Model, p record.Pair, y bool, side rec
 		return counts
 	}
 
-	type triangleResult struct {
-		res   *lattice.Result
-		saved int
-		wrong int
-	}
-	results := make([]triangleResult, len(supports))
-
-	run := func(idx int) {
-		w := supports[idx]
-		oracle := func(mask lattice.Mask) bool {
-			perturbed := perturb(p, side, w, counts.attrs, mask)
-			return (m.Score(perturbed) > 0.5) != y
+	oracle := func(qs []lattice.Query) []bool {
+		pairs := make([]record.Pair, len(qs))
+		for i, q := range qs {
+			pairs[i] = perturb(p, side, supports[q.Lattice], counts.attrs, q.Mask)
 		}
-		lr := lattice.Explore(n, oracle, !e.opts.NoMonotone)
-		tr := triangleResult{res: lr}
-		if e.opts.EvaluateMonotonicity && !e.opts.NoMonotone {
-			tr.saved, tr.wrong = lattice.CompareExact(lr, oracle)
+		scores := sc.ScoreBatch(pairs)
+		flips := make([]bool, len(qs))
+		for i, s := range scores {
+			flips[i] = (s > 0.5) != y
 		}
-		results[idx] = tr
+		return flips
 	}
 
-	if e.opts.Parallelism > 1 && len(supports) > 1 {
-		runParallel(len(supports), e.opts.Parallelism, run)
-	} else {
-		for i := range supports {
-			run(i)
+	before := sc.Stats().Misses
+	results := lattice.ExploreMany(n, len(supports), oracle, !e.opts.NoMonotone)
+	diag.LatticePredictions += sc.Stats().Misses - before
+
+	if e.opts.EvaluateMonotonicity && !e.opts.NoMonotone {
+		// CompareExact's model calls are bookkeeping, not part of the
+		// algorithm's cost; they bypass the scorer entirely so no cost
+		// or cache counter sees them.
+		raw := sc.Underlying()
+		for idx, lr := range results {
+			w := supports[idx]
+			exact := func(mask lattice.Mask) bool {
+				perturbed := perturb(p, side, w, counts.attrs, mask)
+				return (raw.Score(perturbed) > 0.5) != y
+			}
+			_, wrong := lattice.CompareExact(lr, exact)
+			diag.WrongInferences += wrong
 		}
 	}
 
 	full := lattice.Mask(1<<uint(n)) - 1
-	for idx, tr := range results {
-		diag.LatticePredictions += tr.res.Performed
-		diag.ExpectedPredictions += tr.res.Expected
-		diag.SavedPredictions += tr.res.Expected - tr.res.Performed
-		diag.WrongInferences += tr.wrong
-		if e.opts.EvaluateMonotonicity {
-			// CompareExact's model calls are bookkeeping, not part of the
-			// algorithm's cost; they are intentionally not added to
-			// LatticePredictions.
-			_ = tr.saved
-		}
-		for _, mask := range tr.res.Flipped() {
+	for idx, lr := range results {
+		diag.LatticeQueries += lr.Performed
+		diag.ExpectedPredictions += lr.Expected
+		for _, mask := range lr.Flipped() {
 			counts.flips++
 			for _, ai := range mask.Elems() {
 				counts.necessity[record.AttrRef{Side: side, Attr: counts.attrs[ai]}]++
@@ -341,14 +410,16 @@ func perturb(p record.Pair, side record.Side, w *record.Record, attrs []string, 
 }
 
 // buildCounterfactuals materializes the counterfactual examples for A★:
-// one per support record whose triangle flipped exactly that set.
-func (e *Explainer) buildCounterfactuals(m explain.Model, p record.Pair, origScore float64, best AttrSet, left, right *sideCounts, chi float64) []explain.Counterfactual {
+// one per support record whose triangle flipped exactly that set. Their
+// scores were all asked during lattice exploration, so the batched
+// lookup below is answered entirely by the cache.
+func (e *Explainer) buildCounterfactuals(sc *scorecache.Scorer, p record.Pair, origScore float64, best AttrSet, left, right *sideCounts, chi float64) []explain.Counterfactual {
 	counts := left
 	if best.Side == record.Right {
 		counts = right
 	}
 	mask := maskFor(counts.attrs, best.Attrs)
-	var out []explain.Counterfactual
+	var cps []record.Pair
 	seen := make(map[string]bool)
 	for _, w := range counts.supports[mask] {
 		cp := perturb(p, best.Side, w, counts.attrs, mask)
@@ -357,11 +428,19 @@ func (e *Explainer) buildCounterfactuals(m explain.Model, p record.Pair, origSco
 			continue // identical perturbations from duplicate supports
 		}
 		seen[key] = true
+		cps = append(cps, cp)
+	}
+	if len(cps) == 0 {
+		return nil
+	}
+	scores := sc.ScoreBatch(cps)
+	var out []explain.Counterfactual
+	for i, cp := range cps {
 		cf := explain.Counterfactual{
 			Original:    p,
 			Pair:        cp,
 			Changed:     changedRefs(p, cp, best.Side),
-			Score:       m.Score(cp),
+			Score:       scores[i],
 			Probability: chi,
 		}.WithOriginalScore(origScore)
 		out = append(out, cf)
@@ -390,30 +469,6 @@ func changedRefs(orig, perturbed record.Pair, side record.Side) []record.AttrRef
 		out = append(out, record.AttrRef{Side: side, Attr: a})
 	}
 	return out
-}
-
-// runParallel executes fn(0..n-1) with at most workers goroutines.
-func runParallel(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
-	jobs := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range jobs {
-				fn(i)
-			}
-			done <- struct{}{}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
 }
 
 // ExplainSaliency implements explain.SaliencyExplainer.

@@ -183,13 +183,17 @@ func TestMonotoneSavesPredictions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if resMono.Diag.LatticeQueries >= resExact.Diag.LatticeQueries {
+		t.Errorf("monotone should save queries: %d vs %d",
+			resMono.Diag.LatticeQueries, resExact.Diag.LatticeQueries)
+	}
 	if resMono.Diag.LatticePredictions >= resExact.Diag.LatticePredictions {
 		t.Errorf("monotone should save predictions: %d vs %d",
 			resMono.Diag.LatticePredictions, resExact.Diag.LatticePredictions)
 	}
-	if resExact.Diag.LatticePredictions != resExact.Diag.ExpectedPredictions {
-		t.Errorf("exact mode must test all nodes: %d vs %d",
-			resExact.Diag.LatticePredictions, resExact.Diag.ExpectedPredictions)
+	if resExact.Diag.LatticeQueries != resExact.Diag.ExpectedPredictions {
+		t.Errorf("exact mode must ask about all nodes: %d vs %d",
+			resExact.Diag.LatticeQueries, resExact.Diag.ExpectedPredictions)
 	}
 	// The name-only model is monotone, so the two runs agree on saliency.
 	for ref, v := range resMono.Saliency.Scores {

@@ -98,25 +98,28 @@ func (e *Explainer) TokenSaliency(m explain.Model, p record.Pair, res *Result, o
 		}
 		pool := pools[ref.Attr]
 
-		predict := func(active []bool) float64 {
-			kept := make([]string, 0, len(toks))
-			poolIdx := 0
-			for i, t := range toks {
-				if active[i] {
-					kept = append(kept, t)
-					continue
+		predictBatch := func(rows [][]bool) []float64 {
+			pairs := make([]record.Pair, len(rows))
+			for ri, active := range rows {
+				kept := make([]string, 0, len(toks))
+				poolIdx := 0
+				for i, t := range toks {
+					if active[i] {
+						kept = append(kept, t)
+						continue
+					}
+					// Replace the dropped token with support-distribution
+					// material when available.
+					if len(pool) > 0 {
+						kept = append(kept, pool[(i+poolIdx)%len(pool)])
+						poolIdx++
+					}
 				}
-				// Replace the dropped token with support-distribution
-				// material when available.
-				if len(pool) > 0 {
-					kept = append(kept, pool[(i+poolIdx)%len(pool)])
-					poolIdx++
-				}
+				pairs[ri] = p.WithValue(ref, strutil.JoinTokens(kept))
 			}
-			perturbed := p.WithValue(ref, strutil.JoinTokens(kept))
-			return m.Score(perturbed)
+			return explain.ScoreBatch(m, pairs)
 		}
-		weights, err := lime.Explain(len(toks), predict, lime.Config{
+		weights, err := lime.ExplainBatch(len(toks), predictBatch, lime.Config{
 			Samples: opts.Samples,
 			Seed:    opts.Seed + int64(ai)*101,
 		})

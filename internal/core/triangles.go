@@ -2,9 +2,11 @@ package core
 
 import (
 	"math/rand"
+	"sort"
+	"strconv"
 
-	"certa/internal/explain"
 	"certa/internal/record"
+	"certa/internal/scorecache"
 	"certa/internal/strutil"
 )
 
@@ -17,43 +19,143 @@ type triangles struct {
 // findTriangles implements get_triangles of Algorithm 1: τ/2 left
 // supports (w ∈ U with M(⟨w,v⟩)=¬y) and τ/2 right supports (q ∈ V with
 // M(⟨u,q⟩)=¬y), topped up by data augmentation on shortage (§3.3).
-func (e *Explainer) findTriangles(m explain.Model, p record.Pair, y bool) (triangles, int) {
+//
+// It returns the supports plus two cost counters: calls is the number of
+// candidate score lookups the chunked batch scan issued, and seedCalls
+// is what the sequential seed scan — which stopped at the last accepted
+// support — would have scored.
+func (e *Explainer) findTriangles(sc *scorecache.Scorer, p record.Pair, y bool) (triangles, int, int) {
 	perSide := e.opts.Triangles / 2
 	if perSide < 1 {
 		perSide = 1
 	}
 	var tri triangles
-	calls := 0
+	calls, seedCalls := 0, 0
 
 	if e.opts.LeftTrianglesOnly {
 		perSide = e.opts.Triangles
 	}
 	if !e.opts.ForceAugmentation {
-		tri.left = e.naturalSupports(m, p, y, record.Left, perSide, &calls)
+		tri.left = e.naturalSupports(sc, p, y, record.Left, perSide, &calls, &seedCalls)
 		if !e.opts.LeftTrianglesOnly {
-			tri.right = e.naturalSupports(m, p, y, record.Right, perSide, &calls)
+			tri.right = e.naturalSupports(sc, p, y, record.Right, perSide, &calls, &seedCalls)
 		}
 	}
 	if !e.opts.DisableAugmentation || e.opts.ForceAugmentation {
 		if len(tri.left) < perSide {
-			aug := e.augmentedSupports(m, p, y, record.Left, perSide-len(tri.left), &calls)
+			aug := e.augmentedSupports(sc, p, y, record.Left, perSide-len(tri.left), &calls, &seedCalls)
 			tri.augLeft = len(aug)
 			tri.left = append(tri.left, aug...)
 		}
 		if !e.opts.LeftTrianglesOnly && len(tri.right) < perSide {
-			aug := e.augmentedSupports(m, p, y, record.Right, perSide-len(tri.right), &calls)
+			aug := e.augmentedSupports(sc, p, y, record.Right, perSide-len(tri.right), &calls, &seedCalls)
 			tri.augRight = len(aug)
 			tri.right = append(tri.right, aug...)
 		}
 	}
-	return tri, calls
+	return tri, calls, seedCalls
+}
+
+// maxSearchChunk caps the geometric chunk growth of the candidate scan.
+const maxSearchChunk = 256
+
+// supportScan selects the first `want` eligible candidates of a
+// deterministic stream, scoring the stream in geometrically growing
+// chunks through the cached batch scorer. The selection is identical to
+// a one-candidate-at-a-time scan (eligibility is per-candidate and the
+// accepted set is a prefix property); only the scoring is batched, which
+// may look at most one chunk past the last accepted candidate.
+type supportScan struct {
+	sc   *scorecache.Scorer
+	p    record.Pair
+	side record.Side
+	y    bool
+	want int
+
+	chunk   int
+	pending []*record.Record
+	out     []*record.Record
+	scored  int  // candidates actually scored (chunk overscan included)
+	seed    int  // candidates the sequential seed scan would have scored
+	done    bool // want reached or stream abandoned; later candidates are ignored
+
+	// patience abandons the scan after this many consecutive ineligible
+	// candidates (0 = never). Guards searches over streams that contain
+	// no eligible candidates at all.
+	patience int
+	streak   int
+}
+
+func newSupportScan(sc *scorecache.Scorer, p record.Pair, side record.Side, y bool, want int) *supportScan {
+	chunk := want
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > maxSearchChunk {
+		chunk = maxSearchChunk
+	}
+	return &supportScan{sc: sc, p: p, side: side, y: y, want: want, chunk: chunk}
+}
+
+// add buffers one candidate, flushing a full chunk through the scorer.
+func (s *supportScan) add(cand *record.Record) {
+	if s.done {
+		return
+	}
+	s.pending = append(s.pending, cand)
+	if len(s.pending) >= s.chunk {
+		s.flush()
+	}
+}
+
+func (s *supportScan) flush() {
+	if s.done || len(s.pending) == 0 {
+		return
+	}
+	pairs := make([]record.Pair, len(s.pending))
+	for i, w := range s.pending {
+		pairs[i] = s.p.WithRecord(s.side, w)
+	}
+	scores := s.sc.ScoreBatch(pairs)
+	for i, score := range scores {
+		if (score > 0.5) != s.y {
+			s.streak = 0
+			s.out = append(s.out, s.pending[i])
+			if len(s.out) >= s.want {
+				s.seed = s.scored + i + 1
+				s.done = true
+				break
+			}
+		} else if s.streak++; s.patience > 0 && s.streak >= s.patience {
+			s.seed = s.scored + i + 1
+			s.done = true
+			break
+		}
+	}
+	s.scored += len(s.pending)
+	s.pending = s.pending[:0]
+	if !s.done && s.chunk < maxSearchChunk {
+		s.chunk *= 2
+		if s.chunk > maxSearchChunk {
+			s.chunk = maxSearchChunk
+		}
+	}
+}
+
+// finish flushes the tail of the stream and reports the selection.
+func (s *supportScan) finish() []*record.Record {
+	s.flush()
+	if !s.done {
+		s.seed = s.scored
+	}
+	return s.out
 }
 
 // naturalSupports scans one source for records that predict opposite to y
 // when paired with the pivot. Candidates are scanned in a seeded shuffle
 // so different explanations sample different supports, then the first
 // `want` eligible records (in scan order) are returned.
-func (e *Explainer) naturalSupports(m explain.Model, p record.Pair, y bool, side record.Side, want int, calls *int) []*record.Record {
+func (e *Explainer) naturalSupports(sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) []*record.Record {
 	table := e.left
 	if side == record.Right {
 		table = e.right
@@ -67,29 +169,30 @@ func (e *Explainer) naturalSupports(m explain.Model, p record.Pair, y bool, side
 	rng := rand.New(rand.NewSource(e.opts.Seed*131 + int64(side) + int64(hashString(p.Key()))))
 	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 
-	var out []*record.Record
+	scan := newSupportScan(sc, p, side, y, want)
 	for _, i := range idx {
+		if scan.done {
+			break
+		}
 		w := table.Records[i]
 		if w.ID == self.ID {
 			continue
 		}
-		cand := p.WithRecord(side, w)
-		*calls++
-		if (m.Score(cand) > 0.5) != y {
-			out = append(out, w)
-			if len(out) >= want {
-				break
-			}
-		}
+		scan.add(w)
 	}
+	out := scan.finish()
+	*calls += scan.scored
+	*seedCalls += scan.seed
 	return out
 }
 
 // augmentedSupports implements the data augmentation of §3.3: derive new
 // candidate records from source records by dropping the first-k or
 // last-k tokens of attribute values (k = 1..n-1), keep those that
-// predict opposite to y.
-func (e *Explainer) augmentedSupports(m explain.Model, p record.Pair, y bool, side record.Side, want int, calls *int) []*record.Record {
+// predict opposite to y. The candidate stream is seeded per pair (like
+// naturalSupports) so augmented supports are decorrelated across the
+// pairs being explained.
+func (e *Explainer) augmentedSupports(sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) []*record.Record {
 	if want <= 0 {
 		return nil
 	}
@@ -103,17 +206,41 @@ func (e *Explainer) augmentedSupports(m explain.Model, p record.Pair, y bool, si
 	for i := range idx {
 		idx[i] = i
 	}
-	rng := rand.New(rand.NewSource(e.opts.Seed*197 + 7 + int64(side)))
+	rng := rand.New(rand.NewSource(e.opts.Seed*197 + 7 + int64(side) + int64(hashString(p.Key()))))
 	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 
 	// Attempt budget so pathological models cannot make explanation cost
 	// unbounded.
 	budget := want * 200
 
-	var out []*record.Record
+	scan := newSupportScan(sc, p, side, y, want)
+	if !e.opts.SeedSearch {
+		// Guided search: a support must predict opposite to y when paired
+		// with the triangle's fixed record. When the opposite prediction
+		// is Match, only records resembling the fixed record can get
+		// there by dropping noise tokens — visit those first. When it is
+		// Non-Match, dissimilar records flip fastest. The seeded shuffle
+		// remains the tie-break, so Seed still diversifies selection.
+		fixedSet := strutil.TokenSet(p.Record(side.Opposite()).Text())
+		overlap := make([]float64, table.Len())
+		for i, w := range table.Records {
+			overlap[i] = tokenJaccard(strutil.TokenSet(w.Text()), fixedSet)
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			if y {
+				return overlap[idx[a]] < overlap[idx[b]] // seeking Non-Match
+			}
+			return overlap[idx[a]] > overlap[idx[b]] // seeking Match
+		})
+		// Abandon streams that yield nothing: after 20 consecutive
+		// candidate records' worth of ineligible variants, no support is
+		// coming from the rest of the (relevance-sorted) stream either.
+		scan.patience = want * 20
+	}
+	generated := 0
 	augID := 0
 	for _, ri := range idx {
-		if len(out) >= want || budget <= 0 {
+		if scan.done || generated >= budget {
 			break
 		}
 		w := table.Records[ri]
@@ -121,7 +248,7 @@ func (e *Explainer) augmentedSupports(m explain.Model, p record.Pair, y bool, si
 			continue
 		}
 		for _, a := range w.Schema.Attrs {
-			if len(out) >= want || budget <= 0 {
+			if scan.done || generated >= budget {
 				break
 			}
 			toks := strutil.Tokenize(w.Value(a))
@@ -129,31 +256,52 @@ func (e *Explainer) augmentedSupports(m explain.Model, p record.Pair, y bool, si
 			if n < 2 {
 				continue
 			}
-			for k := 1; k < n && len(out) < want && budget > 0; k++ {
+			for k := 1; k < n && !scan.done && generated < budget; k++ {
 				for _, variant := range []string{
 					strutil.DropFirstTokens(w.Value(a), k),
 					strutil.DropLastTokens(w.Value(a), k),
 				} {
-					if budget <= 0 || len(out) >= want {
+					if scan.done || generated >= budget {
 						break
 					}
 					cand := w.WithValue(a, variant)
-					cand.ID = w.ID + "#aug" + itoa(augID)
+					cand.ID = w.ID + "#aug" + strconv.Itoa(augID)
 					augID++
-					pp := p.WithRecord(side, cand)
-					*calls++
-					budget--
-					if (m.Score(pp) > 0.5) != y {
-						out = append(out, cand)
-					}
+					generated++
+					scan.add(cand)
 				}
 			}
 		}
 	}
+	out := scan.finish()
+	*calls += scan.scored
+	*seedCalls += scan.seed
 	return out
 }
 
-// hashString is FNV-1a, decorrelating the support shuffle across pairs.
+// tokenJaccard is set-level Jaccard over pre-tokenized texts, so the
+// guided search tokenizes the fixed record once instead of per
+// candidate. Record.Text() renders missing values as empty, so both
+// empty means "no token evidence either way" (treated as full overlap,
+// matching strutil.Jaccard on empty texts).
+func tokenJaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range a {
+		if _, ok := b[t]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// hashString is FNV-1a, decorrelating the support shuffles across pairs.
 func hashString(s string) uint32 {
 	var h uint32 = 2166136261
 	for i := 0; i < len(s); i++ {
@@ -161,19 +309,4 @@ func hashString(s string) uint32 {
 		h *= 16777619
 	}
 	return h
-}
-
-// itoa avoids strconv import for tiny IDs.
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }

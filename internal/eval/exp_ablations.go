@@ -149,9 +149,12 @@ func table7(h *Harness) ([]*Table, error) {
 					continue
 				}
 				lattices += nLat
-				performed += float64(res.Diag.LatticePredictions)
+				// Table 7 isolates the monotonicity optimization, so it
+				// counts oracle queries (LatticeQueries), not the unique
+				// model calls left after score caching.
+				performed += float64(res.Diag.LatticeQueries)
 				expected += float64(res.Diag.ExpectedPredictions)
-				saved += float64(res.Diag.SavedPredictions)
+				saved += float64(res.Diag.ExpectedPredictions - res.Diag.LatticeQueries)
 				wrong += float64(res.Diag.WrongInferences)
 			}
 		}

@@ -240,7 +240,8 @@ var SaliencyMethods = []string{"CERTA", "LandMark", "Mojito", "SHAP"}
 var CFMethods = []string{"CERTA", "DiCE", "SHAP-C", "LIME-C"}
 
 // certaResults computes (once) the full CERTA result for every explained
-// pair of the cell.
+// pair of the cell, through the batched worker-pool API so grid runs
+// combine intra-explanation batching with cross-pair concurrency.
 func (c *cell) certaResults(h *Harness) ([]*core.Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -248,16 +249,17 @@ func (c *cell) certaResults(h *Harness) ([]*core.Result, error) {
 		return c.certa, nil
 	}
 	e := core.New(c.bench.Left, c.bench.Right, core.Options{
-		Triangles: h.cfg.Triangles,
-		Seed:      h.cfg.Seed,
+		Triangles:   h.cfg.Triangles,
+		Seed:        h.cfg.Seed,
+		Parallelism: h.cfg.Parallelism,
 	})
-	out := make([]*core.Result, len(c.pairs))
+	pairs := make([]record.Pair, len(c.pairs))
 	for i, p := range c.pairs {
-		res, err := e.Explain(c.model, p.Pair)
-		if err != nil {
-			return nil, fmt.Errorf("eval: CERTA on %s/%s pair %s: %w", c.code, c.kind, p.Key(), err)
-		}
-		out[i] = res
+		pairs[i] = p.Pair
+	}
+	out, err := e.ExplainBatch(c.model, pairs)
+	if err != nil {
+		return nil, fmt.Errorf("eval: CERTA on %s/%s: %w", c.code, c.kind, err)
 	}
 	c.certa = out
 	return out, nil

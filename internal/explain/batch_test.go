@@ -1,0 +1,94 @@
+package explain
+
+import (
+	"testing"
+
+	"certa/internal/record"
+)
+
+type scalarModel struct{ calls *int }
+
+func (scalarModel) Name() string { return "scalar" }
+func (m scalarModel) Score(p record.Pair) float64 {
+	*m.calls++
+	return float64(len(p.Left.Value("a"))) / 10
+}
+
+type nativeBatchModel struct {
+	scalarModel
+	batches *int
+}
+
+func (m nativeBatchModel) ScoreBatch(pairs []record.Pair) []float64 {
+	*m.batches++
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = m.Score(p)
+	}
+	return out
+}
+
+func batchTestPairs(t *testing.T) []record.Pair {
+	t.Helper()
+	s := record.MustSchema("S", "a")
+	vals := []string{"x", "xy", "xyz", "xyzw"}
+	out := make([]record.Pair, len(vals))
+	for i, v := range vals {
+		r := record.MustNew("r", s, v)
+		out[i] = record.Pair{Left: r, Right: r}
+	}
+	return out
+}
+
+func TestScoreBatchFallback(t *testing.T) {
+	pairs := batchTestPairs(t)
+	calls := 0
+	m := scalarModel{calls: &calls}
+	scores := ScoreBatch(m, pairs)
+	if len(scores) != len(pairs) {
+		t.Fatalf("got %d scores for %d pairs", len(scores), len(pairs))
+	}
+	if calls != len(pairs) {
+		t.Fatalf("fallback made %d Score calls, want %d", calls, len(pairs))
+	}
+	for i, p := range pairs {
+		if scores[i] != m.Score(p) {
+			t.Errorf("score %d disagrees with Score", i)
+		}
+	}
+}
+
+func TestScoreBatchUsesNativePath(t *testing.T) {
+	pairs := batchTestPairs(t)
+	calls, batches := 0, 0
+	m := nativeBatchModel{scalarModel{calls: &calls}, &batches}
+	ScoreBatch(m, pairs)
+	if batches != 1 {
+		t.Fatalf("native batch path used %d times, want 1", batches)
+	}
+}
+
+func TestAsBatch(t *testing.T) {
+	calls, batches := 0, 0
+	native := nativeBatchModel{scalarModel{calls: &calls}, &batches}
+	if got := AsBatch(native); got != BatchModel(native) {
+		t.Error("AsBatch should return a native BatchModel unchanged")
+	}
+	plain := scalarModel{calls: &calls}
+	wrapped := AsBatch(plain)
+	pairs := batchTestPairs(t)
+	scores := wrapped.ScoreBatch(pairs)
+	if len(scores) != len(pairs) {
+		t.Fatalf("wrapped batch returned %d scores", len(scores))
+	}
+	if wrapped.Name() != "scalar" {
+		t.Error("adapter must preserve Name")
+	}
+}
+
+func TestScoreBatchEmpty(t *testing.T) {
+	calls := 0
+	if got := ScoreBatch(scalarModel{calls: &calls}, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d scores", len(got))
+	}
+}

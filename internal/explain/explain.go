@@ -27,6 +27,45 @@ type Model interface {
 // Predicted applies the decision threshold of the paper.
 func Predicted(m Model, p record.Pair) bool { return m.Score(p) > 0.5 }
 
+// BatchModel is an optional capability of Model implementations that can
+// score many pairs in one call — DL-style matchers featurize a whole
+// batch at once and amortize embedding work across pairs that share a
+// record. Explainers never require it: ScoreBatch adapts any plain
+// Model. ScoreBatch must return one score per input pair, index-aligned,
+// and must agree with Score on every pair.
+type BatchModel interface {
+	Model
+	ScoreBatch(pairs []record.Pair) []float64
+}
+
+// ScoreBatch scores every pair with m, through the native batch entry
+// point when m implements BatchModel and by one Score call per pair
+// otherwise. The result is index-aligned with pairs.
+func ScoreBatch(m Model, pairs []record.Pair) []float64 {
+	return AsBatch(m).ScoreBatch(pairs)
+}
+
+// batchAdapter upgrades a plain Model with the fallback batch loop.
+type batchAdapter struct{ Model }
+
+func (a batchAdapter) ScoreBatch(pairs []record.Pair) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = a.Score(p)
+	}
+	return out
+}
+
+// AsBatch returns m itself when it already implements BatchModel, and
+// otherwise wraps it so callers can rely on the batch entry point
+// unconditionally.
+func AsBatch(m Model) BatchModel {
+	if bm, ok := m.(BatchModel); ok {
+		return bm
+	}
+	return batchAdapter{m}
+}
+
 // Saliency is an attribute-level saliency explanation for one
 // prediction: each side-qualified attribute gets an importance score
 // (for CERTA, the probability of necessity).

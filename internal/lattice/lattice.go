@@ -70,6 +70,22 @@ func (m Mask) String() string {
 // exploration.
 type Oracle func(m Mask) bool
 
+// Query is one oracle question of a multi-lattice exploration: which
+// lattice asks, and about which subset.
+type Query struct {
+	// Lattice indexes the lattice (0..count-1 of ExploreMany).
+	Lattice int
+	// Mask is the queried subset.
+	Mask Mask
+}
+
+// BatchOracle answers a whole frontier of subset queries at once. The
+// result must be index-aligned with the queries. Within one call the
+// queries are independent — no query's answer influences another in the
+// same batch — so implementations are free to evaluate them together
+// (one model batch) or in parallel.
+type BatchOracle func(qs []Query) []bool
+
 // Tag records what the exploration concluded about one node.
 type Tag struct {
 	// Flip is true when the perturbation for this subset flips the
@@ -104,34 +120,71 @@ type Result struct {
 // Explore panics if n is out of (0, MaxElements]; the caller controls n
 // and an invalid value is a programming error.
 func Explore(n int, oracle Oracle, monotone bool) *Result {
+	results := ExploreMany(n, 1, func(qs []Query) []bool {
+		out := make([]bool, len(qs))
+		for i, q := range qs {
+			out[i] = oracle(q.Mask)
+		}
+		return out
+	}, monotone)
+	return results[0]
+}
+
+// ExploreMany explores count same-shaped n-element lattices in lock
+// step: at each level it gathers every lattice's untagged frontier nodes
+// into one batch-oracle call, then applies the answers (and, under the
+// monotone assumption, propagates flips to supersets) before moving up a
+// level. Flips only ever propagate to strictly larger subsets, so
+// level-synchronous batching answers exactly the queries a sequential
+// Explore would have asked — per-lattice Results, including Performed
+// counts, are identical.
+//
+// ExploreMany panics if n is out of (0, MaxElements]; the caller
+// controls n and an invalid value is a programming error.
+func ExploreMany(n, count int, oracle BatchOracle, monotone bool) []*Result {
 	if n <= 0 || n > MaxElements {
 		panic(fmt.Sprintf("lattice: invalid element count %d", n))
 	}
 	size := 1 << uint(n)
 	full := Mask(size - 1)
-	res := &Result{
-		N:        n,
-		Tags:     make([]Tag, size),
-		Expected: size - 2,
+	results := make([]*Result, count)
+	for i := range results {
+		results[i] = &Result{
+			N:        n,
+			Tags:     make([]Tag, size),
+			Expected: size - 2,
+		}
 	}
-	if n == 1 {
+	if n == 1 || count == 0 {
 		// Only the empty and the full set exist; nothing is testable.
-		return res
+		return results
 	}
 
 	// Visit levels 1..n-1 (the full set is never tested).
 	byLevel := masksByLevel(n)
+	var frontier []Query
 	for level := 1; level < n; level++ {
-		for _, m := range byLevel[level] {
-			if monotone && res.Tags[m].Flip {
-				// Already inferred from a flipped subset.
-				continue
+		frontier = frontier[:0]
+		for li, res := range results {
+			for _, m := range byLevel[level] {
+				if monotone && res.Tags[m].Flip {
+					// Already inferred from a flipped subset.
+					continue
+				}
+				frontier = append(frontier, Query{Lattice: li, Mask: m})
 			}
-			flip := oracle(m)
+		}
+		if len(frontier) == 0 {
+			continue
+		}
+		answers := oracle(frontier)
+		for qi, q := range frontier {
+			res := results[q.Lattice]
+			flip := answers[qi]
 			res.Performed++
-			res.Tags[m] = Tag{Flip: flip, Tested: true}
+			res.Tags[q.Mask] = Tag{Flip: flip, Tested: true}
 			if flip && monotone {
-				propagate(res.Tags, m, full)
+				propagate(res.Tags, q.Mask, full)
 			}
 		}
 	}
@@ -139,14 +192,16 @@ func Explore(n int, oracle Oracle, monotone bool) *Result {
 		// Even without the optimization, the full set inherits any flip
 		// from below so that flip counting matches the monotone run's
 		// universe of nodes.
-		for _, m := range byLevel[n-1] {
-			if res.Tags[m].Flip {
-				res.Tags[full] = Tag{Flip: true, Inferred: true}
-				break
+		for _, res := range results {
+			for _, m := range byLevel[n-1] {
+				if res.Tags[m].Flip {
+					res.Tags[full] = Tag{Flip: true, Inferred: true}
+					break
+				}
 			}
 		}
 	}
-	return res
+	return results
 }
 
 // propagate tags every proper superset of m (up to and including the full

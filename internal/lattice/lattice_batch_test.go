@@ -1,0 +1,121 @@
+package lattice
+
+import (
+	"testing"
+)
+
+// bitOracle flips subsets containing any "trigger" element, a monotone
+// predicate with per-lattice variation.
+func bitOracle(trigger Mask) Oracle {
+	return func(m Mask) bool { return m&trigger != 0 }
+}
+
+// parityOracle is deliberately non-monotone: flips on odd cardinality.
+func parityOracle(m Mask) bool { return m.Count()%2 == 1 }
+
+func TestExploreManyMatchesSequentialExplore(t *testing.T) {
+	for _, monotone := range []bool{true, false} {
+		for n := 2; n <= 5; n++ {
+			triggers := []Mask{MaskOf(0), MaskOf(1), MaskOf(0, 2) & Mask(1<<uint(n)-1), 0}
+			batchCalls := 0
+			batch := func(qs []Query) []bool {
+				batchCalls++
+				out := make([]bool, len(qs))
+				for i, q := range qs {
+					if triggers[q.Lattice] == 0 {
+						out[i] = parityOracle(q.Mask)
+					} else {
+						out[i] = bitOracle(triggers[q.Lattice])(q.Mask)
+					}
+				}
+				return out
+			}
+			many := ExploreMany(n, len(triggers), batch, monotone)
+
+			for li, trigger := range triggers {
+				var oracle Oracle
+				if trigger == 0 {
+					oracle = parityOracle
+				} else {
+					oracle = bitOracle(trigger)
+				}
+				single := exploreSequential(n, oracle, monotone)
+				got := many[li]
+				if got.Performed != single.Performed {
+					t.Errorf("n=%d mono=%v lattice=%d: performed %d, want %d",
+						n, monotone, li, got.Performed, single.Performed)
+				}
+				if got.Expected != single.Expected {
+					t.Errorf("n=%d mono=%v lattice=%d: expected %d, want %d",
+						n, monotone, li, got.Expected, single.Expected)
+				}
+				for m := range got.Tags {
+					if got.Tags[m] != single.Tags[m] {
+						t.Errorf("n=%d mono=%v lattice=%d mask=%v: tag %+v, want %+v",
+							n, monotone, li, Mask(m), got.Tags[m], single.Tags[m])
+					}
+				}
+			}
+			// One oracle call per non-empty level, not per node.
+			if monotone && batchCalls > n-1 {
+				t.Errorf("n=%d: %d batch calls, want at most %d (one per level)", n, batchCalls, n-1)
+			}
+		}
+	}
+}
+
+// exploreSequential is the seed implementation of Explore, kept as the
+// reference for equivalence testing of the batched exploration.
+func exploreSequential(n int, oracle Oracle, monotone bool) *Result {
+	size := 1 << uint(n)
+	full := Mask(size - 1)
+	res := &Result{N: n, Tags: make([]Tag, size), Expected: size - 2}
+	if n == 1 {
+		return res
+	}
+	byLevel := masksByLevel(n)
+	for level := 1; level < n; level++ {
+		for _, m := range byLevel[level] {
+			if monotone && res.Tags[m].Flip {
+				continue
+			}
+			flip := oracle(m)
+			res.Performed++
+			res.Tags[m] = Tag{Flip: flip, Tested: true}
+			if flip && monotone {
+				propagate(res.Tags, m, full)
+			}
+		}
+	}
+	if !monotone {
+		for _, m := range byLevel[n-1] {
+			if res.Tags[m].Flip {
+				res.Tags[full] = Tag{Flip: true, Inferred: true}
+				break
+			}
+		}
+	}
+	return res
+}
+
+func TestExploreManyZeroLattices(t *testing.T) {
+	out := ExploreMany(3, 0, func(qs []Query) []bool {
+		t.Fatal("oracle must not be called with zero lattices")
+		return nil
+	}, true)
+	if len(out) != 0 {
+		t.Fatalf("got %d results, want 0", len(out))
+	}
+}
+
+func TestExploreManySingleElement(t *testing.T) {
+	out := ExploreMany(1, 3, func(qs []Query) []bool {
+		t.Fatal("n=1 has no testable nodes")
+		return nil
+	}, true)
+	for _, r := range out {
+		if r.Performed != 0 || len(r.Flipped()) != 0 {
+			t.Fatal("n=1 lattice must be empty of work")
+		}
+	}
+}

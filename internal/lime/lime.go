@@ -51,6 +51,22 @@ func (c Config) withDefaults() Config {
 // perturbed input. It returns one signed weight per feature; positive
 // weights push toward higher scores.
 func Explain(n int, predict func(active []bool) float64, cfg Config) ([]float64, error) {
+	return ExplainBatch(n, func(rows [][]bool) []float64 {
+		out := make([]float64, len(rows))
+		for i, active := range rows {
+			out[i] = predict(active)
+		}
+		return out
+	}, cfg)
+}
+
+// ExplainBatch is Explain with a batched predictor: the sampler draws
+// every perturbed activation vector up front (sampling never depends on
+// model outputs), the whole neighborhood is scored in one call — row 0
+// is always the unperturbed instance — and the weighted ridge fit runs
+// on the result. Weights are bit-identical to Explain with an equivalent
+// scalar predictor.
+func ExplainBatch(n int, predictBatch func(rows [][]bool) []float64, cfg Config) ([]float64, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("lime: need at least one feature, got %d", n)
 	}
@@ -59,30 +75,31 @@ func Explain(n int, predict func(active []bool) float64, cfg Config) ([]float64,
 
 	rows := cfg.Samples + 1 // +1 for the unperturbed instance
 	x := vector.NewMatrix(rows, n+1)
-	y := make([]float64, rows)
 	w := make([]float64, rows)
+	actives := make([][]bool, rows)
 
-	active := make([]bool, n)
-	for i := range active {
-		active[i] = true
-	}
 	// Row 0: the original instance (all features active, distance 0).
-	fill(x.Row(0), active)
-	y[0] = predict(active)
+	actives[0] = onesTemplate(n)
+	fill(x.Row(0), actives[0])
 	w[0] = 1
 
 	for s := 1; s < rows; s++ {
 		// LIME's sampler: choose how many features to deactivate
 		// uniformly in [1, n], then choose which.
 		k := 1 + rng.Intn(n)
-		copy(active, onesTemplate(n))
+		active := onesTemplate(n)
 		for _, idx := range rng.Perm(n)[:k] {
 			active[idx] = false
 		}
+		actives[s] = active
 		fill(x.Row(s), active)
-		y[s] = predict(active)
 		d := float64(k) / float64(n) // normalized Hamming distance
 		w[s] = math.Exp(-d * d / (cfg.KernelWidth * cfg.KernelWidth))
+	}
+
+	y := predictBatch(actives)
+	if len(y) != rows {
+		return nil, fmt.Errorf("lime: batch predictor returned %d scores for %d rows", len(y), rows)
 	}
 
 	beta, err := vector.WeightedRidge(x, y, w, cfg.Lambda)

@@ -1,0 +1,46 @@
+package matchers
+
+import (
+	"testing"
+
+	"certa/internal/dataset"
+	"certa/internal/record"
+)
+
+// TestScoreBatchMatchesScore checks the batch path is bit-identical to
+// scalar scoring for every architecture, including batches dominated by
+// pairs sharing a record (the embedding-memo path).
+func TestScoreBatchMatchesScore(t *testing.T) {
+	b := dataset.MustGenerate("AB", dataset.Options{Seed: 3, MaxRecords: 60, MaxMatches: 30})
+	for _, kind := range []Kind{DeepER, DeepMatcher, Ditto, SVM} {
+		m, err := Train(kind, b, Config{Seed: 3, Epochs: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		var pairs []record.Pair
+		for _, lp := range b.Test {
+			pairs = append(pairs, lp.Pair)
+		}
+		// Shared-record batch: one pivot against many rights.
+		pivot := b.Test[0].Pair.Left
+		for _, lp := range b.Test[:min(8, len(b.Test))] {
+			pairs = append(pairs, record.Pair{Left: pivot, Right: lp.Pair.Right})
+		}
+		got := m.ScoreBatch(pairs)
+		if len(got) != len(pairs) {
+			t.Fatalf("%s: %d scores for %d pairs", kind, len(got), len(pairs))
+		}
+		for i, p := range pairs {
+			if want := m.Score(p); got[i] != want {
+				t.Errorf("%s: pair %d batch score %v != scalar %v", kind, i, got[i], want)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

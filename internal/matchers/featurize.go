@@ -13,9 +13,48 @@ import (
 
 // featurizer converts a record pair into the fixed-width input vector of
 // one model architecture. Featurizers are pure after construction.
+// featuresBatch featurizes many pairs with a shared per-batch embedding
+// memo, so pairs that share a record (the dominant pattern in
+// perturbation batches) embed each distinct string once.
 type featurizer interface {
 	features(p record.Pair) []float64
+	featuresBatch(ps []record.Pair) [][]float64
 	dim() int
+}
+
+// textFunc embeds a text; either embedding.Embedder.Text directly or the
+// memoized per-batch variant.
+type textFunc func(s string) []float64
+
+// newTextMemo wraps an embedder with a batch-scoped memo keyed by the
+// exact input string.
+func newTextMemo(emb *embedding.Embedder) textFunc {
+	cache := make(map[string][]float64)
+	return func(s string) []float64 {
+		if v, ok := cache[s]; ok {
+			return v
+		}
+		v := emb.Text(s)
+		cache[s] = v
+		return v
+	}
+}
+
+// textFeaturizer is the seam every featurizer implements: one pair
+// featurized through an arbitrary text-embedding function.
+type textFeaturizer interface {
+	featuresText(p record.Pair, text textFunc) []float64
+}
+
+// batchFeatures featurizes a batch with one shared embedding memo —
+// the common featuresBatch implementation.
+func batchFeatures(f textFeaturizer, emb *embedding.Embedder, ps []record.Pair) [][]float64 {
+	text := newTextMemo(emb)
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		out[i] = f.featuresText(p, text)
+	}
+	return out
 }
 
 // newFeaturizer builds the featurizer and network architecture for a
@@ -68,9 +107,17 @@ type deepERFeat struct {
 func (f *deepERFeat) dim() int { return 2*f.emb.Dim + 2 }
 
 func (f *deepERFeat) features(p record.Pair) []float64 {
+	return f.featuresText(p, f.emb.Text)
+}
+
+func (f *deepERFeat) featuresBatch(ps []record.Pair) [][]float64 {
+	return batchFeatures(f, f.emb, ps)
+}
+
+func (f *deepERFeat) featuresText(p record.Pair, text textFunc) []float64 {
 	lt, rt := p.Left.Text(), p.Right.Text()
-	le := f.emb.Text(lt)
-	re := f.emb.Text(rt)
+	le := text(lt)
+	re := text(rt)
 	out := make([]float64, 0, f.dim())
 	for i := range le {
 		d := le[i] - re[i]
@@ -105,10 +152,18 @@ const dmBlock = 7
 func (f *deepMatcherFeat) dim() int { return dmBlock * len(f.attrs) }
 
 func (f *deepMatcherFeat) features(p record.Pair) []float64 {
+	return f.featuresText(p, f.emb.Text)
+}
+
+func (f *deepMatcherFeat) featuresBatch(ps []record.Pair) [][]float64 {
+	return batchFeatures(f, f.emb, ps)
+}
+
+func (f *deepMatcherFeat) featuresText(p record.Pair, text textFunc) []float64 {
 	out := make([]float64, 0, f.dim())
 	for _, a := range f.attrs {
 		lv, rv := p.Left.Value(a), p.Right.Value(a)
-		out = append(out, attrBlock(f.emb, lv, rv)...)
+		out = append(out, attrBlock(text, lv, rv)...)
 	}
 	return out
 }
@@ -118,7 +173,7 @@ func (f *deepMatcherFeat) features(p record.Pair) []float64 {
 // the absence of evidence is not evidence of similarity (real DL
 // matchers learn exactly this from their embedding of empty strings),
 // and the missing-value indicators carry what signal remains.
-func attrBlock(emb *embedding.Embedder, lv, rv string) []float64 {
+func attrBlock(text textFunc, lv, rv string) []float64 {
 	lm, rm := strutil.IsMissing(lv), strutil.IsMissing(rv)
 	if lm || rm {
 		bothMissing, oneMissing := 0.0, 1.0
@@ -128,7 +183,7 @@ func attrBlock(emb *embedding.Embedder, lv, rv string) []float64 {
 		return []float64{0, 0, 0, 0, 0, bothMissing, oneMissing}
 	}
 	return []float64{
-		embedding.Cosine(emb.Text(lv), emb.Text(rv)),
+		embedding.Cosine(text(lv), text(rv)),
 		strutil.Jaccard(lv, rv),
 		strutil.LevenshteinSimilarity(truncateForLev(lv), truncateForLev(rv)),
 		strutil.ContainmentSimilarity(lv, rv),
@@ -182,6 +237,14 @@ func serialize(r *record.Record) string {
 }
 
 func (f *dittoFeat) features(p record.Pair) []float64 {
+	return f.featuresText(p, f.emb.Text)
+}
+
+func (f *dittoFeat) featuresBatch(ps []record.Pair) [][]float64 {
+	return batchFeatures(f, f.emb, ps)
+}
+
+func (f *dittoFeat) featuresText(p record.Pair, text textFunc) []float64 {
 	lt, rt := p.Left.Text(), p.Right.Text()
 	if lt == "" || rt == "" {
 		// An all-missing record carries no evidence; only the emptiness
@@ -271,7 +334,7 @@ func (f *dittoFeat) features(p record.Pair) []float64 {
 		strutil.TrigramJaccard(truncateForLev(lt), truncateForLev(rt)),
 		strutil.ContainmentSimilarity(lt, rt),
 		num,
-		embedding.Cosine(f.emb.Text(lt), f.emb.Text(rt)),
+		embedding.Cosine(text(lt), text(rt)),
 		cross,
 		lenRatio,
 		boolF(lenL == 0),

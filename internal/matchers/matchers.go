@@ -67,6 +67,16 @@ func (m *Model) Score(p record.Pair) float64 {
 	return m.net.Predict(m.feat.features(p))
 }
 
+// ScoreBatch scores many pairs in one call (the explain.BatchModel
+// capability): the whole batch is featurized with a shared embedding
+// memo, so pairs that share a record — the dominant pattern in
+// perturbation batches — embed each distinct string once, then a single
+// batched forward pass produces the scores. Index-aligned with pairs and
+// bit-identical to per-pair Score calls.
+func (m *Model) ScoreBatch(pairs []record.Pair) []float64 {
+	return m.net.PredictBatch(m.feat.featuresBatch(pairs))
+}
+
 // Config tunes training.
 type Config struct {
 	// Seed drives weight init, shuffling and augmentation.
@@ -261,5 +271,6 @@ type ScoreFunc struct {
 // Name implements Matcher.
 func (s ScoreFunc) Name() string { return s.ModelName }
 
-// Score implements Matcher.
+// Score implements Matcher. Plain score functions ride the batched
+// pipeline through explain.ScoreBatch's automatic adaptation.
 func (s ScoreFunc) Score(p record.Pair) float64 { return s.Fn(p) }

@@ -262,6 +262,17 @@ func (n *Network) Predict(x []float64) float64 {
 	return sigmoid(n.Logit(x))
 }
 
+// PredictBatch runs pure inference over many inputs and returns one
+// probability per row, index-aligned. Each row goes through the exact
+// Predict path, so batch and scalar inference agree bit-for-bit.
+func (n *Network) PredictBatch(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = n.Predict(x)
+	}
+	return out
+}
+
 func sigmoid(z float64) float64 {
 	if z >= 0 {
 		e := math.Exp(-z)

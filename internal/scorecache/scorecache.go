@@ -1,0 +1,225 @@
+// Package scorecache provides a memoizing, batching scorer wrapped
+// around a black-box ER model. CERTA's cost is dominated by model calls,
+// and the perturbations it scores repeat heavily: triangles that share
+// support records (or supports that agree on the copied values) generate
+// identical perturbed pairs, and the counterfactual materialization
+// re-scores pairs the lattice exploration already asked about. The
+// Scorer deduplicates all of that — every distinct pair content is
+// scored exactly once — and pushes the remaining unique pairs through
+// the model's batch entry point (explain.BatchModel) in parallel shards.
+package scorecache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"certa/internal/explain"
+	"certa/internal/record"
+	"certa/internal/workpool"
+)
+
+// Options tunes a Scorer.
+type Options struct {
+	// Parallelism bounds the worker goroutines that evaluate one batch's
+	// cache misses (default 1). Results are index-aligned and therefore
+	// identical at any setting.
+	Parallelism int
+	// Disabled turns memoization off: every lookup reaches the model.
+	// Batching still applies. Used by the core ablation that measures the
+	// cache against the seed scoring path.
+	Disabled bool
+}
+
+// Stats reports the work a Scorer performed.
+type Stats struct {
+	// Lookups counts score requests served (batch elements included).
+	Lookups int
+	// Hits counts requests answered from the cache, including duplicates
+	// resolved within a single batch.
+	Hits int
+	// Misses counts unique model invocations.
+	Misses int
+	// Batches counts logical batch evaluations that reached the model
+	// (independent of how many parallel shards executed them).
+	Batches int
+}
+
+// HitRate returns Hits/Lookups, or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Scorer memoizes scores by canonical pair content. It implements
+// explain.Model and explain.BatchModel and is safe for concurrent use,
+// though the intended pattern is one Scorer per explanation so cache
+// statistics stay deterministic.
+type Scorer struct {
+	model explain.BatchModel
+	opts  Options
+
+	mu    sync.Mutex
+	cache map[string]float64
+	stats Stats
+}
+
+// New wraps a model. The model's batch entry point is used when it has
+// one; plain models fall back to per-pair Score calls.
+func New(m explain.Model, opts Options) *Scorer {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 1
+	}
+	return &Scorer{
+		model: explain.AsBatch(m),
+		opts:  opts,
+		cache: make(map[string]float64),
+	}
+}
+
+// Name implements explain.Model.
+func (s *Scorer) Name() string { return s.model.Name() }
+
+// Underlying returns the wrapped model, bypassing the cache and its
+// statistics — for instrumentation queries that must not count as
+// algorithm cost.
+func (s *Scorer) Underlying() explain.BatchModel { return s.model }
+
+// Stats returns a snapshot of the cache counters.
+func (s *Scorer) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Score implements explain.Model through the cache.
+func (s *Scorer) Score(p record.Pair) float64 {
+	return s.ScoreBatch([]record.Pair{p})[0]
+}
+
+// ScoreBatch implements explain.BatchModel: duplicates inside the batch
+// and pairs seen by earlier calls are answered from the cache, and only
+// the remaining unique pairs reach the model — in one logical batch,
+// sharded across Options.Parallelism workers.
+func (s *Scorer) ScoreBatch(pairs []record.Pair) []float64 {
+	out := make([]float64, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+
+	keys := make([]string, len(pairs))
+	for i, p := range pairs {
+		keys[i] = Key(p)
+	}
+
+	// Resolve hits and collect unique misses in first-occurrence order.
+	type miss struct {
+		key  string
+		pair record.Pair
+	}
+	var misses []miss
+	missAt := make(map[string]int) // key -> index into misses
+	pending := make([][]int, 0)    // miss index -> output slots
+
+	s.mu.Lock()
+	s.stats.Lookups += len(pairs)
+	for i, k := range keys {
+		if !s.opts.Disabled {
+			if v, ok := s.cache[k]; ok {
+				out[i] = v
+				s.stats.Hits++
+				continue
+			}
+			if mi, ok := missAt[k]; ok {
+				// Duplicate within this batch: scored once, fanned out.
+				pending[mi] = append(pending[mi], i)
+				s.stats.Hits++
+				continue
+			}
+		}
+		missAt[k] = len(misses)
+		misses = append(misses, miss{key: k, pair: pairs[i]})
+		pending = append(pending, []int{i})
+	}
+	if len(misses) > 0 {
+		s.stats.Misses += len(misses)
+		s.stats.Batches++
+	}
+	s.mu.Unlock()
+
+	if len(misses) == 0 {
+		return out
+	}
+
+	// Evaluate unique misses: one logical batch, sharded for parallelism.
+	scores := make([]float64, len(misses))
+	shards := s.opts.Parallelism
+	if shards > len(misses) {
+		shards = len(misses)
+	}
+	per := (len(misses) + shards - 1) / shards
+	workpool.Each(shards, shards, func(w int) error {
+		lo := w * per
+		hi := lo + per
+		if hi > len(misses) {
+			hi = len(misses)
+		}
+		if lo >= hi {
+			return nil
+		}
+		chunk := make([]record.Pair, hi-lo)
+		for i := lo; i < hi; i++ {
+			chunk[i-lo] = misses[i].pair
+		}
+		got := s.model.ScoreBatch(chunk)
+		if len(got) != len(chunk) {
+			// A silent mismatch would cache zeros; fail loudly instead.
+			panic(fmt.Sprintf("scorecache: model %q returned %d scores for %d pairs",
+				s.model.Name(), len(got), len(chunk)))
+		}
+		copy(scores[lo:hi], got)
+		return nil
+	})
+
+	s.mu.Lock()
+	for mi, m := range misses {
+		if !s.opts.Disabled {
+			s.cache[m.key] = scores[mi]
+		}
+		for _, slot := range pending[mi] {
+			out[slot] = scores[mi]
+		}
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Key renders the canonical content of a pair: schema names and every
+// attribute value, length-framed so distinct contents cannot collide.
+// Record IDs are deliberately excluded — augmentation mints synthetic
+// IDs for otherwise identical perturbations, and models score values,
+// not identifiers.
+func Key(p record.Pair) string {
+	var b strings.Builder
+	writeRecord(&b, p.Left)
+	b.WriteByte('|')
+	writeRecord(&b, p.Right)
+	return b.String()
+}
+
+func writeRecord(b *strings.Builder, r *record.Record) {
+	if r == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	b.WriteString(r.Schema.Name)
+	for _, v := range r.Values {
+		b.WriteByte(';')
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+}

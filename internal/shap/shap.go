@@ -47,13 +47,27 @@ func (c Config) withDefaults() Config {
 // output with absent features masked out. Returns one signed attribution
 // per feature; they approximately sum to value(full) - value(empty).
 func Explain(n int, value func(coalition []bool) float64, cfg Config) ([]float64, error) {
+	return ExplainBatch(n, func(coalitions [][]bool) []float64 {
+		out := make([]float64, len(coalitions))
+		for i, c := range coalitions {
+			out[i] = value(c)
+		}
+		return out
+	}, cfg)
+}
+
+// ExplainBatch is Explain with a batched value function: coalition
+// sampling never depends on model outputs, so every coalition is drawn
+// first and the whole set is evaluated in one call before the weighted
+// least-squares fit. Attributions are bit-identical to Explain with an
+// equivalent scalar value function.
+func ExplainBatch(n int, valueBatch func(coalitions [][]bool) []float64, cfg Config) ([]float64, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("shap: need at least one feature, got %d", n)
 	}
 	if n == 1 {
-		full := value([]bool{true})
-		empty := value([]bool{false})
-		return []float64{full - empty}, nil
+		vs := valueBatch([][]bool{{true}, {false}})
+		return []float64{vs[0] - vs[1]}, nil
 	}
 	cfg = cfg.withDefaults()
 
@@ -102,8 +116,8 @@ func Explain(n int, value func(coalition []bool) float64, cfg Config) ([]float64
 
 	// Weighted least squares: value(z) ≈ φ0 + Σ z_i φ_i.
 	x := vector.NewMatrix(len(rows), n+1)
-	y := make([]float64, len(rows))
 	w := make([]float64, len(rows))
+	coalitions := make([][]bool, len(rows))
 	for i, r := range rows {
 		xr := x.Row(i)
 		for j, on := range r.coalition {
@@ -112,8 +126,12 @@ func Explain(n int, value func(coalition []bool) float64, cfg Config) ([]float64
 			}
 		}
 		xr[n] = 1 // intercept φ0
-		y[i] = value(r.coalition)
+		coalitions[i] = r.coalition
 		w[i] = r.weight
+	}
+	y := valueBatch(coalitions)
+	if len(y) != len(rows) {
+		return nil, fmt.Errorf("shap: batch value returned %d outputs for %d coalitions", len(y), len(rows))
 	}
 	beta, err := vector.WeightedRidge(x, y, w, cfg.Lambda)
 	if err != nil {

@@ -1,0 +1,63 @@
+// Package workpool provides the bounded-concurrency worker primitive
+// shared by the batched scoring pipeline: ExplainBatch fans explanations
+// out over it, and the score cache shards batch evaluations through it.
+//
+// The design follows errgroup-with-SetLimit: run n index-addressed jobs
+// with at most `workers` goroutines, collect per-index errors, and
+// report the lowest-index error so callers see a deterministic failure
+// regardless of scheduling. Workers write results into caller-owned,
+// index-aligned slices, which keeps outputs byte-identical at any
+// parallelism.
+package workpool
+
+import "sync"
+
+// Each runs fn(0), fn(1), ..., fn(n-1) with at most workers concurrent
+// goroutines and returns the lowest-index error (nil if every call
+// succeeded).
+//
+// With workers <= 1 the jobs run inline on the calling goroutine and
+// Each short-circuits on the first error, exactly like a plain loop. In
+// parallel mode every job is attempted even if an earlier index fails;
+// only the reported error is deterministic.
+func Each(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package workpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 16} {
+		n := 100
+		hit := make([]int32, n)
+		err := Each(n, workers, func(i int) error {
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestEachZeroJobs(t *testing.T) {
+	if err := Each(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachReportsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := Each(50, workers, func(i int) error {
+			if i == 7 || i == 31 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 7 failed", workers, err)
+		}
+	}
+}
+
+func TestEachSequentialShortCircuits(t *testing.T) {
+	ran := 0
+	err := Each(10, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran != 4 {
+		t.Fatalf("sequential mode ran %d jobs after error, want 4", ran)
+	}
+}
+
+func TestEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	err := Each(64, workers, func(int) error {
+		mu.Lock()
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		mu.Lock()
+		cur--
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", peak, workers)
+	}
+}

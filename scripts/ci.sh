@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite, a one-iteration benchmark smoke
+# pass, and the batched-pipeline perf probe (BENCH_explain.json, which
+# records explanations/sec and cache hit rate across PRs).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== bench smoke =="
+go test -bench=. -benchtime=1x -run='^$' .
+
+echo "== perf probe =="
+go run ./cmd/certa-bench -benchjson BENCH_explain.json -parallelism 4
+cat BENCH_explain.json
