@@ -288,6 +288,47 @@ func TestBatchedPipelineModelCallReduction(t *testing.T) {
 	}
 }
 
+// TestSharedScorerCrossExplanationReduction is the acceptance gate of
+// the shared scoring service: a batch of 16 AB explanations through one
+// shared scorer must make strictly fewer total unique model calls than
+// 16 private-cache explanations would. The per-explanation Diagnostics
+// are private-cache-equivalent by construction (pinned by the core
+// determinism tests), so one shared run yields both numbers: the sum of
+// Diag.ModelCalls is the private cost, the service's Misses the shared
+// cost.
+func TestSharedScorerCrossExplanationReduction(t *testing.T) {
+	c := abCell()
+	// The 4x4 bipartite blocked cluster around the first test pair: the
+	// serving-shaped workload whose pairs share pivot records.
+	pairs, err := certa.BlockedClusterPairs(c.bench.Left, c.bench.Right, c.bench.Test[0].Pair, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) > 16 {
+		pairs = pairs[:16]
+	}
+	svc := certa.NewScoringService(c.model, certa.ScoringServiceOptions{Parallelism: 2})
+	results, err := certa.ExplainBatch(c.model, c.bench.Left, c.bench.Right, pairs, certa.Options{
+		Triangles: 100, Seed: 1, Parallelism: 2, Shared: svc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	private := 0
+	for _, res := range results {
+		private += res.Diag.ModelCalls
+	}
+	shared := svc.Stats().Misses
+	t.Logf("AB cluster: %d explanations, %d private-cache calls, %d shared unique calls (%.2fx cross-explanation reduction)",
+		len(results), private, shared, float64(private)/float64(shared))
+	if shared >= private {
+		t.Errorf("shared scorer made %d unique model calls; private caches would make %d — want strictly fewer", shared, private)
+	}
+	if float64(private) < 1.5*float64(shared) {
+		t.Errorf("cross-explanation reduction %.2fx below the 1.5x acceptance bar", float64(private)/float64(shared))
+	}
+}
+
 // BenchmarkExplainModelCalls reports the per-explanation model-call
 // economics of the batched pipeline as benchmark metrics.
 func BenchmarkExplainModelCalls(b *testing.B) {

@@ -27,21 +27,39 @@
 //
 //	model := certa.MatcherFunc("mine", func(p certa.Pair) float64 { ... })
 //
-// # Batched scoring
+// # Batched and shared scoring
 //
 // Explanation cost is dominated by model calls, so the whole scoring
 // path is batched: triangle search, lattice exploration and the baseline
 // explainers' sampling all group their queries into batches, duplicate
-// perturbations are answered by a per-explanation score cache, and
-// models that implement BatchModel (all built-in matchers do) featurize
-// a batch at once. Whole workloads go through ExplainBatch, which fans
-// pairs out over Options.Parallelism workers with deterministic,
-// index-aligned results:
+// perturbations are answered by a score cache, and models that implement
+// BatchModel (all built-in matchers do) featurize a batch at once.
 //
+// The cache is a shared, concurrency-safe scoring service that lives for
+// a whole batch or serving run, not a per-explanation scratchpad:
+// ExplainBatch scores every explanation through one service, so pair
+// contents that recur across explanations — support candidates scanned
+// against a shared pivot record, perturbations repeated between
+// neighboring candidate pairs — reach the model once per run instead of
+// once per explanation, and two concurrent explanations that miss on the
+// same content trigger exactly one model call (in-flight deduplication).
+// Long-lived servers create the service themselves, optionally bounding
+// its memory, and inject it:
+//
+//	svc := certa.NewScoringService(model, certa.ScoringServiceOptions{
+//		Parallelism: 8, Capacity: 1 << 20, // sharded LRU bound
+//	})
 //	results, _ := certa.ExplainBatch(model, bench.Left, bench.Right, pairs,
-//		certa.Options{Triangles: 100, Parallelism: 8})
-//	fmt.Println(results[0].Diag.ModelCalls)     // unique model invocations
-//	fmt.Println(results[0].Diag.CacheHitRate()) // perturbation reuse
+//		certa.Options{Triangles: 100, Parallelism: 8, Shared: svc})
+//	fmt.Println(results[0].Diag.ModelCalls)     // unique calls a private cache would make
+//	fmt.Println(results[0].Diag.CacheHitRate()) // per-explanation perturbation reuse
+//	fmt.Println(svc.Stats().Misses)             // unique model calls of the whole run
+//
+// The determinism contract: results and per-explanation Diagnostics are
+// byte-identical with or without a shared service, at any Parallelism.
+// Diagnostics are computed against per-explanation views of the store
+// and report what a private cache would have; only ServiceStats reveal
+// the cross-explanation reuse.
 //
 // The package also ships the three DL-style ER systems the paper
 // evaluates (DeepER, DeepMatcher, Ditto), the baseline explainers it
@@ -52,6 +70,8 @@
 package certa
 
 import (
+	"fmt"
+
 	"certa/internal/baselines"
 	"certa/internal/blocking"
 	"certa/internal/core"
@@ -61,6 +81,7 @@ import (
 	"certa/internal/matchers"
 	"certa/internal/metrics"
 	"certa/internal/record"
+	"certa/internal/scorecache"
 	"certa/internal/shap"
 )
 
@@ -136,12 +157,38 @@ func New(left, right *Table, opts Options) *Explainer {
 }
 
 // ExplainBatch explains many predictions against the sources U and V,
-// fanning the pairs out over opts.Parallelism workers while each
-// explanation batches and memoizes its own model calls. Results are
-// index-aligned with pairs and identical to a sequential loop of
-// Explainer.Explain calls at any parallelism.
+// fanning the pairs out over opts.Parallelism workers while every
+// explanation batches its model calls through one shared scoring
+// service (opts.Shared when set, a per-batch service otherwise), so
+// pair contents recurring across explanations are scored once per run.
+// Results are index-aligned with pairs and identical to a sequential
+// loop of Explainer.Explain calls at any parallelism.
 func ExplainBatch(m Model, left, right *Table, pairs []Pair, opts Options) ([]*Result, error) {
 	return core.New(left, right, opts).ExplainBatch(m, pairs)
+}
+
+// Shared scoring service (see internal/scorecache).
+type (
+	// ScoringService is a shared, concurrency-safe score store: one
+	// sharded cache with in-flight deduplication, meant to live for a
+	// whole batch, harness or serving run. Inject it via Options.Shared
+	// to make every explanation of a workload reuse each other's model
+	// calls. It implements Model and BatchModel, so it can also be
+	// handed directly to the baseline explainers.
+	ScoringService = scorecache.Service
+	// ScoringServiceOptions tunes the service: evaluation parallelism,
+	// lock striping, and an optional capacity bound (sharded LRU) so
+	// unbounded workloads cannot grow memory without limit.
+	ScoringServiceOptions = scorecache.ServiceOptions
+	// ScoringServiceStats reports a service's aggregate reuse: Misses
+	// counts the unique model calls of the whole run.
+	ScoringServiceStats = scorecache.ServiceStats
+)
+
+// NewScoringService wraps a model in a shared scoring service for use
+// across many explanations (Options.Shared).
+func NewScoringService(m Model, opts ScoringServiceOptions) *ScoringService {
+	return scorecache.NewService(m, opts)
 }
 
 // ScoreBatch scores every pair with m, through its native batch entry
@@ -286,6 +333,44 @@ type (
 // NewTokenBlocker indexes the right source for candidate generation.
 func NewTokenBlocker(right *Table, cfg BlockingConfig) (*TokenBlocker, error) {
 	return blocking.NewTokenBlocker(right, cfg)
+}
+
+// BlockedClusterPairs builds the k x k bipartite blocked candidate
+// cluster around a pair: the top-k right candidates of its left record,
+// the top-k left candidates of its right record, and every cross pair
+// of the two sets. This is the serving-shaped explanation workload — an
+// ER system resolving a candidate group explains all of its pairs — and
+// its pairs share pivot records, so a shared scoring service
+// (NewScoringService) amortizes their triangle scans across
+// explanations where per-explanation caches cannot.
+func BlockedClusterPairs(left, right *Table, seed Pair, k int) ([]Pair, error) {
+	rightBlocker, err := blocking.NewTokenBlocker(right, blocking.Config{MaxPerRecord: k})
+	if err != nil {
+		return nil, err
+	}
+	leftBlocker, err := blocking.NewTokenBlocker(left, blocking.Config{MaxPerRecord: k})
+	if err != nil {
+		return nil, err
+	}
+	// CandidatesFor pairs the query on the left; the indexed table's
+	// records sit on the right of each candidate pair.
+	var lefts, rights []*Record
+	for _, c := range leftBlocker.CandidatesFor(seed.Right) {
+		lefts = append(lefts, c.Pair.Right)
+	}
+	for _, c := range rightBlocker.CandidatesFor(seed.Left) {
+		rights = append(rights, c.Pair.Right)
+	}
+	if len(lefts) == 0 || len(rights) == 0 {
+		return nil, fmt.Errorf("certa: blocked cluster around %s is empty", seed.Key())
+	}
+	pairs := make([]Pair, 0, len(lefts)*len(rights))
+	for _, l := range lefts {
+		for _, r := range rights {
+			pairs = append(pairs, Pair{Left: l, Right: r})
+		}
+	}
+	return pairs, nil
 }
 
 // EvaluateBlocking scores a candidate set against ground truth.

@@ -16,6 +16,14 @@
 // attributes, exactly as the original methods do — the paper's central
 // contrast is between this text-level, task-agnostic view and CERTA's
 // attribute-level, ER-aware perturbations.
+//
+// Every baseline scores its sampled neighborhoods through the model's
+// batch entry point (explain.ScoreBatch) and never keeps model state of
+// its own, so whole-workload runs can hand them a shared scoring
+// service (scorecache.Service implements explain.Model) instead of the
+// raw matcher: perturbations resampled across pairs, methods and
+// experiments then reach the model once per run. The eval harness wires
+// this up for the paper grids.
 package baselines
 
 import (

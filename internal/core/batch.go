@@ -5,6 +5,7 @@ import (
 
 	"certa/internal/explain"
 	"certa/internal/record"
+	"certa/internal/scorecache"
 	"certa/internal/workpool"
 )
 
@@ -14,21 +15,44 @@ import (
 // the results — diagnostics included — are index-aligned and identical
 // to a sequential loop of Explain calls at any parallelism.
 //
-// Combined with the per-explanation batching this gives whole-benchmark
-// runs both levers at once: intra-explanation batch scoring and
-// cross-pair concurrency.
+// All explanations of the batch score through one shared scoring
+// service (Options.Shared when injected, a per-batch service otherwise):
+// pair contents that recur across explanations — support candidates
+// scanned against a shared pivot record, perturbations repeated between
+// neighboring pairs — reach the model exactly once per batch instead of
+// once per explanation, and two workers that miss on the same content
+// concurrently trigger a single model call. Per-explanation Diagnostics
+// are unaffected by the sharing: they are computed against
+// per-explanation views and report what a private cache would have.
 func (e *Explainer) ExplainBatch(m explain.Model, pairs []record.Pair) ([]*Result, error) {
-	// Cross-pair concurrency takes the whole parallelism budget: giving
-	// each in-flight explanation its own sharding workers on top would
-	// oversubscribe the CPU (P*P goroutines) without changing results.
-	inner := e
-	if e.opts.Parallelism > 1 {
-		opts := e.opts
-		opts.Parallelism = 1
-		inner = &Explainer{left: e.left, right: e.right, opts: opts}
+	// Cross-pair concurrency claims the parallelism budget first; any
+	// leftover is handed to the inner explanations for batch sharding.
+	// With 8 workers and 3 pairs the old pipeline pinned inner
+	// Parallelism to 1 and idled 5 workers; now each of the 3 in-flight
+	// explanations shards its batch evaluations over 2 workers. Inner
+	// sharding never changes results, so the byte-identity contract
+	// holds at any split.
+	workers := e.opts.Parallelism
+	if workers > len(pairs) {
+		workers = len(pairs)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	opts := e.opts
+	opts.Parallelism = e.opts.Parallelism / workers
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	if opts.Shared == nil && !opts.DisableCache {
+		opts.Shared = scorecache.NewService(m, scorecache.ServiceOptions{
+			Parallelism: opts.Parallelism,
+		})
+	}
+	inner := &Explainer{left: e.left, right: e.right, opts: opts}
+
 	out := make([]*Result, len(pairs))
-	err := workpool.Each(len(pairs), e.opts.Parallelism, func(i int) error {
+	err := workpool.Each(len(pairs), workers, func(i int) error {
 		res, err := inner.Explain(m, pairs[i])
 		if err != nil {
 			return fmt.Errorf("core: explaining pair %d (%s): %w", i, pairKey(pairs[i]), err)

@@ -84,6 +84,16 @@ type Options struct {
 	// MaxLatticeAttrs guards against schemas too wide for power-set
 	// exploration (default 12; the paper's benchmarks have at most 8).
 	MaxLatticeAttrs int
+	// Shared injects a shared scoring service (scorecache.NewService)
+	// reused across explanations: every distinct pair content is scored
+	// once per service lifetime instead of once per explanation. The
+	// service must wrap the same model the explanation is asked to
+	// explain. Results and per-explanation Diagnostics are byte-identical
+	// with or without sharing — Diagnostics are computed against a
+	// per-explanation view — only the service's own ServiceStats reveal
+	// the cross-explanation reuse. ExplainBatch creates a per-batch
+	// service automatically when none is injected.
+	Shared *scorecache.Service
 }
 
 func (o Options) withDefaults() Options {
@@ -211,21 +221,43 @@ type Result struct {
 	Diag Diagnostics
 }
 
+// newScorer opens the explanation's memoizing scorer view: over the
+// injected shared service when Options.Shared is set, and over a fresh
+// private store otherwise. The view's statistics are private-equivalent
+// either way, which is what keeps Diagnostics deterministic under
+// sharing.
+func (e *Explainer) newScorer(m explain.Model) (*scorecache.Scorer, error) {
+	vopts := scorecache.Options{
+		Parallelism: e.opts.Parallelism,
+		Disabled:    e.opts.DisableCache,
+	}
+	if e.opts.Shared != nil {
+		if e.opts.Shared.Name() != m.Name() {
+			return nil, fmt.Errorf("core: shared scoring service wraps model %q, cannot explain model %q",
+				e.opts.Shared.Name(), m.Name())
+		}
+		return e.opts.Shared.NewScorer(vopts), nil
+	}
+	return scorecache.New(m, vopts), nil
+}
+
 // Explain runs the CERTA algorithm (Algorithm 1) for one prediction.
 //
-// All model access flows through a per-explanation memoizing batch
-// scorer: triangle search scores candidates in chunks, each lattice
-// level is evaluated in one batch across every triangle of a side, and
-// duplicate perturbations — which recur heavily across triangles that
-// share support records or copied values — reach the model exactly once.
+// All model access flows through a memoizing batch scorer: triangle
+// search scores candidates in chunks, each lattice level is evaluated in
+// one batch across every triangle of a side, and duplicate perturbations
+// — which recur heavily across triangles that share support records or
+// copied values — reach the model exactly once. With Options.Shared the
+// memo additionally spans explanations: pairs another explanation
+// already paid for are answered from the shared store.
 func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
 	if p.Left == nil || p.Right == nil {
 		return nil, fmt.Errorf("core: pair has nil record")
 	}
-	sc := scorecache.New(m, scorecache.Options{
-		Parallelism: e.opts.Parallelism,
-		Disabled:    e.opts.DisableCache,
-	})
+	sc, err := e.newScorer(m)
+	if err != nil {
+		return nil, err
+	}
 	origScore := sc.Score(p)
 	y := origScore > 0.5
 

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"certa/internal/record"
+	"certa/internal/scorecache"
+)
+
+// TestExplainBatchSharedCacheDeterministicAcrossParallelism pins the
+// acceptance contract of the shared scoring service: with the shared
+// cache on, ExplainBatch results — per-pair diagnostics included — are
+// index-aligned identical at Parallelism 1 and 8, and both match a
+// sequential loop of private-cache Explain calls.
+func TestExplainBatchSharedCacheDeterministicAcrossParallelism(t *testing.T) {
+	b, pairs := benchPairs(t, "AB", 12)
+
+	run := func(par int) []*Result {
+		svc := scorecache.NewService(textModel{}, scorecache.ServiceOptions{Parallelism: par})
+		e := New(b.Left, b.Right, Options{Triangles: 10, Seed: 5, Parallelism: par, Shared: svc})
+		out, err := e.ExplainBatch(textModel{}, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	one := run(1)
+	eight := run(8)
+
+	seq := New(b.Left, b.Right, Options{Triangles: 10, Seed: 5})
+	for i, p := range pairs {
+		priv, err := seq.Explain(textModel{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(one[i], eight[i]) {
+			t.Errorf("pair %d (%s): shared-cache results differ between Parallelism 1 and 8", i, p.Key())
+		}
+		if !reflect.DeepEqual(one[i], priv) {
+			t.Errorf("pair %d (%s): shared-cache result differs from private-cache Explain\nshared:  %+v\nprivate: %+v",
+				i, p.Key(), one[i].Diag, priv.Diag)
+		}
+	}
+}
+
+// TestSharedServiceModelMismatchRejected guards the injection contract:
+// a service wrapping one model cannot silently answer for another.
+func TestSharedServiceModelMismatchRejected(t *testing.T) {
+	b, pairs := benchPairs(t, "AB", 1)
+	svc := scorecache.NewService(textModel{}, scorecache.ServiceOptions{})
+	e := New(b.Left, b.Right, Options{Triangles: 4, Seed: 1, Shared: svc})
+	if _, err := e.Explain(otherModel{}, pairs[0]); err == nil {
+		t.Fatal("expected an error explaining a different model through the shared service")
+	}
+}
+
+type otherModel struct{ textModel }
+
+func (otherModel) Name() string { return "other" }
+
+// TestExplainBatchLeftoverWorkersShardInner checks the parallelism
+// distribution: with more workers than pairs, the leftover budget goes
+// to inner batch sharding (and results stay identical, which
+// TestExplainBatchSharedCacheDeterministicAcrossParallelism already
+// covers at scale). Here 8 workers over 3 pairs must match 1 worker.
+func TestExplainBatchLeftoverWorkersShardInner(t *testing.T) {
+	b, pairs := benchPairs(t, "BA", 3)
+	wide := New(b.Left, b.Right, Options{Triangles: 10, Seed: 3, Parallelism: 8})
+	got, err := wide.ExplainBatch(textModel{}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := New(b.Left, b.Right, Options{Triangles: 10, Seed: 3})
+	want, err := narrow.ExplainBatch(textModel{}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("pair %d: results differ when leftover workers shard inner batches", i)
+		}
+	}
+}
+
+// neverFlips predicts Match with high confidence for every input, so no
+// candidate — natural or augmented — is ever an eligible support.
+type neverFlips struct{}
+
+func (neverFlips) Name() string                { return "never-flips" }
+func (neverFlips) Score(p record.Pair) float64 { return 0.9 }
+
+// TestAugmentedPatienceCountsRecords pins the abandonment point of the
+// guided augmented-support scan: patience is spent per candidate record,
+// not per token-drop variant. With records of 3-token values (4 variants
+// each) and a model that never flips, the sequential-equivalent scan
+// cost must be exactly 20 records x 4 variants.
+func TestAugmentedPatienceCountsRecords(t *testing.T) {
+	schema := record.MustSchema("S", "a")
+	table := record.NewTable(schema)
+	for i := 0; i < 30; i++ {
+		table.MustAdd(record.MustNew(
+			fmt.Sprintf("r%d", i), schema,
+			fmt.Sprintf("tok%da tok%db tok%dc", i, i, i),
+		))
+	}
+	pivotL := record.MustNew("pl", schema, "pivot left value")
+	pivotR := record.MustNew("pr", schema, "pivot right value")
+	p := record.Pair{Left: pivotL, Right: pivotR}
+
+	e := New(table, table, Options{Triangles: 10, Seed: 1})
+	sc := scorecache.New(neverFlips{}, scorecache.Options{})
+	calls, seedCalls := 0, 0
+	out := e.augmentedSupports(sc, p, true, record.Left, 5, &calls, &seedCalls)
+
+	if len(out) != 0 {
+		t.Fatalf("never-flipping model produced %d supports", len(out))
+	}
+	const variantsPerRecord = 4 // 3 tokens -> k=1,2 x {drop-first, drop-last}
+	want := augmentPatience * variantsPerRecord
+	if seedCalls != want {
+		t.Fatalf("abandonment after %d sequential-equivalent calls, want %d (= %d records x %d variants)",
+			seedCalls, want, augmentPatience, variantsPerRecord)
+	}
+	if calls < seedCalls {
+		t.Fatalf("scored %d < sequential-equivalent %d", calls, seedCalls)
+	}
+}
+
+// TestAugmentedPatienceResetsOnEligibleRecord checks the streak is per
+// record and resets when a record yields a support: a model that accepts
+// every 10th record's variants keeps the scan alive past 20 records.
+func TestAugmentedPatienceResetsOnEligibleRecord(t *testing.T) {
+	schema := record.MustSchema("S", "a")
+	table := record.NewTable(schema)
+	for i := 0; i < 60; i++ {
+		table.MustAdd(record.MustNew(
+			fmt.Sprintf("r%02d", i), schema,
+			fmt.Sprintf("t%02da t%02db t%02dc", i, i, i),
+		))
+	}
+	pivotL := record.MustNew("pl", schema, "pivot left value")
+	pivotR := record.MustNew("pr", schema, "pivot right value")
+	p := record.Pair{Left: pivotL, Right: pivotR}
+
+	e := New(table, table, Options{Triangles: 10, Seed: 1})
+	sc := scorecache.New(everyTenth{}, scorecache.Options{})
+	calls, seedCalls := 0, 0
+	out := e.augmentedSupports(sc, p, true, record.Left, 6, &calls, &seedCalls)
+
+	// Eligible records arrive sprinkled through the stream less than 20
+	// records apart, so the scan never abandons and finds all 6 wanted
+	// supports (each eligible record contributes its flipping variants).
+	if len(out) != 6 {
+		t.Fatalf("found %d supports, want 6 (scan must not abandon between eligible records)", len(out))
+	}
+}
+
+// everyTenth flips (predicts Non-Match) for variants derived from every
+// 10th record, identified by its token prefix.
+type everyTenth struct{}
+
+func (everyTenth) Name() string { return "every-tenth" }
+func (everyTenth) Score(p record.Pair) float64 {
+	for _, tag := range []string{"t00", "t10", "t20", "t30", "t40", "t50"} {
+		if strings.Contains(p.Left.Value("a"), tag+"a") || strings.Contains(p.Left.Value("a"), tag+"b") {
+			return 0.1
+		}
+	}
+	return 0.9
+}

@@ -59,6 +59,11 @@ func (e *Explainer) findTriangles(sc *scorecache.Scorer, p record.Pair, y bool) 
 // maxSearchChunk caps the geometric chunk growth of the candidate scan.
 const maxSearchChunk = 256
 
+// augmentPatience is the guided augmented scan's abandonment threshold:
+// consecutive candidate records whose token-drop variants all fail to
+// flip before the stream is declared hopeless.
+const augmentPatience = 20
+
 // supportScan selects the first `want` eligible candidates of a
 // deterministic stream, scoring the stream in geometrically growing
 // chunks through the cached batch scorer. The selection is identical to
@@ -74,16 +79,25 @@ type supportScan struct {
 
 	chunk   int
 	pending []*record.Record
+	recOrds []int // per pending candidate: ordinal of its source record
 	out     []*record.Record
 	scored  int  // candidates actually scored (chunk overscan included)
 	seed    int  // candidates the sequential seed scan would have scored
 	done    bool // want reached or stream abandoned; later candidates are ignored
 
-	// patience abandons the scan after this many consecutive ineligible
-	// candidates (0 = never). Guards searches over streams that contain
-	// no eligible candidates at all.
+	// patience abandons the scan after this many consecutive source
+	// records (marked by beginRecord) that contributed no eligible
+	// candidate (0 = never). Guards searches over streams that contain
+	// no eligible candidates at all. The streak counts candidate
+	// records, not individual variants: a record that fans out into
+	// dozens of token-drop variants still spends only one unit of
+	// patience.
 	patience int
 	streak   int
+
+	curRec      int  // ordinal of the record currently generating candidates
+	lastRec     int  // ordinal of the last record seen during scoring
+	recEligible bool // the record being scored has yielded an eligible candidate
 }
 
 func newSupportScan(sc *scorecache.Scorer, p record.Pair, side record.Side, y bool, want int) *supportScan {
@@ -97,12 +111,17 @@ func newSupportScan(sc *scorecache.Scorer, p record.Pair, side record.Side, y bo
 	return &supportScan{sc: sc, p: p, side: side, y: y, want: want, chunk: chunk}
 }
 
+// beginRecord marks the start of a new source record's candidates; the
+// patience streak advances per record, not per candidate variant.
+func (s *supportScan) beginRecord() { s.curRec++ }
+
 // add buffers one candidate, flushing a full chunk through the scorer.
 func (s *supportScan) add(cand *record.Record) {
 	if s.done {
 		return
 	}
 	s.pending = append(s.pending, cand)
+	s.recOrds = append(s.recOrds, s.curRec)
 	if len(s.pending) >= s.chunk {
 		s.flush()
 	}
@@ -118,22 +137,37 @@ func (s *supportScan) flush() {
 	}
 	scores := s.sc.ScoreBatch(pairs)
 	for i, score := range scores {
+		// A record boundary settles the previous record's patience
+		// verdict: eligible somewhere → streak resets; barren → one more
+		// unit spent. A sequential scan abandons right after the barren
+		// record that exhausts patience, before this candidate — the
+		// chunked scan has merely overscored the remainder of the chunk.
+		if ord := s.recOrds[i]; ord != s.lastRec {
+			if s.lastRec != 0 {
+				if s.recEligible {
+					s.streak = 0
+				} else if s.streak++; s.patience > 0 && s.streak >= s.patience {
+					s.seed = s.scored + i
+					s.done = true
+					break
+				}
+			}
+			s.lastRec = ord
+			s.recEligible = false
+		}
 		if (score > 0.5) != s.y {
-			s.streak = 0
+			s.recEligible = true
 			s.out = append(s.out, s.pending[i])
 			if len(s.out) >= s.want {
 				s.seed = s.scored + i + 1
 				s.done = true
 				break
 			}
-		} else if s.streak++; s.patience > 0 && s.streak >= s.patience {
-			s.seed = s.scored + i + 1
-			s.done = true
-			break
 		}
 	}
 	s.scored += len(s.pending)
 	s.pending = s.pending[:0]
+	s.recOrds = s.recOrds[:0]
 	if !s.done && s.chunk < maxSearchChunk {
 		s.chunk *= 2
 		if s.chunk > maxSearchChunk {
@@ -155,18 +189,27 @@ func (s *supportScan) finish() []*record.Record {
 // when paired with the pivot. Candidates are scanned in a seeded shuffle
 // so different explanations sample different supports, then the first
 // `want` eligible records (in scan order) are returned.
+//
+// The shuffle is seeded by the triangle's fixed record — the scan's
+// actual input, since every candidate is paired against it — rather
+// than the full pair key. Explanations whose pivots differ stay
+// decorrelated, while explanations that share the fixed record (the
+// serving-shaped workload: many candidate pairs per query record) scan
+// the same candidates in the same order, so a shared scoring service
+// answers the repeat scans from its store.
 func (e *Explainer) naturalSupports(sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) []*record.Record {
 	table := e.left
 	if side == record.Right {
 		table = e.right
 	}
 	self := p.Record(side)
+	fixed := p.Record(side.Opposite())
 
 	idx := make([]int, table.Len())
 	for i := range idx {
 		idx[i] = i
 	}
-	rng := rand.New(rand.NewSource(e.opts.Seed*131 + int64(side) + int64(hashString(p.Key()))))
+	rng := rand.New(rand.NewSource(e.opts.Seed*131 + int64(side) + int64(hashString(fixed.Text()))))
 	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 
 	scan := newSupportScan(sc, p, side, y, want)
@@ -178,6 +221,7 @@ func (e *Explainer) naturalSupports(sc *scorecache.Scorer, p record.Pair, y bool
 		if w.ID == self.ID {
 			continue
 		}
+		scan.beginRecord()
 		scan.add(w)
 	}
 	out := scan.finish()
@@ -189,9 +233,10 @@ func (e *Explainer) naturalSupports(sc *scorecache.Scorer, p record.Pair, y bool
 // augmentedSupports implements the data augmentation of §3.3: derive new
 // candidate records from source records by dropping the first-k or
 // last-k tokens of attribute values (k = 1..n-1), keep those that
-// predict opposite to y. The candidate stream is seeded per pair (like
-// naturalSupports) so augmented supports are decorrelated across the
-// pairs being explained.
+// predict opposite to y. The candidate stream is seeded by the
+// triangle's fixed record (like naturalSupports) so augmented supports
+// stay decorrelated across pivots while explanations sharing the fixed
+// record generate cache-aligned variant streams.
 func (e *Explainer) augmentedSupports(sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) []*record.Record {
 	if want <= 0 {
 		return nil
@@ -201,12 +246,13 @@ func (e *Explainer) augmentedSupports(sc *scorecache.Scorer, p record.Pair, y bo
 		table = e.right
 	}
 	self := p.Record(side)
+	fixed := p.Record(side.Opposite())
 
 	idx := make([]int, table.Len())
 	for i := range idx {
 		idx[i] = i
 	}
-	rng := rand.New(rand.NewSource(e.opts.Seed*197 + 7 + int64(side) + int64(hashString(p.Key()))))
+	rng := rand.New(rand.NewSource(e.opts.Seed*197 + 7 + int64(side) + int64(hashString(fixed.Text()))))
 	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 
 	// Attempt budget so pathological models cannot make explanation cost
@@ -221,7 +267,7 @@ func (e *Explainer) augmentedSupports(sc *scorecache.Scorer, p record.Pair, y bo
 		// there by dropping noise tokens — visit those first. When it is
 		// Non-Match, dissimilar records flip fastest. The seeded shuffle
 		// remains the tie-break, so Seed still diversifies selection.
-		fixedSet := strutil.TokenSet(p.Record(side.Opposite()).Text())
+		fixedSet := strutil.TokenSet(fixed.Text())
 		overlap := make([]float64, table.Len())
 		for i, w := range table.Records {
 			overlap[i] = tokenJaccard(strutil.TokenSet(w.Text()), fixedSet)
@@ -235,7 +281,7 @@ func (e *Explainer) augmentedSupports(sc *scorecache.Scorer, p record.Pair, y bo
 		// Abandon streams that yield nothing: after 20 consecutive
 		// candidate records' worth of ineligible variants, no support is
 		// coming from the rest of the (relevance-sorted) stream either.
-		scan.patience = want * 20
+		scan.patience = augmentPatience
 	}
 	generated := 0
 	augID := 0
@@ -247,6 +293,7 @@ func (e *Explainer) augmentedSupports(sc *scorecache.Scorer, p record.Pair, y bo
 		if w.ID == self.ID {
 			continue
 		}
+		scan.beginRecord()
 		for _, a := range w.Schema.Attrs {
 			if scan.done || generated >= budget {
 				break

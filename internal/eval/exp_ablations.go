@@ -80,7 +80,9 @@ func taosHeader(taus []int) []string {
 // returns [sufficiency, necessity, confidence, faithfulness, proximity,
 // sparsity, diversity].
 func tauMeasures(h *Harness, c *cell, tau int) ([]float64, error) {
-	e := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: tau, Seed: h.cfg.Seed})
+	e := core.New(c.bench.Left, c.bench.Right, core.Options{
+		Triangles: tau, Seed: h.cfg.Seed, Shared: c.scoring,
+	})
 	var sals []*explain.Saliency
 	var chis, phis, proxVals, sparVals, divVals []float64
 	for _, p := range c.pairs {
@@ -103,7 +105,7 @@ func tauMeasures(h *Harness, c *cell, tau int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	faith, err := metrics.Faithfulness(c.model, c.pairs, sals)
+	faith, err := metrics.Faithfulness(c.scoring, c.pairs, sals)
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +140,7 @@ func table7(h *Harness) ([]*Table, error) {
 				Triangles:            h.cfg.Triangles,
 				Seed:                 h.cfg.Seed,
 				EvaluateMonotonicity: true,
+				Shared:               c.scoring,
 			})
 			for _, p := range c.pairs {
 				res, err := e.Explain(c.model, p.Pair)
@@ -199,6 +202,7 @@ func table8(h *Harness) ([]*Table, error) {
 				Triangles:           h.cfg.Triangles,
 				Seed:                h.cfg.Seed,
 				DisableAugmentation: true,
+				Shared:              c.scoring,
 			})
 			var total float64
 			for _, p := range c.pairs {
@@ -260,6 +264,7 @@ func augmentationMetrics(h *Harness, c *cell, forced bool) ([]float64, error) {
 		Triangles:         h.cfg.Triangles,
 		Seed:              h.cfg.Seed,
 		ForceAugmentation: forced,
+		Shared:            c.scoring,
 	})
 	var sals []*explain.Saliency
 	var prox, spar, div []float64
@@ -273,7 +278,7 @@ func augmentationMetrics(h *Harness, c *cell, forced bool) ([]float64, error) {
 		spar = append(spar, metrics.Sparsity(res.Counterfactuals))
 		div = append(div, metrics.Diversity(res.Counterfactuals))
 	}
-	faith, err := metrics.Faithfulness(c.model, c.pairs, sals)
+	faith, err := metrics.Faithfulness(c.scoring, c.pairs, sals)
 	if err != nil {
 		return nil, err
 	}

@@ -87,7 +87,7 @@ func saliencyGrid(h *Harness, id, title string, lowerBetter bool,
 func table2(h *Harness) ([]*Table, error) {
 	return saliencyGrid(h, "table2", "Faithfulness evaluation on saliency explanations (lower = more faithful)", true,
 		func(c *cell, sals []*explain.Saliency) (float64, error) {
-			return metrics.Faithfulness(c.model, c.pairs, sals)
+			return metrics.Faithfulness(c.scoring, c.pairs, sals)
 		})
 }
 

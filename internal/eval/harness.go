@@ -11,6 +11,7 @@ import (
 	"certa/internal/lime"
 	"certa/internal/matchers"
 	"certa/internal/record"
+	"certa/internal/scorecache"
 	"certa/internal/shap"
 )
 
@@ -143,13 +144,17 @@ func (h *Harness) benchmark(code string) (*dataset.Benchmark, error) {
 }
 
 // cell is one (dataset, model) grid cell with lazily computed
-// explanations.
+// explanations. All explanation work of the cell — CERTA, the baseline
+// explainers and the metric probes — scores through one shared scoring
+// service, so pair contents recurring across methods, ablation configs
+// and experiments are paid for once per harness run.
 type cell struct {
-	code  string
-	kind  matchers.Kind
-	bench *dataset.Benchmark
-	model *matchers.Model
-	pairs []record.LabeledPair
+	code    string
+	kind    matchers.Kind
+	bench   *dataset.Benchmark
+	model   *matchers.Model
+	scoring *scorecache.Service
+	pairs   []record.LabeledPair
 
 	mu    sync.Mutex
 	certa []*core.Result
@@ -177,13 +182,14 @@ func (h *Harness) cell(code string, kind matchers.Kind) (*cell, error) {
 		return nil, fmt.Errorf("eval: training %s on %s: %w", kind, code, err)
 	}
 	c := &cell{
-		code:  code,
-		kind:  kind,
-		bench: b,
-		model: model,
-		pairs: samplePairs(b.Test, h.cfg.ExplainPairs),
-		sal:   make(map[string][]*explain.Saliency),
-		cfs:   make(map[string][][]explain.Counterfactual),
+		code:    code,
+		kind:    kind,
+		bench:   b,
+		model:   model,
+		scoring: scorecache.NewService(model, scorecache.ServiceOptions{Parallelism: h.cfg.Parallelism}),
+		pairs:   samplePairs(b.Test, h.cfg.ExplainPairs),
+		sal:     make(map[string][]*explain.Saliency),
+		cfs:     make(map[string][][]explain.Counterfactual),
 	}
 	h.mu.Lock()
 	// Another goroutine may have raced us; keep the first.
@@ -252,6 +258,7 @@ func (c *cell) certaResults(h *Harness) ([]*core.Result, error) {
 		Triangles:   h.cfg.Triangles,
 		Seed:        h.cfg.Seed,
 		Parallelism: h.cfg.Parallelism,
+		Shared:      c.scoring,
 	})
 	pairs := make([]record.Pair, len(c.pairs))
 	for i, p := range c.pairs {
@@ -299,7 +306,11 @@ func (c *cell) saliencies(h *Harness, method string) ([]*explain.Saliency, error
 	}
 	out := make([]*explain.Saliency, len(c.pairs))
 	for i, p := range c.pairs {
-		s, err := ex.ExplainSaliency(c.model, p.Pair)
+		// The baselines receive the cell's shared scoring service as the
+		// model: their sampled perturbations are memoized alongside
+		// CERTA's, so neighborhoods resampled across methods and
+		// experiments reach the matcher once.
+		s, err := ex.ExplainSaliency(c.scoring, p.Pair)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s on %s/%s: %w", method, c.code, c.kind, err)
 		}
@@ -345,7 +356,7 @@ func (c *cell) counterfactuals(h *Harness, method string) ([][]explain.Counterfa
 	}
 	out := make([][]explain.Counterfactual, len(c.pairs))
 	for i, p := range c.pairs {
-		cfs, err := ex.ExplainCounterfactuals(c.model, p.Pair)
+		cfs, err := ex.ExplainCounterfactuals(c.scoring, p.Pair)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s on %s/%s: %w", method, c.code, c.kind, err)
 		}

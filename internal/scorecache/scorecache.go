@@ -1,47 +1,70 @@
-// Package scorecache provides a memoizing, batching scorer wrapped
-// around a black-box ER model. CERTA's cost is dominated by model calls,
-// and the perturbations it scores repeat heavily: triangles that share
-// support records (or supports that agree on the copied values) generate
-// identical perturbed pairs, and the counterfactual materialization
-// re-scores pairs the lattice exploration already asked about. The
-// Scorer deduplicates all of that — every distinct pair content is
-// scored exactly once — and pushes the remaining unique pairs through
-// the model's batch entry point (explain.BatchModel) in parallel shards.
+// Package scorecache provides the memoizing, batching scoring layer
+// wrapped around a black-box ER model. CERTA's cost is dominated by
+// model calls, and the perturbations it scores repeat heavily: triangles
+// that share support records (or supports that agree on the copied
+// values) generate identical perturbed pairs, the counterfactual
+// materialization re-scores pairs the lattice exploration already asked
+// about, and — across explanations — pairs that share a pivot record
+// re-score the very same support candidates.
+//
+// The layer is split in two:
+//
+//   - Service is the shared, concurrency-safe store: one sharded score
+//     cache (striped locks keyed by Key) with in-flight deduplication,
+//     meant to live for a whole ExplainBatch or harness run. Every
+//     distinct pair content is scored exactly once per run, and two
+//     concurrent explanations that miss on the same content trigger
+//     exactly one model call.
+//   - Scorer is a per-explanation view over a Service. Its statistics
+//     are computed against the view's own key set, so an explanation's
+//     Diagnostics are exactly what a private cache would have reported —
+//     deterministic at any parallelism and independent of what other
+//     explanations already cached — while the actual scoring is
+//     deduplicated globally.
+//
+// Unique misses are pushed through the model's batch entry point
+// (explain.BatchModel) in parallel shards.
 package scorecache
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
+
 	"sync"
 
 	"certa/internal/explain"
 	"certa/internal/record"
-	"certa/internal/workpool"
 )
 
-// Options tunes a Scorer.
+// Options tunes a Scorer view.
 type Options struct {
 	// Parallelism bounds the worker goroutines that evaluate one batch's
 	// cache misses (default 1). Results are index-aligned and therefore
 	// identical at any setting.
 	Parallelism int
-	// Disabled turns memoization off: every lookup reaches the model.
-	// Batching still applies. Used by the core ablation that measures the
-	// cache against the seed scoring path.
+	// Disabled turns memoization off: every lookup reaches the model,
+	// bypassing both the view and the shared store. Batching still
+	// applies. Used by the core ablation that measures the cache against
+	// the seed scoring path.
 	Disabled bool
 }
 
-// Stats reports the work a Scorer performed.
+// Stats reports the work one Scorer view performed. The counters are
+// view-local: Hits and Misses are computed against the keys this view
+// has seen, exactly as a private cache would report them, so they are
+// deterministic even when the underlying store is shared.
 type Stats struct {
 	// Lookups counts score requests served (batch elements included).
 	Lookups int
-	// Hits counts requests answered from the cache, including duplicates
-	// resolved within a single batch.
+	// Hits counts requests answered from the view's key set, including
+	// duplicates resolved within a single batch.
 	Hits int
-	// Misses counts unique model invocations.
+	// Misses counts unique evaluations the view requested — the model
+	// calls a private cache would have made. When the view layers over a
+	// shared Service, some of them are answered by the store without
+	// reaching the model; ServiceStats counts the true invocations.
 	Misses int
-	// Batches counts logical batch evaluations that reached the model
+	// Batches counts logical batch evaluations forwarded to the store
 	// (independent of how many parallel shards executed them).
 	Batches int
 }
@@ -54,41 +77,44 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
-// Scorer memoizes scores by canonical pair content. It implements
-// explain.Model and explain.BatchModel and is safe for concurrent use,
-// though the intended pattern is one Scorer per explanation so cache
-// statistics stay deterministic.
+// Scorer is a per-explanation memoizing view over a shared Service. It
+// implements explain.Model and explain.BatchModel and is safe for
+// concurrent use, though the intended pattern is one Scorer per
+// explanation so cache statistics stay deterministic.
 type Scorer struct {
-	model explain.BatchModel
-	opts  Options
+	svc  *Service
+	opts Options
 
 	mu    sync.Mutex
-	cache map[string]float64
+	local map[string]float64
 	stats Stats
 }
 
-// New wraps a model. The model's batch entry point is used when it has
-// one; plain models fall back to per-pair Score calls.
+// New wraps a model in a private scoring view: a fresh single-view
+// Service plus the Scorer over it. The model's batch entry point is used
+// when it has one; plain models fall back to per-pair Score calls.
 func New(m explain.Model, opts Options) *Scorer {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = 1
 	}
-	return &Scorer{
-		model: explain.AsBatch(m),
-		opts:  opts,
-		cache: make(map[string]float64),
-	}
+	// A single-view store has no cross-view contention; one stripe
+	// avoids allocating 32 maps per explanation.
+	svc := NewService(m, ServiceOptions{Parallelism: opts.Parallelism, Shards: 1})
+	return svc.NewScorer(opts)
 }
 
 // Name implements explain.Model.
-func (s *Scorer) Name() string { return s.model.Name() }
+func (s *Scorer) Name() string { return s.svc.Name() }
 
 // Underlying returns the wrapped model, bypassing the cache and its
 // statistics — for instrumentation queries that must not count as
 // algorithm cost.
-func (s *Scorer) Underlying() explain.BatchModel { return s.model }
+func (s *Scorer) Underlying() explain.BatchModel { return s.svc.Underlying() }
 
-// Stats returns a snapshot of the cache counters.
+// Service returns the shared store this view scores through.
+func (s *Scorer) Service() *Service { return s.svc }
+
+// Stats returns a snapshot of the view's counters.
 func (s *Scorer) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -101,9 +127,10 @@ func (s *Scorer) Score(p record.Pair) float64 {
 }
 
 // ScoreBatch implements explain.BatchModel: duplicates inside the batch
-// and pairs seen by earlier calls are answered from the cache, and only
-// the remaining unique pairs reach the model — in one logical batch,
-// sharded across Options.Parallelism workers.
+// and pairs seen by earlier calls are answered from the view, and only
+// the remaining unique pairs are forwarded to the shared store — in one
+// logical batch, answered from the store when another explanation
+// already paid for them and scored by the model otherwise.
 func (s *Scorer) ScoreBatch(pairs []record.Pair) []float64 {
 	out := make([]float64, len(pairs))
 	if len(pairs) == 0 {
@@ -115,7 +142,8 @@ func (s *Scorer) ScoreBatch(pairs []record.Pair) []float64 {
 		keys[i] = Key(p)
 	}
 
-	// Resolve hits and collect unique misses in first-occurrence order.
+	// Resolve view hits and collect unique misses in first-occurrence
+	// order.
 	type miss struct {
 		key  string
 		pair record.Pair
@@ -128,7 +156,7 @@ func (s *Scorer) ScoreBatch(pairs []record.Pair) []float64 {
 	s.stats.Lookups += len(pairs)
 	for i, k := range keys {
 		if !s.opts.Disabled {
-			if v, ok := s.cache[k]; ok {
+			if v, ok := s.local[k]; ok {
 				out[i] = v
 				s.stats.Hits++
 				continue
@@ -154,40 +182,27 @@ func (s *Scorer) ScoreBatch(pairs []record.Pair) []float64 {
 		return out
 	}
 
-	// Evaluate unique misses: one logical batch, sharded for parallelism.
-	scores := make([]float64, len(misses))
-	shards := s.opts.Parallelism
-	if shards > len(misses) {
-		shards = len(misses)
+	var scores []float64
+	if s.opts.Disabled {
+		missPairs := make([]record.Pair, len(misses))
+		for i, m := range misses {
+			missPairs[i] = m.pair
+		}
+		scores = s.svc.direct(missPairs, s.opts.Parallelism)
+	} else {
+		missKeys := make([]string, len(misses))
+		missPairs := make([]record.Pair, len(misses))
+		for i, m := range misses {
+			missKeys[i] = m.key
+			missPairs[i] = m.pair
+		}
+		scores = s.svc.fetch(missKeys, missPairs)
 	}
-	per := (len(misses) + shards - 1) / shards
-	workpool.Each(shards, shards, func(w int) error {
-		lo := w * per
-		hi := lo + per
-		if hi > len(misses) {
-			hi = len(misses)
-		}
-		if lo >= hi {
-			return nil
-		}
-		chunk := make([]record.Pair, hi-lo)
-		for i := lo; i < hi; i++ {
-			chunk[i-lo] = misses[i].pair
-		}
-		got := s.model.ScoreBatch(chunk)
-		if len(got) != len(chunk) {
-			// A silent mismatch would cache zeros; fail loudly instead.
-			panic(fmt.Sprintf("scorecache: model %q returned %d scores for %d pairs",
-				s.model.Name(), len(got), len(chunk)))
-		}
-		copy(scores[lo:hi], got)
-		return nil
-	})
 
 	s.mu.Lock()
 	for mi, m := range misses {
 		if !s.opts.Disabled {
-			s.cache[m.key] = scores[mi]
+			s.local[m.key] = scores[mi]
 		}
 		for _, slot := range pending[mi] {
 			out[slot] = scores[mi]
@@ -215,6 +230,11 @@ func writeRecord(b *strings.Builder, r *record.Record) {
 		b.WriteString("<nil>")
 		return
 	}
+	// The schema name is length-framed like the values: written bare, a
+	// schema named "S;1:x" would collide with a schema "S" holding the
+	// value "x".
+	b.WriteString(strconv.Itoa(len(r.Schema.Name)))
+	b.WriteByte('#')
 	b.WriteString(r.Schema.Name)
 	for _, v := range r.Values {
 		b.WriteByte(';')

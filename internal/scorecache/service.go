@@ -1,0 +1,443 @@
+package scorecache
+
+import (
+	"fmt"
+	"sync"
+
+	"certa/internal/explain"
+	"certa/internal/record"
+	"certa/internal/workpool"
+)
+
+// ServiceOptions tunes a shared scoring Service.
+type ServiceOptions struct {
+	// Parallelism bounds the worker goroutines that evaluate one fetch's
+	// store misses (default 1). Results are index-aligned and therefore
+	// identical at any setting.
+	Parallelism int
+	// Capacity bounds the number of cached scores (0 = unbounded). When
+	// set, each lock stripe keeps an LRU list and evicts its coldest
+	// entries, so million-pair workloads cannot grow memory without
+	// limit. Eviction never changes results — an evicted key is simply
+	// re-scored on its next request.
+	Capacity int
+	// Shards is the number of lock stripes (default 32). More stripes
+	// reduce contention between concurrent explanations.
+	Shards int
+}
+
+func (o ServiceOptions) withDefaults() ServiceOptions {
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+	if o.Shards <= 0 {
+		o.Shards = 32
+	}
+	return o
+}
+
+// ServiceStats reports the aggregate work a shared Service performed
+// across every explanation that scored through it.
+type ServiceStats struct {
+	// Lookups counts key requests that reached the shared store.
+	Lookups int
+	// Hits counts requests answered without a new model invocation:
+	// either the score was already stored, or another explanation was
+	// computing it in flight and the result was shared.
+	Hits int
+	// Misses counts unique model invocations — the true cost of the
+	// whole run.
+	Misses int
+	// Batches counts logical batch evaluations that reached the model.
+	Batches int
+	// Evictions counts entries dropped by the capacity bound.
+	Evictions int
+}
+
+// HitRate returns Hits/Lookups, or 0 before any lookup.
+func (s ServiceStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// entry is one key's slot in the store. A pending entry (ready not yet
+// closed) marks an in-flight computation: concurrent requesters wait on
+// ready instead of invoking the model again (singleflight). Waiters hold
+// the entry pointer directly, so eviction from the map never invalidates
+// a result someone is still waiting for.
+type entry struct {
+	key   string
+	score float64
+	ready chan struct{} // closed once score is valid (or failed is set)
+	// failed marks entries whose publisher panicked mid-batch; waiters
+	// propagate the failure instead of reading a zero score.
+	failed bool
+
+	// LRU links; only ready entries are linked.
+	prev, next *entry
+}
+
+// serviceShard is one lock stripe of the store.
+type serviceShard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	// Doubly-linked LRU list of ready entries, most recent at head.
+	// Only maintained when cap > 0.
+	head, tail *entry
+	linked     int
+	cap        int
+}
+
+// Service is a shared, concurrency-safe scoring service: one store of
+// memoized scores (striped locks keyed by Key) with in-flight
+// deduplication, intended to live for a whole ExplainBatch or harness
+// run. Two concurrent explanations that miss on the same pair content
+// trigger exactly one model call; everything else is answered from the
+// store.
+//
+// Service implements explain.Model and explain.BatchModel, so it can be
+// handed directly to the baseline explainers. CERTA explanations layer a
+// per-explanation Scorer view over it (NewScorer) so their Diagnostics
+// stay deterministic regardless of what other explanations already
+// cached.
+type Service struct {
+	model  explain.BatchModel
+	opts   ServiceOptions
+	shards []serviceShard
+
+	statmu sync.Mutex
+	stats  ServiceStats
+}
+
+// NewService wraps a model in a shared scoring service. The model's
+// batch entry point is used when it has one; plain models fall back to
+// per-pair Score calls.
+func NewService(m explain.Model, opts ServiceOptions) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		model:  explain.AsBatch(m),
+		opts:   opts,
+		shards: make([]serviceShard, opts.Shards),
+	}
+	perShard := 0
+	if opts.Capacity > 0 {
+		perShard = (opts.Capacity + opts.Shards - 1) / opts.Shards
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
+	for i := range s.shards {
+		s.shards[i] = serviceShard{entries: make(map[string]*entry), cap: perShard}
+	}
+	return s
+}
+
+// Name implements explain.Model.
+func (s *Service) Name() string { return s.model.Name() }
+
+// Underlying returns the wrapped model, bypassing the store and its
+// statistics — for instrumentation queries that must not count as
+// algorithm cost.
+func (s *Service) Underlying() explain.BatchModel { return s.model }
+
+// Stats returns a snapshot of the shared counters.
+func (s *Service) Stats() ServiceStats {
+	s.statmu.Lock()
+	defer s.statmu.Unlock()
+	return s.stats
+}
+
+// NewScorer opens a per-explanation view over the shared store. The
+// view's Stats are computed against its own private key set, so they are
+// exactly what a private cache would have reported — deterministic and
+// independent of concurrent explanations — while the underlying scoring
+// is deduplicated across every view of the Service.
+func (s *Service) NewScorer(opts Options) *Scorer {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 1
+	}
+	return &Scorer{svc: s, opts: opts, local: make(map[string]float64)}
+}
+
+// Score implements explain.Model through the shared store.
+func (s *Service) Score(p record.Pair) float64 {
+	return s.ScoreBatch([]record.Pair{p})[0]
+}
+
+// ScoreBatch implements explain.BatchModel: duplicates inside the batch
+// and pairs any earlier request stored are answered from the store, and
+// only the remaining unique pairs reach the model.
+func (s *Service) ScoreBatch(pairs []record.Pair) []float64 {
+	out := make([]float64, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	var keys []string
+	var unique []record.Pair
+	slots := make(map[string][]int, len(pairs))
+	for i, p := range pairs {
+		k := Key(p)
+		if _, ok := slots[k]; !ok {
+			keys = append(keys, k)
+			unique = append(unique, p)
+		}
+		slots[k] = append(slots[k], i)
+	}
+	if dupes := len(pairs) - len(keys); dupes > 0 {
+		s.statmu.Lock()
+		s.stats.Lookups += dupes
+		s.stats.Hits += dupes
+		s.statmu.Unlock()
+	}
+	scores := s.fetch(keys, unique)
+	for i, k := range keys {
+		for _, slot := range slots[k] {
+			out[slot] = scores[i]
+		}
+	}
+	return out
+}
+
+// shardFor stripes a key across the locks (FNV-1a).
+func (s *Service) shardFor(key string) *serviceShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[h%uint32(len(s.shards))]
+}
+
+// waiter records an output slot blocked on another goroutine's in-flight
+// computation.
+type waiter struct {
+	slot int
+	e    *entry
+}
+
+// fetch resolves unique keys against the store: stored scores are
+// returned immediately, keys being computed by another goroutine are
+// waited on, and the remaining misses are claimed, scored in one logical
+// batch (sharded across ServiceOptions.Parallelism workers) and
+// published. Keys must be unique within one call.
+func (s *Service) fetch(keys []string, pairs []record.Pair) []float64 {
+	out := make([]float64, len(keys))
+	var claimed []int    // indexes this call must score
+	var claims []*entry  // their store entries, index-aligned with claimed
+	var waiters []waiter // indexes computed by concurrent callers
+	hits := 0
+
+	for i, k := range keys {
+		sh := s.shardFor(k)
+		sh.mu.Lock()
+		if e, ok := sh.entries[k]; ok {
+			select {
+			case <-e.ready:
+				out[i] = e.score
+				sh.touch(e)
+				hits++
+			default:
+				waiters = append(waiters, waiter{slot: i, e: e})
+				hits++ // in-flight dedup: answered without a new model call
+			}
+			sh.mu.Unlock()
+			continue
+		}
+		e := &entry{key: k, ready: make(chan struct{})}
+		sh.entries[k] = e
+		sh.mu.Unlock()
+		claimed = append(claimed, i)
+		claims = append(claims, e)
+	}
+
+	s.statmu.Lock()
+	s.stats.Lookups += len(keys)
+	s.stats.Hits += hits
+	s.stats.Misses += len(claimed)
+	if len(claimed) > 0 {
+		s.stats.Batches++
+	}
+	s.statmu.Unlock()
+
+	if len(claimed) > 0 {
+		s.scoreClaims(keys, pairs, out, claimed, claims)
+	}
+
+	// Wait on concurrent computations only after publishing our own
+	// claims, so two calls with overlapping key sets cannot deadlock.
+	for _, w := range waiters {
+		<-w.e.ready
+		if w.e.failed {
+			panic(fmt.Sprintf("scorecache: concurrent scoring of %q failed", s.model.Name()))
+		}
+		out[w.slot] = w.e.score
+	}
+	return out
+}
+
+// scoreClaims evaluates this call's store misses in one logical batch
+// and publishes the results. If the model panics (for example on a
+// batch-length contract violation), every claimed entry is unpublished
+// and marked failed before the panic propagates, so waiters are never
+// left blocked.
+func (s *Service) scoreClaims(keys []string, pairs []record.Pair, out []float64, claimed []int, claims []*entry) {
+	published := false
+	defer func() {
+		if published {
+			return
+		}
+		for _, e := range claims {
+			sh := s.shardFor(e.key)
+			sh.mu.Lock()
+			delete(sh.entries, e.key)
+			e.failed = true
+			close(e.ready)
+			sh.mu.Unlock()
+		}
+	}()
+
+	scores := make([]float64, len(claimed))
+	shards := s.opts.Parallelism
+	if shards > len(claimed) {
+		shards = len(claimed)
+	}
+	per := (len(claimed) + shards - 1) / shards
+	workpool.Each(shards, shards, func(w int) error {
+		lo := w * per
+		hi := lo + per
+		if hi > len(claimed) {
+			hi = len(claimed)
+		}
+		if lo >= hi {
+			return nil
+		}
+		chunk := make([]record.Pair, hi-lo)
+		for i := lo; i < hi; i++ {
+			chunk[i-lo] = pairs[claimed[i]]
+		}
+		got := s.model.ScoreBatch(chunk)
+		if len(got) != len(chunk) {
+			// A silent mismatch would cache zeros; fail loudly instead.
+			panic(fmt.Sprintf("scorecache: model %q returned %d scores for %d pairs",
+				s.model.Name(), len(got), len(chunk)))
+		}
+		copy(scores[lo:hi], got)
+		return nil
+	})
+
+	evictions := 0
+	for i, e := range claims {
+		out[claimed[i]] = scores[i]
+		sh := s.shardFor(e.key)
+		sh.mu.Lock()
+		e.score = scores[i]
+		close(e.ready)
+		evictions += sh.link(e)
+		sh.mu.Unlock()
+	}
+	published = true
+	if evictions > 0 {
+		s.statmu.Lock()
+		s.stats.Evictions += evictions
+		s.statmu.Unlock()
+	}
+}
+
+// direct evaluates pairs against the model without touching the store —
+// the cache-disabled ablation path. The calls still count as shared
+// lookups and misses so run-level cost accounting stays truthful.
+func (s *Service) direct(pairs []record.Pair, parallelism int) []float64 {
+	if len(pairs) == 0 {
+		return nil
+	}
+	s.statmu.Lock()
+	s.stats.Lookups += len(pairs)
+	s.stats.Misses += len(pairs)
+	s.stats.Batches++
+	s.statmu.Unlock()
+
+	scores := make([]float64, len(pairs))
+	shards := parallelism
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > len(pairs) {
+		shards = len(pairs)
+	}
+	per := (len(pairs) + shards - 1) / shards
+	workpool.Each(shards, shards, func(w int) error {
+		lo := w * per
+		hi := lo + per
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			return nil
+		}
+		got := s.model.ScoreBatch(pairs[lo:hi])
+		if len(got) != len(pairs[lo:hi]) {
+			panic(fmt.Sprintf("scorecache: model %q returned %d scores for %d pairs",
+				s.model.Name(), len(got), hi-lo))
+		}
+		copy(scores[lo:hi], got)
+		return nil
+	})
+	return scores
+}
+
+// touch moves a ready entry to the LRU head. No-op for unbounded shards.
+func (sh *serviceShard) touch(e *entry) {
+	if sh.cap <= 0 || sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// link inserts a newly-ready entry at the LRU head and evicts past the
+// capacity bound, returning the number of evictions. No-op (returning 0)
+// for unbounded shards.
+func (sh *serviceShard) link(e *entry) int {
+	if sh.cap <= 0 {
+		return 0
+	}
+	sh.pushFront(e)
+	evicted := 0
+	for sh.linked > sh.cap {
+		cold := sh.tail
+		sh.unlink(cold)
+		delete(sh.entries, cold.key)
+		evicted++
+	}
+	return evicted
+}
+
+func (sh *serviceShard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+	sh.linked++
+}
+
+func (sh *serviceShard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	sh.linked--
+}

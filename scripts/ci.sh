@@ -15,6 +15,9 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== race (shared scoring pipeline) =="
+go test -race ./internal/scorecache/ ./internal/workpool/ ./internal/core/
+
 echo "== bench smoke =="
 go test -bench=. -benchtime=1x -run='^$' .
 
