@@ -1,6 +1,8 @@
 package certa_test
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -57,6 +59,50 @@ func TestPublicExplainBatchMatchesSequential(t *testing.T) {
 		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Errorf("pair %d (%s): batched explanation differs from sequential", i, pairs[i].Key())
 		}
+	}
+}
+
+// TestPublicAnytimeAndCancellation exercises the serving-semantics
+// surface: CallBudget truncation flagged in Diagnostics, ScoreBatchContext,
+// and ExplainBatchContext honoring a cancelled context.
+func TestPublicAnytimeAndCancellation(t *testing.T) {
+	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{
+		Seed: 2, MaxRecords: 120, MaxMatches: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := certa.MatcherFunc("jaccard", func(p certa.Pair) float64 {
+		if strutil.Jaccard(p.Left.Text(), p.Right.Text()) > 0.4 {
+			return 0.9
+		}
+		return 0.1
+	})
+	pairs := []certa.Pair{bench.Test[0].Pair, bench.Test[1].Pair}
+
+	results, err := certa.ExplainBatchContext(context.Background(), model,
+		bench.Left, bench.Right, pairs,
+		certa.Options{Triangles: 10, Seed: 4, CallBudget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if !res.Diag.Truncated || res.Diag.TruncatedBy != certa.TruncatedByCallBudget {
+			t.Fatalf("pair %d: budget 3 not flagged as call-budget truncation: %+v", i, res.Diag)
+		}
+		if res.Diag.Completeness >= 1 {
+			t.Fatalf("pair %d: truncated completeness %v", i, res.Diag.Completeness)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := certa.ExplainBatchContext(ctx, model, bench.Left, bench.Right, pairs,
+		certa.Options{Triangles: 10, Seed: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch err = %v, want context.Canceled", err)
+	}
+	if _, err := certa.ScoreBatchContext(ctx, model, pairs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ScoreBatchContext err = %v, want context.Canceled", err)
 	}
 }
 

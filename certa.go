@@ -61,6 +61,36 @@
 // and report what a private cache would have; only ServiceStats reveal
 // the cross-explanation reuse.
 //
+// # Serving semantics: deadlines, budgets, cancellation
+//
+// Explain is an anytime algorithm. Serving-scale callers bound each
+// explanation with Options.CallBudget (maximum unique model calls) or
+// Options.Deadline (per-explanation wall-clock allowance); when a limit
+// trips at one of the pipeline's batch checkpoints, the remaining stages
+// are skipped and the best explanation obtainable within the limit is
+// returned, flagged in Diagnostics.Truncated with the budget spent and a
+// completeness fraction. Call-budget truncation is deterministic:
+// byte-identical at any Parallelism, with or without a shared service.
+//
+// Hard cancellation is a context: ExplainContext and ExplainBatchContext
+// abort at the next scoring checkpoint and return ctx.Err() — a
+// cancelled batch never starts its remaining explanations.
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	results, err := certa.ExplainBatchContext(ctx, model, bench.Left, bench.Right,
+//	    pairs, certa.Options{Triangles: 100, CallBudget: 200})
+//	if err != nil {
+//	    return err // ctx.Err() when the 2s timeout cancelled the batch
+//	}
+//	if results[0].Diag.Truncated {
+//	    fmt.Println(results[0].Diag.TruncatedBy, results[0].Diag.Completeness)
+//	}
+//
+// Models that can abandon in-flight work (an RPC-backed matcher, say)
+// implement ContextModel; everything else is adapted with a per-batch
+// cancellation check.
+//
 // The package also ships the three DL-style ER systems the paper
 // evaluates (DeepER, DeepMatcher, Ditto), the baseline explainers it
 // compares against (Mojito, LandMark, SHAP, DiCE, LIME-C, SHAP-C), the
@@ -70,6 +100,7 @@
 package certa
 
 import (
+	"context"
 	"fmt"
 
 	"certa/internal/baselines"
@@ -121,6 +152,12 @@ type (
 	// grouped queries in one call. Plain Models are adapted
 	// automatically.
 	BatchModel = explain.BatchModel
+	// ContextModel is the optional cancellation-aware capability: models
+	// that implement ScoreBatchContext(ctx, []Pair) ([]float64, error)
+	// can abandon in-flight scoring when the caller's context is
+	// cancelled (an RPC-backed matcher forwards ctx to its transport).
+	// Plain Models are adapted with a per-batch cancellation check.
+	ContextModel = explain.ContextModel
 	// Saliency maps each attribute to its importance for one prediction.
 	Saliency = explain.Saliency
 	// Counterfactual is a perturbed pair that flips the prediction.
@@ -167,6 +204,24 @@ func ExplainBatch(m Model, left, right *Table, pairs []Pair, opts Options) ([]*R
 	return core.New(left, right, opts).ExplainBatch(m, pairs)
 }
 
+// ExplainBatchContext is ExplainBatch under a caller context: a
+// cancelled ctx fail-fast-cancels the batch — explanations not yet
+// started never run, in-flight ones abort at their next scoring call —
+// and ctx.Err() is returned. Combine with Options.Deadline and
+// Options.CallBudget for per-explanation anytime limits, which truncate
+// (Diagnostics.Truncated) instead of erroring.
+func ExplainBatchContext(ctx context.Context, m Model, left, right *Table, pairs []Pair, opts Options) ([]*Result, error) {
+	return core.New(left, right, opts).ExplainBatchContext(ctx, m, pairs)
+}
+
+// Truncation reasons reported in Diagnostics.TruncatedBy.
+const (
+	// TruncatedByCallBudget marks explanations cut short by Options.CallBudget.
+	TruncatedByCallBudget = core.TruncatedByCallBudget
+	// TruncatedByDeadline marks explanations cut short by Options.Deadline.
+	TruncatedByDeadline = core.TruncatedByDeadline
+)
+
 // Shared scoring service (see internal/scorecache).
 type (
 	// ScoringService is a shared, concurrency-safe score store: one
@@ -196,6 +251,13 @@ func NewScoringService(m Model, opts ScoringServiceOptions) *ScoringService {
 // otherwise.
 func ScoreBatch(m Model, pairs []Pair) []float64 {
 	return explain.ScoreBatch(m, pairs)
+}
+
+// ScoreBatchContext scores every pair with m under ctx, through the
+// native context entry point when m implements ContextModel and a
+// per-batch cancellation check otherwise.
+func ScoreBatchContext(ctx context.Context, m Model, pairs []Pair) ([]float64, error) {
+	return explain.ScoreBatchContext(ctx, m, pairs)
 }
 
 // NewSchema builds a schema, validating attribute names.
@@ -404,3 +466,9 @@ func Diversity(cfs []Counterfactual) float64 { return metrics.Diversity(cfs) }
 
 // Validity is the fraction of counterfactuals that actually flip.
 func Validity(cfs []Counterfactual) float64 { return metrics.Validity(cfs) }
+
+// SaliencyTopKAgreement is the Jaccard overlap of two saliencies' top-k
+// attribute sets — the rank-agreement proxy the anytime experiments use
+// to measure how close a budget-truncated explanation is to the
+// unlimited run's.
+func SaliencyTopKAgreement(a, b *Saliency, k int) float64 { return metrics.TopKAgreement(a, b, k) }

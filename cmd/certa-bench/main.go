@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,11 +41,18 @@ func main() {
 		quick       = flag.Bool("quick", false, "tiny profile (for smoke runs)")
 		report      = flag.String("report", "", "write a markdown paper-vs-measured report (all experiments) to this file")
 		benchJSON   = flag.String("benchjson", "", "run the batched-pipeline perf probe on AB and write JSON metrics to this file")
+		deadline    = flag.Duration("deadline", 0, "per-explanation soft deadline for the perf probe (Options.Deadline; 0 = none)")
+		callBudget  = flag.String("call-budget", "", "comma-separated CallBudget sweep for the perf probe's anytime curve, e.g. 40,80,160 (0 = unlimited reference)")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *seed, *parallelism); err != nil {
+		budgets, err := parseBudgets(*callBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeBenchJSON(*benchJSON, *seed, *parallelism, *deadline, budgets); err != nil {
 			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -143,13 +151,63 @@ type benchMetrics struct {
 	// CallReduction divides the seed path's cost (sequential, uncached
 	// point lookups) by the unique model calls of the whole shared run.
 	CallReduction float64 `json:"call_reduction_vs_uncached"`
+	// DeadlineMS echoes the -deadline flag applied to the main run (0 =
+	// none); TruncatedFraction is that run's share of truncated
+	// explanations (non-zero only under a deadline or budget).
+	DeadlineMS        float64 `json:"deadline_ms,omitempty"`
+	TruncatedFraction float64 `json:"truncated_fraction"`
+	// Anytime is the -call-budget sweep: per budget, throughput plus
+	// quality proxies against an unlimited reference run (the main run
+	// itself unless -deadline truncated it, in which case the sweep runs
+	// its own).
+	Anytime []anytimePoint `json:"anytime,omitempty"`
+}
+
+// anytimePoint is one entry of the anytime quality-vs-budget curve.
+type anytimePoint struct {
+	// CallBudget is Options.CallBudget for this sweep point (0 =
+	// unlimited reference).
+	CallBudget         int     `json:"call_budget"`
+	ExplanationsPerSec float64 `json:"explanations_per_sec"`
+	// TruncatedFraction is the share of explanations cut at the budget;
+	// MeanCompleteness averages Diagnostics.Completeness.
+	TruncatedFraction float64 `json:"truncated_fraction"`
+	MeanCompleteness  float64 `json:"mean_completeness"`
+	// SaliencyTop2Agreement is the faithfulness proxy: mean Jaccard
+	// overlap of the top-2 salient attributes with the unlimited run.
+	SaliencyTop2Agreement float64 `json:"saliency_top2_agreement"`
+	// CFValidity is the flip rate of emitted counterfactuals (1 under
+	// the monotone-classifier assumption; tight budgets lean harder on
+	// inferred flips, so non-monotone matchers can dip below it); -1
+	// when none were emitted.
+	CFValidity     float64 `json:"cf_validity"`
+	MeanModelCalls float64 `json:"mean_model_calls_per_explanation"`
+}
+
+// parseBudgets parses the -call-budget sweep list.
+func parseBudgets(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || b < 0 {
+			return nil, fmt.Errorf("invalid -call-budget entry %q", part)
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 // writeBenchJSON trains a matcher on a small AB benchmark, explains a
 // blocked candidate cluster through ExplainBatch with a shared scoring
 // service, and writes throughput plus private-vs-shared cache metrics
-// as JSON.
-func writeBenchJSON(path string, seed int64, parallelism int) error {
+// as JSON. deadline applies Options.Deadline to the main run; budgets
+// adds the anytime quality-vs-budget curve, each sweep point explaining
+// the same workload under its own fresh scoring service (the serving
+// scenario a budgeted deployment would run).
+func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Duration, budgets []int) error {
 	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{
 		Seed: seed, MaxRecords: 120, MaxMatches: 60,
 	})
@@ -177,18 +235,22 @@ func writeBenchJSON(path string, seed int64, parallelism int) error {
 	start := time.Now()
 	results, err := certa.ExplainBatch(model, bench.Left, bench.Right, pairs, certa.Options{
 		Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: svc,
+		Deadline: deadline,
 	})
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start).Seconds()
 
-	var modelCalls, seedCalls, hits, lookups float64
+	var modelCalls, seedCalls, hits, lookups, truncated float64
 	for _, res := range results {
 		modelCalls += float64(res.Diag.ModelCalls)
 		seedCalls += float64(res.Diag.SeedPathCalls)
 		hits += float64(res.Diag.CacheHits)
 		lookups += float64(res.Diag.CacheLookups)
+		if res.Diag.Truncated {
+			truncated++
+		}
 	}
 	st := svc.Stats()
 	n := float64(len(results))
@@ -207,7 +269,43 @@ func writeBenchJSON(path string, seed int64, parallelism int) error {
 		PrivateModelCalls:  int(modelCalls),
 		UniqueModelCalls:   st.Misses,
 		CallReduction:      seedCalls / float64(st.Misses),
+		DeadlineMS:         float64(deadline) / float64(time.Millisecond),
+		TruncatedFraction:  truncated / n,
 	}
+
+	// The anytime curve: each budget re-explains the workload under its
+	// own fresh shared service, measured against an unlimited reference.
+	// With no -deadline the main run IS that reference (and the budget-0
+	// sweep point reuses it instead of paying a second full pass); a
+	// deadline-truncated main run cannot anchor quality, so the sweep
+	// then pays for one dedicated unlimited pass.
+	if len(budgets) > 0 {
+		reference, refWall := results, wall
+		if deadline != 0 {
+			svc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+			refStart := time.Now()
+			reference, err = certa.ExplainBatch(model, bench.Left, bench.Right, pairs, certa.Options{
+				Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: svc,
+			})
+			if err != nil {
+				return err
+			}
+			refWall = time.Since(refStart).Seconds()
+		}
+		for _, budget := range budgets {
+			var point anytimePoint
+			if budget == 0 {
+				point = summarizeAnytime(0, refWall, reference, reference)
+			} else {
+				point, err = anytimeSweepPoint(model, bench.Left, bench.Right, pairs, seed, parallelism, budget, reference)
+				if err != nil {
+					return err
+				}
+			}
+			m.Anytime = append(m.Anytime, point)
+		}
+	}
+
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -216,7 +314,40 @@ func writeBenchJSON(path string, seed int64, parallelism int) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "certa-bench: %.1f explanations/sec, %d unique model calls for %d private, %.2fx reduction vs uncached -> %s\n",
-		m.ExplanationsPerSec, m.UniqueModelCalls, m.PrivateModelCalls, m.CallReduction, path)
+	fmt.Fprintf(os.Stderr, "certa-bench: %.1f explanations/sec, %d unique model calls for %d private, %.2fx reduction vs uncached, %d anytime points -> %s\n",
+		m.ExplanationsPerSec, m.UniqueModelCalls, m.PrivateModelCalls, m.CallReduction, len(m.Anytime), path)
 	return nil
+}
+
+// anytimeSweepPoint explains the workload once at the given CallBudget
+// under a fresh scoring service and summarizes throughput and quality
+// against the reference (unlimited) results.
+func anytimeSweepPoint(model certa.Model, left, right *certa.Table, pairs []certa.Pair, seed int64, parallelism, budget int, reference []*certa.Result) (anytimePoint, error) {
+	svc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+	start := time.Now()
+	results, err := certa.ExplainBatch(model, left, right, pairs, certa.Options{
+		Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: svc,
+		CallBudget: budget,
+	})
+	if err != nil {
+		return anytimePoint{}, err
+	}
+	return summarizeAnytime(budget, time.Since(start).Seconds(), results, reference), nil
+}
+
+// summarizeAnytime folds one budget run into its curve entry. The
+// quality quantities come from eval.SummarizeAnytime, so the JSON curve
+// and the eval harness's anytime table measure exactly the same thing
+// (certa.Result is an alias of core.Result).
+func summarizeAnytime(budget int, wall float64, results, reference []*certa.Result) anytimePoint {
+	s := eval.SummarizeAnytime(results, reference)
+	return anytimePoint{
+		CallBudget:            budget,
+		ExplanationsPerSec:    float64(len(results)) / wall,
+		TruncatedFraction:     s.TruncatedFraction,
+		MeanCompleteness:      s.MeanCompleteness,
+		SaliencyTop2Agreement: s.Top2Agreement,
+		CFValidity:            s.CFValidity,
+		MeanModelCalls:        s.MeanModelCalls,
+	}
 }

@@ -10,34 +10,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"certa"
 )
 
 func main() {
 	var (
-		ds        = flag.String("dataset", "AB", "benchmark code (AB, AG, BA, DA, DS, FZ, IA, WA, DDA, DDS, DIA, DWA)")
-		model     = flag.String("model", "Ditto", "ER system: DeepER, DeepMatcher, Ditto, SVM")
-		pairIdx   = flag.Int("pair", 0, "index into the benchmark's test split")
-		wrong     = flag.Bool("wrong", false, "explain the first misclassified test pair instead")
-		triangles = flag.Int("triangles", 100, "CERTA triangle budget τ")
-		parallel  = flag.Int("parallelism", 1, "worker goroutines for batched scoring")
-		seed      = flag.Int64("seed", 7, "random seed")
-		records   = flag.Int("records", 300, "max records per source")
-		matches   = flag.Int("matches", 150, "max matching pairs")
-		tokens    = flag.Bool("tokens", false, "also print token-level saliency (the paper's future-work extension)")
-		saveModel = flag.String("save-model", "", "write the trained model to this file")
-		loadModel = flag.String("load-model", "", "load a previously saved model instead of training")
+		ds         = flag.String("dataset", "AB", "benchmark code (AB, AG, BA, DA, DS, FZ, IA, WA, DDA, DDS, DIA, DWA)")
+		model      = flag.String("model", "Ditto", "ER system: DeepER, DeepMatcher, Ditto, SVM")
+		pairIdx    = flag.Int("pair", 0, "index into the benchmark's test split")
+		wrong      = flag.Bool("wrong", false, "explain the first misclassified test pair instead")
+		triangles  = flag.Int("triangles", 100, "CERTA triangle budget τ")
+		parallel   = flag.Int("parallelism", 1, "worker goroutines for batched scoring")
+		seed       = flag.Int64("seed", 7, "random seed")
+		records    = flag.Int("records", 300, "max records per source")
+		matches    = flag.Int("matches", 150, "max matching pairs")
+		tokens     = flag.Bool("tokens", false, "also print token-level saliency (the paper's future-work extension)")
+		saveModel  = flag.String("save-model", "", "write the trained model to this file")
+		loadModel  = flag.String("load-model", "", "load a previously saved model instead of training")
+		callBudget = flag.Int("call-budget", 0, "anytime cap on unique model calls (0 = unlimited); a tripped budget returns the best-so-far explanation")
+		deadline   = flag.Duration("deadline", 0, "anytime soft wall-clock allowance for the explanation (0 = none)")
 	)
 	flag.Parse()
 
-	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *parallel, *seed, *records, *matches, *tokens, *saveModel, *loadModel); err != nil {
+	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *parallel, *seed, *records, *matches, *tokens, *saveModel, *loadModel, *callBudget, *deadline); err != nil {
 		fmt.Fprintf(os.Stderr, "certa-explain: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, seed int64, records, matches int, tokens bool, saveModel, loadModel string) error {
+func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, seed int64, records, matches int, tokens bool, saveModel, loadModel string, callBudget int, deadline time.Duration) error {
 	bench, err := certa.GenerateBenchmark(ds, certa.BenchmarkOptions{
 		Seed: seed, MaxRecords: records, MaxMatches: matches,
 	})
@@ -103,10 +106,15 @@ func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, see
 
 	explainer := certa.New(bench.Left, bench.Right, certa.Options{
 		Triangles: triangles, Seed: seed, Parallelism: parallel,
+		CallBudget: callBudget, Deadline: deadline,
 	})
 	res, err := explainer.Explain(m, target.Pair)
 	if err != nil {
 		return err
+	}
+	if res.Diag.Truncated {
+		fmt.Printf("anytime: %s limit tripped — best-so-far explanation, completeness %.0f%%, %d calls spent\n\n",
+			res.Diag.TruncatedBy, 100*res.Diag.Completeness, res.Diag.BudgetSpent)
 	}
 
 	fmt.Println("saliency (probability of necessity):")

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"certa"
 )
@@ -54,19 +56,31 @@ func main() {
 	fmt.Printf("matching: %d of %d candidates predicted Match\n", matches, len(verdicts))
 
 	// 3. Triage: the scores closest to the boundary are the ones a human
-	//    should review — explain them.
+	//    should review — explain them. A review queue is a serving
+	//    workload, so bound it like one: the context hard-caps the whole
+	//    triage pass, and CallBudget makes each explanation anytime — if
+	//    the budget trips, the reviewer still gets the best explanation
+	//    obtainable within it (res.Diag.Truncated says so).
 	sort.Slice(verdicts, func(i, j int) bool {
 		di := abs(verdicts[i].score - 0.5)
 		dj := abs(verdicts[j].score - 0.5)
 		return di < dj
 	})
-	explainer := certa.New(bench.Left, bench.Right, certa.Options{Triangles: 50, Seed: 31})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	explainer := certa.New(bench.Left, bench.Right, certa.Options{
+		Triangles: 50, Seed: 31, CallBudget: 4000,
+	})
 	fmt.Println("\nmost uncertain verdicts, with the attributes a reviewer should check first:")
 	for i := 0; i < 3 && i < len(verdicts); i++ {
 		v := verdicts[i]
-		res, err := explainer.Explain(model, v.pair)
+		res, err := explainer.ExplainContext(ctx, model, v.pair)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.Diag.Truncated {
+			fmt.Printf("  (budget hit: %s, completeness %.0f%%)\n",
+				res.Diag.TruncatedBy, 100*res.Diag.Completeness)
 		}
 		top := res.Saliency.TopK(2)
 		fmt.Printf("  <%s> score %.3f -> check %v", v.pair.Key(), v.score, refNames(top))

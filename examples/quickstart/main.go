@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"certa"
 )
@@ -38,12 +40,18 @@ func main() {
 	// 3. Explain a test prediction: CERTA returns both a saliency
 	//    explanation (probability of necessity per attribute) and
 	//    counterfactual examples (value changes that flip the verdict).
+	//    The context bounds the whole call (serving-style): cancellation
+	//    aborts with ctx.Err(), while Options.Deadline/CallBudget would
+	//    instead truncate to the best explanation obtainable in time
+	//    (check res.Diag.Truncated).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	explainer := certa.New(bench.Left, bench.Right, certa.Options{
 		Triangles: 100, // the paper's τ
 		Seed:      1,
 	})
 	pair := bench.Test[0].Pair
-	res, err := explainer.Explain(model, pair)
+	res, err := explainer.ExplainContext(ctx, model, pair)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -59,6 +59,80 @@ func nameRefs() (l, r record.AttrRef) {
 		record.AttrRef{Side: record.Right, Attr: "name"}
 }
 
+// countingNameModel wraps nameModel with a call counter.
+type countingNameModel struct {
+	inner nameModel
+	calls int
+}
+
+func (m *countingNameModel) Name() string { return m.inner.Name() }
+func (m *countingNameModel) Score(p record.Pair) float64 {
+	m.calls++
+	return m.inner.Score(p)
+}
+
+// TestDiCECallBudgetAnytime pins the DiCE anytime knob: a small budget
+// stops the genetic search at a generation boundary (far fewer model
+// calls), equal budgets produce identical counterfactuals, and a budget
+// above the unlimited cost changes nothing.
+func TestDiCECallBudgetAnytime(t *testing.T) {
+	left, right := buildTables()
+	p := nonMatchPair(left, right)
+
+	unlimited := &countingNameModel{}
+	d := NewDiCE(left, right, DiCEConfig{Seed: 7})
+	fullCFs, err := d.ExplainCounterfactuals(unlimited, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Budget that only covers the initial population: the search must
+	// stop at the first generation boundary.
+	tight := &countingNameModel{}
+	dTight := NewDiCE(left, right, DiCEConfig{Seed: 7, CallBudget: 2})
+	tightCFs, err := dTight.ExplainCounterfactuals(tight, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.calls >= unlimited.calls {
+		t.Fatalf("budgeted run made %d calls, unlimited %d", tight.calls, unlimited.calls)
+	}
+	// 1 original + at most Population initial proposals.
+	if tight.calls > 1+24 {
+		t.Fatalf("budget 2 still made %d calls, want initial population only", tight.calls)
+	}
+
+	// Determinism at equal budgets.
+	again, err := NewDiCE(left, right, DiCEConfig{Seed: 7, CallBudget: 2}).
+		ExplainCounterfactuals(&countingNameModel{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(tightCFs) {
+		t.Fatalf("equal budgets: %d vs %d counterfactuals", len(again), len(tightCFs))
+	}
+	for i := range again {
+		if again[i].Pair.Key() != tightCFs[i].Pair.Key() || again[i].Score != tightCFs[i].Score {
+			t.Fatalf("equal budgets diverge at counterfactual %d", i)
+		}
+	}
+
+	// A budget above the unlimited cost is a no-op.
+	loose, err := NewDiCE(left, right, DiCEConfig{Seed: 7, CallBudget: unlimited.calls + 1}).
+		ExplainCounterfactuals(&countingNameModel{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose) != len(fullCFs) {
+		t.Fatalf("loose budget: %d vs %d counterfactuals", len(loose), len(fullCFs))
+	}
+	for i := range loose {
+		if loose[i].Pair.Key() != fullCFs[i].Pair.Key() {
+			t.Fatalf("loose budget diverges at counterfactual %d", i)
+		}
+	}
+}
+
 func assertNameDominates(t *testing.T, sal *explain.Saliency, method string) {
 	t.Helper()
 	lName, rName := nameRefs()

@@ -25,6 +25,11 @@ type DiCE struct {
 	K int
 	// Population and Generations size the genetic search (defaults 24/12).
 	Population, Generations int
+	// CallBudget caps model calls per explanation (0 = unlimited),
+	// checked at generation boundaries — the same anytime contract as
+	// core.Options.CallBudget, so budget sweeps can compare CERTA and
+	// DiCE under one knob.
+	CallBudget int
 	// Seed drives the search.
 	Seed int64
 }
@@ -35,6 +40,13 @@ type DiCEConfig struct {
 	Seed                       int64
 	// DomainCap bounds per-attribute value pools (default 150).
 	DomainCap int
+	// CallBudget caps model calls per explanation (0 = unlimited): the
+	// genetic search stops at the first generation boundary at or past
+	// the budget and returns its best-so-far selection. The initial
+	// population is always evaluated (it is the minimum viable search),
+	// so tiny budgets cost origin + population calls. Deterministic:
+	// equal budgets select identical counterfactuals.
+	CallBudget int
 }
 
 // NewDiCE builds the explainer, harvesting attribute value domains from
@@ -57,6 +69,7 @@ func NewDiCE(left, right *record.Table, cfg DiCEConfig) *DiCE {
 		K:           cfg.K,
 		Population:  cfg.Population,
 		Generations: cfg.Generations,
+		CallBudget:  cfg.CallBudget,
 		Seed:        cfg.Seed,
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 77))
@@ -147,6 +160,7 @@ func (d *DiCE) ExplainCounterfactuals(m explain.Model, p record.Pair) ([]explain
 		v := pool[rng.Intn(len(pool))]
 		return proposal{pair: parent.pair.WithValue(ref, v), parent: parent, mutated: true}
 	}
+	calls := 1 // the original score
 	evalAll := func(props []proposal) []candidate {
 		pairs := make([]record.Pair, 0, len(props))
 		for _, pr := range props {
@@ -154,6 +168,7 @@ func (d *DiCE) ExplainCounterfactuals(m explain.Model, p record.Pair) ([]explain
 				pairs = append(pairs, pr.pair)
 			}
 		}
+		calls += len(pairs)
 		scores := explain.ScoreBatch(m, pairs)
 		out := make([]candidate, len(props))
 		si := 0
@@ -177,6 +192,12 @@ func (d *DiCE) ExplainCounterfactuals(m explain.Model, p record.Pair) ([]explain
 	pop := evalAll(props)
 
 	for g := 0; g < d.Generations; g++ {
+		// Anytime checkpoint, mirroring core's call-budget contract: a
+		// spent budget ends the search at the generation boundary with
+		// the best-so-far population.
+		if d.CallBudget > 0 && calls >= d.CallBudget {
+			break
+		}
 		sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
 		elite := pop[:d.Population/2]
 		props = props[:0]

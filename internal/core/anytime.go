@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+
+	"certa/internal/scorecache"
+)
+
+// Diagnostics.TruncatedBy values.
+const (
+	// TruncatedByCallBudget marks explanations cut short by
+	// Options.CallBudget.
+	TruncatedByCallBudget = "call-budget"
+	// TruncatedByDeadline marks explanations cut short by
+	// Options.Deadline.
+	TruncatedByDeadline = "deadline"
+)
+
+// runBudget tracks the anytime limits of one explanation. Its exhausted
+// method is the cooperative checkpoint every batched stage of the
+// pipeline consults before expanding work: triangle-scan chunk flushes
+// and lattice level boundaries.
+//
+// The call-budget check reads the per-explanation scorer view's Misses
+// counter, which is deterministic at any Parallelism and independent of
+// what a shared service already cached — so call-budget truncation is
+// byte-identical across Parallelism settings and with or without
+// Options.Shared. The wall-clock check reuses the same checkpoints but
+// is inherently nondeterministic; it is skipped entirely when no
+// deadline is set, keeping budget-only runs free of clock reads.
+type runBudget struct {
+	sc       *scorecache.Scorer
+	calls    int       // Options.CallBudget; 0 = unlimited
+	deadline time.Time // zero = no deadline
+
+	truncated bool
+	by        string
+}
+
+func newRunBudget(sc *scorecache.Scorer, opts Options) *runBudget {
+	b := &runBudget{sc: sc, calls: opts.CallBudget}
+	if opts.Deadline > 0 {
+		b.deadline = time.Now().Add(opts.Deadline)
+	}
+	return b
+}
+
+// exhausted reports whether the explanation should stop expanding work,
+// latching the first limit that trips. Checkpoints sit at batch
+// boundaries, so a budget can be overshot by at most the batch that was
+// in flight when it tripped — deterministically so for the call budget.
+func (b *runBudget) exhausted() bool {
+	if b.truncated {
+		return true
+	}
+	if b.calls > 0 && b.sc.Stats().Misses >= b.calls {
+		b.truncated, b.by = true, TruncatedByCallBudget
+		return true
+	}
+	if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+		b.truncated, b.by = true, TruncatedByDeadline
+		return true
+	}
+	return false
+}
+
+// progress accumulates the completeness fraction of an anytime
+// explanation: each pipeline phase that runs (per-side triangle scans,
+// per-side lattice explorations) registers once with its own completion
+// fraction — 1 when it ran to its natural end, the fraction of work done
+// when a budget checkpoint cut it short. Phases that were never planned
+// (augmentation not needed, side disabled) do not dilute the fraction.
+type progress struct {
+	planned, done float64
+}
+
+// phase registers one unit-weight phase with completion fraction frac.
+func (p *progress) phase(frac float64) {
+	p.planned++
+	p.done += frac
+}
+
+// fraction reports overall completeness in [0,1]; 1 when nothing was
+// planned (nothing to do is complete).
+func (p *progress) fraction() float64 {
+	if p.planned == 0 {
+		return 1
+	}
+	return p.done / p.planned
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"certa/internal/record"
+)
+
+// TestAnytimeBudgetDeterminism is the anytime determinism gate:
+// CallBudget-truncated results must be byte-identical at Parallelism 1
+// vs N, with or without batch-level sharing, at every budget. Truncation
+// is decided by deterministic call accounting against the private scorer
+// view at batch boundaries, so neither worker scheduling nor shared-store
+// contents may move the cut.
+func TestAnytimeBudgetDeterminism(t *testing.T) {
+	b, pairs := benchPairs(t, "AB", 12)
+
+	for _, budget := range []int{1, 2, 5, 10, 25, 60, 150, 0} {
+		opts := Options{Triangles: 10, Seed: 5, CallBudget: budget}
+
+		seq := New(b.Left, b.Right, opts)
+		var want []*Result
+		for _, p := range pairs {
+			res, err := seq.Explain(textModel{}, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, res)
+		}
+
+		for _, workers := range []int{1, 4, 8} {
+			popts := opts
+			popts.Parallelism = workers
+			got, err := New(b.Left, b.Right, popts).ExplainBatch(textModel{}, pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("budget=%d parallelism=%d pair %d: truncated result differs from sequential private-cache run\ngot:  %+v\nwant: %+v",
+						budget, workers, i, got[i].Diag, want[i].Diag)
+				}
+			}
+		}
+
+		for _, res := range want {
+			if budget == 0 {
+				if res.Diag.Truncated {
+					t.Fatalf("unlimited run marked truncated: %+v", res.Diag)
+				}
+				continue
+			}
+			if res.Diag.BudgetSpent != res.Diag.ModelCalls {
+				t.Fatalf("budget=%d: BudgetSpent %d != ModelCalls %d", budget, res.Diag.BudgetSpent, res.Diag.ModelCalls)
+			}
+			if res.Diag.Truncated {
+				if res.Diag.TruncatedBy != TruncatedByCallBudget {
+					t.Fatalf("budget=%d: TruncatedBy = %q", budget, res.Diag.TruncatedBy)
+				}
+				if res.Diag.Completeness >= 1 {
+					t.Fatalf("budget=%d: truncated run reports completeness %v", budget, res.Diag.Completeness)
+				}
+			} else if res.Diag.Completeness != 1 {
+				t.Fatalf("budget=%d: complete run reports completeness %v", budget, res.Diag.Completeness)
+			}
+		}
+	}
+}
+
+// TestAnytimeQualityMonotoneInBudget pins the anytime contract on a
+// fixed pair: as CallBudget grows, a truncated run is a prefix of the
+// next one, so completeness, triangles found and flips counted never
+// degrade; once the budget covers the unlimited cost the result
+// converges byte-identically to the untruncated run; and the
+// counterfactuals of every budget, when present, genuinely flip.
+func TestAnytimeQualityMonotoneInBudget(t *testing.T) {
+	b, pairs := benchPairs(t, "AB", 1)
+	p := pairs[0]
+
+	full, err := New(b.Left, b.Right, Options{Triangles: 10, Seed: 5}).Explain(textModel{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budgets := []int{1, 2, 4, 8, 16, 32, 64, 128, full.Diag.ModelCalls + 1}
+	var prev *Result
+	for _, budget := range budgets {
+		res, err := New(b.Left, b.Right, Options{Triangles: 10, Seed: 5, CallBudget: budget}).Explain(textModel{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Diag.Completeness < 0 || res.Diag.Completeness > 1 {
+			t.Fatalf("budget %d: completeness %v out of range", budget, res.Diag.Completeness)
+		}
+		if prev != nil {
+			// Work at a smaller budget is a deterministic prefix of work
+			// at a larger one, so everything the explanation *found* is
+			// monotone non-degrading. (The completeness fraction itself is
+			// not strictly monotone — an earlier cut can plan salvage
+			// phases a later cut never needs — so it is only range-checked
+			// above.)
+			if res.Diag.Flips < prev.Diag.Flips {
+				t.Fatalf("budget %d: flips %d < %d", budget, res.Diag.Flips, prev.Diag.Flips)
+			}
+			gotTri := res.Diag.LeftTriangles + res.Diag.RightTriangles
+			prevTri := prev.Diag.LeftTriangles + prev.Diag.RightTriangles
+			if gotTri < prevTri {
+				t.Fatalf("budget %d: triangles %d < %d", budget, gotTri, prevTri)
+			}
+		}
+		for _, cf := range res.Counterfactuals {
+			if !cf.Flips() {
+				t.Fatalf("budget %d: counterfactual does not flip (score %v, original %v)",
+					budget, cf.Score, cf.OriginalScore())
+			}
+		}
+		prev = res
+	}
+	if prev.Diag.Truncated {
+		t.Fatalf("budget %d above unlimited cost %d still truncated", budgets[len(budgets)-1], full.Diag.ModelCalls)
+	}
+	if !reflect.DeepEqual(prev, full) {
+		t.Fatalf("budget above unlimited cost does not converge to the untruncated result\ngot:  %+v\nwant: %+v",
+			prev.Diag, full.Diag)
+	}
+}
+
+// cancellingModel cancels a context after a fixed number of Score calls,
+// simulating a caller that gives up mid-explanation.
+type cancellingModel struct {
+	inner  textModel
+	cancel context.CancelFunc
+	after  int64
+	calls  atomic.Int64
+}
+
+func (m *cancellingModel) Name() string { return m.inner.Name() }
+func (m *cancellingModel) Score(p record.Pair) float64 {
+	if m.calls.Add(1) == m.after {
+		m.cancel()
+	}
+	return m.inner.Score(p)
+}
+
+// TestExplainBatchContextCancellation: a cancelled context aborts the
+// batch with ctx.Err() at the next scoring checkpoint, without running
+// the remaining explanations.
+func TestExplainBatchContextCancellation(t *testing.T) {
+	b, pairs := benchPairs(t, "AB", 6)
+
+	// Reference cost of the full batch and of one explanation.
+	fullModel := &cancellingModel{after: -1}
+	if _, err := New(b.Left, b.Right, Options{Triangles: 10, Seed: 5}).ExplainBatch(fullModel, pairs); err != nil {
+		t.Fatal(err)
+	}
+	fullCalls := fullModel.calls.Load()
+
+	// Cancel early in the first explanation: the batch must abort within
+	// one batched scoring round, leaving the other five pairs unstarted.
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &cancellingModel{cancel: cancel, after: 5}
+	res, err := New(b.Left, b.Right, Options{Triangles: 10, Seed: 5}).ExplainBatchContext(ctx, m, pairs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled batch returned results")
+	}
+	if got := m.calls.Load(); got > fullCalls/3 {
+		t.Fatalf("cancelled batch still made %d of %d model calls — remaining explanations ran", got, fullCalls)
+	}
+
+	// A context cancelled before the call makes no model calls at all.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	m2 := &cancellingModel{after: -1}
+	if _, err := New(b.Left, b.Right, Options{Triangles: 10, Seed: 5, Parallelism: 4}).ExplainBatchContext(pre, m2, pairs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+	if got := m2.calls.Load(); got != 0 {
+		t.Fatalf("pre-cancelled batch made %d model calls", got)
+	}
+}
+
+// TestExplainDeadlineTruncatesNotErrors: an expired Options.Deadline
+// yields a truncated best-so-far result, not an error — the soft
+// deadline is an anytime knob, unlike context cancellation.
+func TestExplainDeadlineTruncatesNotErrors(t *testing.T) {
+	b, pairs := benchPairs(t, "AB", 1)
+	res, err := New(b.Left, b.Right, Options{Triangles: 10, Seed: 5, Deadline: time.Nanosecond}).Explain(textModel{}, pairs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diag.Truncated || res.Diag.TruncatedBy != TruncatedByDeadline {
+		t.Fatalf("expired deadline: Diag = %+v, want deadline truncation", res.Diag)
+	}
+	if res.Diag.Completeness >= 1 {
+		t.Fatalf("expired deadline: completeness %v", res.Diag.Completeness)
+	}
+	if res.Saliency == nil {
+		t.Fatal("truncated result missing saliency skeleton")
+	}
+}

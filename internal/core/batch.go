@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"certa/internal/explain"
@@ -25,6 +26,20 @@ import (
 // are unaffected by the sharing: they are computed against
 // per-explanation views and report what a private cache would have.
 func (e *Explainer) ExplainBatch(m explain.Model, pairs []record.Pair) ([]*Result, error) {
+	return e.ExplainBatchContext(context.Background(), m, pairs)
+}
+
+// ExplainBatchContext is ExplainBatch under a caller context. A
+// cancelled context fail-fast-cancels the batch: explanations not yet
+// started never run, in-flight explanations abort at their next scoring
+// call, and the batch returns ctx.Err(). Per-explanation anytime limits
+// (Options.Deadline, Options.CallBudget) apply to each explanation
+// independently and truncate instead of erroring; a batch-wide hard
+// deadline is expressed on ctx (context.WithTimeout).
+func (e *Explainer) ExplainBatchContext(ctx context.Context, m explain.Model, pairs []record.Pair) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Cross-pair concurrency claims the parallelism budget first; any
 	// leftover is handed to the inner explanations for batch sharding.
 	// With 8 workers and 3 pairs the old pipeline pinned inner
@@ -52,8 +67,8 @@ func (e *Explainer) ExplainBatch(m explain.Model, pairs []record.Pair) ([]*Resul
 	inner := &Explainer{left: e.left, right: e.right, opts: opts}
 
 	out := make([]*Result, len(pairs))
-	err := workpool.Each(len(pairs), workers, func(i int) error {
-		res, err := inner.Explain(m, pairs[i])
+	err := workpool.EachContext(ctx, len(pairs), workers, func(ctx context.Context, i int) error {
+		res, err := inner.ExplainContext(ctx, m, pairs[i])
 		if err != nil {
 			return fmt.Errorf("core: explaining pair %d (%s): %w", i, pairKey(pairs[i]), err)
 		}

@@ -22,9 +22,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"certa/internal/explain"
 	"certa/internal/lattice"
@@ -76,6 +78,27 @@ type Options struct {
 	// Seed drives candidate shuffling; explanations are deterministic
 	// given (Options, model, pair).
 	Seed int64
+	// CallBudget caps the unique model calls one explanation may spend
+	// (0 = unlimited), making Explain an anytime algorithm: when the
+	// budget trips at a batch checkpoint, the remaining pipeline stages
+	// are skipped and the best-so-far Result is returned with
+	// Diagnostics.Truncated set, the budget spent, and a completeness
+	// fraction. Truncation is decided by deterministic call accounting
+	// against the explanation's private scorer view at batch boundaries,
+	// so a truncated Result is byte-identical at any Parallelism and
+	// with or without a shared service; the budget can be overshot by at
+	// most the batch in flight when it tripped, plus the final
+	// counterfactual materialization (normally answered by the cache).
+	CallBudget int
+	// Deadline is the per-explanation soft wall-clock allowance (0 =
+	// none). It maps onto the same cooperative checkpoints as
+	// CallBudget: when the clock runs out the explanation stops
+	// expanding work and returns the best-so-far Result with
+	// Diagnostics.Truncated — it does not abort with an error. Unlike
+	// call-budget truncation, where the cut falls depends on real model
+	// latency. For hard cancellation use ExplainContext: a cancelled
+	// context aborts at the next scoring call and returns ctx.Err().
+	Deadline time.Duration
 	// Parallelism bounds the worker goroutines of the scoring pipeline:
 	// batch evaluations inside one explanation and, for ExplainBatch,
 	// concurrent explanations. Default 1; results are identical at any
@@ -195,6 +218,28 @@ type Diagnostics struct {
 	// against the historical seed path additionally requires a
 	// SeedSearch baseline run (see TestBatchedPipelineModelCallReduction).
 	SeedPathCalls int
+	// Truncated marks an anytime explanation: a budget checkpoint
+	// (Options.CallBudget or Options.Deadline) stopped the pipeline
+	// before it ran to completion, and the Result is the best
+	// explanation obtainable within the limit. Saliency and sufficiency
+	// are then estimated from the triangles and lattice levels actually
+	// explored; counterfactuals are materialized and re-scored exactly
+	// as in a full run (under the monotone-classifier assumption they
+	// flip; an inferred-only A★ on a non-monotone model may not, just as
+	// without a budget).
+	Truncated bool
+	// TruncatedBy names the limit that tripped first: TruncatedByCallBudget
+	// or TruncatedByDeadline. Empty when Truncated is false.
+	TruncatedBy string
+	// BudgetSpent is the unique model calls charged against CallBudget —
+	// the explanation's private-view misses, equal to ModelCalls. It is
+	// reported separately so budget accounting reads explicitly.
+	BudgetSpent int
+	// Completeness is the fraction of the planned pipeline phases this
+	// explanation completed, in [0,1]: each per-side triangle scan and
+	// lattice exploration counts one unit, scored by how far it got
+	// before a checkpoint cut it. 1 when Truncated is false.
+	Completeness float64
 }
 
 // CacheHitRate returns CacheHits/CacheLookups, or 0 before any lookup.
@@ -251,6 +296,19 @@ func (e *Explainer) newScorer(m explain.Model) (*scorecache.Scorer, error) {
 // memo additionally spans explanations: pairs another explanation
 // already paid for are answered from the shared store.
 func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
+	return e.ExplainContext(context.Background(), m, p)
+}
+
+// ExplainContext is Explain under a caller context: cancellation aborts
+// the explanation at the next scoring call and returns ctx.Err().
+// Options.Deadline and Options.CallBudget, by contrast, do not abort —
+// they truncate, turning Explain into an anytime algorithm that returns
+// the best explanation obtainable within the limit (see
+// Diagnostics.Truncated).
+func (e *Explainer) ExplainContext(ctx context.Context, m explain.Model, p record.Pair) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.Left == nil || p.Right == nil {
 		return nil, fmt.Errorf("core: pair has nil record")
 	}
@@ -258,10 +316,19 @@ func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	origScore := sc.Score(p)
+	bud := newRunBudget(sc, e.opts)
+	prog := &progress{}
+	origScores, err := sc.ScoreBatchContext(ctx, []record.Pair{p})
+	if err != nil {
+		return nil, err
+	}
+	origScore := origScores[0]
 	y := origScore > 0.5
 
-	tri, searchCalls, seedSearchCalls := e.findTriangles(sc, p, y)
+	tri, searchCalls, seedSearchCalls, err := e.findTriangles(ctx, bud, prog, sc, p, y)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Saliency:    explain.NewSaliency(p, origScore),
@@ -274,8 +341,14 @@ func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
 	res.Diag.AugmentedRight = tri.augRight
 
 	// Per-side lattice exploration.
-	leftCounts := e.exploreSide(sc, p, y, record.Left, tri.left, &res.Diag)
-	rightCounts := e.exploreSide(sc, p, y, record.Right, tri.right, &res.Diag)
+	leftCounts, err := e.exploreSide(ctx, bud, prog, sc, p, y, record.Left, tri.left, &res.Diag)
+	if err != nil {
+		return nil, err
+	}
+	rightCounts, err := e.exploreSide(ctx, bud, prog, sc, p, y, record.Right, tri.right, &res.Diag)
+	if err != nil {
+		return nil, err
+	}
 	res.Diag.SavedPredictions = res.Diag.ExpectedPredictions - res.Diag.LatticePredictions
 
 	// Necessity (Eq. 1): φ_a = N[a] / f, with f the global flip count
@@ -326,7 +399,14 @@ func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
 	if bestChi > 0 {
 		res.BestSet = best
 		res.BestSufficiency = bestChi
-		res.Counterfactuals = e.buildCounterfactuals(sc, p, origScore, best, leftCounts, rightCounts, bestChi)
+		// Materialization runs even under a tripped budget: the scores it
+		// asks for were (almost always) already paid for during lattice
+		// exploration, and an anytime result should keep its
+		// counterfactual examples.
+		res.Counterfactuals, err = e.buildCounterfactuals(ctx, sc, p, origScore, best, leftCounts, rightCounts, bestChi)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	st := sc.Stats()
@@ -338,6 +418,10 @@ func (e *Explainer) Explain(m explain.Model, p record.Pair) (*Result, error) {
 	// to the last accepted support, every lattice oracle question, and
 	// each deduplicated counterfactual.
 	res.Diag.SeedPathCalls = 1 + seedSearchCalls + res.Diag.LatticeQueries + len(res.Counterfactuals)
+	res.Diag.Truncated = bud.truncated
+	res.Diag.TruncatedBy = bud.by
+	res.Diag.BudgetSpent = st.Misses
+	res.Diag.Completeness = prog.fraction()
 	return res, nil
 }
 
@@ -365,8 +449,11 @@ func (c *sideCounts) attrSet(mask lattice.Mask) AttrSet {
 // exploreSide runs the lattice exploration for every triangle of one
 // side and aggregates the counters. The triangles advance level by level
 // in lock step: all of a level's oracle questions, across every
-// triangle, become one batched (and deduplicated) scoring call.
-func (e *Explainer) exploreSide(sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, supports []*record.Record, diag *Diagnostics) *sideCounts {
+// triangle, become one batched (and deduplicated) scoring call — and
+// every level boundary is an anytime checkpoint: a tripped budget stops
+// the walk there, keeping the levels already explored as the best-so-far
+// estimate.
+func (e *Explainer) exploreSide(ctx context.Context, bud *runBudget, prog *progress, sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, supports []*record.Record, diag *Diagnostics) (*sideCounts, error) {
 	free := p.Record(side)
 	counts := &sideCounts{
 		side:        side,
@@ -377,27 +464,39 @@ func (e *Explainer) exploreSide(sc *scorecache.Scorer, p record.Pair, y bool, si
 	}
 	n := len(counts.attrs)
 	if n == 0 || n > e.opts.MaxLatticeAttrs || len(supports) == 0 {
-		return counts
+		return counts, nil
 	}
 
-	oracle := func(qs []lattice.Query) []bool {
+	oracle := func(qs []lattice.Query) ([]bool, error) {
 		pairs := make([]record.Pair, len(qs))
 		for i, q := range qs {
 			pairs[i] = perturb(p, side, supports[q.Lattice], counts.attrs, q.Mask)
 		}
-		scores := sc.ScoreBatch(pairs)
+		scores, err := sc.ScoreBatchContext(ctx, pairs)
+		if err != nil {
+			return nil, err
+		}
 		flips := make([]bool, len(qs))
 		for i, s := range scores {
 			flips[i] = (s > 0.5) != y
 		}
-		return flips
+		return flips, nil
 	}
 
 	before := sc.Stats().Misses
-	results := lattice.ExploreMany(n, len(supports), oracle, !e.opts.NoMonotone)
+	results, err := lattice.ExploreMany(n, len(supports), oracle, !e.opts.NoMonotone, bud.exhausted)
+	if err != nil {
+		return nil, err
+	}
 	diag.LatticePredictions += sc.Stats().Misses - before
+	truncated := len(results) > 0 && results[0].Truncated
+	if truncated && n > 1 {
+		prog.phase(float64(results[0].LevelsDone) / float64(n-1))
+	} else {
+		prog.phase(1)
+	}
 
-	if e.opts.EvaluateMonotonicity && !e.opts.NoMonotone {
+	if e.opts.EvaluateMonotonicity && !e.opts.NoMonotone && !truncated {
 		// CompareExact's model calls are bookkeeping, not part of the
 		// algorithm's cost; they bypass the scorer entirely so no cost
 		// or cache counter sees them.
@@ -428,7 +527,7 @@ func (e *Explainer) exploreSide(sc *scorecache.Scorer, p record.Pair, y bool, si
 			}
 		}
 	}
-	return counts
+	return counts, nil
 }
 
 // perturb applies ψ(free, w, A): copy the attribute values selected by
@@ -443,9 +542,10 @@ func perturb(p record.Pair, side record.Side, w *record.Record, attrs []string, 
 
 // buildCounterfactuals materializes the counterfactual examples for A★:
 // one per support record whose triangle flipped exactly that set. Their
-// scores were all asked during lattice exploration, so the batched
-// lookup below is answered entirely by the cache.
-func (e *Explainer) buildCounterfactuals(sc *scorecache.Scorer, p record.Pair, origScore float64, best AttrSet, left, right *sideCounts, chi float64) []explain.Counterfactual {
+// scores were asked during lattice exploration whenever A★ was tested
+// directly, so the batched lookup below is normally answered entirely by
+// the cache (an inferred-only A★ pays a small, deterministic overshoot).
+func (e *Explainer) buildCounterfactuals(ctx context.Context, sc *scorecache.Scorer, p record.Pair, origScore float64, best AttrSet, left, right *sideCounts, chi float64) ([]explain.Counterfactual, error) {
 	counts := left
 	if best.Side == record.Right {
 		counts = right
@@ -463,9 +563,12 @@ func (e *Explainer) buildCounterfactuals(sc *scorecache.Scorer, p record.Pair, o
 		cps = append(cps, cp)
 	}
 	if len(cps) == 0 {
-		return nil
+		return nil, nil
 	}
-	scores := sc.ScoreBatch(cps)
+	scores, err := sc.ScoreBatchContext(ctx, cps)
+	if err != nil {
+		return nil, err
+	}
 	var out []explain.Counterfactual
 	for i, cp := range cps {
 		cf := explain.Counterfactual{
@@ -477,7 +580,7 @@ func (e *Explainer) buildCounterfactuals(sc *scorecache.Scorer, p record.Pair, o
 		}.WithOriginalScore(origScore)
 		out = append(out, cf)
 	}
-	return out
+	return out, nil
 }
 
 func maskFor(attrs, subset []string) lattice.Mask {

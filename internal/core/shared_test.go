@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -113,7 +114,10 @@ func TestAugmentedPatienceCountsRecords(t *testing.T) {
 	e := New(table, table, Options{Triangles: 10, Seed: 1})
 	sc := scorecache.New(neverFlips{}, scorecache.Options{})
 	calls, seedCalls := 0, 0
-	out := e.augmentedSupports(sc, p, true, record.Left, 5, &calls, &seedCalls)
+	out, err := e.augmentedSupports(context.Background(), newRunBudget(sc, e.opts), &progress{}, sc, p, true, record.Left, 5, &calls, &seedCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if len(out) != 0 {
 		t.Fatalf("never-flipping model produced %d supports", len(out))
@@ -148,7 +152,10 @@ func TestAugmentedPatienceResetsOnEligibleRecord(t *testing.T) {
 	e := New(table, table, Options{Triangles: 10, Seed: 1})
 	sc := scorecache.New(everyTenth{}, scorecache.Options{})
 	calls, seedCalls := 0, 0
-	out := e.augmentedSupports(sc, p, true, record.Left, 6, &calls, &seedCalls)
+	out, err := e.augmentedSupports(context.Background(), newRunBudget(sc, e.opts), &progress{}, sc, p, true, record.Left, 6, &calls, &seedCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Eligible records arrive sprinkled through the stream less than 20
 	// records apart, so the scan never abandons and finds all 6 wanted

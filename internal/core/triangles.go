@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -24,7 +25,11 @@ type triangles struct {
 // candidate score lookups the chunked batch scan issued, and seedCalls
 // is what the sequential seed scan — which stopped at the last accepted
 // support — would have scored.
-func (e *Explainer) findTriangles(sc *scorecache.Scorer, p record.Pair, y bool) (triangles, int, int) {
+//
+// Every chunk flush is an anytime checkpoint: a tripped budget abandons
+// the remaining stream (and the phases after it), keeping the supports
+// found so far.
+func (e *Explainer) findTriangles(ctx context.Context, bud *runBudget, prog *progress, sc *scorecache.Scorer, p record.Pair, y bool) (triangles, int, int, error) {
 	perSide := e.opts.Triangles / 2
 	if perSide < 1 {
 		perSide = 1
@@ -35,25 +40,38 @@ func (e *Explainer) findTriangles(sc *scorecache.Scorer, p record.Pair, y bool) 
 	if e.opts.LeftTrianglesOnly {
 		perSide = e.opts.Triangles
 	}
+	var err error
 	if !e.opts.ForceAugmentation {
-		tri.left = e.naturalSupports(sc, p, y, record.Left, perSide, &calls, &seedCalls)
+		tri.left, err = e.naturalSupports(ctx, bud, prog, sc, p, y, record.Left, perSide, &calls, &seedCalls)
+		if err != nil {
+			return tri, calls, seedCalls, err
+		}
 		if !e.opts.LeftTrianglesOnly {
-			tri.right = e.naturalSupports(sc, p, y, record.Right, perSide, &calls, &seedCalls)
+			tri.right, err = e.naturalSupports(ctx, bud, prog, sc, p, y, record.Right, perSide, &calls, &seedCalls)
+			if err != nil {
+				return tri, calls, seedCalls, err
+			}
 		}
 	}
 	if !e.opts.DisableAugmentation || e.opts.ForceAugmentation {
 		if len(tri.left) < perSide {
-			aug := e.augmentedSupports(sc, p, y, record.Left, perSide-len(tri.left), &calls, &seedCalls)
+			aug, err := e.augmentedSupports(ctx, bud, prog, sc, p, y, record.Left, perSide-len(tri.left), &calls, &seedCalls)
+			if err != nil {
+				return tri, calls, seedCalls, err
+			}
 			tri.augLeft = len(aug)
 			tri.left = append(tri.left, aug...)
 		}
 		if !e.opts.LeftTrianglesOnly && len(tri.right) < perSide {
-			aug := e.augmentedSupports(sc, p, y, record.Right, perSide-len(tri.right), &calls, &seedCalls)
+			aug, err := e.augmentedSupports(ctx, bud, prog, sc, p, y, record.Right, perSide-len(tri.right), &calls, &seedCalls)
+			if err != nil {
+				return tri, calls, seedCalls, err
+			}
 			tri.augRight = len(aug)
 			tri.right = append(tri.right, aug...)
 		}
 	}
-	return tri, calls, seedCalls
+	return tri, calls, seedCalls, nil
 }
 
 // maxSearchChunk caps the geometric chunk growth of the candidate scan.
@@ -71,6 +89,8 @@ const augmentPatience = 20
 // accepted set is a prefix property); only the scoring is batched, which
 // may look at most one chunk past the last accepted candidate.
 type supportScan struct {
+	ctx  context.Context
+	bud  *runBudget
 	sc   *scorecache.Scorer
 	p    record.Pair
 	side record.Side
@@ -84,6 +104,10 @@ type supportScan struct {
 	scored  int  // candidates actually scored (chunk overscan included)
 	seed    int  // candidates the sequential seed scan would have scored
 	done    bool // want reached or stream abandoned; later candidates are ignored
+	// truncated records that a budget checkpoint (not the stream's own
+	// logic) abandoned the scan; err records a context cancellation.
+	truncated bool
+	err       error
 
 	// patience abandons the scan after this many consecutive source
 	// records (marked by beginRecord) that contributed no eligible
@@ -100,7 +124,7 @@ type supportScan struct {
 	recEligible bool // the record being scored has yielded an eligible candidate
 }
 
-func newSupportScan(sc *scorecache.Scorer, p record.Pair, side record.Side, y bool, want int) *supportScan {
+func newSupportScan(ctx context.Context, bud *runBudget, sc *scorecache.Scorer, p record.Pair, side record.Side, y bool, want int) *supportScan {
 	chunk := want
 	if chunk < 1 {
 		chunk = 1
@@ -108,7 +132,7 @@ func newSupportScan(sc *scorecache.Scorer, p record.Pair, side record.Side, y bo
 	if chunk > maxSearchChunk {
 		chunk = maxSearchChunk
 	}
-	return &supportScan{sc: sc, p: p, side: side, y: y, want: want, chunk: chunk}
+	return &supportScan{ctx: ctx, bud: bud, sc: sc, p: p, side: side, y: y, want: want, chunk: chunk}
 }
 
 // beginRecord marks the start of a new source record's candidates; the
@@ -131,11 +155,26 @@ func (s *supportScan) flush() {
 	if s.done || len(s.pending) == 0 {
 		return
 	}
+	// Anytime checkpoint: a tripped budget abandons the stream before the
+	// chunk is scored, keeping whatever the scan already accepted.
+	if s.bud.exhausted() {
+		s.seed = s.scored
+		s.truncated = true
+		s.done = true
+		s.pending = s.pending[:0]
+		s.recOrds = s.recOrds[:0]
+		return
+	}
 	pairs := make([]record.Pair, len(s.pending))
 	for i, w := range s.pending {
 		pairs[i] = s.p.WithRecord(s.side, w)
 	}
-	scores := s.sc.ScoreBatch(pairs)
+	scores, err := s.sc.ScoreBatchContext(s.ctx, pairs)
+	if err != nil {
+		s.err = err
+		s.done = true
+		return
+	}
 	for i, score := range scores {
 		// A record boundary settles the previous record's patience
 		// verdict: eligible somewhere → streak resets; barren → one more
@@ -197,7 +236,7 @@ func (s *supportScan) finish() []*record.Record {
 // serving-shaped workload: many candidate pairs per query record) scan
 // the same candidates in the same order, so a shared scoring service
 // answers the repeat scans from its store.
-func (e *Explainer) naturalSupports(sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) []*record.Record {
+func (e *Explainer) naturalSupports(ctx context.Context, bud *runBudget, prog *progress, sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) ([]*record.Record, error) {
 	table := e.left
 	if side == record.Right {
 		table = e.right
@@ -212,7 +251,7 @@ func (e *Explainer) naturalSupports(sc *scorecache.Scorer, p record.Pair, y bool
 	rng := rand.New(rand.NewSource(e.opts.Seed*131 + int64(side) + int64(hashString(fixed.Text()))))
 	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 
-	scan := newSupportScan(sc, p, side, y, want)
+	scan := newSupportScan(ctx, bud, sc, p, side, y, want)
 	for _, i := range idx {
 		if scan.done {
 			break
@@ -225,9 +264,13 @@ func (e *Explainer) naturalSupports(sc *scorecache.Scorer, p record.Pair, y bool
 		scan.add(w)
 	}
 	out := scan.finish()
+	if scan.err != nil {
+		return nil, scan.err
+	}
 	*calls += scan.scored
 	*seedCalls += scan.seed
-	return out
+	scan.notePhase(prog)
+	return out, nil
 }
 
 // augmentedSupports implements the data augmentation of §3.3: derive new
@@ -237,9 +280,9 @@ func (e *Explainer) naturalSupports(sc *scorecache.Scorer, p record.Pair, y bool
 // triangle's fixed record (like naturalSupports) so augmented supports
 // stay decorrelated across pivots while explanations sharing the fixed
 // record generate cache-aligned variant streams.
-func (e *Explainer) augmentedSupports(sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) []*record.Record {
+func (e *Explainer) augmentedSupports(ctx context.Context, bud *runBudget, prog *progress, sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) ([]*record.Record, error) {
 	if want <= 0 {
-		return nil
+		return nil, nil
 	}
 	table := e.left
 	if side == record.Right {
@@ -259,7 +302,7 @@ func (e *Explainer) augmentedSupports(sc *scorecache.Scorer, p record.Pair, y bo
 	// unbounded.
 	budget := want * 200
 
-	scan := newSupportScan(sc, p, side, y, want)
+	scan := newSupportScan(ctx, bud, sc, p, side, y, want)
 	if !e.opts.SeedSearch {
 		// Guided search: a support must predict opposite to y when paired
 		// with the triangle's fixed record. When the opposite prediction
@@ -321,9 +364,24 @@ func (e *Explainer) augmentedSupports(sc *scorecache.Scorer, p record.Pair, y bo
 		}
 	}
 	out := scan.finish()
+	if scan.err != nil {
+		return nil, scan.err
+	}
 	*calls += scan.scored
 	*seedCalls += scan.seed
-	return out
+	scan.notePhase(prog)
+	return out, nil
+}
+
+// notePhase registers the scan as one completeness phase: complete when
+// it ran to its natural end (want reached, stream exhausted, or patience
+// spent), fractional when a budget checkpoint abandoned it.
+func (s *supportScan) notePhase(prog *progress) {
+	if !s.truncated {
+		prog.phase(1)
+		return
+	}
+	prog.phase(float64(len(s.out)) / float64(s.want))
 }
 
 // tokenJaccard is set-level Jaccard over pre-tokenized texts, so the

@@ -113,6 +113,36 @@ func TestLatencyExperiment(t *testing.T) {
 	}
 }
 
+func TestAnytimeExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps call budgets")
+	}
+	tables, err := quickHarness().Run("anytime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Header) != 7 {
+		t.Fatalf("header = %v", tab.Header)
+	}
+	perModel := len(anytimeBudgetFractions) + 1
+	if len(tab.Rows) != 3*perModel {
+		t.Fatalf("rows = %d, want %d (one per model x budget)", len(tab.Rows), 3*perModel)
+	}
+	for i, row := range tab.Rows {
+		last := (i+1)%perModel == 0
+		if last {
+			// The unlimited row is the reference: untruncated, complete,
+			// in perfect agreement with itself.
+			if row[1] != "unlimited" || row[2] != "0.00" || row[3] != "1.00" || row[4] != "1.00" {
+				t.Errorf("unlimited row %d = %v", i, row)
+			}
+		} else if row[1] == "unlimited" {
+			t.Errorf("budget row %d marked unlimited: %v", i, row)
+		}
+	}
+}
+
 func TestHarnessParallelGridMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains two grids")

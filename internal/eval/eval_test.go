@@ -40,7 +40,7 @@ func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{"table1", "figure2", "figure3", "figure5", "table2", "table3",
 		"table4", "table5", "table6", "figure10", "figure11", "table7", "table8",
-		"table9", "figure12", "latency"}
+		"table9", "figure12", "latency", "anytime"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry size %d, want %d", len(ids), len(want))
 	}

@@ -35,6 +35,7 @@ var registry = []Experiment{
 	{"table9", "Effect of forced augmentation on metrics (Tables 9-10)", table9},
 	{"figure12", "Case study: actual vs explained saliency (Figure 12)", figure12},
 	{"latency", "Explanation cost per method (beyond-paper profile)", latency},
+	{"anytime", "Anytime quality vs call budget (beyond-paper serving profile)", anytime},
 }
 
 // Experiments lists the registered experiments in registry order.

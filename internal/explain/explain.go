@@ -7,6 +7,7 @@
 package explain
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -64,6 +65,54 @@ func AsBatch(m Model) BatchModel {
 		return bm
 	}
 	return batchAdapter{m}
+}
+
+// ContextModel is the optional cancellation-aware capability of Model
+// implementations: ScoreBatchContext behaves like BatchModel.ScoreBatch
+// but observes ctx, returning ctx's error instead of scores when the
+// caller no longer wants the answer (an RPC-backed matcher would forward
+// the context to its transport). On success the result is index-aligned
+// with pairs and must agree with Score on every pair. Plain Models and
+// BatchModels are adapted automatically by AsContext: the adapter checks
+// the context once per batch, which is exactly the granularity the
+// explanation pipeline's cooperative checkpoints need.
+//
+// A model that can fail for reasons other than cancellation (transport
+// errors, say) must be driven through the context entry points
+// (ExplainContext, ScoreBatchContext): the legacy error-less surfaces
+// (Score, ScoreBatch) have no way to report its failure and panic on
+// one. Such models should retry transient faults internally and reserve
+// returned errors for ctx.Err() and genuinely fatal conditions.
+type ContextModel interface {
+	Model
+	ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]float64, error)
+}
+
+// ScoreBatchContext scores every pair with m under ctx, through the
+// native context entry point when m implements ContextModel and through
+// a per-batch cancellation check otherwise.
+func ScoreBatchContext(ctx context.Context, m Model, pairs []record.Pair) ([]float64, error) {
+	return AsContext(m).ScoreBatchContext(ctx, pairs)
+}
+
+// contextAdapter upgrades a BatchModel with a per-batch context check.
+type contextAdapter struct{ BatchModel }
+
+func (a contextAdapter) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.ScoreBatch(pairs), nil
+}
+
+// AsContext returns m itself when it already implements ContextModel,
+// and otherwise wraps it so callers can rely on the context entry point
+// unconditionally.
+func AsContext(m Model) ContextModel {
+	if cm, ok := m.(ContextModel); ok {
+		return cm
+	}
+	return contextAdapter{AsBatch(m)}
 }
 
 // Saliency is an attribute-level saliency explanation for one

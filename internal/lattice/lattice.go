@@ -83,8 +83,10 @@ type Query struct {
 // result must be index-aligned with the queries. Within one call the
 // queries are independent — no query's answer influences another in the
 // same batch — so implementations are free to evaluate them together
-// (one model batch) or in parallel.
-type BatchOracle func(qs []Query) []bool
+// (one model batch) or in parallel. An oracle backed by a cancellable
+// model call may return an error instead of answers; exploration stops
+// and propagates it.
+type BatchOracle func(qs []Query) ([]bool, error)
 
 // Tag records what the exploration concluded about one node.
 type Tag struct {
@@ -108,6 +110,15 @@ type Result struct {
 	Performed int
 	// Expected is the number of testable nodes, 2^n - 2 (paper, Table 7).
 	Expected int
+	// Truncated marks an exploration stopped early by the caller's stop
+	// checkpoint: levels above LevelsDone are untagged, and every tagged
+	// node is exactly what an untruncated run would have tagged by the
+	// same level (exploration is bottom-up, so a truncated result is a
+	// valid best-so-far prefix).
+	Truncated bool
+	// LevelsDone counts fully explored levels (0..N-1; N-1 when the
+	// exploration ran to completion).
+	LevelsDone int
 }
 
 // Explore walks the lattice bottom-up (by subset size) and tags every
@@ -120,13 +131,17 @@ type Result struct {
 // Explore panics if n is out of (0, MaxElements]; the caller controls n
 // and an invalid value is a programming error.
 func Explore(n int, oracle Oracle, monotone bool) *Result {
-	results := ExploreMany(n, 1, func(qs []Query) []bool {
+	results, err := ExploreMany(n, 1, func(qs []Query) ([]bool, error) {
 		out := make([]bool, len(qs))
 		for i, q := range qs {
 			out[i] = oracle(q.Mask)
 		}
-		return out
-	}, monotone)
+		return out, nil
+	}, monotone, nil)
+	if err != nil {
+		// The wrapped oracle never errors.
+		panic(fmt.Sprintf("lattice: plain oracle errored: %v", err))
+	}
 	return results[0]
 }
 
@@ -139,9 +154,17 @@ func Explore(n int, oracle Oracle, monotone bool) *Result {
 // Explore would have asked — per-lattice Results, including Performed
 // counts, are identical.
 //
+// stop, when non-nil, is the anytime checkpoint: it is consulted once
+// before each level's batch, and a true answer halts exploration at that
+// level boundary, marking every Result as Truncated with the levels
+// completed so far. Because stop is only consulted between levels, a
+// truncated exploration is a deterministic prefix of the full one. An
+// oracle error aborts exploration and is returned as-is (no partial
+// results).
+//
 // ExploreMany panics if n is out of (0, MaxElements]; the caller
 // controls n and an invalid value is a programming error.
-func ExploreMany(n, count int, oracle BatchOracle, monotone bool) []*Result {
+func ExploreMany(n, count int, oracle BatchOracle, monotone bool, stop func() bool) ([]*Result, error) {
 	if n <= 0 || n > MaxElements {
 		panic(fmt.Sprintf("lattice: invalid element count %d", n))
 	}
@@ -157,13 +180,19 @@ func ExploreMany(n, count int, oracle BatchOracle, monotone bool) []*Result {
 	}
 	if n == 1 || count == 0 {
 		// Only the empty and the full set exist; nothing is testable.
-		return results
+		return results, nil
 	}
 
 	// Visit levels 1..n-1 (the full set is never tested).
 	byLevel := masksByLevel(n)
 	var frontier []Query
 	for level := 1; level < n; level++ {
+		if stop != nil && stop() {
+			for _, res := range results {
+				res.Truncated = true
+			}
+			break
+		}
 		frontier = frontier[:0]
 		for li, res := range results {
 			for _, m := range byLevel[level] {
@@ -174,24 +203,30 @@ func ExploreMany(n, count int, oracle BatchOracle, monotone bool) []*Result {
 				frontier = append(frontier, Query{Lattice: li, Mask: m})
 			}
 		}
-		if len(frontier) == 0 {
-			continue
-		}
-		answers := oracle(frontier)
-		for qi, q := range frontier {
-			res := results[q.Lattice]
-			flip := answers[qi]
-			res.Performed++
-			res.Tags[q.Mask] = Tag{Flip: flip, Tested: true}
-			if flip && monotone {
-				propagate(res.Tags, q.Mask, full)
+		if len(frontier) > 0 {
+			answers, err := oracle(frontier)
+			if err != nil {
+				return nil, err
 			}
+			for qi, q := range frontier {
+				res := results[q.Lattice]
+				flip := answers[qi]
+				res.Performed++
+				res.Tags[q.Mask] = Tag{Flip: flip, Tested: true}
+				if flip && monotone {
+					propagate(res.Tags, q.Mask, full)
+				}
+			}
+		}
+		for _, res := range results {
+			res.LevelsDone = level
 		}
 	}
 	if !monotone {
 		// Even without the optimization, the full set inherits any flip
 		// from below so that flip counting matches the monotone run's
-		// universe of nodes.
+		// universe of nodes. (Truncated runs never reached the top level,
+		// so the loop finds no flips there and tags nothing extra.)
 		for _, res := range results {
 			for _, m := range byLevel[n-1] {
 				if res.Tags[m].Flip {
@@ -201,7 +236,7 @@ func ExploreMany(n, count int, oracle BatchOracle, monotone bool) []*Result {
 			}
 		}
 	}
-	return results
+	return results, nil
 }
 
 // propagate tags every proper superset of m (up to and including the full

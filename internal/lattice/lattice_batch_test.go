@@ -1,6 +1,7 @@
 package lattice
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -18,7 +19,7 @@ func TestExploreManyMatchesSequentialExplore(t *testing.T) {
 		for n := 2; n <= 5; n++ {
 			triggers := []Mask{MaskOf(0), MaskOf(1), MaskOf(0, 2) & Mask(1<<uint(n)-1), 0}
 			batchCalls := 0
-			batch := func(qs []Query) []bool {
+			batch := func(qs []Query) ([]bool, error) {
 				batchCalls++
 				out := make([]bool, len(qs))
 				for i, q := range qs {
@@ -28,9 +29,12 @@ func TestExploreManyMatchesSequentialExplore(t *testing.T) {
 						out[i] = bitOracle(triggers[q.Lattice])(q.Mask)
 					}
 				}
-				return out
+				return out, nil
 			}
-			many := ExploreMany(n, len(triggers), batch, monotone)
+			many, err := ExploreMany(n, len(triggers), batch, monotone, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
 
 			for li, trigger := range triggers {
 				var oracle Oracle
@@ -99,23 +103,105 @@ func exploreSequential(n int, oracle Oracle, monotone bool) *Result {
 }
 
 func TestExploreManyZeroLattices(t *testing.T) {
-	out := ExploreMany(3, 0, func(qs []Query) []bool {
+	out, err := ExploreMany(3, 0, func(qs []Query) ([]bool, error) {
 		t.Fatal("oracle must not be called with zero lattices")
-		return nil
-	}, true)
+		return nil, nil
+	}, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(out) != 0 {
 		t.Fatalf("got %d results, want 0", len(out))
 	}
 }
 
 func TestExploreManySingleElement(t *testing.T) {
-	out := ExploreMany(1, 3, func(qs []Query) []bool {
+	out, err := ExploreMany(1, 3, func(qs []Query) ([]bool, error) {
 		t.Fatal("n=1 has no testable nodes")
-		return nil
-	}, true)
+		return nil, nil
+	}, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range out {
 		if r.Performed != 0 || len(r.Flipped()) != 0 {
 			t.Fatal("n=1 lattice must be empty of work")
 		}
+	}
+}
+
+// A stopped exploration must be a deterministic prefix of the full one:
+// every tag set by the truncated run matches the full run, levels above
+// the stop point are untagged, and Truncated/LevelsDone report the cut.
+func TestExploreManyStopIsPrefixOfFullRun(t *testing.T) {
+	const n = 5
+	oracle := func(qs []Query) ([]bool, error) {
+		out := make([]bool, len(qs))
+		for i, q := range qs {
+			out[i] = bitOracle(MaskOf(q.Lattice))(q.Mask)
+		}
+		return out, nil
+	}
+	full, err := ExploreMany(n, 3, oracle, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for stopAfter := 0; stopAfter < n-1; stopAfter++ {
+		levels := 0
+		stop := func() bool {
+			levels++
+			return levels > stopAfter
+		}
+		got, err := ExploreMany(n, 3, oracle, true, stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for li, r := range got {
+			if !r.Truncated {
+				t.Fatalf("stopAfter=%d lattice=%d: not marked truncated", stopAfter, li)
+			}
+			if r.LevelsDone != stopAfter {
+				t.Fatalf("stopAfter=%d lattice=%d: LevelsDone=%d", stopAfter, li, r.LevelsDone)
+			}
+			for m := range r.Tags {
+				lvl := Mask(m).Count()
+				switch {
+				case lvl <= stopAfter:
+					// Tested tags of completed levels must match the full
+					// run exactly.
+					if r.Tags[m].Tested != full[li].Tags[m].Tested ||
+						(r.Tags[m].Tested && r.Tags[m] != full[li].Tags[m]) {
+						t.Fatalf("stopAfter=%d lattice=%d mask=%v: tag %+v, full %+v",
+							stopAfter, li, Mask(m), r.Tags[m], full[li].Tags[m])
+					}
+				default:
+					if r.Tags[m].Tested {
+						t.Fatalf("stopAfter=%d lattice=%d mask=%v: tested beyond the stop point",
+							stopAfter, li, Mask(m))
+					}
+					// Inferred flips above the cut are fine (monotone
+					// propagation), but must agree with the full run.
+					if r.Tags[m].Flip && !full[li].Tags[m].Flip {
+						t.Fatalf("stopAfter=%d lattice=%d mask=%v: spurious inferred flip",
+							stopAfter, li, Mask(m))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExploreManyOracleErrorAborts(t *testing.T) {
+	calls := 0
+	wantErr := fmt.Errorf("cancelled")
+	_, err := ExploreMany(4, 2, func(qs []Query) ([]bool, error) {
+		calls++
+		if calls == 2 {
+			return nil, wantErr
+		}
+		return make([]bool, len(qs)), nil
+	}, true, nil)
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
 	}
 }

@@ -164,6 +164,36 @@ func Validity(cfs []explain.Counterfactual) float64 {
 	return float64(n) / float64(len(cfs))
 }
 
+// TopKAgreement is the Jaccard overlap of two saliencies' top-k
+// attribute sets — a cheap rank-agreement proxy used by the anytime
+// experiments to measure how close a budget-truncated explanation is to
+// the unlimited run's. Two empty top-k sets agree perfectly; a nil
+// saliency agrees with nothing.
+func TopKAgreement(a, b *explain.Saliency, k int) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	as, bs := a.TopK(k), b.TopK(k)
+	if len(as) == 0 && len(bs) == 0 {
+		return 1
+	}
+	set := make(map[record.AttrRef]bool, len(as))
+	for _, r := range as {
+		set[r] = true
+	}
+	inter := 0
+	for _, r := range bs {
+		if set[r] {
+			inter++
+		}
+	}
+	union := len(as) + len(bs) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
 // pairSimilarity is the mean attribute-wise token-Jaccard similarity of
 // two pairs sharing schemas.
 func pairSimilarity(a, b record.Pair) float64 {

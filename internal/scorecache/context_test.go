@@ -1,0 +1,179 @@
+package scorecache
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"certa/internal/record"
+)
+
+// blockingModel parks every Score call on release, signalling entered
+// first, so tests can hold a singleflight leader in flight.
+type blockingModel struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (blockingModel) Name() string { return "blocking" }
+
+func (m blockingModel) Score(record.Pair) float64 {
+	m.entered <- struct{}{}
+	<-m.release
+	return 0.7
+}
+
+// A caller whose context is cancelled while another explanation's
+// in-flight call computes its key must return ctx.Err() immediately,
+// not block until the leader finishes.
+func TestWaiterCancelledWhileLeaderInFlight(t *testing.T) {
+	m := blockingModel{entered: make(chan struct{}), release: make(chan struct{})}
+	svc := NewService(m, ServiceOptions{})
+	p := pairOf("x", "y")
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.ScoreBatchContext(context.Background(), []record.Pair{p})
+		leaderDone <- err
+	}()
+	<-m.entered // the leader has claimed the key and sits in the model
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := svc.ScoreBatchContext(ctx, []record.Pair{p})
+		waiterDone <- err
+	}()
+	// Let the waiter enlist on the pending entry, then abandon it. The
+	// leader is still parked, so only the ctx.Done branch can unblock it.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter still blocked on the leader's in-flight call")
+	}
+
+	close(m.release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+}
+
+// ctxModel is a native ContextModel: while armed, calls containing the
+// poisoned content block until their context is cancelled and fail;
+// everything else scores immediately. invocations counts
+// ScoreBatchContext entries.
+type ctxModel struct {
+	poison      string
+	armed       atomic.Bool // disarms after the first poisoned batch
+	invocations atomic.Int64
+	blocked     chan struct{} // signalled when a poisoned batch parks
+}
+
+func (m *ctxModel) Name() string { return "ctxmodel" }
+
+func (m *ctxModel) Score(p record.Pair) float64 {
+	return float64(len(p.Left.Value("a"))) / 10
+}
+
+func (m *ctxModel) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]float64, error) {
+	m.invocations.Add(1)
+	for _, p := range pairs {
+		if p.Left.Value("a") == m.poison && m.armed.CompareAndSwap(true, false) {
+			if m.blocked != nil {
+				m.blocked <- struct{}{}
+			}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+	}
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = m.Score(p)
+	}
+	return out, nil
+}
+
+// A leader cancelled mid-batch must not install any of the batch into
+// the shared store — not even the shards that scored successfully.
+func TestCancelledLeaderInstallsNothing(t *testing.T) {
+	m := &ctxModel{poison: "bad"}
+	m.armed.Store(true)
+	// Parallelism 2 splits the two claimed keys into two model shards:
+	// the "ok" shard succeeds, the poisoned shard fails on cancellation.
+	svc := NewService(m, ServiceOptions{Parallelism: 2})
+	pairs := []record.Pair{pairOf("ok", "1"), pairOf("bad", "1")}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := svc.ScoreBatchContext(ctx, pairs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Re-scoring the successful shard's pair must reach the model again:
+	// had the partial batch been installed, this would be a store hit.
+	before := m.invocations.Load()
+	if _, err := svc.ScoreBatchContext(context.Background(), pairs[:1]); err != nil {
+		t.Fatalf("re-score: %v", err)
+	}
+	if m.invocations.Load() == before {
+		t.Fatal("cancelled leader installed a partial batch: re-score was answered from the store")
+	}
+}
+
+// A waiter whose leader is cancelled re-claims the key under its own
+// context and succeeds, instead of inheriting the leader's failure.
+func TestWaiterSurvivesCancelledLeader(t *testing.T) {
+	m := &ctxModel{poison: "bad", blocked: make(chan struct{}, 2)}
+	m.armed.Store(true)
+	svc := NewService(m, ServiceOptions{})
+	p := pairOf("bad", "1")
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.ScoreBatchContext(leaderCtx, []record.Pair{p})
+		leaderDone <- err
+	}()
+	<-m.blocked // leader parked in the model
+
+	// The waiter wants the same content under a healthy context. After
+	// the leader is cancelled it must re-claim the key itself; the model
+	// disarms after the first poisoned batch, so the waiter's own call
+	// scores normally.
+	waiterDone := make(chan error, 1)
+	waiterScore := make(chan float64, 1)
+	go func() {
+		got, err := svc.ScoreBatchContext(context.Background(), []record.Pair{p})
+		if err == nil {
+			waiterScore <- got[0]
+		}
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter enlist
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+
+	select {
+	case err := <-waiterDone:
+		if err != nil {
+			t.Fatalf("waiter err = %v, want success after re-claiming", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter still blocked after its leader was cancelled")
+	}
+	if got, want := <-waiterScore, m.Score(p); got != want {
+		t.Fatalf("waiter score = %v, want %v", got, want)
+	}
+}

@@ -24,9 +24,18 @@
 //
 // Unique misses are pushed through the model's batch entry point
 // (explain.BatchModel) in parallel shards.
+//
+// Both layers are cancellation-aware (explain.ContextModel): waits on
+// another explanation's in-flight computation return ctx.Err() as soon
+// as the caller's context is cancelled, and a cancelled evaluation never
+// installs a partial batch into the shared store — surviving waiters
+// re-claim the keys under their own contexts, so one caller's deadline
+// cannot poison results for everyone else.
 package scorecache
 
 import (
+	"context"
+	"fmt"
 	"strconv"
 	"strings"
 
@@ -131,10 +140,29 @@ func (s *Scorer) Score(p record.Pair) float64 {
 // the remaining unique pairs are forwarded to the shared store — in one
 // logical batch, answered from the store when another explanation
 // already paid for them and scored by the model otherwise.
+//
+// The error-less BatchModel surface cannot report a model failure: a
+// native explain.ContextModel that errors under this uncancellable
+// context panics (see the ContextModel contract — drive fallible models
+// through ScoreBatchContext instead).
 func (s *Scorer) ScoreBatch(pairs []record.Pair) []float64 {
+	out, err := s.ScoreBatchContext(context.Background(), pairs)
+	if err != nil {
+		// Unreachable for plain and batch models.
+		panic(fmt.Sprintf("scorecache: model %q failed outside cancellation: %v", s.Name(), err))
+	}
+	return out
+}
+
+// ScoreBatchContext implements explain.ContextModel: ScoreBatch under a
+// caller context. Cancellation aborts store waits and model calls with
+// ctx.Err(); the view's counters still record the batch's lookups and
+// misses (they were requested), but no score from an aborted batch is
+// installed in the view or the shared store.
+func (s *Scorer) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]float64, error) {
 	out := make([]float64, len(pairs))
 	if len(pairs) == 0 {
-		return out
+		return out, ctx.Err()
 	}
 
 	keys := make([]string, len(pairs))
@@ -179,16 +207,17 @@ func (s *Scorer) ScoreBatch(pairs []record.Pair) []float64 {
 	s.mu.Unlock()
 
 	if len(misses) == 0 {
-		return out
+		return out, nil
 	}
 
 	var scores []float64
+	var err error
 	if s.opts.Disabled {
 		missPairs := make([]record.Pair, len(misses))
 		for i, m := range misses {
 			missPairs[i] = m.pair
 		}
-		scores = s.svc.direct(missPairs, s.opts.Parallelism)
+		scores, err = s.svc.direct(ctx, missPairs, s.opts.Parallelism)
 	} else {
 		missKeys := make([]string, len(misses))
 		missPairs := make([]record.Pair, len(misses))
@@ -196,7 +225,10 @@ func (s *Scorer) ScoreBatch(pairs []record.Pair) []float64 {
 			missKeys[i] = m.key
 			missPairs[i] = m.pair
 		}
-		scores = s.svc.fetch(missKeys, missPairs)
+		scores, err = s.svc.fetch(ctx, missKeys, missPairs)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	s.mu.Lock()
@@ -209,7 +241,7 @@ func (s *Scorer) ScoreBatch(pairs []record.Pair) []float64 {
 		}
 	}
 	s.mu.Unlock()
-	return out
+	return out, nil
 }
 
 // Key renders the canonical content of a pair: schema names and every

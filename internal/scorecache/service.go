@@ -1,6 +1,7 @@
 package scorecache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -71,8 +72,10 @@ type entry struct {
 	key   string
 	score float64
 	ready chan struct{} // closed once score is valid (or failed is set)
-	// failed marks entries whose publisher panicked mid-batch; waiters
-	// propagate the failure instead of reading a zero score.
+	// failed marks entries whose publisher was cancelled or panicked
+	// mid-batch; the publisher removed them from the map before closing
+	// ready, so waiters re-claim the key themselves instead of reading a
+	// zero score or inheriting the leader's cancellation.
 	failed bool
 
 	// LRU links; only ready entries are linked.
@@ -104,6 +107,7 @@ type serviceShard struct {
 // cached.
 type Service struct {
 	model  explain.BatchModel
+	cmodel explain.ContextModel
 	opts   ServiceOptions
 	shards []serviceShard
 
@@ -112,12 +116,14 @@ type Service struct {
 }
 
 // NewService wraps a model in a shared scoring service. The model's
-// batch entry point is used when it has one; plain models fall back to
-// per-pair Score calls.
+// batch and context entry points are used when it has them; plain
+// models fall back to per-pair Score calls with a per-batch
+// cancellation check.
 func NewService(m explain.Model, opts ServiceOptions) *Service {
 	opts = opts.withDefaults()
 	s := &Service{
 		model:  explain.AsBatch(m),
+		cmodel: explain.AsContext(m),
 		opts:   opts,
 		shards: make([]serviceShard, opts.Shards),
 	}
@@ -169,10 +175,29 @@ func (s *Service) Score(p record.Pair) float64 {
 // ScoreBatch implements explain.BatchModel: duplicates inside the batch
 // and pairs any earlier request stored are answered from the store, and
 // only the remaining unique pairs reach the model.
+//
+// The error-less BatchModel surface cannot report a model failure: a
+// native explain.ContextModel that errors under this uncancellable
+// context panics (see the ContextModel contract — drive fallible models
+// through ScoreBatchContext instead).
 func (s *Service) ScoreBatch(pairs []record.Pair) []float64 {
+	out, err := s.ScoreBatchContext(context.Background(), pairs)
+	if err != nil {
+		// Unreachable for plain and batch models.
+		panic(fmt.Sprintf("scorecache: model %q failed outside cancellation: %v", s.model.Name(), err))
+	}
+	return out
+}
+
+// ScoreBatchContext implements explain.ContextModel: like ScoreBatch,
+// but the caller's context governs the whole resolution — waiting on
+// another caller's in-flight computation returns ctx.Err() as soon as
+// ctx is cancelled, and a cancelled batch evaluation never installs a
+// partial result set into the shared store.
+func (s *Service) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]float64, error) {
 	out := make([]float64, len(pairs))
 	if len(pairs) == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	var keys []string
 	var unique []record.Pair
@@ -191,13 +216,16 @@ func (s *Service) ScoreBatch(pairs []record.Pair) []float64 {
 		s.stats.Hits += dupes
 		s.statmu.Unlock()
 	}
-	scores := s.fetch(keys, unique)
+	scores, err := s.fetch(ctx, keys, unique)
+	if err != nil {
+		return nil, err
+	}
 	for i, k := range keys {
 		for _, slot := range slots[k] {
 			out[slot] = scores[i]
 		}
 	}
-	return out
+	return out, nil
 }
 
 // shardFor stripes a key across the locks (FNV-1a).
@@ -222,7 +250,13 @@ type waiter struct {
 // waited on, and the remaining misses are claimed, scored in one logical
 // batch (sharded across ServiceOptions.Parallelism workers) and
 // published. Keys must be unique within one call.
-func (s *Service) fetch(keys []string, pairs []record.Pair) []float64 {
+//
+// ctx governs the waits: a caller whose context is cancelled while
+// another caller computes its keys returns ctx.Err() immediately instead
+// of blocking on work it no longer wants. A leader that fails mid-batch
+// (cancellation or model panic) unpublishes its claims, so surviving
+// waiters re-claim the keys and score them under their own contexts.
+func (s *Service) fetch(ctx context.Context, keys []string, pairs []record.Pair) ([]float64, error) {
 	out := make([]float64, len(keys))
 	var claimed []int    // indexes this call must score
 	var claims []*entry  // their store entries, index-aligned with claimed
@@ -262,27 +296,64 @@ func (s *Service) fetch(keys []string, pairs []record.Pair) []float64 {
 	s.statmu.Unlock()
 
 	if len(claimed) > 0 {
-		s.scoreClaims(keys, pairs, out, claimed, claims)
+		if err := s.scoreClaims(ctx, keys, pairs, out, claimed, claims); err != nil {
+			return nil, err
+		}
 	}
 
 	// Wait on concurrent computations only after publishing our own
 	// claims, so two calls with overlapping key sets cannot deadlock.
+	var retry []waiter
 	for _, w := range waiters {
-		<-w.e.ready
+		select {
+		case <-w.e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if w.e.failed {
-			panic(fmt.Sprintf("scorecache: concurrent scoring of %q failed", s.model.Name()))
+			// The leader was cancelled or crashed after we enlisted; its
+			// defer removed the entry from the map, so the key is ours to
+			// claim on a second pass.
+			retry = append(retry, w)
+			continue
 		}
 		out[w.slot] = w.e.score
 	}
-	return out
+	if len(retry) > 0 {
+		// The enlistment was counted as a lookup answered in flight
+		// (a hit), but the leader failed and no answer ever arrived;
+		// take the phantom hit back before the recursive re-claim
+		// re-records the request as whatever it actually turns out to be.
+		s.statmu.Lock()
+		s.stats.Lookups -= len(retry)
+		s.stats.Hits -= len(retry)
+		s.statmu.Unlock()
+
+		rkeys := make([]string, len(retry))
+		rpairs := make([]record.Pair, len(retry))
+		for i, w := range retry {
+			rkeys[i] = keys[w.slot]
+			rpairs[i] = pairs[w.slot]
+		}
+		scores, err := s.fetch(ctx, rkeys, rpairs)
+		if err != nil {
+			return nil, err
+		}
+		for i, w := range retry {
+			out[w.slot] = scores[i]
+		}
+	}
+	return out, nil
 }
 
 // scoreClaims evaluates this call's store misses in one logical batch
-// and publishes the results. If the model panics (for example on a
+// and publishes the results. Publication is all-or-nothing: if the
+// context is cancelled mid-batch or the model panics (for example on a
 // batch-length contract violation), every claimed entry is unpublished
-// and marked failed before the panic propagates, so waiters are never
-// left blocked.
-func (s *Service) scoreClaims(keys []string, pairs []record.Pair, out []float64, claimed []int, claims []*entry) {
+// and marked failed before the error or panic propagates — the shared
+// store never holds a partial batch, and waiters are never left blocked
+// on a leader that gave up.
+func (s *Service) scoreClaims(ctx context.Context, keys []string, pairs []record.Pair, out []float64, claimed []int, claims []*entry) (err error) {
 	published := false
 	defer func() {
 		if published {
@@ -303,8 +374,8 @@ func (s *Service) scoreClaims(keys []string, pairs []record.Pair, out []float64,
 	if shards > len(claimed) {
 		shards = len(claimed)
 	}
-	per := (len(claimed) + shards - 1) / shards
-	workpool.Each(shards, shards, func(w int) error {
+	err = workpool.EachContext(ctx, shards, shards, func(ctx context.Context, w int) error {
+		per := (len(claimed) + shards - 1) / shards
 		lo := w * per
 		hi := lo + per
 		if hi > len(claimed) {
@@ -317,7 +388,10 @@ func (s *Service) scoreClaims(keys []string, pairs []record.Pair, out []float64,
 		for i := lo; i < hi; i++ {
 			chunk[i-lo] = pairs[claimed[i]]
 		}
-		got := s.model.ScoreBatch(chunk)
+		got, err := s.cmodel.ScoreBatchContext(ctx, chunk)
+		if err != nil {
+			return err
+		}
 		if len(got) != len(chunk) {
 			// A silent mismatch would cache zeros; fail loudly instead.
 			panic(fmt.Sprintf("scorecache: model %q returned %d scores for %d pairs",
@@ -326,6 +400,9 @@ func (s *Service) scoreClaims(keys []string, pairs []record.Pair, out []float64,
 		copy(scores[lo:hi], got)
 		return nil
 	})
+	if err != nil {
+		return err
+	}
 
 	evictions := 0
 	for i, e := range claims {
@@ -343,14 +420,15 @@ func (s *Service) scoreClaims(keys []string, pairs []record.Pair, out []float64,
 		s.stats.Evictions += evictions
 		s.statmu.Unlock()
 	}
+	return nil
 }
 
 // direct evaluates pairs against the model without touching the store —
 // the cache-disabled ablation path. The calls still count as shared
 // lookups and misses so run-level cost accounting stays truthful.
-func (s *Service) direct(pairs []record.Pair, parallelism int) []float64 {
+func (s *Service) direct(ctx context.Context, pairs []record.Pair, parallelism int) ([]float64, error) {
 	if len(pairs) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	s.statmu.Lock()
 	s.stats.Lookups += len(pairs)
@@ -366,8 +444,8 @@ func (s *Service) direct(pairs []record.Pair, parallelism int) []float64 {
 	if shards > len(pairs) {
 		shards = len(pairs)
 	}
-	per := (len(pairs) + shards - 1) / shards
-	workpool.Each(shards, shards, func(w int) error {
+	err := workpool.EachContext(ctx, shards, shards, func(ctx context.Context, w int) error {
+		per := (len(pairs) + shards - 1) / shards
 		lo := w * per
 		hi := lo + per
 		if hi > len(pairs) {
@@ -376,7 +454,10 @@ func (s *Service) direct(pairs []record.Pair, parallelism int) []float64 {
 		if lo >= hi {
 			return nil
 		}
-		got := s.model.ScoreBatch(pairs[lo:hi])
+		got, err := s.cmodel.ScoreBatchContext(ctx, pairs[lo:hi])
+		if err != nil {
+			return err
+		}
 		if len(got) != len(pairs[lo:hi]) {
 			panic(fmt.Sprintf("scorecache: model %q returned %d scores for %d pairs",
 				s.model.Name(), len(got), hi-lo))
@@ -384,7 +465,10 @@ func (s *Service) direct(pairs []record.Pair, parallelism int) []float64 {
 		copy(scores[lo:hi], got)
 		return nil
 	})
-	return scores
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
 }
 
 // touch moves a ready entry to the LRU head. No-op for unbounded shards.

@@ -3,61 +3,128 @@
 // out over it, and the score cache shards batch evaluations through it.
 //
 // The design follows errgroup-with-SetLimit: run n index-addressed jobs
-// with at most `workers` goroutines, collect per-index errors, and
-// report the lowest-index error so callers see a deterministic failure
-// regardless of scheduling. Workers write results into caller-owned,
-// index-aligned slices, which keeps outputs byte-identical at any
-// parallelism.
+// with at most `workers` goroutines and collect per-index errors.
+// Workers write results into caller-owned, index-aligned slices, which
+// keeps successful outputs byte-identical at any parallelism. Failure
+// is fail-fast: the first error cancels the run's context and stops
+// dispatching new jobs, so one poisoned job does not pay for the whole
+// batch. Error reporting is deterministic when a single job fails (the
+// common case); with several concurrent failures, which one is reported
+// depends on which jobs the cancellation reached first — see
+// EachContext.
 package workpool
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // Each runs fn(0), fn(1), ..., fn(n-1) with at most workers concurrent
-// goroutines and returns the lowest-index error (nil if every call
+// goroutines and returns the lowest-index job error (nil if every call
 // succeeded).
 //
 // With workers <= 1 the jobs run inline on the calling goroutine and
 // Each short-circuits on the first error, exactly like a plain loop. In
-// parallel mode every job is attempted even if an earlier index fails;
-// only the reported error is deterministic.
+// parallel mode the first error stops dispatch, so jobs not yet handed
+// to a worker never start; jobs already in flight run to completion.
 func Each(n, workers int, fn func(i int) error) error {
+	return EachContext(context.Background(), n, workers, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// EachContext is Each under a caller context: fn receives a context that
+// is cancelled as soon as ctx is cancelled or any job returns an error,
+// so cooperative jobs (and the scoring calls inside them) can abandon
+// work the batch no longer needs. Dispatch stops at the first
+// cancellation — a job that fails promptly leaves later indexes
+// unstarted.
+//
+// The returned error is deterministic where determinism is possible: the
+// lowest-index error that is not itself a cancellation is preferred
+// (sibling jobs cut short by fail-fast report context.Canceled, which
+// must not mask the root cause). When every recorded error is
+// cancellation-classed, the caller context's error wins — a cancelled
+// batch reports ctx.Err() verbatim — and failing that, the job error
+// that triggered the fail-fast is reported, so a root cause that merely
+// wraps a context error (a model's own RPC timeout, say) still
+// surfaces.
+func EachContext(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
 	errs := make([]error, n)
 	jobs := make(chan int)
+	// rootErr remembers the job error that triggered the fail-fast
+	// cancellation: if that error itself wraps a context error (an
+	// RPC-backed model's own timeout, say), the classification scan below
+	// would lump it in with the sibling cancellations it caused and mask
+	// the root cause.
+	var rootOnce sync.Once
+	var rootErr error
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				errs[i] = fn(i)
+				// A job can be handed out in the same instant the batch is
+				// cancelled (the dispatch select has both cases ready);
+				// record the cancellation instead of running it.
+				if err := inner.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if errs[i] = fn(inner, i); errs[i] != nil {
+					rootOnce.Do(func() { rootErr = errs[i]; cancel() })
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-inner.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			continue
+		}
+		return err
 	}
-	return nil
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Every recorded error is cancellation-classed and the caller's
+	// context is live: the failure originated inside a job. Report the
+	// error that started the fail-fast, not a sibling's induced
+	// cancellation.
+	return rootErr
 }

@@ -1,7 +1,11 @@
 #!/bin/sh
 # CI gate: vet, build, full test suite, a one-iteration benchmark smoke
 # pass, and the batched-pipeline perf probe (BENCH_explain.json, which
-# records explanations/sec and cache hit rate across PRs).
+# records explanations/sec, cache hit rate and the anytime
+# quality-vs-budget curve across PRs).
+#
+# Every test invocation carries a per-package -timeout so a cancellation
+# deadlock in the context paths fails CI instead of hanging it.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,14 +17,14 @@ echo "== go build =="
 go build ./...
 
 echo "== go test =="
-go test ./...
+go test -timeout 300s ./...
 
-echo "== race (shared scoring pipeline) =="
-go test -race ./internal/scorecache/ ./internal/workpool/ ./internal/core/
+echo "== race (context + shared scoring pipeline) =="
+go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/
 
 echo "== bench smoke =="
-go test -bench=. -benchtime=1x -run='^$' .
+go test -timeout 600s -bench=. -benchtime=1x -run='^$' .
 
-echo "== perf probe =="
-go run ./cmd/certa-bench -benchjson BENCH_explain.json -parallelism 4
+echo "== perf probe (with anytime call-budget sweep) =="
+go run ./cmd/certa-bench -benchjson BENCH_explain.json -parallelism 4 -call-budget 250,1000,2500,0
 cat BENCH_explain.json
