@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test bench ci clean
+.PHONY: all vet build test bench servesmoke ci clean
 
 all: build
 
@@ -17,12 +17,17 @@ test:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# servesmoke boots cmd/certa-serve on an ephemeral port, exercises the
+# HTTP API cold and warm, and restarts it from its cache snapshot.
+servesmoke:
+	$(GO) run ./scripts/servesmoke
+
 # BENCH_explain.json records explanations/sec and cache hit rate so
 # future PRs can track the perf trajectory of the explanation pipeline.
 BENCH_explain.json: FORCE
 	$(GO) run ./cmd/certa-bench -benchjson $@ -parallelism 4
 
-ci: vet build test bench BENCH_explain.json
+ci: vet build test bench servesmoke BENCH_explain.json
 
 clean:
 	rm -f BENCH_explain.json

@@ -91,6 +91,20 @@
 // implement ContextModel; everything else is adapted with a per-batch
 // cancellation check.
 //
+// # The HTTP serving subsystem
+//
+// NewServer assembles all of the above into a JSON HTTP API (the
+// cmd/certa-serve daemon is the ready-made wrapper): per-backend
+// long-lived scoring services, admission control (bounded in-flight
+// explanations, bounded fair FIFO queue, 429 + Retry-After on
+// overload), request coalescing (identical in-flight requests share one
+// computation and receive byte-identical bodies), client-disconnect
+// cancellation, and per-request deadline_ms/call_budget/top_k knobs
+// mapped onto the anytime options. The shared score cache persists
+// across restarts via ScoringService.Snapshot/Restore — a server
+// restarted from its snapshot answers repeat workloads without model
+// calls.
+//
 // The package also ships the three DL-style ER systems the paper
 // evaluates (DeepER, DeepMatcher, Ditto), the baseline explainers it
 // compares against (Mojito, LandMark, SHAP, DiCE, LIME-C, SHAP-C), the
@@ -113,6 +127,7 @@ import (
 	"certa/internal/metrics"
 	"certa/internal/record"
 	"certa/internal/scorecache"
+	"certa/internal/server"
 	"certa/internal/shap"
 )
 
@@ -244,6 +259,47 @@ type (
 // across many explanations (Options.Shared).
 func NewScoringService(m Model, opts ScoringServiceOptions) *ScoringService {
 	return scorecache.NewService(m, opts)
+}
+
+// The explanation-serving subsystem (see internal/server): an HTTP JSON
+// API over the engine with admission control (bounded in-flight
+// explanations + bounded FIFO queue, 429 + Retry-After on overload),
+// request coalescing (identical in-flight requests share one
+// computation and receive byte-identical bodies), client-disconnect
+// cancellation, and per-request anytime knobs (deadline_ms,
+// call_budget, top_k). cmd/certa-serve is the ready-made daemon;
+// embedders plug Server into any http.Server.
+type (
+	// Server is the HTTP explanation-serving subsystem (an http.Handler).
+	Server = server.Server
+	// ServerOptions tunes the serving layers (admission bounds, body
+	// limits).
+	ServerOptions = server.Options
+	// ServerBackend configures one served (sources, model) pair with its
+	// long-lived shared scoring service.
+	ServerBackend = server.Backend
+	// ServerStats is the GET /v1/stats document.
+	ServerStats = server.StatsResponse
+
+	// ExplainRequest is the POST /v1/explain wire request; certa-explain
+	// -json emits the matching ExplainResponse so CLI and server share
+	// one schema.
+	ExplainRequest = server.ExplainRequest
+	// ExplainResponse is the POST /v1/explain wire response (and one
+	// element of a batch response).
+	ExplainResponse = server.ExplainResponse
+	// BatchRequest is the POST /v1/explain/batch wire request.
+	BatchRequest = server.BatchRequest
+	// BatchResponse is the POST /v1/explain/batch wire response.
+	BatchResponse = server.BatchResponse
+)
+
+// NewServer builds the HTTP explanation-serving subsystem over the
+// given backends. Backends may inject a ScoringService restored from a
+// Snapshot so the server starts warm; Server.Snapshot writes one back
+// out on shutdown.
+func NewServer(backends []ServerBackend, opts ServerOptions) (*Server, error) {
+	return server.New(backends, opts)
 }
 
 // ScoreBatch scores every pair with m, through its native batch entry

@@ -16,14 +16,21 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"certa"
 	"certa/internal/eval"
 	"certa/internal/matchers"
+	"certa/internal/workpool"
 )
 
 func main() {
@@ -43,6 +50,8 @@ func main() {
 		benchJSON   = flag.String("benchjson", "", "run the batched-pipeline perf probe on AB and write JSON metrics to this file")
 		deadline    = flag.Duration("deadline", 0, "per-explanation soft deadline for the perf probe (Options.Deadline; 0 = none)")
 		callBudget  = flag.String("call-budget", "", "comma-separated CallBudget sweep for the perf probe's anytime curve, e.g. 40,80,160 (0 = unlimited reference)")
+		serveReqs   = flag.Int("serve-requests", 96, "load-generator requests against the in-process HTTP server for the perf probe's serve section (0 = skip)")
+		serveConc   = flag.Int("serve-conc", 8, "load-generator client concurrency")
 	)
 	flag.Parse()
 
@@ -52,7 +61,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := writeBenchJSON(*benchJSON, *seed, *parallelism, *deadline, budgets); err != nil {
+		if err := writeBenchJSON(*benchJSON, *seed, *parallelism, *deadline, budgets, *serveReqs, *serveConc); err != nil {
 			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -161,6 +170,35 @@ type benchMetrics struct {
 	// itself unless -deadline truncated it, in which case the sweep runs
 	// its own).
 	Anytime []anytimePoint `json:"anytime,omitempty"`
+	// Serve is the HTTP load-generator probe: the same blocked-cluster
+	// workload served by an in-process certa-serve-shaped server
+	// (internal/server) over real TCP, measuring end-to-end request
+	// latency through admission control, coalescing and the shared
+	// cache.
+	Serve *serveMetrics `json:"serve,omitempty"`
+}
+
+// serveMetrics is the "serve" section of BENCH_explain.json.
+type serveMetrics struct {
+	// Requests is the total load-generator requests issued (cycling over
+	// the blocked-cluster pairs, so later passes hit a warm cache);
+	// Concurrency the client workers issuing them.
+	Requests    int `json:"requests"`
+	Concurrency int `json:"concurrency"`
+	// ServeThroughput is completed requests per wall-clock second; P50MS
+	// and P99MS are end-to-end request latency percentiles.
+	WallSeconds     float64 `json:"wall_seconds"`
+	ServeThroughput float64 `json:"serve_throughput_rps"`
+	P50MS           float64 `json:"p50_ms"`
+	P99MS           float64 `json:"p99_ms"`
+	// Coalesced counts requests that shared another request's in-flight
+	// computation; Rejected counts admission 429s (the load is sized to
+	// the queue, so normally 0).
+	Coalesced int64 `json:"coalesced"`
+	Rejected  int64 `json:"rejected"`
+	// SharedCacheHitRate is the server-side score cache's hit rate over
+	// the whole load.
+	SharedCacheHitRate float64 `json:"shared_cache_hit_rate"`
 }
 
 // anytimePoint is one entry of the anytime quality-vs-budget curve.
@@ -207,7 +245,7 @@ func parseBudgets(s string) ([]int, error) {
 // adds the anytime quality-vs-budget curve, each sweep point explaining
 // the same workload under its own fresh scoring service (the serving
 // scenario a budgeted deployment would run).
-func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Duration, budgets []int) error {
+func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Duration, budgets []int, serveReqs, serveConc int) error {
 	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{
 		Seed: seed, MaxRecords: 120, MaxMatches: 60,
 	})
@@ -306,6 +344,14 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 		}
 	}
 
+	if serveReqs > 0 {
+		serve, err := runServeLoad(bench, model, pairs, seed, parallelism, serveReqs, serveConc)
+		if err != nil {
+			return err
+		}
+		m.Serve = serve
+	}
+
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -316,7 +362,99 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 	}
 	fmt.Fprintf(os.Stderr, "certa-bench: %.1f explanations/sec, %d unique model calls for %d private, %.2fx reduction vs uncached, %d anytime points -> %s\n",
 		m.ExplanationsPerSec, m.UniqueModelCalls, m.PrivateModelCalls, m.CallReduction, len(m.Anytime), path)
+	if m.Serve != nil {
+		fmt.Fprintf(os.Stderr, "certa-bench: serve probe: %.1f req/s over %d requests (conc %d), p50 %.1fms, p99 %.1fms, %d coalesced, cache hit rate %.1f%%\n",
+			m.Serve.ServeThroughput, m.Serve.Requests, m.Serve.Concurrency,
+			m.Serve.P50MS, m.Serve.P99MS, m.Serve.Coalesced, 100*m.Serve.SharedCacheHitRate)
+	}
 	return nil
+}
+
+// runServeLoad is the load-generator mode: it stands the serving
+// subsystem up on an ephemeral TCP port (exactly what cmd/certa-serve
+// runs) over the already-trained matcher, fires requests for the
+// blocked-cluster workload from conc client workers — cycling the
+// pairs, so the first pass is cold and later passes exercise the warm
+// shared cache and request coalescing — and distills end-to-end
+// latency percentiles.
+func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pair, seed int64, parallelism, requests, conc int) (*serveMetrics, error) {
+	svc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+	srv, err := certa.NewServer([]certa.ServerBackend{{
+		Name: "AB", Left: bench.Left, Right: bench.Right, Model: model,
+		Options: certa.Options{Triangles: 100, Seed: seed, Parallelism: parallelism},
+		Pairs:   pairs, Service: svc,
+	}}, certa.ServerOptions{MaxInFlight: parallelism, MaxQueue: requests})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	url := "http://" + ln.Addr().String() + "/v1/explain"
+
+	if conc <= 0 {
+		conc = 1
+	}
+	latencies := make([]float64, requests)
+	var failed atomic.Int64
+	start := time.Now()
+	workpool.Each(requests, conc, func(i int) error {
+		body := fmt.Sprintf(`{"pair_index":%d}`, i%len(pairs))
+		t0 := time.Now()
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			failed.Add(1)
+			return nil
+		}
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if cerr != nil || resp.StatusCode != http.StatusOK {
+			failed.Add(1)
+			return nil
+		}
+		latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+		return nil
+	})
+	wall := time.Since(start).Seconds()
+	if n := failed.Load(); n > 0 {
+		return nil, fmt.Errorf("serve probe: %d/%d requests failed", n, requests)
+	}
+
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	st := srv.Stats()
+	return &serveMetrics{
+		Requests:           requests,
+		Concurrency:        conc,
+		WallSeconds:        wall,
+		ServeThroughput:    float64(requests) / wall,
+		P50MS:              percentile(sorted, 0.50),
+		P99MS:              percentile(sorted, 0.99),
+		Coalesced:          st.Coalesced,
+		Rejected:           st.Rejected,
+		SharedCacheHitRate: st.Backends["AB"].HitRate,
+	}, nil
+}
+
+// percentile reads the q-quantile from an ascending-sorted sample
+// (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // anytimeSweepPoint explains the workload once at the given CallBudget

@@ -4,11 +4,19 @@
 //
 //	certa-explain -dataset AB -model Ditto -pair 0
 //	certa-explain -dataset WA -model DeepER -wrong   # first misclassified pair
+//	certa-explain -dataset AB -pair 0 -json          # machine-readable output
+//
+// With -json the explanation is emitted as the same ExplainResponse
+// document the certa-serve HTTP API returns (one schema for CLI and
+// server; progress lines go to stderr), and any failure — including a
+// failed write to stdout — exits non-zero.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -31,23 +39,58 @@ func main() {
 		loadModel  = flag.String("load-model", "", "load a previously saved model instead of training")
 		callBudget = flag.Int("call-budget", 0, "anytime cap on unique model calls (0 = unlimited); a tripped budget returns the best-so-far explanation")
 		deadline   = flag.Duration("deadline", 0, "anytime soft wall-clock allowance for the explanation (0 = none)")
+		jsonOut    = flag.Bool("json", false, "emit the explanation as the server's ExplainResponse JSON document on stdout")
 	)
 	flag.Parse()
 
-	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *parallel, *seed, *records, *matches, *tokens, *saveModel, *loadModel, *callBudget, *deadline); err != nil {
+	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *parallel, *seed, *records, *matches, *tokens, *saveModel, *loadModel, *callBudget, *deadline, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "certa-explain: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, seed int64, records, matches int, tokens bool, saveModel, loadModel string, callBudget int, deadline time.Duration) error {
+// checkedWriter remembers the first write error, so output written with
+// unchecked fmt.Fprintf calls still fails the command: before the
+// audit, a closed or full stdout printed a partial explanation and
+// exited 0.
+type checkedWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *checkedWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return len(p), nil // swallow the rest; the first error is what matters
+	}
+	n, err := c.w.Write(p)
+	if err != nil {
+		c.err = err
+		return len(p), nil
+	}
+	return n, nil
+}
+
+func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, seed int64, records, matches int, tokens bool, saveModel, loadModel string, callBudget int, deadline time.Duration, jsonOut bool) error {
+	// Human-readable progress goes to stdout normally, to stderr in
+	// -json mode (stdout then carries exactly one JSON document).
+	cw := &checkedWriter{w: os.Stdout}
+	var out io.Writer = cw
+	if jsonOut {
+		if tokens {
+			// The wire document has no token-saliency section; silently
+			// dropping -tokens would hand scripts incomplete output.
+			return fmt.Errorf("-tokens has no JSON representation; use it without -json")
+		}
+		out = os.Stderr
+	}
+
 	bench, err := certa.GenerateBenchmark(ds, certa.BenchmarkOptions{
 		Seed: seed, MaxRecords: records, MaxMatches: matches,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benchmark %s: %d + %d records, %d matches, %d test pairs\n",
+	fmt.Fprintf(out, "benchmark %s: %d + %d records, %d matches, %d test pairs\n",
 		ds, bench.Left.Len(), bench.Right.Len(), len(bench.Matches), len(bench.Test))
 
 	var m *certa.Matcher
@@ -60,13 +103,13 @@ func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, see
 		if err := m.UnmarshalBinary(data); err != nil {
 			return err
 		}
-		fmt.Printf("loaded %s from %s: F1 = %.3f on the test split\n\n", m.Name(), loadModel, certa.F1(m, bench.Test))
+		fmt.Fprintf(out, "loaded %s from %s: F1 = %.3f on the test split\n\n", m.Name(), loadModel, certa.F1(m, bench.Test))
 	} else {
 		m, err = certa.TrainMatcher(certa.MatcherKind(model), bench, certa.MatcherConfig{Seed: seed})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("trained %s: F1 = %.3f on the test split\n\n", model, certa.F1(m, bench.Test))
+		fmt.Fprintf(out, "trained %s: F1 = %.3f on the test split\n\n", model, certa.F1(m, bench.Test))
 	}
 	if saveModel != "" {
 		data, err := m.MarshalBinary()
@@ -76,7 +119,7 @@ func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, see
 		if err := os.WriteFile(saveModel, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("model saved to %s (%d bytes)\n\n", saveModel, len(data))
+		fmt.Fprintf(out, "model saved to %s (%d bytes)\n\n", saveModel, len(data))
 	}
 
 	var target certa.LabeledPair
@@ -100,9 +143,9 @@ func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, see
 	}
 
 	score := m.Score(target.Pair)
-	fmt.Printf("pair <%s>: ground truth %v, %s score %.3f (%s)\n",
+	fmt.Fprintf(out, "pair <%s>: ground truth %v, %s score %.3f (%s)\n",
 		target.Key(), label(target.Match), m.Name(), score, label(score > 0.5))
-	fmt.Printf("  left : %s\n  right: %s\n\n", target.Left, target.Right)
+	fmt.Fprintf(out, "  left : %s\n  right: %s\n\n", target.Left, target.Right)
 
 	explainer := certa.New(bench.Left, bench.Right, certa.Options{
 		Triangles: triangles, Seed: seed, Parallelism: parallel,
@@ -112,25 +155,45 @@ func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, see
 	if err != nil {
 		return err
 	}
+
+	if jsonOut {
+		// The server's wire document, verbatim: one schema for the CLI
+		// and the HTTP API, pinned by the golden-file round-trip test.
+		doc := certa.ExplainResponse{
+			Benchmark: ds,
+			PairKey:   target.Pair.Key(),
+			Result:    res,
+		}
+		enc := json.NewEncoder(cw)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if cw.err != nil {
+			return fmt.Errorf("writing to stdout: %w", cw.err)
+		}
+		return nil
+	}
+
 	if res.Diag.Truncated {
-		fmt.Printf("anytime: %s limit tripped — best-so-far explanation, completeness %.0f%%, %d calls spent\n\n",
+		fmt.Fprintf(out, "anytime: %s limit tripped — best-so-far explanation, completeness %.0f%%, %d calls spent\n\n",
 			res.Diag.TruncatedBy, 100*res.Diag.Completeness, res.Diag.BudgetSpent)
 	}
 
-	fmt.Println("saliency (probability of necessity):")
+	fmt.Fprintln(out, "saliency (probability of necessity):")
 	for _, ref := range res.Saliency.Ranked() {
-		fmt.Printf("  %-18s %.3f\n", ref, res.Saliency.Scores[ref])
+		fmt.Fprintf(out, "  %-18s %.3f\n", ref, res.Saliency.Scores[ref])
 	}
-	fmt.Printf("\ncounterfactuals (A★ = %s, χ = %.2f): %d examples\n",
+	fmt.Fprintf(out, "\ncounterfactuals (A★ = %s, χ = %.2f): %d examples\n",
 		res.BestSet.Key(), res.BestSufficiency, len(res.Counterfactuals))
 	for i, cf := range res.Counterfactuals {
 		if i >= 3 {
-			fmt.Printf("  ... and %d more\n", len(res.Counterfactuals)-3)
+			fmt.Fprintf(out, "  ... and %d more\n", len(res.Counterfactuals)-3)
 			break
 		}
-		fmt.Printf("  #%d score %.3f, changed %v\n", i+1, cf.Score, cf.ChangedAttrNames())
+		fmt.Fprintf(out, "  #%d score %.3f, changed %v\n", i+1, cf.Score, cf.ChangedAttrNames())
 		for _, ref := range cf.Changed {
-			fmt.Printf("      %s: %q -> %q\n", ref, cf.Original.Value(ref), cf.Pair.Value(ref))
+			fmt.Fprintf(out, "      %s: %q -> %q\n", ref, cf.Original.Value(ref), cf.Pair.Value(ref))
 		}
 	}
 	if tokens {
@@ -138,22 +201,25 @@ func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, see
 		if err != nil {
 			return err
 		}
-		fmt.Println("\ntoken-level saliency (top 10):")
+		fmt.Fprintln(out, "\ntoken-level saliency (top 10):")
 		for i, t := range ts {
 			if i >= 10 {
 				break
 			}
-			fmt.Printf("  %-18s #%d %-16q %.4f\n", t.Ref, t.Index, t.Token, t.Score)
+			fmt.Fprintf(out, "  %-18s #%d %-16q %.4f\n", t.Ref, t.Index, t.Token, t.Score)
 		}
 	}
 
-	fmt.Printf("\ndiagnostics: %d+%d triangles (%d augmented), %d lattice queries, %d unique lattice calls (%d saved)\n",
+	fmt.Fprintf(out, "\ndiagnostics: %d+%d triangles (%d augmented), %d lattice queries, %d unique lattice calls (%d saved)\n",
 		res.Diag.LeftTriangles, res.Diag.RightTriangles,
 		res.Diag.AugmentedLeft+res.Diag.AugmentedRight,
 		res.Diag.LatticeQueries, res.Diag.LatticePredictions, res.Diag.SavedPredictions)
-	fmt.Printf("batched scoring: %d lookups in %d batches, %d unique model calls, cache hit rate %.1f%% (seed path: %d calls)\n",
+	fmt.Fprintf(out, "batched scoring: %d lookups in %d batches, %d unique model calls, cache hit rate %.1f%% (seed path: %d calls)\n",
 		res.Diag.CacheLookups, res.Diag.BatchCalls, res.Diag.ModelCalls,
 		100*res.Diag.CacheHitRate(), res.Diag.SeedPathCalls)
+	if cw.err != nil {
+		return fmt.Errorf("writing to stdout: %w", cw.err)
+	}
 	return nil
 }
 

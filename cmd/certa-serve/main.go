@@ -1,0 +1,198 @@
+// Command certa-serve is the explanation-serving daemon: it trains (or
+// loads) one of the paper's ER systems on a synthetic benchmark and
+// serves CERTA explanations over the JSON HTTP API:
+//
+//	certa-serve -dataset AB -model DeepMatcher -addr 127.0.0.1:8080
+//	curl -s -X POST localhost:8080/v1/explain -d '{"pair_index":0}'
+//
+// Serving layers (see internal/server): admission control bounds
+// concurrent explanations (-max-inflight) and the wait queue
+// (-max-queue), rejecting the rest with 429 + Retry-After; identical
+// in-flight requests coalesce into one computation; client disconnects
+// cancel the underlying explanation; per-request deadline_ms /
+// call_budget / top_k knobs map onto the anytime engine options.
+//
+// With -cache-file the shared score cache is restored at startup and
+// snapshotted on graceful shutdown (SIGINT/SIGTERM drains in-flight
+// requests first), so restarts answer repeat workloads warm. A
+// corrupted or truncated cache file is rejected and the server starts
+// cold — it never panics and never loads half a snapshot.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"certa"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for an ephemeral port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		ds          = flag.String("dataset", "AB", "benchmark code (AB, AG, BA, DA, DS, FZ, IA, WA, DDA, DDS, DIA, DWA)")
+		model       = flag.String("model", "DeepMatcher", "ER system: DeepER, DeepMatcher, Ditto, SVM")
+		records     = flag.Int("records", 300, "max records per source")
+		matches     = flag.Int("matches", 150, "max matching pairs")
+		seed        = flag.Int64("seed", 7, "random seed")
+		triangles   = flag.Int("triangles", 100, "CERTA triangle budget τ")
+		parallelism = flag.Int("parallelism", 4, "worker goroutines per explanation's scoring pipeline")
+		maxInflight = flag.Int("max-inflight", 4, "admission: max concurrently computing explanations")
+		maxQueue    = flag.Int("max-queue", 64, "admission: max queued explanations before 429")
+		cacheFile   = flag.String("cache-file", "", "restore the score cache from this snapshot at startup and write it back on graceful shutdown")
+		cacheCap    = flag.Int("cache-capacity", 0, "bound on cached scores (0 = unbounded; sharded LRU past it)")
+		loadModel   = flag.String("load-model", "", "load a previously saved model instead of training")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown allowance for in-flight requests")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *addrFile, *ds, *model, *records, *matches, *seed, *triangles,
+		*parallelism, *maxInflight, *maxQueue, *cacheFile, *cacheCap, *loadModel, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "certa-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile, ds, model string, records, matches int, seed int64, triangles,
+	parallelism, maxInflight, maxQueue int, cacheFile string, cacheCap int, loadModel string, drain time.Duration) error {
+	log.SetPrefix("certa-serve: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	bench, err := certa.GenerateBenchmark(ds, certa.BenchmarkOptions{
+		Seed: seed, MaxRecords: records, MaxMatches: matches,
+	})
+	if err != nil {
+		return err
+	}
+	var m *certa.Matcher
+	if loadModel != "" {
+		data, err := os.ReadFile(loadModel)
+		if err != nil {
+			return err
+		}
+		m = new(certa.Matcher)
+		if err := m.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		log.Printf("loaded %s from %s: F1 = %.3f on the test split", m.Name(), loadModel, certa.F1(m, bench.Test))
+	} else {
+		m, err = certa.TrainMatcher(certa.MatcherKind(model), bench, certa.MatcherConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		log.Printf("trained %s on %s: F1 = %.3f on the test split", m.Name(), ds, certa.F1(m, bench.Test))
+	}
+
+	// The backend's long-lived shared scoring service, warmed from the
+	// cache file when one is given and readable.
+	svc := certa.NewScoringService(m, certa.ScoringServiceOptions{
+		Parallelism: parallelism, Capacity: cacheCap,
+	})
+	restored := 0
+	if cacheFile != "" {
+		if f, err := os.Open(cacheFile); err == nil {
+			n, rerr := svc.Restore(f)
+			f.Close()
+			if rerr != nil {
+				log.Printf("cache file %s rejected (%v); starting cold", cacheFile, rerr)
+			} else {
+				restored = n
+				log.Printf("restored %d cached scores from %s", n, cacheFile)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("opening cache file: %w", err)
+		}
+	}
+
+	pairs := make([]certa.Pair, len(bench.Test))
+	for i, lp := range bench.Test {
+		pairs[i] = lp.Pair
+	}
+	srv, err := certa.NewServer([]certa.ServerBackend{{
+		Name:  ds,
+		Left:  bench.Left,
+		Right: bench.Right,
+		Model: m,
+		Options: certa.Options{
+			Triangles: triangles, Seed: seed, Parallelism: parallelism,
+		},
+		Pairs:           pairs,
+		Service:         svc,
+		RestoredEntries: restored,
+	}}, certa.ServerOptions{MaxInFlight: maxInflight, MaxQueue: maxQueue})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing addr file: %w", err)
+		}
+	}
+	log.Printf("serving %s/%s explanations on http://%s (test pairs addressable as pair_index 0..%d)",
+		ds, m.Name(), bound, len(pairs)-1)
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain in-flight requests, then persist the
+	// cache so the next start serves warm.
+	log.Printf("shutting down: draining in-flight requests (up to %s)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	srv.Close()
+	if cacheFile != "" {
+		if err := writeSnapshot(svc, cacheFile); err != nil {
+			return fmt.Errorf("writing cache snapshot: %w", err)
+		}
+		log.Printf("cache snapshot (%d entries) written to %s", svc.Len(), cacheFile)
+	}
+	return nil
+}
+
+// writeSnapshot persists the cache atomically: write aside, then rename,
+// so a crash mid-write cannot corrupt the previous snapshot.
+func writeSnapshot(svc *certa.ScoringService, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := svc.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

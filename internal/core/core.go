@@ -149,8 +149,8 @@ func (e *Explainer) Name() string { return "CERTA" }
 
 // AttrSet identifies a side-qualified set of attributes (a lattice node).
 type AttrSet struct {
-	Side  record.Side
-	Attrs []string
+	Side  record.Side `json:"side"`
+	Attrs []string    `json:"attrs,omitempty"`
 }
 
 // Key renders the set canonically, e.g. "L:{description,name}".
@@ -175,10 +175,12 @@ func (s AttrSet) Refs() []record.AttrRef {
 type Diagnostics struct {
 	// LeftTriangles and RightTriangles are the numbers of open triangles
 	// actually used per side.
-	LeftTriangles, RightTriangles int
+	LeftTriangles  int `json:"left_triangles"`
+	RightTriangles int `json:"right_triangles"`
 	// AugmentedLeft and AugmentedRight count how many of them came from
 	// data augmentation.
-	AugmentedLeft, AugmentedRight int
+	AugmentedLeft  int `json:"augmented_left,omitempty"`
+	AugmentedRight int `json:"augmented_right,omitempty"`
 	// LatticeQueries counts oracle questions asked during lattice
 	// exploration — the model calls the unbatched seed path would have
 	// paid. LatticePredictions counts the unique model invocations that
@@ -186,30 +188,33 @@ type Diagnostics struct {
 	// answered by the score cache, so LatticePredictions <=
 	// LatticeQueries). ExpectedPredictions is the exhaustive 2^l-2
 	// baseline summed over triangles.
-	LatticeQueries, LatticePredictions, ExpectedPredictions int
+	LatticeQueries      int `json:"lattice_queries"`
+	LatticePredictions  int `json:"lattice_predictions"`
+	ExpectedPredictions int `json:"expected_predictions"`
 	// SavedPredictions = Expected - LatticePredictions: what monotone
 	// propagation and score memoization together avoided.
-	SavedPredictions int
+	SavedPredictions int `json:"saved_predictions"`
 	// WrongInferences counts monotone inferences contradicted by the
 	// model (only populated with Options.EvaluateMonotonicity).
-	WrongInferences int
+	WrongInferences int `json:"wrong_inferences,omitempty"`
 	// TriangleSearchCalls counts score lookups spent finding support
 	// records (the chunked batch scan may look slightly past the last
 	// support the sequential scan would have stopped at).
-	TriangleSearchCalls int
+	TriangleSearchCalls int `json:"triangle_search_calls"`
 	// Flips is the total number of flipped lattice nodes (the f of
 	// Algorithm 1).
-	Flips int
+	Flips int `json:"flips"`
 	// ModelCalls counts the unique model invocations of the whole
 	// explanation: original score, triangle search, lattice exploration
 	// and counterfactual materialization, after deduplication.
-	ModelCalls int
+	ModelCalls int `json:"model_calls"`
 	// BatchCalls counts the batched scoring requests those invocations
 	// were grouped into.
-	BatchCalls int
+	BatchCalls int `json:"batch_calls"`
 	// CacheLookups and CacheHits report the perturbation score cache:
 	// CacheLookups = CacheHits + ModelCalls.
-	CacheLookups, CacheHits int
+	CacheLookups int `json:"cache_lookups"`
+	CacheHits    int `json:"cache_hits"`
 	// SeedPathCalls counts the model calls a sequential, uncached
 	// point-lookup pipeline would have made over the same candidate
 	// streams this explanation scanned. With Options.SeedSearch it is
@@ -217,7 +222,7 @@ type Diagnostics struct {
 	// search) mode the streams themselves are shorter, so comparing
 	// against the historical seed path additionally requires a
 	// SeedSearch baseline run (see TestBatchedPipelineModelCallReduction).
-	SeedPathCalls int
+	SeedPathCalls int `json:"seed_path_calls"`
 	// Truncated marks an anytime explanation: a budget checkpoint
 	// (Options.CallBudget or Options.Deadline) stopped the pipeline
 	// before it ran to completion, and the Result is the best
@@ -227,19 +232,19 @@ type Diagnostics struct {
 	// as in a full run (under the monotone-classifier assumption they
 	// flip; an inferred-only A★ on a non-monotone model may not, just as
 	// without a budget).
-	Truncated bool
+	Truncated bool `json:"truncated,omitempty"`
 	// TruncatedBy names the limit that tripped first: TruncatedByCallBudget
 	// or TruncatedByDeadline. Empty when Truncated is false.
-	TruncatedBy string
+	TruncatedBy string `json:"truncated_by,omitempty"`
 	// BudgetSpent is the unique model calls charged against CallBudget —
 	// the explanation's private-view misses, equal to ModelCalls. It is
 	// reported separately so budget accounting reads explicitly.
-	BudgetSpent int
+	BudgetSpent int `json:"budget_spent"`
 	// Completeness is the fraction of the planned pipeline phases this
 	// explanation completed, in [0,1]: each per-side triangle scan and
 	// lattice exploration counts one unit, scored by how far it got
 	// before a checkpoint cut it. 1 when Truncated is false.
-	Completeness float64
+	Completeness float64 `json:"completeness"`
 }
 
 // CacheHitRate returns CacheHits/CacheLookups, or 0 before any lookup.
@@ -250,20 +255,23 @@ func (d Diagnostics) CacheHitRate() float64 {
 	return float64(d.CacheHits) / float64(d.CacheLookups)
 }
 
-// Result is a full CERTA explanation.
+// Result is a full CERTA explanation. The JSON tags define the stable
+// wire schema served by the HTTP API (internal/server) and printed by
+// certa-explain -json; a golden-file round-trip test guards it against
+// silent drift.
 type Result struct {
 	// Saliency holds the probability of necessity per attribute (Eq. 1).
-	Saliency *explain.Saliency
+	Saliency *explain.Saliency `json:"saliency"`
 	// Counterfactuals are the examples whose changed attribute set is A★
 	// (Eq. 3), annotated with the recomputed model score.
-	Counterfactuals []explain.Counterfactual
+	Counterfactuals []explain.Counterfactual `json:"counterfactuals,omitempty"`
 	// BestSet is A★ and BestSufficiency its χ value.
-	BestSet         AttrSet
-	BestSufficiency float64
+	BestSet         AttrSet `json:"best_set"`
+	BestSufficiency float64 `json:"best_sufficiency"`
 	// Sufficiency maps every flipped attribute set (by Key()) to its χ.
-	Sufficiency map[string]float64
+	Sufficiency map[string]float64 `json:"sufficiency,omitempty"`
 	// Diag reports the work performed.
-	Diag Diagnostics
+	Diag Diagnostics `json:"diagnostics"`
 }
 
 // newScorer opens the explanation's memoizing scorer view: over the

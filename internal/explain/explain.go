@@ -8,6 +8,7 @@ package explain
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -120,11 +121,13 @@ func AsContext(m Model) ContextModel {
 // (for CERTA, the probability of necessity).
 type Saliency struct {
 	// Pair is the explained input.
-	Pair record.Pair
+	Pair record.Pair `json:"pair"`
 	// Prediction is the model score on the original pair.
-	Prediction float64
-	// Scores maps each attribute to its saliency.
-	Scores map[record.AttrRef]float64
+	Prediction float64 `json:"prediction"`
+	// Scores maps each attribute to its saliency. AttrRef marshals as
+	// its "L_Name" text form, so the map serializes as a flat, sorted
+	// JSON object.
+	Scores map[record.AttrRef]float64 `json:"scores"`
 }
 
 // NewSaliency initializes an explanation with zero scores for every
@@ -183,20 +186,45 @@ func (s *Saliency) String() string {
 // pair, changed in the listed attributes, that flips the prediction.
 type Counterfactual struct {
 	// Original is the explained pair.
-	Original record.Pair
+	Original record.Pair `json:"original"`
 	// Pair is the perturbed copy.
-	Pair record.Pair
+	Pair record.Pair `json:"pair"`
 	// Changed lists the attributes whose values differ from Original.
-	Changed []record.AttrRef
+	Changed []record.AttrRef `json:"changed,omitempty"`
 	// Score is the model score on the perturbed pair.
-	Score float64
+	Score float64 `json:"score"`
 	// Probability is the method's confidence that changing these
 	// attributes flips the prediction (CERTA: the probability of
 	// sufficiency χ of the changed attribute set). Methods without such
 	// a notion report 1 for actual flips.
-	Probability float64
+	Probability float64 `json:"probability"`
 
 	originalScore float64
+}
+
+// MarshalJSON includes the unexported original score (as
+// "original_score") so a counterfactual round-trips through the wire
+// format with Flips() intact.
+func (c Counterfactual) MarshalJSON() ([]byte, error) {
+	type alias Counterfactual
+	return json.Marshal(struct {
+		alias
+		OriginalScore float64 `json:"original_score"`
+	}{alias(c), c.originalScore})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (c *Counterfactual) UnmarshalJSON(data []byte) error {
+	type alias Counterfactual
+	aux := struct {
+		*alias
+		OriginalScore float64 `json:"original_score"`
+	}{alias: (*alias)(c)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	c.originalScore = aux.OriginalScore
+	return nil
 }
 
 // Flips reports whether the counterfactual actually crosses the decision

@@ -46,10 +46,27 @@ func (s Side) Opposite() Side {
 	return Left
 }
 
+// MarshalText renders the side as "L"/"R", making JSON documents that
+// embed a Side readable and stable across releases.
+func (s Side) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses "L"/"R".
+func (s *Side) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "L":
+		*s = Left
+	case "R":
+		*s = Right
+	default:
+		return fmt.Errorf("record: cannot parse side %q (want L or R)", b)
+	}
+	return nil
+}
+
 // Schema describes one source: its name and ordered attribute list.
 type Schema struct {
-	Name  string
-	Attrs []string
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
 
 	index map[string]int
 }
@@ -102,9 +119,9 @@ func (s *Schema) Len() int { return len(s.Attrs) }
 
 // Record is a single structured entity description.
 type Record struct {
-	ID     string
-	Schema *Schema
-	Values []string // parallel to Schema.Attrs
+	ID     string   `json:"id"`
+	Schema *Schema  `json:"schema"`
+	Values []string `json:"values"` // parallel to Schema.Attrs
 }
 
 // New creates a record, checking that the value count matches the schema.
@@ -230,8 +247,8 @@ func (r *Record) String() string {
 // Pair is the unit of ER prediction: a left record from U and a right
 // record from V.
 type Pair struct {
-	Left  *Record
-	Right *Record
+	Left  *Record `json:"left"`
+	Right *Record `json:"right"`
 }
 
 // LabeledPair is a pair with its ground-truth match label, used for
@@ -299,6 +316,21 @@ type AttrRef struct {
 
 // String renders the reference with the paper's L_/R_ prefixes.
 func (a AttrRef) String() string { return a.Side.String() + "_" + a.Attr }
+
+// MarshalText renders the reference as its "L_Name" form, so AttrRef
+// works both as a JSON value and as a JSON map key (encoding/json sorts
+// text-marshaled keys, keeping documents deterministic).
+func (a AttrRef) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText parses the "L_Name"/"R_Price" form.
+func (a *AttrRef) UnmarshalText(b []byte) error {
+	ref, err := ParseAttrRef(string(b))
+	if err != nil {
+		return err
+	}
+	*a = ref
+	return nil
+}
 
 // ParseAttrRef parses "L_Name" / "R_Price" back into an AttrRef.
 func ParseAttrRef(s string) (AttrRef, error) {

@@ -1,0 +1,185 @@
+package scorecache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"certa/internal/record"
+)
+
+// warmService scores n distinct pairs through a fresh service and
+// returns it with its model.
+func warmService(t *testing.T, n int) (*Service, *countingModel) {
+	t.Helper()
+	m := &countingModel{}
+	svc := NewService(m, ServiceOptions{})
+	pairs := make([]record.Pair, n)
+	for i := range pairs {
+		pairs[i] = pairOf(fmt.Sprintf("val-%03d", i), "x")
+	}
+	svc.ScoreBatch(pairs)
+	return svc, m
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	svc, _ := warmService(t, 25)
+	if got := svc.Len(); got != 25 {
+		t.Fatalf("Len() = %d, want 25", got)
+	}
+
+	var buf bytes.Buffer
+	n, err := svc.Snapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("Snapshot wrote %d entries, want 25", n)
+	}
+
+	// A second snapshot of the same store is byte-identical (sorted keys).
+	var buf2 bytes.Buffer
+	if _, err := svc.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("snapshots of an unchanged store differ")
+	}
+
+	// Restore into a fresh service: every stored pair is answered without
+	// a model invocation.
+	m2 := &countingModel{}
+	restored := NewService(m2, ServiceOptions{})
+	got, err := restored.Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 25 {
+		t.Fatalf("Restore installed %d entries, want 25", got)
+	}
+	for i := 0; i < 25; i++ {
+		p := pairOf(fmt.Sprintf("val-%03d", i), "x")
+		if want, g := svc.Score(p), restored.Score(p); g != want {
+			t.Fatalf("restored score %v != original %v for pair %d", g, want, i)
+		}
+	}
+	if m2.calls != 0 {
+		t.Fatalf("restored service invoked the model %d times for snapshotted pairs", m2.calls)
+	}
+	st := restored.Stats()
+	if st.Hits != 25 || st.Misses != 0 {
+		t.Fatalf("restored service stats = %+v, want 25 hits, 0 misses", st)
+	}
+}
+
+func TestRestoreKeepsExistingEntries(t *testing.T) {
+	svc, _ := warmService(t, 5)
+	var buf bytes.Buffer
+	if _, err := svc.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &countingModel{}
+	target := NewService(m, ServiceOptions{})
+	p := pairOf("val-000", "x")
+	live := target.Score(p) // scored before the restore arrives
+	if n, err := target.Restore(bytes.NewReader(buf.Bytes())); err != nil || n != 4 {
+		t.Fatalf("Restore = (%d, %v), want (4, nil): existing key must be kept", n, err)
+	}
+	if got := target.Score(p); got != live {
+		t.Fatalf("restore overwrote a live entry: %v != %v", got, live)
+	}
+}
+
+func TestRestoreRespectsCapacity(t *testing.T) {
+	svc, _ := warmService(t, 40)
+	var buf bytes.Buffer
+	if _, err := svc.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bounded := NewService(&countingModel{}, ServiceOptions{Capacity: 8, Shards: 1})
+	if _, err := bounded.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := bounded.Len(); got > 8 {
+		t.Fatalf("bounded service holds %d entries after restore, capacity 8", got)
+	}
+	if bounded.Stats().Evictions == 0 {
+		t.Fatal("restore past the capacity bound recorded no evictions")
+	}
+}
+
+// TestRestoreRejectsCorruption is the snapshot fuzz seed: a snapshot
+// with any single byte flipped — magic, count, length frames, keys,
+// scores or the checksum itself — must be rejected with an error and
+// leave the service cold and usable. It must never panic and never
+// install a partial snapshot.
+func TestRestoreRejectsCorruption(t *testing.T) {
+	svc, _ := warmService(t, 10)
+	var buf bytes.Buffer
+	if _, err := svc.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	for i := range snap {
+		corrupted := append([]byte(nil), snap...)
+		corrupted[i] ^= 0xFF
+		m := &countingModel{}
+		target := NewService(m, ServiceOptions{})
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Restore panicked on byte %d flipped: %v", i, r)
+				}
+			}()
+			n, err := target.Restore(bytes.NewReader(corrupted))
+			if err == nil {
+				t.Fatalf("Restore accepted snapshot with byte %d flipped", i)
+			}
+			if n != 0 {
+				t.Fatalf("Restore reported %d installed entries alongside error %v", n, err)
+			}
+		}()
+		// Cold start: the rejected restore left nothing behind and the
+		// service still scores.
+		if got := target.Len(); got != 0 {
+			t.Fatalf("byte %d: %d entries installed from a corrupted snapshot", i, got)
+		}
+		target.Score(pairOf("after-corruption", "x"))
+		if m.calls != 1 {
+			t.Fatalf("byte %d: service unusable after rejected restore (%d model calls)", i, m.calls)
+		}
+	}
+}
+
+func TestRestoreRejectsTruncation(t *testing.T) {
+	svc, _ := warmService(t, 10)
+	var buf bytes.Buffer
+	if _, err := svc.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+	for n := 0; n < len(snap); n++ {
+		target := NewService(&countingModel{}, ServiceOptions{})
+		if _, err := target.Restore(bytes.NewReader(snap[:n])); err == nil {
+			t.Fatalf("Restore accepted snapshot truncated to %d/%d bytes", n, len(snap))
+		}
+		if got := target.Len(); got != 0 {
+			t.Fatalf("truncation at %d: %d entries installed", n, got)
+		}
+	}
+}
+
+func TestRestoreRejectsHugeKeyLength(t *testing.T) {
+	// A handcrafted header claiming one entry with a multi-gigabyte key
+	// must fail on the length sanity bound, not attempt the allocation.
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic[:])
+	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0})    // count = 1
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})    // keyLen = 4 GiB
+	target := NewService(&countingModel{}, ServiceOptions{})
+	if _, err := target.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("Restore accepted a 4 GiB key length frame")
+	}
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateSlots(t *testing.T) {
+	a := newAdmission(2, 2)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if inflight, queued, _ := a.snapshot(); inflight != 2 || queued != 0 {
+		t.Fatalf("occupancy = %d/%d", inflight, queued)
+	}
+	a.release()
+	a.release()
+	if inflight, _, _ := a.snapshot(); inflight != 0 {
+		t.Fatalf("inflight = %d after releases", inflight)
+	}
+}
+
+func TestAdmissionFIFOOrder(t *testing.T) {
+	a := newAdmission(1, 8)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue three waiters in a known order.
+	const n = 3
+	granted := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			if err := a.acquire(ctx); err != nil {
+				t.Error(err)
+				granted <- -1
+				return
+			}
+			granted <- i
+		}(i)
+		waitFor(t, "waiter queued", func() bool {
+			_, queued, _ := a.snapshot()
+			return queued == i+1
+		})
+	}
+
+	// Each release hands the slot to the oldest waiter.
+	for want := 0; want < n; want++ {
+		a.release()
+		select {
+		case got := <-granted:
+			if got != want {
+				t.Fatalf("slot granted to waiter %d, want %d (FIFO)", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("release granted no waiter")
+		}
+	}
+	a.release()
+	if inflight, queued, _ := a.snapshot(); inflight != 0 || queued != 0 {
+		t.Fatalf("occupancy = %d/%d after drain", inflight, queued)
+	}
+}
+
+func TestAdmissionOverflowRejects(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	go a.acquire(ctx) // fills the queue
+	waitFor(t, "queue fill", func() bool {
+		_, queued, _ := a.snapshot()
+		return queued == 1
+	})
+	if err := a.acquire(ctx); !errors.Is(err, errOverloaded) {
+		t.Fatalf("acquire past queue = %v, want errOverloaded", err)
+	}
+	if a.retryAfterSeconds() < 1 {
+		t.Fatal("retryAfterSeconds < 1")
+	}
+	a.release() // hand to the queued waiter
+	a.release()
+	a.release()
+}
+
+func TestAdmissionCancelledWaiterIsSkipped(t *testing.T) {
+	a := newAdmission(1, 8)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Waiter A will be cancelled; waiter B must then be first in line.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aErr := make(chan error, 1)
+	go func() { aErr <- a.acquire(ctxA) }()
+	waitFor(t, "A queued", func() bool { _, q, _ := a.snapshot(); return q == 1 })
+
+	bGranted := make(chan struct{})
+	go func() {
+		if err := a.acquire(context.Background()); err != nil {
+			t.Error(err)
+		}
+		close(bGranted)
+	}()
+	waitFor(t, "B queued", func() bool { _, q, _ := a.snapshot(); return q == 2 })
+
+	cancelA()
+	if err := <-aErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+
+	a.release() // must skip abandoned A and grant B
+	select {
+	case <-bGranted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("release did not skip the abandoned waiter")
+	}
+	a.release()
+	if inflight, queued, _ := a.snapshot(); inflight != 0 || queued != 0 {
+		t.Fatalf("occupancy = %d/%d after drain", inflight, queued)
+	}
+}
+
+func TestAdmissionHandoffCancelRace(t *testing.T) {
+	// A waiter whose context is cancelled in the same instant the slot is
+	// handed to it must pass the slot on rather than strand it.
+	for i := 0; i < 200; i++ {
+		a := newAdmission(1, 8)
+		if err := a.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- a.acquire(ctx) }()
+		waitFor(t, "queued", func() bool { _, q, _ := a.snapshot(); return q == 1 })
+		go cancel()
+		go a.release()
+		err := <-done
+		if err == nil {
+			// The waiter won the race and owns the slot.
+			a.release()
+		}
+		waitFor(t, "slot recovered", func() bool {
+			inflight, queued, _ := a.snapshot()
+			return inflight == 0 && queued == 0
+		})
+		cancel()
+	}
+}
+
+func TestAdmissionAbandonedWaiterFreesQueueCapacity(t *testing.T) {
+	// A cancelled waiter must leave the queue immediately: dead tickets
+	// occupying capacity would 429 live clients while slots sit idle.
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(ctx) }()
+	waitFor(t, "waiter queued", func() bool { _, q, _ := a.snapshot(); return q == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+	if _, q, _ := a.snapshot(); q != 0 {
+		t.Fatalf("queue reports %d waiters after abandonment", q)
+	}
+	// The freed capacity admits a live waiter instead of rejecting it.
+	granted := make(chan error, 1)
+	go func() { granted <- a.acquire(context.Background()) }()
+	waitFor(t, "live waiter queued", func() bool { _, q, _ := a.snapshot(); return q == 1 })
+	a.release()
+	if err := <-granted; err != nil {
+		t.Fatalf("live waiter rejected after abandonment freed the queue: %v", err)
+	}
+	a.release()
+}
+
+func TestAdmissionObservePricesRetryAfter(t *testing.T) {
+	a := newAdmission(2, 4)
+	a.observe(10 * time.Second)
+	if got := a.retryAfterSeconds(); got < 5 {
+		t.Fatalf("retryAfter = %ds after observing 10s latency on 2 slots", got)
+	}
+}

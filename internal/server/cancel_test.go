@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"certa/internal/record"
+)
+
+// stuckModel answers its first batch (the original-pair score) and then
+// blocks every later batch until its context is cancelled — the shape of
+// a hung downstream model. It records that cancellation reached it.
+type stuckModel struct {
+	overlapModel
+	batches      atomic.Int64
+	started      chan struct{} // closed when the first blocking batch begins
+	startedOnce  sync.Once
+	sawCancel    atomic.Bool
+	unblockAfter atomic.Bool // when set, later batches score normally again
+}
+
+func (m *stuckModel) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]float64, error) {
+	if m.batches.Add(1) == 1 || m.unblockAfter.Load() {
+		out := make([]float64, len(pairs))
+		for i, p := range pairs {
+			out[i] = m.Score(p)
+		}
+		return out, nil
+	}
+	m.startedOnce.Do(func() { close(m.started) })
+	<-ctx.Done()
+	m.sawCancel.Store(true)
+	return nil, ctx.Err()
+}
+
+// TestClientDisconnectCancelsExplanation proves the cancellation chain:
+// dropping the HTTP connection detaches the request, the coalesced
+// computation's context is cancelled, the ExplainContext inside aborts
+// at its next scoring call, the admission slot is returned, and no
+// goroutine is left behind.
+func TestClientDisconnectCancelsExplanation(t *testing.T) {
+	sm := &stuckModel{started: make(chan struct{})}
+	s := newTestServer(t, sm, Options{MaxInFlight: 2}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{}}
+	defer client.CloseIdleConnections()
+
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/explain",
+		strings.NewReader(`{"left_id":"l0","right_id":"r0"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// The explanation is now inside the model, blocked. Drop the client.
+	select {
+	case <-sm.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("explanation never reached the model")
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request returned no error")
+	}
+
+	// The model's blocked call observes the cancellation...
+	waitFor(t, "model cancellation", func() bool { return sm.sawCancel.Load() })
+	// ...the server accounts the disconnect...
+	waitFor(t, "cancelled counter", func() bool { return s.Stats().Cancelled == 1 })
+	// ...the admission slot drains...
+	waitFor(t, "admission drain", func() bool {
+		inflight, queued, _ := s.adm.snapshot()
+		return inflight == 0 && queued == 0
+	})
+	// ...the coalescing table empties...
+	waitFor(t, "coalescer drain", func() bool {
+		s.coal.mu.Lock()
+		defer s.coal.mu.Unlock()
+		return len(s.coal.calls) == 0
+	})
+	// ...and no goroutine leaks.
+	client.CloseIdleConnections()
+	waitFor(t, "goroutine count", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+
+	// The server is still healthy: the same request, uncancelled, now
+	// completes (the model unblocks).
+	sm.unblockAfter.Store(true)
+	resp, body := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel request: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestDeadlineKnobTruncatesVisibly maps deadline_ms onto the anytime
+// soft deadline: the response arrives with HTTP 200 and the early abort
+// is visible in the diagnostics (truncated / truncated_by), not as an
+// error.
+func TestDeadlineKnobTruncatesVisibly(t *testing.T) {
+	s := newTestServer(t, &sleepyModel{perBatch: 5 * time.Millisecond}, Options{}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0", DeadlineMS: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out ExplainResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	d := out.Result.Diag
+	if !d.Truncated || d.TruncatedBy != "deadline" {
+		t.Fatalf("1ms-deadline explanation not visibly truncated: %+v", d)
+	}
+	if d.Completeness >= 1 {
+		t.Fatalf("truncated explanation reports completeness %v", d.Completeness)
+	}
+}
+
+// sleepyModel delays every batch so a short soft deadline reliably trips
+// at the first checkpoint.
+type sleepyModel struct {
+	overlapModel
+	perBatch time.Duration
+}
+
+func (m *sleepyModel) ScoreBatch(pairs []record.Pair) []float64 {
+	time.Sleep(m.perBatch)
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = m.Score(p)
+	}
+	return out
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,507 @@
+// Package server is the explanation-serving subsystem: an HTTP JSON API
+// over the CERTA engine, built for the serving-scale deployment the
+// batched pipeline (PR 1), the shared scoring service (PR 2) and the
+// anytime budgets (PR 3) were preparing for.
+//
+// A Server hosts one or more backends — a (sources, model) pair with one
+// long-lived shared scorecache.Service each — and exposes:
+//
+//	POST /v1/explain        one explanation
+//	POST /v1/explain/batch  many, admitted and coalesced individually
+//	GET  /v1/healthz        liveness
+//	GET  /v1/stats          admission + coalescing + cache counters
+//
+// Three serving layers sit between the HTTP surface and the engine:
+//
+//   - Admission control: at most Options.MaxInFlight explanations
+//     compute concurrently; at most Options.MaxQueue more wait in a fair
+//     FIFO queue; beyond that requests are rejected with 429 and a
+//     Retry-After priced from observed latency, so overload degrades
+//     into fast rejections instead of unbounded queueing.
+//   - Request coalescing: identical in-flight requests — same backend,
+//     same canonical pair content, same anytime options — attach to one
+//     computation and receive byte-identical response bodies
+//     (singleflight one layer above the score cache, which already
+//     deduplicates individual model calls).
+//   - Cancellation propagation: a dropped client connection detaches
+//     the request; when the last request interested in a computation
+//     detaches, its context is cancelled and the explanation aborts at
+//     the next scoring checkpoint. Per-request deadline_ms/call_budget
+//     knobs map onto the anytime Options and truncate instead.
+//
+// Backends can be handed a scorecache.Service restored from a snapshot
+// (Service.Restore), and the server's cache can be written back out with
+// Server.Snapshot — the persistence path cmd/certa-serve wires to
+// -cache-file so restarts serve warm.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"certa/internal/core"
+	"certa/internal/explain"
+	"certa/internal/record"
+	"certa/internal/scorecache"
+	"certa/internal/workpool"
+)
+
+// Options tunes the serving layers.
+type Options struct {
+	// MaxInFlight bounds concurrently computing explanations (default 4).
+	MaxInFlight int
+	// MaxQueue bounds explanations waiting for an in-flight slot
+	// (default 16× MaxInFlight). Requests beyond it get 429.
+	MaxQueue int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 16 * o.MaxInFlight
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// Backend configures one served (sources, model) pair.
+type Backend struct {
+	// Name addresses the backend in requests ("benchmark" field).
+	Name string
+	// Left and Right are the two sources explanations draw support
+	// records from.
+	Left, Right *record.Table
+	// Model is the classifier being explained.
+	Model explain.Model
+	// Options are the base explainer options (Triangles, Seed,
+	// Parallelism...). Per-request knobs overlay CallBudget and
+	// Deadline; Shared is overwritten with the backend's long-lived
+	// service.
+	Options core.Options
+	// Pairs optionally registers an addressable workload (pair_index
+	// requests) — typically a benchmark's test split.
+	Pairs []record.Pair
+	// Service optionally injects a pre-built scoring service, e.g. one
+	// restored from a snapshot. When nil a fresh service is created with
+	// the backend's Parallelism.
+	Service *scorecache.Service
+	// RestoredEntries reports (for /v1/stats) how many entries Service
+	// started with when it was restored from a snapshot.
+	RestoredEntries int
+}
+
+// backend is the resolved runtime form.
+type backend struct {
+	name        string
+	left, right *record.Table
+	model       explain.Model
+	opts        core.Options
+	pairs       []record.Pair
+	svc         *scorecache.Service
+	restored    int
+}
+
+// Server is the HTTP explanation-serving subsystem. It implements
+// http.Handler; plug it into any http.Server.
+type Server struct {
+	opts     Options
+	backends map[string]*backend
+	order    []string
+	adm      *admission
+	coal     *coalescer
+	mux      *http.ServeMux
+	start    time.Time
+
+	// lifetime is the server's base context: computations are derived
+	// from it so Close aborts everything in flight.
+	lifetime context.Context
+	stop     context.CancelFunc
+
+	served    atomic.Int64
+	coalesced atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+	errored   atomic.Int64
+}
+
+// New builds a Server over the given backends.
+func New(backends []Backend, opts Options) (*Server, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("server: no backends configured")
+	}
+	opts = opts.withDefaults()
+	lifetime, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:     opts,
+		backends: make(map[string]*backend, len(backends)),
+		adm:      newAdmission(opts.MaxInFlight, opts.MaxQueue),
+		coal:     newCoalescer(),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		lifetime: lifetime,
+		stop:     stop,
+	}
+	for _, b := range backends {
+		if b.Name == "" || b.Left == nil || b.Right == nil || b.Model == nil {
+			stop()
+			return nil, fmt.Errorf("server: backend %q needs a name, two sources and a model", b.Name)
+		}
+		if _, dup := s.backends[b.Name]; dup {
+			stop()
+			return nil, fmt.Errorf("server: duplicate backend %q", b.Name)
+		}
+		svc := b.Service
+		if svc == nil {
+			svc = scorecache.NewService(b.Model, scorecache.ServiceOptions{
+				Parallelism: b.Options.Parallelism,
+			})
+		} else if svc.Name() != b.Model.Name() {
+			stop()
+			return nil, fmt.Errorf("server: backend %q service wraps model %q, not %q",
+				b.Name, svc.Name(), b.Model.Name())
+		}
+		s.backends[b.Name] = &backend{
+			name: b.Name, left: b.Left, right: b.Right, model: b.Model,
+			opts: b.Options, pairs: b.Pairs, svc: svc, restored: b.RestoredEntries,
+		}
+		s.order = append(s.order, b.Name)
+	}
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/explain/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close aborts every in-flight computation. Call it after the HTTP
+// server has drained (http.Server.Shutdown) — and before Snapshot, so
+// the snapshot sees a quiescent store.
+func (s *Server) Close() { s.stop() }
+
+// Snapshot writes the named backend's score cache in the
+// scorecache.Service binary snapshot format.
+func (s *Server) Snapshot(name string, w io.Writer) (int, error) {
+	b, ok := s.backends[name]
+	if !ok {
+		return 0, fmt.Errorf("server: no backend %q", name)
+	}
+	return b.svc.Snapshot(w)
+}
+
+// CacheService exposes the named backend's shared scoring service (for
+// instrumentation and tests).
+func (s *Server) CacheService(name string) (*scorecache.Service, bool) {
+	b, ok := s.backends[name]
+	if !ok {
+		return nil, false
+	}
+	return b.svc, true
+}
+
+// resolveBackend picks the requested backend, defaulting when the server
+// hosts exactly one. The status distinguishes a missing resource (an
+// unknown name, 404) from a malformed request (an ambiguous empty name,
+// 400).
+func (s *Server) resolveBackend(name string) (*backend, int, error) {
+	if name == "" {
+		if len(s.order) == 1 {
+			return s.backends[s.order[0]], 0, nil
+		}
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("request names no benchmark and the server hosts %d", len(s.order))
+	}
+	b, ok := s.backends[name]
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown benchmark %q (hosting %v)", name, s.order)
+	}
+	return b, 0, nil
+}
+
+// serveOne runs one explanation request through coalescing + admission
+// and returns the shared response bytes.
+func (s *Server) serveOne(ctx context.Context, b *backend, p record.Pair, k knobs) (body []byte, joined bool, err error) {
+	key := coalesceKey(b.name, k, p)
+	for {
+		body, joined, err = s.coal.do(ctx, s.lifetime, key, func(compCtx context.Context) ([]byte, error) {
+			return s.compute(compCtx, b, p, k)
+		})
+		if joined && errors.Is(err, context.Canceled) && ctx.Err() == nil && s.lifetime.Err() == nil {
+			// We attached to a computation whose every requester had
+			// disconnected just before we arrived; its cancellation is not
+			// ours. Re-issue — the key has been cleared, so this caller
+			// leads a fresh computation. joined deliberately resets: what
+			// this request reports is how its final attempt was answered.
+			continue
+		}
+		if joined {
+			s.coalesced.Add(1)
+		}
+		return body, joined, err
+	}
+}
+
+// compute runs the explanation under an admission slot and marshals the
+// shared response body.
+func (s *Server) compute(ctx context.Context, b *backend, p record.Pair, k knobs) ([]byte, error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+
+	opts := b.opts
+	opts.Shared = b.svc
+	if k.callBudget > 0 {
+		opts.CallBudget = k.callBudget
+	}
+	if k.deadlineMS > 0 {
+		opts.Deadline = time.Duration(k.deadlineMS) * time.Millisecond
+	}
+	start := time.Now()
+	res, err := core.New(b.left, b.right, opts).ExplainContext(ctx, b.model, p)
+	if err != nil {
+		return nil, err
+	}
+	s.adm.observe(time.Since(start))
+	s.served.Add(1)
+
+	body, err := json.Marshal(ExplainResponse{
+		Benchmark: b.name,
+		PairKey:   p.Key(),
+		Result:    shapeTopK(res, k.topK),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("marshaling response: %w", err)
+	}
+	return body, nil
+}
+
+// shapeTopK trims the result to the k most salient attributes and at
+// most k counterfactuals. The trim is deterministic (Saliency.Ranked
+// breaks ties by attribute order), so coalesced and repeated requests
+// still receive byte-identical documents.
+func shapeTopK(res *core.Result, k int) *core.Result {
+	if k <= 0 {
+		return res
+	}
+	shaped := *res
+	if res.Saliency != nil {
+		top := res.Saliency.TopK(k)
+		sal := *res.Saliency
+		sal.Scores = make(map[record.AttrRef]float64, len(top))
+		for _, ref := range top {
+			sal.Scores[ref] = res.Saliency.Scores[ref]
+		}
+		shaped.Saliency = &sal
+	}
+	if len(shaped.Counterfactuals) > k {
+		shaped.Counterfactuals = shaped.Counterfactuals[:k]
+	}
+	return &shaped
+}
+
+// handleExplain serves POST /v1/explain.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if status, err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	b, status, err := s.resolveBackend(req.Benchmark)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	p, err := b.resolvePair(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	body, joined, err := s.serveOne(r.Context(), b, p, req.knobs())
+	if err != nil {
+		s.writeServeError(w, r, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Certa-Coalesced", strconv.FormatBool(joined))
+	h.Set("X-Certa-Duration-Ms", strconv.FormatInt(time.Since(start).Milliseconds(), 10))
+	w.Write(body)
+}
+
+// handleBatch serves POST /v1/explain/batch: items fan out over a
+// bounded worker pool (so a huge batch cannot spawn a goroutine per
+// item), each through the same admission/coalescing path as a single
+// request — identical items in one batch (or across batches) share one
+// computation — and per-item failures, overload included, show up as
+// per-item errors. Successful items reuse the computation's shared
+// response bytes verbatim (json.RawMessage), which also keeps coalesced
+// duplicates byte-identical by construction.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if status, err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("batch has no requests"))
+		return
+	}
+	n := len(req.Requests)
+	responses := make([]json.RawMessage, n)
+	itemError := func(i int, benchmark, pairKey string, msg string) {
+		body, err := json.Marshal(ExplainResponse{Benchmark: benchmark, PairKey: pairKey, Error: msg})
+		if err != nil {
+			body = []byte(`{"error":"encoding item error"}`)
+		}
+		responses[i] = body
+	}
+	// Workers beyond the admission capacity would only pile up in its
+	// queue (or be rejected), so that capacity bounds useful concurrency.
+	// Item failures are reported in place and never returned, so
+	// workpool's fail-fast path stays dormant and every item runs.
+	workers := s.opts.MaxInFlight + s.opts.MaxQueue
+	workpool.Each(n, workers, func(i int) error {
+		item := &req.Requests[i]
+		b, _, err := s.resolveBackend(item.Benchmark)
+		if err != nil {
+			itemError(i, item.Benchmark, "", err.Error())
+			return nil
+		}
+		p, err := b.resolvePair(item)
+		if err != nil {
+			itemError(i, b.name, "", err.Error())
+			return nil
+		}
+		body, _, err := s.serveOne(r.Context(), b, p, item.knobs())
+		if err != nil {
+			s.countServeError(err)
+			itemError(i, b.name, p.Key(), err.Error())
+			return nil
+		}
+		responses[i] = body
+		return nil
+	})
+	if r.Context().Err() != nil {
+		return // client gone; nothing to write
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Responses []json.RawMessage `json:"responses"`
+	}{responses})
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(HealthResponse{
+		Status:   "ok",
+		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Backends: append([]string(nil), s.order...),
+	})
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// Stats assembles the server's counters.
+func (s *Server) Stats() StatsResponse {
+	inflight, queued, ewma := s.adm.snapshot()
+	out := StatsResponse{
+		UptimeMS:      float64(time.Since(s.start)) / float64(time.Millisecond),
+		Served:        s.served.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Rejected:      s.rejected.Load(),
+		Cancelled:     s.cancelled.Load(),
+		Errors:        s.errored.Load(),
+		InFlight:      inflight,
+		Queued:        queued,
+		EwmaLatencyMS: ewma,
+		Backends:      make(map[string]BackendStats, len(s.backends)),
+	}
+	for name, b := range s.backends {
+		st := b.svc.Stats()
+		out.Backends[name] = BackendStats{
+			Model:           b.model.Name(),
+			Entries:         b.svc.Len(),
+			RestoredEntries: b.restored,
+			Lookups:         st.Lookups,
+			Hits:            st.Hits,
+			Misses:          st.Misses,
+			Batches:         st.Batches,
+			Evictions:       st.Evictions,
+			HitRate:         st.HitRate(),
+		}
+	}
+	return out
+}
+
+// decode reads a JSON request body strictly: unknown fields are
+// rejected, so schema drift between client and server fails loudly. The
+// returned status separates an oversized body (413 — split the batch)
+// from malformed JSON (400 — don't retry).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) (int, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decoding request: %w", err)
+	}
+	return 0, nil
+}
+
+// countServeError classifies a serveOne failure into the stats counters.
+func (s *Server) countServeError(err error) (status int) {
+	switch {
+	case errors.Is(err, errOverloaded):
+		s.rejected.Add(1)
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.cancelled.Add(1)
+		return 499 // client closed request (nginx convention); nothing readable anyway
+	default:
+		s.errored.Add(1)
+		return http.StatusInternalServerError
+	}
+}
+
+// writeServeError reports a serveOne failure over HTTP.
+func (s *Server) writeServeError(w http.ResponseWriter, r *http.Request, err error) {
+	status := s.countServeError(err)
+	if r.Context().Err() != nil {
+		return // client gone; the status would never arrive
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+	}
+	s.writeError(w, status, err)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"certa/internal/core"
+	"certa/internal/record"
+	"certa/internal/scorecache"
+)
+
+// The wire types of the HTTP API. certa-explain -json prints the same
+// ExplainResponse document, so the CLI and the server share one schema,
+// and the golden-file round-trip test at the repo root pins it.
+
+// WireRecord is an inline record in a request body: the values of one
+// record in the backend's schema order. Requests may address records by
+// ID instead (left_id/right_id), which is the common case.
+type WireRecord struct {
+	ID     string   `json:"id,omitempty"`
+	Values []string `json:"values"`
+}
+
+// ExplainRequest asks for one explanation. The pair is addressed in one
+// of three ways, in precedence order: inline records (left+right),
+// record IDs resolved in the backend's tables (left_id+right_id), or an
+// index into the backend's registered pair list (pair_index).
+type ExplainRequest struct {
+	// Benchmark names the backend (dataset/model) to explain against.
+	// Optional when the server hosts exactly one.
+	Benchmark string `json:"benchmark,omitempty"`
+
+	LeftID    string      `json:"left_id,omitempty"`
+	RightID   string      `json:"right_id,omitempty"`
+	PairIndex *int        `json:"pair_index,omitempty"`
+	Left      *WireRecord `json:"left,omitempty"`
+	Right     *WireRecord `json:"right,omitempty"`
+
+	// DeadlineMS maps onto Options.Deadline: a soft per-explanation
+	// wall-clock allowance that truncates to the best-so-far explanation
+	// (diagnostics.truncated) instead of erroring. 0 = none.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// CallBudget maps onto Options.CallBudget: a deterministic cap on
+	// unique model calls. 0 = unlimited.
+	CallBudget int `json:"call_budget,omitempty"`
+	// TopK shapes the response: only the k most salient attributes and
+	// at most k counterfactual examples are returned. 0 = everything.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// ExplainResponse is the body of a successful explanation, and one
+// element of a batch response (where Error marks per-item failures).
+type ExplainResponse struct {
+	Benchmark string       `json:"benchmark"`
+	PairKey   string       `json:"pair_key"`
+	Result    *core.Result `json:"result,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+// BatchRequest asks for many explanations in one round trip. Items are
+// admitted and coalesced individually — identical items share one
+// computation — and per-item failures (including overload rejections)
+// are reported in the matching response element.
+type BatchRequest struct {
+	Requests []ExplainRequest `json:"requests"`
+}
+
+// BatchResponse is index-aligned with BatchRequest.Requests.
+type BatchResponse struct {
+	Responses []ExplainResponse `json:"responses"`
+}
+
+// ErrorResponse is the body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	Status   string   `json:"status"`
+	UptimeMS float64  `json:"uptime_ms"`
+	Backends []string `json:"backends"`
+}
+
+// BackendStats reports one backend's shared score cache in GET
+// /v1/stats.
+type BackendStats struct {
+	Model string `json:"model"`
+	// Entries is the number of scores currently stored;
+	// RestoredEntries how many of the initial ones came from a snapshot
+	// (certa-serve -cache-file).
+	Entries         int `json:"entries"`
+	RestoredEntries int `json:"restored_entries,omitempty"`
+	// The scorecache.ServiceStats counters: Misses is the number of
+	// unique model invocations the whole serving run has paid.
+	Lookups   int     `json:"lookups"`
+	Hits      int     `json:"hits"`
+	Misses    int     `json:"misses"`
+	Batches   int     `json:"batches"`
+	Evictions int     `json:"evictions,omitempty"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeMS float64 `json:"uptime_ms"`
+	// Served counts completed explanation computations; Coalesced counts
+	// requests answered by attaching to another request's in-flight
+	// computation (so Served + Coalesced ≥ HTTP requests that returned
+	// explanations, with equality when none were cancelled).
+	Served    int64 `json:"served"`
+	Coalesced int64 `json:"coalesced"`
+	// Rejected counts 429s from the admission controller, Cancelled
+	// client disconnects that aborted a wait or computation, Errors
+	// everything else that failed.
+	Rejected  int64 `json:"rejected"`
+	Cancelled int64 `json:"cancelled"`
+	Errors    int64 `json:"errors"`
+	// InFlight/Queued are the admission controller's instantaneous
+	// occupancy; EwmaLatencyMS its latency estimate (prices Retry-After).
+	InFlight      int                     `json:"in_flight"`
+	Queued        int                     `json:"queued"`
+	EwmaLatencyMS float64                 `json:"ewma_latency_ms"`
+	Backends      map[string]BackendStats `json:"backends"`
+}
+
+// resolvePair materializes the request's pair against a backend.
+func (b *backend) resolvePair(req *ExplainRequest) (record.Pair, error) {
+	switch {
+	case req.Left != nil || req.Right != nil:
+		if req.Left == nil || req.Right == nil {
+			return record.Pair{}, fmt.Errorf("inline pair needs both left and right records")
+		}
+		l, err := inlineRecord(req.Left, b.left.Schema, "left")
+		if err != nil {
+			return record.Pair{}, err
+		}
+		r, err := inlineRecord(req.Right, b.right.Schema, "right")
+		if err != nil {
+			return record.Pair{}, err
+		}
+		return record.Pair{Left: l, Right: r}, nil
+	case req.LeftID != "" || req.RightID != "":
+		if req.LeftID == "" || req.RightID == "" {
+			return record.Pair{}, fmt.Errorf("need both left_id and right_id")
+		}
+		l, ok := b.left.Get(req.LeftID)
+		if !ok {
+			return record.Pair{}, fmt.Errorf("no record %q in source %s", req.LeftID, b.left.Schema.Name)
+		}
+		r, ok := b.right.Get(req.RightID)
+		if !ok {
+			return record.Pair{}, fmt.Errorf("no record %q in source %s", req.RightID, b.right.Schema.Name)
+		}
+		return record.Pair{Left: l, Right: r}, nil
+	case req.PairIndex != nil:
+		i := *req.PairIndex
+		if i < 0 || i >= len(b.pairs) {
+			return record.Pair{}, fmt.Errorf("pair_index %d out of range [0,%d)", i, len(b.pairs))
+		}
+		return b.pairs[i], nil
+	}
+	return record.Pair{}, fmt.Errorf("request addresses no pair (want left+right, left_id+right_id, or pair_index)")
+}
+
+// inlineRecord builds a record from request values under the backend's
+// schema.
+func inlineRecord(w *WireRecord, schema *record.Schema, side string) (*record.Record, error) {
+	id := w.ID
+	if id == "" {
+		id = "inline-" + side
+	}
+	r, err := record.New(id, schema, w.Values...)
+	if err != nil {
+		return nil, fmt.Errorf("inline %s record: %w", side, err)
+	}
+	return r, nil
+}
+
+// knobs are the per-request anytime options that participate in the
+// coalescing key: requests are shared only when both the pair content
+// and the options agree.
+type knobs struct {
+	deadlineMS int
+	callBudget int
+	topK       int
+}
+
+func (r *ExplainRequest) knobs() knobs {
+	return knobs{deadlineMS: r.DeadlineMS, callBudget: r.CallBudget, topK: r.TopK}
+}
+
+// coalesceKey renders the identity of a computation: backend, anytime
+// options, the addressed record IDs and the canonical pair content (the
+// same key the score cache stripes on). The IDs participate because the
+// shared response body embeds them (pair_key, record ids): two requests
+// may share one body only when they would have received byte-identical
+// bodies anyway. Same-content different-ID requests still share all
+// their model calls through the score cache — coalescing is only the
+// layer above.
+func coalesceKey(backendName string, k knobs, p record.Pair) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(len(backendName)))
+	b.WriteByte('#')
+	b.WriteString(backendName)
+	b.WriteString("|d")
+	b.WriteString(strconv.Itoa(k.deadlineMS))
+	b.WriteString("|b")
+	b.WriteString(strconv.Itoa(k.callBudget))
+	b.WriteString("|k")
+	b.WriteString(strconv.Itoa(k.topK))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(len(p.Left.ID)))
+	b.WriteByte('#')
+	b.WriteString(p.Left.ID)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(len(p.Right.ID)))
+	b.WriteByte('#')
+	b.WriteString(p.Right.ID)
+	b.WriteByte('|')
+	b.WriteString(scorecache.Key(p))
+	return b.String()
+}

@@ -25,6 +25,12 @@ go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./intern
 echo "== bench smoke =="
 go test -timeout 600s -bench=. -benchtime=1x -run='^$' .
 
-echo "== perf probe (with anytime call-budget sweep) =="
+# servesmoke builds certa-serve itself, boots it on an ephemeral port,
+# issues a cold + warm request, restarts it from its cache snapshot and
+# asserts the warm hit rate.
+echo "== certa-serve smoke (ephemeral port, warm+cold request, snapshot restart) =="
+go run ./scripts/servesmoke
+
+echo "== perf probe (anytime call-budget sweep + HTTP serve load) =="
 go run ./cmd/certa-bench -benchjson BENCH_explain.json -parallelism 4 -call-budget 250,1000,2500,0
 cat BENCH_explain.json
