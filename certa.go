@@ -61,6 +61,26 @@
 // and report what a private cache would have; only ServiceStats reveal
 // the cross-explanation reuse.
 //
+// # The candidate retrieval layer
+//
+// Before any model call, an explanation must find support records: the
+// triangle search streams each source table in deterministic candidate
+// orders (a seeded shuffle, and an overlap ranking against the pivot
+// record). That retrieval work runs off a prebuilt per-table token
+// index — interned token sets, IDF-weighted postings, cached record
+// texts — built once per Explainer, or once per deployment when shared
+// explicitly:
+//
+//	idx := certa.NewCandidateIndex(bench.Left, bench.Right)
+//	results, _ := certa.ExplainBatch(model, bench.Left, bench.Right, pairs,
+//		certa.Options{Triangles: 100, Retrieval: idx})
+//
+// The serving subsystem builds one index per backend at startup and the
+// token blocker consumes the same index, so tokenization exists exactly
+// once in the system. Options.DisableIndex restores the unindexed scan
+// (per-explanation tokenization + full sort) as an ablation; results
+// are byte-identical either way.
+//
 // # Serving semantics: deadlines, budgets, cancellation
 //
 // Explain is an anytime algorithm. Serving-scale callers bound each
@@ -125,6 +145,7 @@ import (
 	"certa/internal/lime"
 	"certa/internal/matchers"
 	"certa/internal/metrics"
+	"certa/internal/neighborhood"
 	"certa/internal/record"
 	"certa/internal/scorecache"
 	"certa/internal/server"
@@ -259,6 +280,36 @@ type (
 // across many explanations (Options.Shared).
 func NewScoringService(m Model, opts ScoringServiceOptions) *ScoringService {
 	return scorecache.NewService(m, opts)
+}
+
+// The candidate retrieval layer (see internal/neighborhood): the
+// per-table token index CERTA's triangle support search streams its
+// candidates from. New builds one per Explainer automatically; build it
+// once with NewCandidateIndex and inject it via Options.Retrieval to
+// share it across ExplainBatch runs, an eval harness, or a server
+// backend's lifetime — the retrieval work (tokenization, IDF postings,
+// cached record texts) then happens at startup instead of on every
+// request.
+type (
+	// CandidateIndex bundles the prebuilt retrieval indexes of a
+	// benchmark's two sources (Options.Retrieval).
+	CandidateIndex = neighborhood.Sources
+	// CandidateSource streams one table's records in the deterministic
+	// orders the triangle support search consumes (seeded shuffle,
+	// overlap ranking).
+	CandidateSource = neighborhood.CandidateSource
+	// CandidateStream is a pull iterator over candidate records.
+	CandidateStream = neighborhood.Stream
+	// CandidateIndexStats reports an index's build-time footprint
+	// (records, distinct tokens, build milliseconds).
+	CandidateIndexStats = neighborhood.Stats
+)
+
+// NewCandidateIndex builds the immutable candidate retrieval indexes
+// over the two sources. The same tables must be handed to New /
+// ExplainBatch / the server backend alongside it.
+func NewCandidateIndex(left, right *Table) *CandidateIndex {
+	return neighborhood.NewSources(left, right)
 }
 
 // The explanation-serving subsystem (see internal/server): an HTTP JSON

@@ -21,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"certa"
 	"certa/internal/eval"
 	"certa/internal/matchers"
+	"certa/internal/neighborhood"
 	"certa/internal/workpool"
 )
 
@@ -165,6 +167,10 @@ type benchMetrics struct {
 	// explanations (non-zero only under a deadline or budget).
 	DeadlineMS        float64 `json:"deadline_ms,omitempty"`
 	TruncatedFraction float64 `json:"truncated_fraction"`
+	// Index is the candidate-retrieval-layer probe: build cost of the
+	// shared per-table index, the retrieval speedup over the unindexed
+	// scan, and the end-to-end throughput delta.
+	Index *indexMetrics `json:"index"`
 	// Anytime is the -call-budget sweep: per budget, throughput plus
 	// quality proxies against an unlimited reference run (the main run
 	// itself unless -deadline truncated it, in which case the sweep runs
@@ -199,6 +205,33 @@ type serveMetrics struct {
 	// SharedCacheHitRate is the server-side score cache's hit rate over
 	// the whole load.
 	SharedCacheHitRate float64 `json:"shared_cache_hit_rate"`
+}
+
+// indexMetrics is the "index" section of BENCH_explain.json: what the
+// shared candidate retrieval layer costs to build and what it buys per
+// explanation.
+type indexMetrics struct {
+	// Records / DistinctTokens / BuildMS are the index's build-time
+	// footprint over both sources.
+	Records        int     `json:"records"`
+	DistinctTokens int     `json:"distinct_tokens"`
+	BuildMS        float64 `json:"build_ms"`
+	// RetrievalScanMS and RetrievalIndexMS time the same candidate
+	// retrieval workload — the first 50 overlap-ranked candidates for
+	// every cluster pivot, repeated — through the unindexed scan
+	// (per-call tokenization + full sort) and the prebuilt index (lazy
+	// heap over precomputed postings). RetrievalSpeedup is their ratio:
+	// the per-explanation retrieval work that no longer scales with
+	// table size.
+	RetrievalScanMS  float64 `json:"retrieval_scan_ms"`
+	RetrievalIndexMS float64 `json:"retrieval_index_ms"`
+	RetrievalSpeedup float64 `json:"retrieval_speedup"`
+	// ScanExplanationsPerSec is end-to-end throughput of the same
+	// workload under Options.DisableIndex with a fresh scoring service —
+	// the baseline the headline explanations_per_sec is measured
+	// against. SpeedupVsScan divides the two.
+	ScanExplanationsPerSec float64 `json:"scan_explanations_per_sec"`
+	SpeedupVsScan          float64 `json:"speedup_vs_scan"`
 }
 
 // anytimePoint is one entry of the anytime quality-vs-budget curve.
@@ -268,17 +301,47 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 	if parallelism <= 0 {
 		parallelism = 1
 	}
-	svc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+	// The shared candidate retrieval index: built once, used by the main
+	// run, the anytime sweep and the serve probe — and measured against
+	// the unindexed scan baseline below.
+	idx := certa.NewCandidateIndex(bench.Left, bench.Right)
+	idxStats, _ := idx.Stats()
 
+	// The scan baseline runs first (the conventional baseline-first
+	// order, which also hands any process warm-up benefit to neither
+	// side in particular): the same workload end-to-end through the
+	// unindexed retrieval path, on its own fresh scoring service so both
+	// passes pay the same model calls.
+	scanSvc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+	scanStart := time.Now()
+	scanResults, err := certa.ExplainBatch(model, bench.Left, bench.Right, pairs, certa.Options{
+		Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: scanSvc,
+		Deadline: deadline, DisableIndex: true,
+	})
+	if err != nil {
+		return err
+	}
+	scanWall := time.Since(scanStart).Seconds()
+
+	svc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
 	start := time.Now()
 	results, err := certa.ExplainBatch(model, bench.Left, bench.Right, pairs, certa.Options{
 		Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: svc,
-		Deadline: deadline,
+		Deadline: deadline, Retrieval: idx,
 	})
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start).Seconds()
+	if deadline == 0 {
+		// With no wall-clock limit both passes are deterministic: the
+		// indexed and the scan retrieval paths must agree byte for byte.
+		for i := range results {
+			if !reflect.DeepEqual(results[i], scanResults[i]) {
+				return fmt.Errorf("index probe: indexed and scan results diverge on pair %d (%s)", i, pairs[i].Key())
+			}
+		}
+	}
 
 	var modelCalls, seedCalls, hits, lookups, truncated float64
 	for _, res := range results {
@@ -311,6 +374,20 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 		TruncatedFraction:  truncated / n,
 	}
 
+	// The retrieval-only microbench isolates the index's contribution
+	// from the model-call-dominated end-to-end walls above.
+	retScanMS, retIndexMS := retrievalMicrobench(bench, pairs, idx, seed)
+	m.Index = &indexMetrics{
+		Records:                idxStats.Records,
+		DistinctTokens:         idxStats.DistinctTokens,
+		BuildMS:                idxStats.BuildMS,
+		RetrievalScanMS:        retScanMS,
+		RetrievalIndexMS:       retIndexMS,
+		RetrievalSpeedup:       retScanMS / retIndexMS,
+		ScanExplanationsPerSec: n / scanWall,
+		SpeedupVsScan:          scanWall / wall,
+	}
+
 	// The anytime curve: each budget re-explains the workload under its
 	// own fresh shared service, measured against an unlimited reference.
 	// With no -deadline the main run IS that reference (and the budget-0
@@ -324,6 +401,7 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 			refStart := time.Now()
 			reference, err = certa.ExplainBatch(model, bench.Left, bench.Right, pairs, certa.Options{
 				Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: svc,
+				Retrieval: idx,
 			})
 			if err != nil {
 				return err
@@ -335,7 +413,7 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 			if budget == 0 {
 				point = summarizeAnytime(0, refWall, reference, reference)
 			} else {
-				point, err = anytimeSweepPoint(model, bench.Left, bench.Right, pairs, seed, parallelism, budget, reference)
+				point, err = anytimeSweepPoint(model, bench.Left, bench.Right, pairs, idx, seed, parallelism, budget, reference)
 				if err != nil {
 					return err
 				}
@@ -345,7 +423,7 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 	}
 
 	if serveReqs > 0 {
-		serve, err := runServeLoad(bench, model, pairs, seed, parallelism, serveReqs, serveConc)
+		serve, err := runServeLoad(bench, model, pairs, idx, seed, parallelism, serveReqs, serveConc)
 		if err != nil {
 			return err
 		}
@@ -362,6 +440,11 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 	}
 	fmt.Fprintf(os.Stderr, "certa-bench: %.1f explanations/sec, %d unique model calls for %d private, %.2fx reduction vs uncached, %d anytime points -> %s\n",
 		m.ExplanationsPerSec, m.UniqueModelCalls, m.PrivateModelCalls, m.CallReduction, len(m.Anytime), path)
+	if m.Index != nil {
+		fmt.Fprintf(os.Stderr, "certa-bench: index probe: %d records / %d tokens built in %.1fms, retrieval %.1fx faster than scan, end-to-end %.1f vs %.1f expl/s (%.2fx)\n",
+			m.Index.Records, m.Index.DistinctTokens, m.Index.BuildMS,
+			m.Index.RetrievalSpeedup, m.ExplanationsPerSec, m.Index.ScanExplanationsPerSec, m.Index.SpeedupVsScan)
+	}
 	if m.Serve != nil {
 		fmt.Fprintf(os.Stderr, "certa-bench: serve probe: %.1f req/s over %d requests (conc %d), p50 %.1fms, p99 %.1fms, %d coalesced, cache hit rate %.1f%%\n",
 			m.Serve.ServeThroughput, m.Serve.Requests, m.Serve.Concurrency,
@@ -377,11 +460,11 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 // pairs, so the first pass is cold and later passes exercise the warm
 // shared cache and request coalescing — and distills end-to-end
 // latency percentiles.
-func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pair, seed int64, parallelism, requests, conc int) (*serveMetrics, error) {
+func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pair, idx *certa.CandidateIndex, seed int64, parallelism, requests, conc int) (*serveMetrics, error) {
 	svc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
 	srv, err := certa.NewServer([]certa.ServerBackend{{
 		Name: "AB", Left: bench.Left, Right: bench.Right, Model: model,
-		Options: certa.Options{Triangles: 100, Seed: seed, Parallelism: parallelism},
+		Options: certa.Options{Triangles: 100, Seed: seed, Parallelism: parallelism, Retrieval: idx},
 		Pairs:   pairs, Service: svc,
 	}}, certa.ServerOptions{MaxInFlight: parallelism, MaxQueue: requests})
 	if err != nil {
@@ -441,6 +524,41 @@ func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pa
 	}, nil
 }
 
+// retrievalMicrobench times the candidate retrieval alone: for every
+// cluster pivot, stream the first 50 overlap-ranked candidates — the
+// left table ranked ascending against the right pivot and vice versa,
+// exactly the guided augmented search's access pattern — through the
+// unindexed scan and through the prebuilt index.
+func retrievalMicrobench(bench *certa.Benchmark, pairs []certa.Pair, idx *certa.CandidateIndex, seed int64) (scanMS, indexMS float64) {
+	scan := neighborhood.NewScanSources(bench.Left, bench.Right)
+	const want = 50
+	const rounds = 25
+	timeSources := func(src *certa.CandidateIndex) float64 {
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, p := range pairs {
+				for _, q := range []struct {
+					side certa.CandidateSource
+					text string
+					asc  bool
+				}{
+					{src.Left, p.Right.Text(), true},
+					{src.Right, p.Left.Text(), false},
+				} {
+					stream := q.side.Ranked(seed, q.text, q.asc)
+					for i := 0; i < want; i++ {
+						if _, ok := stream.Next(); !ok {
+							break
+						}
+					}
+				}
+			}
+		}
+		return float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	return timeSources(scan), timeSources(idx)
+}
+
 // percentile reads the q-quantile from an ascending-sorted sample
 // (nearest-rank).
 func percentile(sorted []float64, q float64) float64 {
@@ -460,12 +578,12 @@ func percentile(sorted []float64, q float64) float64 {
 // anytimeSweepPoint explains the workload once at the given CallBudget
 // under a fresh scoring service and summarizes throughput and quality
 // against the reference (unlimited) results.
-func anytimeSweepPoint(model certa.Model, left, right *certa.Table, pairs []certa.Pair, seed int64, parallelism, budget int, reference []*certa.Result) (anytimePoint, error) {
+func anytimeSweepPoint(model certa.Model, left, right *certa.Table, pairs []certa.Pair, idx *certa.CandidateIndex, seed int64, parallelism, budget int, reference []*certa.Result) (anytimePoint, error) {
 	svc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
 	start := time.Now()
 	results, err := certa.ExplainBatch(model, left, right, pairs, certa.Options{
 		Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: svc,
-		CallBudget: budget,
+		CallBudget: budget, Retrieval: idx,
 	})
 	if err != nil {
 		return anytimePoint{}, err

@@ -39,11 +39,12 @@ func main() {
 		loadModel  = flag.String("load-model", "", "load a previously saved model instead of training")
 		callBudget = flag.Int("call-budget", 0, "anytime cap on unique model calls (0 = unlimited); a tripped budget returns the best-so-far explanation")
 		deadline   = flag.Duration("deadline", 0, "anytime soft wall-clock allowance for the explanation (0 = none)")
+		augBudget  = flag.Int("augment-budget", 0, "token-drop variants the augmented-support search may try per missing support (0 = default 200)")
 		jsonOut    = flag.Bool("json", false, "emit the explanation as the server's ExplainResponse JSON document on stdout")
 	)
 	flag.Parse()
 
-	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *parallel, *seed, *records, *matches, *tokens, *saveModel, *loadModel, *callBudget, *deadline, *jsonOut); err != nil {
+	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *parallel, *seed, *records, *matches, *tokens, *saveModel, *loadModel, *callBudget, *deadline, *augBudget, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "certa-explain: %v\n", err)
 		os.Exit(1)
 	}
@@ -70,7 +71,7 @@ func (c *checkedWriter) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, seed int64, records, matches int, tokens bool, saveModel, loadModel string, callBudget int, deadline time.Duration, jsonOut bool) error {
+func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, seed int64, records, matches int, tokens bool, saveModel, loadModel string, callBudget int, deadline time.Duration, augBudget int, jsonOut bool) error {
 	// Human-readable progress goes to stdout normally, to stderr in
 	// -json mode (stdout then carries exactly one JSON document).
 	cw := &checkedWriter{w: os.Stdout}
@@ -149,7 +150,7 @@ func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, see
 
 	explainer := certa.New(bench.Left, bench.Right, certa.Options{
 		Triangles: triangles, Seed: seed, Parallelism: parallel,
-		CallBudget: callBudget, Deadline: deadline,
+		CallBudget: callBudget, Deadline: deadline, AugmentBudget: augBudget,
 	})
 	res, err := explainer.Explain(m, target.Pair)
 	if err != nil {

@@ -51,19 +51,20 @@ func main() {
 		cacheFile   = flag.String("cache-file", "", "restore the score cache from this snapshot at startup and write it back on graceful shutdown")
 		cacheCap    = flag.Int("cache-capacity", 0, "bound on cached scores (0 = unbounded; sharded LRU past it)")
 		loadModel   = flag.String("load-model", "", "load a previously saved model instead of training")
+		augBudget   = flag.Int("augment-budget", 0, "default token-drop variants per missing augmented support (0 = engine default 200; requests may override via augment_budget)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown allowance for in-flight requests")
 	)
 	flag.Parse()
 
 	if err := run(*addr, *addrFile, *ds, *model, *records, *matches, *seed, *triangles,
-		*parallelism, *maxInflight, *maxQueue, *cacheFile, *cacheCap, *loadModel, *drain); err != nil {
+		*parallelism, *maxInflight, *maxQueue, *cacheFile, *cacheCap, *loadModel, *augBudget, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "certa-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, addrFile, ds, model string, records, matches int, seed int64, triangles,
-	parallelism, maxInflight, maxQueue int, cacheFile string, cacheCap int, loadModel string, drain time.Duration) error {
+	parallelism, maxInflight, maxQueue int, cacheFile string, cacheCap int, loadModel string, augBudget int, drain time.Duration) error {
 	log.SetPrefix("certa-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
@@ -117,6 +118,14 @@ func run(addr, addrFile, ds, model string, records, matches int, seed int64, tri
 	for i, lp := range bench.Test {
 		pairs[i] = lp.Pair
 	}
+	// The backend's candidate retrieval index, built once at startup:
+	// requests stream support candidates from its postings instead of
+	// re-tokenizing the sources per explanation.
+	idx := certa.NewCandidateIndex(bench.Left, bench.Right)
+	if st, ok := idx.Stats(); ok {
+		log.Printf("candidate index built: %d records, %d distinct tokens in %.1fms",
+			st.Records, st.DistinctTokens, st.BuildMS)
+	}
 	srv, err := certa.NewServer([]certa.ServerBackend{{
 		Name:  ds,
 		Left:  bench.Left,
@@ -124,6 +133,7 @@ func run(addr, addrFile, ds, model string, records, matches int, seed int64, tri
 		Model: m,
 		Options: certa.Options{
 			Triangles: triangles, Seed: seed, Parallelism: parallelism,
+			AugmentBudget: augBudget, Retrieval: idx,
 		},
 		Pairs:           pairs,
 		Service:         svc,

@@ -14,9 +14,9 @@ package blocking
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
+	"certa/internal/neighborhood"
 	"certa/internal/record"
 	"certa/internal/strutil"
 )
@@ -53,62 +53,61 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// TokenBlocker indexes the right table's records by their tokens and
-// retrieves, for each left record, the right records sharing the most
-// (IDF-weighted) tokens.
+// TokenBlocker retrieves, for each left record, the right records
+// sharing the most (IDF-weighted) tokens. It is a thin consumer of the
+// shared candidate retrieval index (internal/neighborhood): the
+// inverted index and IDF weights live there — one tokenization for
+// blocking and triangle support search — and the blocker adds only its
+// own policy on top (stop-token pruning, minimum shared tokens, a
+// per-record candidate cap).
 type TokenBlocker struct {
 	cfg   Config
-	right *record.Table
-	index map[string][]int // token -> right record ordinals
-	idf   map[string]float64
+	idx   *neighborhood.Index
+	maxDF int // postings longer than this are stop tokens
 }
 
-// NewTokenBlocker builds the inverted index over the right table.
+// NewTokenBlocker builds the blocker over a fresh index of the right
+// table. Callers that already hold a shared index (a server backend, a
+// harness cell) should use NewTokenBlockerFromIndex instead.
 func NewTokenBlocker(right *record.Table, cfg Config) (*TokenBlocker, error) {
 	if right == nil || right.Len() == 0 {
 		return nil, fmt.Errorf("blocking: right table is empty")
 	}
+	return NewTokenBlockerFromIndex(neighborhood.NewIndex(right), cfg)
+}
+
+// NewTokenBlockerFromIndex builds the blocker as a view over an
+// existing retrieval index — no tokenization or posting construction of
+// its own.
+func NewTokenBlockerFromIndex(idx *neighborhood.Index, cfg Config) (*TokenBlocker, error) {
+	if idx == nil || idx.Table().Len() == 0 {
+		return nil, fmt.Errorf("blocking: right table is empty")
+	}
 	cfg = cfg.withDefaults()
-	b := &TokenBlocker{
-		cfg:   cfg,
-		right: right,
-		index: make(map[string][]int),
-		idf:   make(map[string]float64),
-	}
-	for i, r := range right.Records {
-		for tok := range strutil.TokenSet(r.Text()) {
-			b.index[tok] = append(b.index[tok], i)
-		}
-	}
-	n := float64(right.Len())
-	maxDF := int(cfg.MaxTokenFrequency * n)
+	maxDF := int(cfg.MaxTokenFrequency * float64(idx.Table().Len()))
 	if maxDF < 2 {
 		maxDF = 2 // never prune on tiny tables
 	}
-	for tok, posting := range b.index {
-		if len(posting) > maxDF {
-			// Stop token: appears in too many records to discriminate.
-			delete(b.index, tok)
-			continue
-		}
-		b.idf[tok] = math.Log(1 + n/float64(len(posting)))
-	}
-	return b, nil
+	return &TokenBlocker{cfg: cfg, idx: idx, maxDF: maxDF}, nil
 }
 
-// CandidatesFor retrieves the top candidates for one left record.
+// CandidatesFor retrieves the top candidates for one left record. The
+// query's tokens are visited in sorted order, so the floating-point
+// weight sums — and with them candidate order — are deterministic.
 func (b *TokenBlocker) CandidatesFor(l *record.Record) []Candidate {
 	type hit struct {
 		shared int
 		weight float64
 	}
-	hits := make(map[int]*hit)
-	for tok := range strutil.TokenSet(l.Text()) {
-		posting, ok := b.index[tok]
-		if !ok {
+	hits := make(map[int32]*hit)
+	for _, tok := range strutil.DistinctTokens(l.Text()) {
+		posting := b.idx.Postings(tok)
+		if len(posting) == 0 || len(posting) > b.maxDF {
+			// Unknown token, or a stop token: appears in too many records
+			// to discriminate.
 			continue
 		}
-		w := b.idf[tok]
+		w := b.idx.IDF(tok)
 		for _, ri := range posting {
 			h := hits[ri]
 			if h == nil {
@@ -119,13 +118,14 @@ func (b *TokenBlocker) CandidatesFor(l *record.Record) []Candidate {
 			h.weight += w
 		}
 	}
+	right := b.idx.Table()
 	var out []Candidate
 	for ri, h := range hits {
 		if h.shared < b.cfg.MinSharedTokens {
 			continue
 		}
 		out = append(out, Candidate{
-			Pair:  record.Pair{Left: l, Right: b.right.Records[ri]},
+			Pair:  record.Pair{Left: l, Right: right.Records[ri]},
 			Score: h.weight,
 		})
 	}

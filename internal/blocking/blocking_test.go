@@ -2,10 +2,14 @@ package blocking
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"testing"
 
 	"certa/internal/dataset"
+	"certa/internal/neighborhood"
 	"certa/internal/record"
+	"certa/internal/strutil"
 )
 
 func smallTables() (*record.Table, *record.Table) {
@@ -142,6 +146,112 @@ func TestBlockingOnBenchmarkRecall(t *testing.T) {
 	}
 	if q.ReductionRatio < 0.5 {
 		t.Errorf("reduction ratio %.3f too low", q.ReductionRatio)
+	}
+}
+
+// referenceCandidates is the historical private TokenBlocker
+// implementation — its own tokenization, inverted index and IDF —
+// kept inline as the regression oracle for the refactor onto the shared
+// neighborhood index. Tokens are visited in sorted order so the
+// floating-point weight sums match the blocker's deterministic
+// accumulation exactly.
+func referenceCandidates(right *record.Table, cfg Config, l *record.Record) []Candidate {
+	cfg = cfg.withDefaults()
+	index := make(map[string][]int)
+	for i, r := range right.Records {
+		for tok := range strutil.TokenSet(r.Text()) {
+			index[tok] = append(index[tok], i)
+		}
+	}
+	n := float64(right.Len())
+	maxDF := int(cfg.MaxTokenFrequency * n)
+	if maxDF < 2 {
+		maxDF = 2
+	}
+	idf := make(map[string]float64)
+	for tok, posting := range index {
+		if len(posting) > maxDF {
+			delete(index, tok)
+			continue
+		}
+		idf[tok] = math.Log(1 + n/float64(len(posting)))
+	}
+	type hit struct {
+		shared int
+		weight float64
+	}
+	hits := make(map[int]*hit)
+	for _, tok := range strutil.DistinctTokens(l.Text()) {
+		posting, ok := index[tok]
+		if !ok {
+			continue
+		}
+		for _, ri := range posting {
+			h := hits[ri]
+			if h == nil {
+				h = &hit{}
+				hits[ri] = h
+			}
+			h.shared++
+			h.weight += idf[tok]
+		}
+	}
+	var out []Candidate
+	for ri, h := range hits {
+		if h.shared < cfg.MinSharedTokens {
+			continue
+		}
+		out = append(out, Candidate{
+			Pair:  record.Pair{Left: l, Right: right.Records[ri]},
+			Score: h.weight,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Pair.Right.ID < out[j].Pair.Right.ID
+	})
+	if len(out) > cfg.MaxPerRecord {
+		out = out[:cfg.MaxPerRecord]
+	}
+	return out
+}
+
+// TestTokenBlockerMatchesReferenceImplementation pins the refactor onto
+// the shared neighborhood index: on the AB benchmark, the index-backed
+// blocker — built directly and through NewTokenBlockerFromIndex over a
+// caller-shared index — must produce exactly the candidates (IDs,
+// order, scores) of the historical private implementation for every
+// left record.
+func TestTokenBlockerMatchesReferenceImplementation(t *testing.T) {
+	bench := dataset.MustGenerate("AB", dataset.Options{Seed: 3, MaxRecords: 150, MaxMatches: 80})
+	for _, cfg := range []Config{{}, {MaxPerRecord: 20}, {MaxPerRecord: 5, MinSharedTokens: 2, MaxTokenFrequency: 0.1}} {
+		fresh, err := NewTokenBlocker(bench.Right, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := NewTokenBlockerFromIndex(neighborhood.NewIndex(bench.Right), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range bench.Left.Records {
+			want := referenceCandidates(bench.Right, cfg, l)
+			for name, b := range map[string]*TokenBlocker{"fresh": fresh, "from-index": shared} {
+				got := b.CandidatesFor(l)
+				if len(got) != len(want) {
+					t.Fatalf("cfg %+v, %s blocker, record %s: %d candidates, reference has %d",
+						cfg, name, l.ID, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Pair.Right.ID != want[i].Pair.Right.ID || got[i].Score != want[i].Score {
+						t.Fatalf("cfg %+v, %s blocker, record %s, candidate %d: got (%s, %v), reference (%s, %v)",
+							cfg, name, l.ID, i, got[i].Pair.Right.ID, got[i].Score,
+							want[i].Pair.Right.ID, want[i].Score)
+					}
+				}
+			}
+		}
 	}
 }
 

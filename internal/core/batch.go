@@ -64,7 +64,9 @@ func (e *Explainer) ExplainBatchContext(ctx context.Context, m explain.Model, pa
 			Parallelism: opts.Parallelism,
 		})
 	}
-	inner := &Explainer{left: e.left, right: e.right, opts: opts}
+	// The inner explainers inherit the batch explainer's candidate
+	// retrieval layer: one index serves every explanation of the batch.
+	inner := &Explainer{left: e.left, right: e.right, opts: opts, sources: e.sources}
 
 	out := make([]*Result, len(pairs))
 	err := workpool.EachContext(ctx, len(pairs), workers, func(ctx context.Context, i int) error {

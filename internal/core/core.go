@@ -30,6 +30,7 @@ import (
 
 	"certa/internal/explain"
 	"certa/internal/lattice"
+	"certa/internal/neighborhood"
 	"certa/internal/record"
 	"certa/internal/scorecache"
 )
@@ -75,6 +76,29 @@ type Options struct {
 	// earlier when they exist, and hopeless scans stop early. The
 	// batched-pipeline benchmarks use SeedSearch as their baseline.
 	SeedSearch bool
+	// AugmentBudget caps the augmented-support search: at most
+	// want×AugmentBudget token-drop variants are generated per scan
+	// (want being the supports still missing), so pathological models
+	// cannot make explanation cost unbounded. Default 200, the
+	// historical hard-coded budget.
+	AugmentBudget int
+	// Retrieval injects a prebuilt candidate retrieval layer
+	// (neighborhood.NewSources; certa.NewCandidateIndex publicly): the
+	// per-table token indexes the triangle support search streams its
+	// candidates from. Build it once and share it — across ExplainBatch,
+	// an eval-harness run, or a server backend's lifetime — instead of
+	// letting every New rebuild it. The injected sources must have been
+	// built over the same left/right tables the explainer is given.
+	// When nil, New builds per-Explainer indexes (or scan sources under
+	// DisableIndex).
+	Retrieval *neighborhood.Sources
+	// DisableIndex falls back to the unindexed candidate scan: the
+	// support search re-tokenizes and fully sorts the source table per
+	// explanation, as it did before the retrieval layer. Results are
+	// byte-identical either way (the equivalence test gates this); the
+	// ablation exists to measure what the index saves. Ignored when
+	// Retrieval is injected.
+	DisableIndex bool
 	// Seed drives candidate shuffling; explanations are deterministic
 	// given (Options, model, pair).
 	Seed int64
@@ -129,6 +153,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxLatticeAttrs <= 0 {
 		o.MaxLatticeAttrs = 12
 	}
+	if o.AugmentBudget <= 0 {
+		o.AugmentBudget = 200
+	}
 	return o
 }
 
@@ -137,11 +164,30 @@ type Explainer struct {
 	left  *record.Table
 	right *record.Table
 	opts  Options
+	// sources is the candidate retrieval layer the triangle support
+	// search streams from: Options.Retrieval when injected, otherwise
+	// built once per Explainer by New.
+	sources *neighborhood.Sources
 }
 
 // New creates an explainer over the benchmark's two sources U and V.
+//
+// Unless Options.Retrieval injects a shared one, New builds the
+// candidate retrieval index over both tables here — once per Explainer,
+// off the per-explanation path. Long-lived callers that construct many
+// explainers over the same tables (a serving backend, a harness run)
+// should build the index once (neighborhood.NewSources) and inject it.
 func New(left, right *record.Table, opts Options) *Explainer {
-	return &Explainer{left: left, right: right, opts: opts.withDefaults()}
+	e := &Explainer{left: left, right: right, opts: opts.withDefaults()}
+	switch {
+	case e.opts.Retrieval != nil:
+		e.sources = e.opts.Retrieval
+	case e.opts.DisableIndex:
+		e.sources = neighborhood.NewScanSources(left, right)
+	default:
+		e.sources = neighborhood.NewSources(left, right)
+	}
+	return e
 }
 
 // Name implements the explainer interfaces.
@@ -319,6 +365,9 @@ func (e *Explainer) ExplainContext(ctx context.Context, m explain.Model, p recor
 	}
 	if p.Left == nil || p.Right == nil {
 		return nil, fmt.Errorf("core: pair has nil record")
+	}
+	if e.sources.Left.Table() != e.left || e.sources.Right.Table() != e.right {
+		return nil, fmt.Errorf("core: Options.Retrieval indexes different tables than the explainer's sources")
 	}
 	sc, err := e.newScorer(m)
 	if err != nil {

@@ -2,10 +2,9 @@ package core
 
 import (
 	"context"
-	"math/rand"
-	"sort"
 	"strconv"
 
+	"certa/internal/neighborhood"
 	"certa/internal/record"
 	"certa/internal/scorecache"
 	"certa/internal/strutil"
@@ -225,9 +224,9 @@ func (s *supportScan) finish() []*record.Record {
 }
 
 // naturalSupports scans one source for records that predict opposite to y
-// when paired with the pivot. Candidates are scanned in a seeded shuffle
+// when paired with the pivot. Candidates are streamed in a seeded shuffle
 // so different explanations sample different supports, then the first
-// `want` eligible records (in scan order) are returned.
+// `want` eligible records (in stream order) are returned.
 //
 // The shuffle is seeded by the triangle's fixed record — the scan's
 // actual input, since every candidate is paired against it — rather
@@ -237,26 +236,16 @@ func (s *supportScan) finish() []*record.Record {
 // the same candidates in the same order, so a shared scoring service
 // answers the repeat scans from its store.
 func (e *Explainer) naturalSupports(ctx context.Context, bud *runBudget, prog *progress, sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) ([]*record.Record, error) {
-	table := e.left
-	if side == record.Right {
-		table = e.right
-	}
 	self := p.Record(side)
 	fixed := p.Record(side.Opposite())
-
-	idx := make([]int, table.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	rng := rand.New(rand.NewSource(e.opts.Seed*131 + int64(side) + int64(hashString(fixed.Text()))))
-	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	stream := e.sources.Side(side).Shuffled(e.opts.Seed*131 + int64(side) + int64(hashString(fixed.Text())))
 
 	scan := newSupportScan(ctx, bud, sc, p, side, y, want)
-	for _, i := range idx {
-		if scan.done {
+	for !scan.done {
+		w, ok := stream.Next()
+		if !ok {
 			break
 		}
-		w := table.Records[i]
 		if w.ID == self.ID {
 			continue
 		}
@@ -284,55 +273,39 @@ func (e *Explainer) augmentedSupports(ctx context.Context, bud *runBudget, prog 
 	if want <= 0 {
 		return nil, nil
 	}
-	table := e.left
-	if side == record.Right {
-		table = e.right
-	}
 	self := p.Record(side)
 	fixed := p.Record(side.Opposite())
-
-	idx := make([]int, table.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	rng := rand.New(rand.NewSource(e.opts.Seed*197 + 7 + int64(side) + int64(hashString(fixed.Text()))))
-	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	src := e.sources.Side(side)
+	seed := e.opts.Seed*197 + 7 + int64(side) + int64(hashString(fixed.Text()))
 
 	// Attempt budget so pathological models cannot make explanation cost
-	// unbounded.
-	budget := want * 200
+	// unbounded (Options.AugmentBudget variants per missing support).
+	budget := want * e.opts.AugmentBudget
 
 	scan := newSupportScan(ctx, bud, sc, p, side, y, want)
-	if !e.opts.SeedSearch {
+	var stream *neighborhood.Stream
+	if e.opts.SeedSearch {
+		stream = src.Shuffled(seed)
+	} else {
 		// Guided search: a support must predict opposite to y when paired
 		// with the triangle's fixed record. When the opposite prediction
 		// is Match, only records resembling the fixed record can get
 		// there by dropping noise tokens — visit those first. When it is
 		// Non-Match, dissimilar records flip fastest. The seeded shuffle
 		// remains the tie-break, so Seed still diversifies selection.
-		fixedSet := strutil.TokenSet(fixed.Text())
-		overlap := make([]float64, table.Len())
-		for i, w := range table.Records {
-			overlap[i] = tokenJaccard(strutil.TokenSet(w.Text()), fixedSet)
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			if y {
-				return overlap[idx[a]] < overlap[idx[b]] // seeking Non-Match
-			}
-			return overlap[idx[a]] > overlap[idx[b]] // seeking Match
-		})
+		stream = src.Ranked(seed, fixed.Text(), y /* ascending overlap when seeking Non-Match */)
 		// Abandon streams that yield nothing: after 20 consecutive
 		// candidate records' worth of ineligible variants, no support is
-		// coming from the rest of the (relevance-sorted) stream either.
+		// coming from the rest of the (relevance-ranked) stream either.
 		scan.patience = augmentPatience
 	}
 	generated := 0
 	augID := 0
-	for _, ri := range idx {
-		if scan.done || generated >= budget {
+	for !scan.done && generated < budget {
+		w, ok := stream.Next()
+		if !ok {
 			break
 		}
-		w := table.Records[ri]
 		if w.ID == self.ID {
 			continue
 		}
@@ -382,28 +355,6 @@ func (s *supportScan) notePhase(prog *progress) {
 		return
 	}
 	prog.phase(float64(len(s.out)) / float64(s.want))
-}
-
-// tokenJaccard is set-level Jaccard over pre-tokenized texts, so the
-// guided search tokenizes the fixed record once instead of per
-// candidate. Record.Text() renders missing values as empty, so both
-// empty means "no token evidence either way" (treated as full overlap,
-// matching strutil.Jaccard on empty texts).
-func tokenJaccard(a, b map[string]struct{}) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	inter := 0
-	for t := range a {
-		if _, ok := b[t]; ok {
-			inter++
-		}
-	}
-	union := len(a) + len(b) - inter
-	if union == 0 {
-		return 1
-	}
-	return float64(inter) / float64(union)
 }
 
 // hashString is FNV-1a, decorrelating the support shuffles across pairs.

@@ -81,7 +81,7 @@ func taosHeader(taus []int) []string {
 // sparsity, diversity].
 func tauMeasures(h *Harness, c *cell, tau int) ([]float64, error) {
 	e := core.New(c.bench.Left, c.bench.Right, core.Options{
-		Triangles: tau, Seed: h.cfg.Seed, Shared: c.scoring,
+		Triangles: tau, Seed: h.cfg.Seed, Shared: c.scoring, Retrieval: c.retrieval,
 	})
 	var sals []*explain.Saliency
 	var chis, phis, proxVals, sparVals, divVals []float64
@@ -141,6 +141,7 @@ func table7(h *Harness) ([]*Table, error) {
 				Seed:                 h.cfg.Seed,
 				EvaluateMonotonicity: true,
 				Shared:               c.scoring,
+				Retrieval:            c.retrieval,
 			})
 			for _, p := range c.pairs {
 				res, err := e.Explain(c.model, p.Pair)
@@ -203,6 +204,7 @@ func table8(h *Harness) ([]*Table, error) {
 				Seed:                h.cfg.Seed,
 				DisableAugmentation: true,
 				Shared:              c.scoring,
+				Retrieval:           c.retrieval,
 			})
 			var total float64
 			for _, p := range c.pairs {
@@ -265,6 +267,7 @@ func augmentationMetrics(h *Harness, c *cell, forced bool) ([]float64, error) {
 		Seed:              h.cfg.Seed,
 		ForceAugmentation: forced,
 		Shared:            c.scoring,
+		Retrieval:         c.retrieval,
 	})
 	var sals []*explain.Saliency
 	var prox, spar, div []float64

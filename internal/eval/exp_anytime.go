@@ -78,6 +78,7 @@ func anytime(h *Harness) ([]*Table, error) {
 					Parallelism: h.cfg.Parallelism,
 					Shared:      c.scoring,
 					CallBudget:  budget,
+					Retrieval:   c.retrieval,
 				})
 				var err error
 				results, err = e.ExplainBatch(c.model, pairs)

@@ -88,7 +88,7 @@ func figure3(h *Harness) ([]*Table, error) {
 			name string
 			ex   explain.SaliencyExplainer
 		}{
-			{"CERTA", core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed})},
+			{"CERTA", core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed, Retrieval: c.retrieval})},
 			{"Mojito", baselines.NewMojito(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 11})},
 			{"LandMark", baselines.NewLandMark(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 13})},
 			{"SHAP", baselines.NewSHAP(shap.Config{Samples: h.cfg.SHAPSamples, Seed: h.cfg.Seed + 17})},
@@ -175,7 +175,7 @@ func figure5(h *Harness) ([]*Table, error) {
 	p := target.Pair
 	orig := c.model.Score(p)
 
-	certaEx := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed})
+	certaEx := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed, Retrieval: c.retrieval})
 	certaCFs, err := certaEx.ExplainCounterfactuals(c.model, p)
 	if err != nil {
 		return nil, err
@@ -288,7 +288,7 @@ func figure12(h *Harness) ([]*Table, error) {
 		name string
 		ex   explain.SaliencyExplainer
 	}{
-		{"CERTA", core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed})},
+		{"CERTA", core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed, Retrieval: c.retrieval})},
 		{"Mojito", baselines.NewMojito(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 11})},
 		{"LandMark", baselines.NewLandMark(lime.Config{Samples: h.cfg.LIMESamples, Seed: h.cfg.Seed + 13})},
 		{"SHAP", baselines.NewSHAP(shap.Config{Samples: h.cfg.SHAPSamples, Seed: h.cfg.Seed + 17})},

@@ -36,7 +36,7 @@ func latency(h *Harness) ([]*Table, error) {
 		row := []string{string(kind)}
 
 		counted := &countingModel{inner: c.model}
-		certaEx := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed})
+		certaEx := core.New(c.bench.Left, c.bench.Right, core.Options{Triangles: h.cfg.Triangles, Seed: h.cfg.Seed, Retrieval: c.retrieval})
 		saliencyMethods := []struct {
 			name string
 			run  func(p record.Pair) error

@@ -10,6 +10,7 @@ import (
 	"certa/internal/explain"
 	"certa/internal/lime"
 	"certa/internal/matchers"
+	"certa/internal/neighborhood"
 	"certa/internal/record"
 	"certa/internal/scorecache"
 	"certa/internal/shap"
@@ -154,7 +155,11 @@ type cell struct {
 	bench   *dataset.Benchmark
 	model   *matchers.Model
 	scoring *scorecache.Service
-	pairs   []record.LabeledPair
+	// retrieval is the cell's shared candidate index: every experiment
+	// and ablation config of the cell streams support candidates from
+	// one build instead of re-indexing per explainer.
+	retrieval *neighborhood.Sources
+	pairs     []record.LabeledPair
 
 	mu    sync.Mutex
 	certa []*core.Result
@@ -182,14 +187,15 @@ func (h *Harness) cell(code string, kind matchers.Kind) (*cell, error) {
 		return nil, fmt.Errorf("eval: training %s on %s: %w", kind, code, err)
 	}
 	c := &cell{
-		code:    code,
-		kind:    kind,
-		bench:   b,
-		model:   model,
-		scoring: scorecache.NewService(model, scorecache.ServiceOptions{Parallelism: h.cfg.Parallelism}),
-		pairs:   samplePairs(b.Test, h.cfg.ExplainPairs),
-		sal:     make(map[string][]*explain.Saliency),
-		cfs:     make(map[string][][]explain.Counterfactual),
+		code:      code,
+		kind:      kind,
+		bench:     b,
+		model:     model,
+		scoring:   scorecache.NewService(model, scorecache.ServiceOptions{Parallelism: h.cfg.Parallelism}),
+		retrieval: neighborhood.NewSources(b.Left, b.Right),
+		pairs:     samplePairs(b.Test, h.cfg.ExplainPairs),
+		sal:       make(map[string][]*explain.Saliency),
+		cfs:       make(map[string][][]explain.Counterfactual),
 	}
 	h.mu.Lock()
 	// Another goroutine may have raced us; keep the first.
@@ -259,6 +265,7 @@ func (c *cell) certaResults(h *Harness) ([]*core.Result, error) {
 		Seed:        h.cfg.Seed,
 		Parallelism: h.cfg.Parallelism,
 		Shared:      c.scoring,
+		Retrieval:   c.retrieval,
 	})
 	pairs := make([]record.Pair, len(c.pairs))
 	for i, p := range c.pairs {

@@ -1,0 +1,43 @@
+package record
+
+// Memo is the per-table cache of derived record views: the normalized
+// text (Record.Text) and distinct token set (Record.TokenSet) of every
+// record, computed once at construction. Read-heavy scans — the
+// candidate retrieval index, blocking, benchmarks — address records by
+// their table ordinal and skip the per-access tokenization cost.
+//
+// The cache is not stored on Record itself: records are plain values
+// whose every field takes part in equality, and explanation results
+// embedding them are compared with reflect.DeepEqual by the
+// determinism tests. A Memo is immutable after construction and safe
+// for concurrent reads; it reflects the table at build time (tables
+// are append-once by convention).
+type Memo struct {
+	table *Table
+	texts []string
+	sets  []map[string]struct{}
+}
+
+// NewMemo precomputes the derived views of every record of t.
+func NewMemo(t *Table) *Memo {
+	m := &Memo{
+		table: t,
+		texts: make([]string, t.Len()),
+		sets:  make([]map[string]struct{}, t.Len()),
+	}
+	for i, r := range t.Records {
+		m.texts[i] = r.Text()
+		m.sets[i] = r.TokenSet()
+	}
+	return m
+}
+
+// Table returns the memoized table.
+func (m *Memo) Table() *Table { return m.table }
+
+// Text returns the cached Record.Text() of the record at ordinal i.
+func (m *Memo) Text(i int) string { return m.texts[i] }
+
+// TokenSet returns the cached Record.TokenSet() of the record at
+// ordinal i. The map is shared — callers must treat it as read-only.
+func (m *Memo) TokenSet(i int) map[string]struct{} { return m.sets[i] }

@@ -118,6 +118,11 @@ func (s *Schema) AttrIndex(a string) int {
 func (s *Schema) Len() int { return len(s.Attrs) }
 
 // Record is a single structured entity description.
+//
+// Records are plain values: every field takes part in equality
+// (reflect.DeepEqual on explanation results is part of the
+// determinism contract), so derived views are not memoized on the
+// record itself — read-heavy scans cache them per table with Memo.
 type Record struct {
 	ID     string   `json:"id"`
 	Schema *Schema  `json:"schema"`
@@ -228,6 +233,14 @@ func (r *Record) Text() string {
 		}
 	}
 	return strings.Join(parts, " ")
+}
+
+// TokenSet returns the distinct tokens of the record's text view — the
+// shared tokenization every token-level consumer (blocking, the
+// retrieval index, the guided triangle search) derives its candidate
+// structure from.
+func (r *Record) TokenSet() map[string]struct{} {
+	return strutil.TokenSet(r.Text())
 }
 
 // String renders the record for logs and error messages.

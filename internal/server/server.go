@@ -48,6 +48,7 @@ import (
 
 	"certa/internal/core"
 	"certa/internal/explain"
+	"certa/internal/neighborhood"
 	"certa/internal/record"
 	"certa/internal/scorecache"
 	"certa/internal/workpool"
@@ -87,9 +88,11 @@ type Backend struct {
 	// Model is the classifier being explained.
 	Model explain.Model
 	// Options are the base explainer options (Triangles, Seed,
-	// Parallelism...). Per-request knobs overlay CallBudget and
-	// Deadline; Shared is overwritten with the backend's long-lived
-	// service.
+	// Parallelism...). Per-request knobs overlay CallBudget, Deadline
+	// and AugmentBudget; Shared is overwritten with the backend's
+	// long-lived service. When Retrieval is nil, the backend builds its
+	// candidate index at server construction and reports it in
+	// /v1/stats.
 	Options core.Options
 	// Pairs optionally registers an addressable workload (pair_index
 	// requests) — typically a benchmark's test split.
@@ -173,9 +176,23 @@ func New(backends []Backend, opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: backend %q service wraps model %q, not %q",
 				b.Name, svc.Name(), b.Model.Name())
 		}
+		// The candidate retrieval index is part of backend startup: built
+		// here once (unless the caller injected a shared one) so request
+		// handling streams candidates from prebuilt postings instead of
+		// re-tokenizing the sources per explanation. A backend configured
+		// with the DisableIndex ablation gets scan sources, which also
+		// keeps the index section out of its /v1/stats.
+		bopts := b.Options
+		if bopts.Retrieval == nil {
+			if bopts.DisableIndex {
+				bopts.Retrieval = neighborhood.NewScanSources(b.Left, b.Right)
+			} else {
+				bopts.Retrieval = neighborhood.NewSources(b.Left, b.Right)
+			}
+		}
 		s.backends[b.Name] = &backend{
 			name: b.Name, left: b.Left, right: b.Right, model: b.Model,
-			opts: b.Options, pairs: b.Pairs, svc: svc, restored: b.RestoredEntries,
+			opts: bopts, pairs: b.Pairs, svc: svc, restored: b.RestoredEntries,
 		}
 		s.order = append(s.order, b.Name)
 	}
@@ -271,6 +288,9 @@ func (s *Server) compute(ctx context.Context, b *backend, p record.Pair, k knobs
 	}
 	if k.deadlineMS > 0 {
 		opts.Deadline = time.Duration(k.deadlineMS) * time.Millisecond
+	}
+	if k.augmentBudget > 0 {
+		opts.AugmentBudget = k.augmentBudget
 	}
 	start := time.Now()
 	res, err := core.New(b.left, b.right, opts).ExplainContext(ctx, b.model, p)
@@ -440,7 +460,7 @@ func (s *Server) Stats() StatsResponse {
 	}
 	for name, b := range s.backends {
 		st := b.svc.Stats()
-		out.Backends[name] = BackendStats{
+		bs := BackendStats{
 			Model:           b.model.Name(),
 			Entries:         b.svc.Len(),
 			RestoredEntries: b.restored,
@@ -451,6 +471,14 @@ func (s *Server) Stats() StatsResponse {
 			Evictions:       st.Evictions,
 			HitRate:         st.HitRate(),
 		}
+		if ist, ok := b.opts.Retrieval.Stats(); ok {
+			bs.Index = &IndexStats{
+				Records:        ist.Records,
+				DistinctTokens: ist.DistinctTokens,
+				BuildMS:        ist.BuildMS,
+			}
+		}
+		out.Backends[name] = bs
 	}
 	return out
 }

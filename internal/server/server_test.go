@@ -481,9 +481,10 @@ func TestCoalesceKeyRespectsIdentityAndOptions(t *testing.T) {
 	if coalesceKey("toy", knobs{}, otherID) == base {
 		t.Fatal("different record IDs coalesced onto one response body")
 	}
-	// Different anytime knobs compute different explanations.
+	// Different engine knobs compute different explanations.
 	if coalesceKey("toy", knobs{callBudget: 10}, p) == base ||
 		coalesceKey("toy", knobs{deadlineMS: 10}, p) == base ||
+		coalesceKey("toy", knobs{augmentBudget: 10}, p) == base ||
 		coalesceKey("toy", knobs{topK: 1}, p) == base {
 		t.Fatal("different knobs coalesced onto one response body")
 	}
@@ -593,5 +594,76 @@ func TestHealthzAndStats(t *testing.T) {
 	b, ok := stats.Backends["toy"]
 	if !ok || b.Misses == 0 || b.Entries == 0 {
 		t.Fatalf("backend stats = %+v", stats.Backends)
+	}
+	// The candidate retrieval index is built at server construction and
+	// must be visible in the stats document.
+	if b.Index == nil {
+		t.Fatal("backend stats expose no candidate index section")
+	}
+	if b.Index.Records != 48 || b.Index.DistinctTokens == 0 || b.Index.BuildMS <= 0 {
+		t.Fatalf("index stats = %+v, want 48 records, tokens > 0, build_ms > 0", b.Index)
+	}
+}
+
+// TestDisableIndexBackendUsesScanSources pins the ablation wiring: a
+// backend configured with DisableIndex must serve through scan sources
+// — and therefore report no index section in its stats.
+func TestDisableIndexBackendUsesScanSources(t *testing.T) {
+	left, right := testSources(8)
+	s, err := New([]Backend{{
+		Name: "toy", Left: left, Right: right, Model: overlapModel{},
+		Options: core.Options{Triangles: 4, Seed: 3, DisableIndex: true},
+	}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if b := s.Stats().Backends["toy"]; b.Index != nil {
+		t.Fatalf("DisableIndex backend reports index stats %+v", *b.Index)
+	}
+}
+
+// TestAugmentBudgetKnob checks the per-request augment_budget override
+// reaches the engine: on a forced-augmentation SeedSearch backend (the
+// blind shuffle needs many attempts, so the attempt budget genuinely
+// binds) an absurdly small budget must strictly reduce the search work.
+func TestAugmentBudgetKnob(t *testing.T) {
+	left, right := testSources(24)
+	s, err := New([]Backend{{
+		Name: "toy", Left: left, Right: right, Model: overlapModel{},
+		Options: core.Options{Triangles: 8, Seed: 3, ForceAugmentation: true, SeedSearch: true},
+	}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, defBody := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r1"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("default request: status %d: %s", resp.StatusCode, defBody)
+	}
+	resp, tinyBody := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r1", AugmentBudget: 1})
+	if resp.StatusCode != 200 {
+		t.Fatalf("tiny-budget request: status %d: %s", resp.StatusCode, tinyBody)
+	}
+	var def, tiny ExplainResponse
+	if err := json.Unmarshal(defBody, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(tinyBody, &tiny); err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Result.Diag.TriangleSearchCalls >= def.Result.Diag.TriangleSearchCalls {
+		t.Fatalf("augment_budget=1 spent %d search calls, default spent %d — the knob did not reach the engine",
+			tiny.Result.Diag.TriangleSearchCalls, def.Result.Diag.TriangleSearchCalls)
 	}
 }

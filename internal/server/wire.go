@@ -44,6 +44,10 @@ type ExplainRequest struct {
 	// CallBudget maps onto Options.CallBudget: a deterministic cap on
 	// unique model calls. 0 = unlimited.
 	CallBudget int `json:"call_budget,omitempty"`
+	// AugmentBudget maps onto Options.AugmentBudget: the cap on
+	// token-drop variants the augmented-support search may generate per
+	// missing support. 0 = the backend's default (200).
+	AugmentBudget int `json:"augment_budget,omitempty"`
 	// TopK shapes the response: only the k most salient attributes and
 	// at most k counterfactual examples are returned. 0 = everything.
 	TopK int `json:"top_k,omitempty"`
@@ -83,6 +87,18 @@ type HealthResponse struct {
 	Backends []string `json:"backends"`
 }
 
+// IndexStats reports one backend's candidate retrieval index in GET
+// /v1/stats: the per-table token indexes built at server startup
+// (summed over the two sources).
+type IndexStats struct {
+	// Records is the number of indexed records across both sources.
+	Records int `json:"records"`
+	// DistinctTokens is the combined inverted-index vocabulary size.
+	DistinctTokens int `json:"distinct_tokens"`
+	// BuildMS is the wall-clock index construction time in milliseconds.
+	BuildMS float64 `json:"build_ms"`
+}
+
 // BackendStats reports one backend's shared score cache in GET
 // /v1/stats.
 type BackendStats struct {
@@ -100,6 +116,9 @@ type BackendStats struct {
 	Batches   int     `json:"batches"`
 	Evictions int     `json:"evictions,omitempty"`
 	HitRate   float64 `json:"hit_rate"`
+	// Index reports the backend's candidate retrieval index (absent
+	// only when the backend was configured with unindexed scan sources).
+	Index *IndexStats `json:"index,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -178,17 +197,18 @@ func inlineRecord(w *WireRecord, schema *record.Schema, side string) (*record.Re
 	return r, nil
 }
 
-// knobs are the per-request anytime options that participate in the
+// knobs are the per-request engine options that participate in the
 // coalescing key: requests are shared only when both the pair content
 // and the options agree.
 type knobs struct {
-	deadlineMS int
-	callBudget int
-	topK       int
+	deadlineMS    int
+	callBudget    int
+	augmentBudget int
+	topK          int
 }
 
 func (r *ExplainRequest) knobs() knobs {
-	return knobs{deadlineMS: r.DeadlineMS, callBudget: r.CallBudget, topK: r.TopK}
+	return knobs{deadlineMS: r.DeadlineMS, callBudget: r.CallBudget, augmentBudget: r.AugmentBudget, topK: r.TopK}
 }
 
 // coalesceKey renders the identity of a computation: backend, anytime
@@ -208,6 +228,8 @@ func coalesceKey(backendName string, k knobs, p record.Pair) string {
 	b.WriteString(strconv.Itoa(k.deadlineMS))
 	b.WriteString("|b")
 	b.WriteString(strconv.Itoa(k.callBudget))
+	b.WriteString("|a")
+	b.WriteString(strconv.Itoa(k.augmentBudget))
 	b.WriteString("|k")
 	b.WriteString(strconv.Itoa(k.topK))
 	b.WriteByte('|')

@@ -7,6 +7,7 @@
 package strutil
 
 import (
+	"sort"
 	"strings"
 	"unicode"
 )
@@ -79,6 +80,45 @@ func TokenSet(s string) map[string]struct{} {
 		set[t] = struct{}{}
 	}
 	return set
+}
+
+// DistinctTokens returns the distinct tokens of s in sorted order: the
+// deterministic-iteration counterpart of TokenSet, used by code that
+// accumulates floating-point weights per token (inverted-index builds,
+// IDF sums) and must not depend on map iteration order.
+func DistinctTokens(s string) []string {
+	toks := Tokenize(s)
+	if len(toks) == 0 {
+		return nil
+	}
+	sort.Strings(toks)
+	out := toks[:1]
+	for _, t := range toks[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SetJaccard is Jaccard similarity over pre-built token sets, for
+// callers that tokenize once and compare many times. Two empty sets are
+// considered identical (similarity 1), matching Jaccard on empty texts.
+func SetJaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range a {
+		if _, ok := b[t]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
 }
 
 // Jaccard computes the Jaccard similarity of the token sets of a and b.

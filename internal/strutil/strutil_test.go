@@ -276,3 +276,80 @@ func TestDropTokensProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDistinctTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"beta alpha beta ALPHA", []string{"alpha", "beta"}},
+		{"NaN", nil},
+		{"", nil},
+		{"one", []string{"one"}},
+	}
+	for _, c := range cases {
+		got := DistinctTokens(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("DistinctTokens(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("DistinctTokens(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestDistinctTokensMatchesTokenSet(t *testing.T) {
+	// DistinctTokens is exactly TokenSet's contents in sorted order.
+	f := func(raw string) bool {
+		set := TokenSet(raw)
+		toks := DistinctTokens(raw)
+		if len(toks) != len(set) {
+			return false
+		}
+		for i, tok := range toks {
+			if _, ok := set[tok]; !ok {
+				return false
+			}
+			if i > 0 && toks[i-1] >= tok {
+				return false // unsorted or duplicated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetJaccardMatchesJaccard(t *testing.T) {
+	// On non-missing inputs, SetJaccard over TokenSet equals Jaccard on
+	// the raw strings.
+	pairs := [][2]string{
+		{"alpha beta", "beta gamma"},
+		{"a b c", "a b c"},
+		{"x", "y"},
+		{"", ""},
+		{"alpha", ""},
+	}
+	for _, p := range pairs {
+		got := SetJaccard(TokenSet(p[0]), TokenSet(p[1]))
+		var want float64
+		if IsMissing(p[0]) || IsMissing(p[1]) {
+			// Jaccard short-circuits on missing values; SetJaccard sees
+			// only the (empty) sets. Compare against the set semantics.
+			if len(TokenSet(p[0])) == 0 && len(TokenSet(p[1])) == 0 {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("SetJaccard(%q, %q) = %v, want %v", p[0], p[1], got, want)
+			}
+			continue
+		}
+		want = Jaccard(p[0], p[1])
+		if got != want {
+			t.Errorf("SetJaccard(%q, %q) = %v, want Jaccard %v", p[0], p[1], got, want)
+		}
+	}
+}

@@ -19,8 +19,8 @@ go build ./...
 echo "== go test =="
 go test -timeout 300s ./...
 
-echo "== race (context + shared scoring pipeline) =="
-go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/
+echo "== race (context + shared scoring pipeline + retrieval layer) =="
+go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/
 
 echo "== bench smoke =="
 go test -timeout 600s -bench=. -benchtime=1x -run='^$' .
@@ -31,6 +31,14 @@ go test -timeout 600s -bench=. -benchtime=1x -run='^$' .
 echo "== certa-serve smoke (ephemeral port, warm+cold request, snapshot restart) =="
 go run ./scripts/servesmoke
 
-echo "== perf probe (anytime call-budget sweep + HTTP serve load) =="
+echo "== perf probe (anytime call-budget sweep + HTTP serve load + index probe) =="
 go run ./cmd/certa-bench -benchjson BENCH_explain.json -parallelism 4 -call-budget 250,1000,2500,0
 cat BENCH_explain.json
+
+# The retrieval-layer probe must be present: an "index" section with a
+# recorded build time and the scan-vs-index retrieval comparison.
+echo "== bench index probe assertions =="
+grep -q '"index"' BENCH_explain.json
+grep -q '"build_ms"' BENCH_explain.json
+grep -q '"retrieval_speedup"' BENCH_explain.json
+echo "index section present, build_ms recorded"

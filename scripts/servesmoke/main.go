@@ -113,8 +113,17 @@ func run() error {
 	if b.Misses != 0 {
 		return fmt.Errorf("restarted server still paid %d model calls", b.Misses)
 	}
-	fmt.Printf("servesmoke: second life: %d entries restored, request in %s with hit rate %.1f%% and 0 model calls\n",
-		b.RestoredEntries, restartDur.Round(time.Millisecond), 100*b.HitRate)
+	// The candidate retrieval index is rebuilt at every startup; a warm
+	// backend must expose its footprint in /v1/stats.
+	if b.Index == nil {
+		return fmt.Errorf("warm backend exposes no candidate index stats")
+	}
+	if b.Index.Records == 0 || b.Index.DistinctTokens == 0 || b.Index.BuildMS <= 0 {
+		return fmt.Errorf("warm backend index stats incomplete: %+v", *b.Index)
+	}
+	fmt.Printf("servesmoke: second life: %d entries restored, request in %s with hit rate %.1f%% and 0 model calls; index %d records / %d tokens in %.1fms\n",
+		b.RestoredEntries, restartDur.Round(time.Millisecond), 100*b.HitRate,
+		b.Index.Records, b.Index.DistinctTokens, b.Index.BuildMS)
 	return nil
 }
 
