@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test bench servesmoke ci clean
+.PHONY: all vet build test bench servesmoke profile ci clean
 
 all: build
 
@@ -27,9 +27,17 @@ servesmoke:
 BENCH_explain.json: FORCE
 	$(GO) run ./cmd/certa-bench -benchjson $@ -parallelism 4
 
+# profile captures a CPU profile of the blocked-cluster perf workload
+# (certa.pprof; inspect with `go tool pprof certa.pprof`). The run also
+# serves live pprof endpoints on an ephemeral port for ad-hoc grabs.
+profile:
+	$(GO) run ./cmd/certa-bench -benchjson /dev/null -parallelism 4 \
+		-cpuprofile certa.pprof -pprof-addr 127.0.0.1:0
+	@echo "CPU profile written to certa.pprof"
+
 ci: vet build test bench servesmoke BENCH_explain.json
 
 clean:
-	rm -f BENCH_explain.json
+	rm -f BENCH_explain.json certa.pprof
 
 FORCE:

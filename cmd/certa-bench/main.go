@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"reflect"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"certa"
+	"certa/internal/debugserve"
 	"certa/internal/eval"
 	"certa/internal/matchers"
 	"certa/internal/neighborhood"
@@ -54,8 +56,34 @@ func main() {
 		callBudget  = flag.String("call-budget", "", "comma-separated CallBudget sweep for the perf probe's anytime curve, e.g. 40,80,160 (0 = unlimited reference)")
 		serveReqs   = flag.Int("serve-requests", 96, "load-generator requests against the in-process HTTP server for the perf probe's serve section (0 = skip)")
 		serveConc   = flag.Int("serve-conc", 8, "load-generator client concurrency")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this auxiliary address while the run executes (empty = disabled)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (make profile uses it on the perf probe)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		bound, err := debugserve.Start(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "certa-bench: pprof endpoints on http://%s/debug/pprof/\n", bound)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	if *benchJSON != "" {
 		budgets, err := parseBudgets(*callBudget)
@@ -182,6 +210,40 @@ type benchMetrics struct {
 	// latency through admission control, coalescing and the shared
 	// cache.
 	Serve *serveMetrics `json:"serve,omitempty"`
+	// Scoring is the scoring-engine probe: forward-pass kernel speedup,
+	// embedding-store and flip-memo reuse, and the end-to-end trajectory
+	// against the PR 5 baseline.
+	Scoring *scoringMetrics `json:"scoring"`
+}
+
+// scoringMetrics is the "scoring" section of BENCH_explain.json: what
+// the three scoring-engine layers (batched forward pass, persistent
+// embedding store, cross-explanation flip memo) contribute on the main
+// blocked-cluster run.
+type scoringMetrics struct {
+	// ForwardBaselineNSPerRow / ForwardBatchNSPerRow time the trained
+	// network's pre-batching per-row path against the batched arena
+	// kernel on rows of the model's real feature dimension;
+	// ForwardPassSpeedup is their ratio.
+	ForwardBaselineNSPerRow float64 `json:"forward_baseline_ns_per_row"`
+	ForwardBatchNSPerRow    float64 `json:"forward_batch_ns_per_row"`
+	ForwardPassSpeedup      float64 `json:"forward_pass_speedup"`
+	// EmbeddingStoreHitRate is the matcher-lifetime embedding store's
+	// hit rate across the whole run: every hit is an attribute/record
+	// text that did not re-embed.
+	EmbeddingLookups      int     `json:"embedding_lookups"`
+	EmbeddingStoreHitRate float64 `json:"embedding_store_hit_rate"`
+	// FlipMemoHitRate is FlipHits/FlipLookups on the main run's shared
+	// service: lattice oracle questions answered from another
+	// explanation's settled outcome without a score fetch.
+	FlipLookups     int     `json:"flip_lookups"`
+	FlipHits        int     `json:"flip_hits"`
+	FlipMemoHitRate float64 `json:"flip_memo_hit_rate"`
+	// PR5BaselineExplPerSec is the blocked-cluster throughput recorded by
+	// PR 5's BENCH_explain.json; SpeedupVsPR5 divides the headline
+	// explanations_per_sec by it.
+	PR5BaselineExplPerSec float64 `json:"pr5_baseline_explanations_per_sec"`
+	SpeedupVsPR5          float64 `json:"speedup_vs_pr5_baseline"`
 }
 
 // serveMetrics is the "serve" section of BENCH_explain.json.
@@ -254,6 +316,11 @@ type anytimePoint struct {
 	CFValidity     float64 `json:"cf_validity"`
 	MeanModelCalls float64 `json:"mean_model_calls_per_explanation"`
 }
+
+// pr5BaselineExplPerSec is the blocked-cluster explanations_per_sec PR 5
+// recorded in BENCH_explain.json (-parallelism 4) — the anchor the
+// scoring section's end-to-end speedup is measured against.
+const pr5BaselineExplPerSec = 7.27
 
 // parseBudgets parses the -call-budget sweep list.
 func parseBudgets(s string) ([]int, error) {
@@ -430,6 +497,24 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 		m.Serve = serve
 	}
 
+	// The scoring-engine probe: kernel microbench on the trained
+	// network's own architecture, plus the reuse counters the main run
+	// accumulated above.
+	baselineNS, batchNS := model.ForwardBench(256, 20)
+	est := model.EmbeddingStats()
+	m.Scoring = &scoringMetrics{
+		ForwardBaselineNSPerRow: baselineNS,
+		ForwardBatchNSPerRow:    batchNS,
+		ForwardPassSpeedup:      baselineNS / batchNS,
+		EmbeddingLookups:        est.Lookups,
+		EmbeddingStoreHitRate:   est.HitRate(),
+		FlipLookups:             st.FlipLookups,
+		FlipHits:                st.FlipHits,
+		FlipMemoHitRate:         st.FlipHitRate(),
+		PR5BaselineExplPerSec:   pr5BaselineExplPerSec,
+		SpeedupVsPR5:            m.ExplanationsPerSec / pr5BaselineExplPerSec,
+	}
+
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -449,6 +534,12 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 		fmt.Fprintf(os.Stderr, "certa-bench: serve probe: %.1f req/s over %d requests (conc %d), p50 %.1fms, p99 %.1fms, %d coalesced, cache hit rate %.1f%%\n",
 			m.Serve.ServeThroughput, m.Serve.Requests, m.Serve.Concurrency,
 			m.Serve.P50MS, m.Serve.P99MS, m.Serve.Coalesced, 100*m.Serve.SharedCacheHitRate)
+	}
+	if m.Scoring != nil {
+		fmt.Fprintf(os.Stderr, "certa-bench: scoring probe: forward pass %.1fx (%.0f -> %.0f ns/row), embedding store hit rate %.1f%%, flip memo %d/%d hits, %.2fx vs PR 5 baseline %.2f expl/s\n",
+			m.Scoring.ForwardPassSpeedup, m.Scoring.ForwardBaselineNSPerRow, m.Scoring.ForwardBatchNSPerRow,
+			100*m.Scoring.EmbeddingStoreHitRate, m.Scoring.FlipHits, m.Scoring.FlipLookups,
+			m.Scoring.SpeedupVsPR5, m.Scoring.PR5BaselineExplPerSec)
 	}
 	return nil
 }

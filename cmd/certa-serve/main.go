@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"certa"
+	"certa/internal/debugserve"
 )
 
 func main() {
@@ -53,8 +54,18 @@ func main() {
 		loadModel   = flag.String("load-model", "", "load a previously saved model instead of training")
 		augBudget   = flag.Int("augment-budget", 0, "default token-drop variants per missing augmented support (0 = engine default 200; requests may override via augment_budget)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown allowance for in-flight requests")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this auxiliary address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		bound, err := debugserve.Start(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certa-serve: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("pprof endpoints on http://%s/debug/pprof/", bound)
+	}
 
 	if err := run(*addr, *addrFile, *ds, *model, *records, *matches, *seed, *triangles,
 		*parallelism, *maxInflight, *maxQueue, *cacheFile, *cacheCap, *loadModel, *augBudget, *drain); err != nil {

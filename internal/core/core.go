@@ -529,15 +529,11 @@ func (e *Explainer) exploreSide(ctx context.Context, bud *runBudget, prog *progr
 		for i, q := range qs {
 			pairs[i] = perturb(p, side, supports[q.Lattice], counts.attrs, q.Mask)
 		}
-		scores, err := sc.ScoreBatchContext(ctx, pairs)
-		if err != nil {
-			return nil, err
-		}
-		flips := make([]bool, len(qs))
-		for i, s := range scores {
-			flips[i] = (s > 0.5) != y
-		}
-		return flips, nil
+		// The oracle needs classes, not scores: ScoreFlipsContext lets the
+		// shared flip memo answer subsets another explanation already
+		// settled without a score fetch or model call, with identical
+		// answers and identical per-explanation accounting.
+		return sc.ScoreFlipsContext(ctx, pairs, y)
 	}
 
 	before := sc.Stats().Misses

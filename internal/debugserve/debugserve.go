@@ -1,0 +1,29 @@
+// Package debugserve exposes the net/http/pprof endpoints on an
+// auxiliary listener, kept off the serving mux so profiling traffic
+// never competes with (or leaks into) the public API surface.
+package debugserve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Start listens on addr (use port 0 for an ephemeral port) and serves
+// /debug/pprof/ from a dedicated goroutine for the life of the process.
+// It returns the bound address so callers can log it.
+func Start(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debugserve: %w", err)
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,94 @@
+package embedding
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func fittedEmbedder() *Embedder {
+	e := New(16)
+	e.Fit([]string{"apple pie with cream", "apple tart", "cream soda"})
+	return e
+}
+
+// TestStoreBitIdentical: cached vectors must be the exact bytes the bare
+// embedder produces — memoization is invisible.
+func TestStoreBitIdentical(t *testing.T) {
+	emb := fittedEmbedder()
+	st := NewStore(emb, StoreOptions{})
+	texts := []string{"apple pie", "cream", "", "apple pie", "zebra 42"}
+	for _, s := range texts {
+		got := st.Text(s)
+		want := emb.Text(s)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Store.Text(%q) = %v, want %v", s, got, want)
+		}
+	}
+	stats := st.Stats()
+	if stats.Lookups != 5 || stats.Hits != 1 || stats.Misses != 4 {
+		t.Fatalf("stats = %+v, want 5 lookups / 1 hit / 4 misses", stats)
+	}
+	if stats.Entries != 4 {
+		t.Fatalf("entries = %d, want 4", stats.Entries)
+	}
+}
+
+// TestStoreConcurrent hammers one store from many goroutines (run under
+// -race in CI) and checks every returned vector against the pure
+// embedder.
+func TestStoreConcurrent(t *testing.T) {
+	emb := fittedEmbedder()
+	st := NewStore(emb, StoreOptions{Shards: 4})
+	keys := make([]string, 40)
+	want := make(map[string][]float64, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("item %d of corpus", i)
+		want[keys[i]] = emb.Text(keys[i])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[(g*7+i)%len(keys)]
+				if !reflect.DeepEqual(st.Text(k), want[k]) {
+					errs <- "concurrent Store.Text diverged from Embedder.Text"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if st.Stats().Entries != len(keys) {
+		t.Fatalf("entries = %d, want %d", st.Stats().Entries, len(keys))
+	}
+}
+
+// TestStoreCapacity: a bounded store evicts FIFO but keeps serving
+// correct vectors for evicted keys (recompute on next lookup).
+func TestStoreCapacity(t *testing.T) {
+	emb := fittedEmbedder()
+	st := NewStore(emb, StoreOptions{Shards: 1, Capacity: 8})
+	for i := 0; i < 50; i++ {
+		st.Text(fmt.Sprintf("key %d", i))
+	}
+	stats := st.Stats()
+	if stats.Entries > 8 {
+		t.Fatalf("entries = %d, want <= 8", stats.Entries)
+	}
+	if stats.Evictions != 50-stats.Entries {
+		t.Fatalf("evictions = %d, entries = %d, want evictions+entries = 50", stats.Evictions, stats.Entries)
+	}
+	// An evicted key still round-trips correctly.
+	if !reflect.DeepEqual(st.Text("key 0"), emb.Text("key 0")) {
+		t.Fatal("evicted key recomputed incorrectly")
+	}
+}

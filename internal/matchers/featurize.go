@@ -3,7 +3,9 @@ package matchers
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"certa/internal/dataset"
 	"certa/internal/embedding"
@@ -12,50 +14,21 @@ import (
 )
 
 // featurizer converts a record pair into the fixed-width input vector of
-// one model architecture. Featurizers are pure after construction.
-// featuresBatch featurizes many pairs with a shared per-batch embedding
-// memo, so pairs that share a record (the dominant pattern in
-// perturbation batches) embed each distinct string once.
+// one model architecture. appendFeatures writes exactly dim() values
+// onto dst and returns the extended slice, so batch callers featurize
+// straight into one flat plane for the batched forward pass without
+// per-row allocations. Featurizers are idempotent: internal memo state
+// (the DeepMatcher attribute-block memo) only caches pure functions of
+// the inputs.
 type featurizer interface {
-	features(p record.Pair) []float64
-	featuresBatch(ps []record.Pair) [][]float64
+	appendFeatures(dst []float64, p record.Pair, text textFunc) []float64
 	dim() int
+	embedder() *embedding.Embedder
 }
 
-// textFunc embeds a text; either embedding.Embedder.Text directly or the
-// memoized per-batch variant.
+// textFunc embeds a text: either embedding.Embedder.Text directly or the
+// matcher's persistent embedding.Store. Returned vectors are read-only.
 type textFunc func(s string) []float64
-
-// newTextMemo wraps an embedder with a batch-scoped memo keyed by the
-// exact input string.
-func newTextMemo(emb *embedding.Embedder) textFunc {
-	cache := make(map[string][]float64)
-	return func(s string) []float64 {
-		if v, ok := cache[s]; ok {
-			return v
-		}
-		v := emb.Text(s)
-		cache[s] = v
-		return v
-	}
-}
-
-// textFeaturizer is the seam every featurizer implements: one pair
-// featurized through an arbitrary text-embedding function.
-type textFeaturizer interface {
-	featuresText(p record.Pair, text textFunc) []float64
-}
-
-// batchFeatures featurizes a batch with one shared embedding memo —
-// the common featuresBatch implementation.
-func batchFeatures(f textFeaturizer, emb *embedding.Embedder, ps []record.Pair) [][]float64 {
-	text := newTextMemo(emb)
-	out := make([][]float64, len(ps))
-	for i, p := range ps {
-		out[i] = f.featuresText(p, text)
-	}
-	return out
-}
 
 // newFeaturizer builds the featurizer and network architecture for a
 // model kind, fitting the shared embedder on the benchmark corpus.
@@ -106,83 +79,135 @@ type deepERFeat struct {
 
 func (f *deepERFeat) dim() int { return 2*f.emb.Dim + 2 }
 
-func (f *deepERFeat) features(p record.Pair) []float64 {
-	return f.featuresText(p, f.emb.Text)
-}
+func (f *deepERFeat) embedder() *embedding.Embedder { return f.emb }
 
-func (f *deepERFeat) featuresBatch(ps []record.Pair) [][]float64 {
-	return batchFeatures(f, f.emb, ps)
-}
-
-func (f *deepERFeat) featuresText(p record.Pair, text textFunc) []float64 {
+func (f *deepERFeat) appendFeatures(dst []float64, p record.Pair, text textFunc) []float64 {
 	lt, rt := p.Left.Text(), p.Right.Text()
 	le := text(lt)
 	re := text(rt)
-	out := make([]float64, 0, f.dim())
 	for i := range le {
 		d := le[i] - re[i]
 		if d < 0 {
 			d = -d
 		}
-		out = append(out, d)
+		dst = append(dst, d)
 	}
 	for i := range le {
-		out = append(out, le[i]*re[i])
+		dst = append(dst, le[i]*re[i])
 	}
 	jac := 0.0
 	if lt != "" && rt != "" {
 		jac = strutil.Jaccard(lt, rt)
 	}
-	out = append(out, embedding.Cosine(le, re), jac)
-	return out
+	return append(dst, embedding.Cosine(le, re), jac)
 }
 
 // --- DeepMatcher: attribute-level similarity summaries --------------------
 
 // deepMatcherFeat computes a block of similarity features per aligned
 // attribute (the "attribute summarization" of the Hybrid model): the
-// model sees exactly which attribute agrees or disagrees.
+// model sees exactly which attribute agrees or disagrees. When a memo is
+// attached (Model.initCaches), each distinct value pair's block —
+// embedding cosine plus four string similarities, including an O(n²)
+// edit distance — is computed once per matcher lifetime: perturbed pairs
+// recombine a small set of attribute values, so lattice workloads hit
+// the memo almost every time.
 type deepMatcherFeat struct {
 	emb   *embedding.Embedder
 	attrs []string
+	memo  *blockMemo
 }
 
 const dmBlock = 7
 
 func (f *deepMatcherFeat) dim() int { return dmBlock * len(f.attrs) }
 
-func (f *deepMatcherFeat) features(p record.Pair) []float64 {
-	return f.featuresText(p, f.emb.Text)
-}
+func (f *deepMatcherFeat) embedder() *embedding.Embedder { return f.emb }
 
-func (f *deepMatcherFeat) featuresBatch(ps []record.Pair) [][]float64 {
-	return batchFeatures(f, f.emb, ps)
-}
-
-func (f *deepMatcherFeat) featuresText(p record.Pair, text textFunc) []float64 {
-	out := make([]float64, 0, f.dim())
+func (f *deepMatcherFeat) appendFeatures(dst []float64, p record.Pair, text textFunc) []float64 {
 	for _, a := range f.attrs {
 		lv, rv := p.Left.Value(a), p.Right.Value(a)
-		out = append(out, attrBlock(text, lv, rv)...)
+		if f.memo != nil {
+			blk := f.memo.get(lv, rv, text)
+			dst = append(dst, blk[:]...)
+		} else {
+			dst = appendAttrBlock(dst, text, lv, rv)
+		}
 	}
+	return dst
+}
+
+// blockMemo caches DeepMatcher attribute blocks by value pair. attrBlock
+// is a pure function of (lv, rv) — text embeds deterministically — so
+// memoized blocks are bit-identical to recomputed ones. Striped locks
+// keep concurrent explanations out of each other's way.
+type blockMemo struct {
+	shards [16]blockShard
+}
+
+type blockShard struct {
+	mu sync.RWMutex
+	m  map[string][dmBlock]float64
+}
+
+func newBlockMemo() *blockMemo {
+	bm := &blockMemo{}
+	for i := range bm.shards {
+		bm.shards[i].m = make(map[string][dmBlock]float64)
+	}
+	return bm
+}
+
+// blockKey frames the value pair unambiguously (length prefix, so value
+// contents cannot collide across the boundary).
+func blockKey(lv, rv string) string {
+	return strconv.Itoa(len(lv)) + ":" + lv + rv
+}
+
+func (bm *blockMemo) get(lv, rv string, text textFunc) [dmBlock]float64 {
+	key := blockKey(lv, rv)
+	sh := &bm.shards[fnvHash(key)&15]
+	sh.mu.RLock()
+	blk, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		return blk
+	}
+	// Compute outside the lock; racing duplicates produce identical
+	// bytes, so last-writer-wins is benign.
+	var out [dmBlock]float64
+	appendAttrBlock(out[:0], text, lv, rv)
+	sh.mu.Lock()
+	sh.m[key] = out
+	sh.mu.Unlock()
 	return out
 }
 
-// attrBlock is the per-attribute feature block shared by DeepMatcher and
-// Ditto. A missing value on either side zeroes every similarity feature:
-// the absence of evidence is not evidence of similarity (real DL
-// matchers learn exactly this from their embedding of empty strings),
-// and the missing-value indicators carry what signal remains.
-func attrBlock(text textFunc, lv, rv string) []float64 {
+func fnvHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// appendAttrBlock appends the per-attribute feature block shared by
+// DeepMatcher and Ditto. A missing value on either side zeroes every
+// similarity feature: the absence of evidence is not evidence of
+// similarity (real DL matchers learn exactly this from their embedding
+// of empty strings), and the missing-value indicators carry what signal
+// remains.
+func appendAttrBlock(dst []float64, text textFunc, lv, rv string) []float64 {
 	lm, rm := strutil.IsMissing(lv), strutil.IsMissing(rv)
 	if lm || rm {
 		bothMissing, oneMissing := 0.0, 1.0
 		if lm && rm {
 			bothMissing, oneMissing = 1.0, 0.0
 		}
-		return []float64{0, 0, 0, 0, 0, bothMissing, oneMissing}
+		return append(dst, 0, 0, 0, 0, 0, bothMissing, oneMissing)
 	}
-	return []float64{
+	return append(dst,
 		embedding.Cosine(text(lv), text(rv)),
 		strutil.Jaccard(lv, rv),
 		strutil.LevenshteinSimilarity(truncateForLev(lv), truncateForLev(rv)),
@@ -190,7 +215,7 @@ func attrBlock(text textFunc, lv, rv string) []float64 {
 		strutil.NumberOverlap(lv, rv),
 		0,
 		0,
-	}
+	)
 }
 
 // truncateForLev caps value length so edit distance stays cheap on long
@@ -218,6 +243,8 @@ type dittoFeat struct {
 
 func (f *dittoFeat) dim() int { return 11 }
 
+func (f *dittoFeat) embedder() *embedding.Embedder { return f.emb }
+
 // serialize renders a record as Ditto's flat token sequence.
 func serialize(r *record.Record) string {
 	var b strings.Builder
@@ -236,23 +263,15 @@ func serialize(r *record.Record) string {
 	return b.String()
 }
 
-func (f *dittoFeat) features(p record.Pair) []float64 {
-	return f.featuresText(p, f.emb.Text)
-}
-
-func (f *dittoFeat) featuresBatch(ps []record.Pair) [][]float64 {
-	return batchFeatures(f, f.emb, ps)
-}
-
-func (f *dittoFeat) featuresText(p record.Pair, text textFunc) []float64 {
+func (f *dittoFeat) appendFeatures(dst []float64, p record.Pair, text textFunc) []float64 {
 	lt, rt := p.Left.Text(), p.Right.Text()
 	if lt == "" || rt == "" {
 		// An all-missing record carries no evidence; only the emptiness
 		// indicators fire.
-		out := make([]float64, f.dim())
-		out[f.dim()-2] = boolF(lt == "")
-		out[f.dim()-1] = boolF(rt == "")
-		return out
+		for i := 0; i < f.dim()-2; i++ {
+			dst = append(dst, 0)
+		}
+		return append(dst, boolF(lt == ""), boolF(rt == ""))
 	}
 	ls, rs := serialize(p.Left), serialize(p.Right)
 
@@ -327,7 +346,7 @@ func (f *dittoFeat) featuresText(p record.Pair, text textFunc) []float64 {
 		num = 0.25
 	}
 
-	return []float64{
+	return append(dst,
 		overlapL,
 		overlapR,
 		strutil.Jaccard(ls, rs),
@@ -339,7 +358,7 @@ func (f *dittoFeat) featuresText(p record.Pair, text textFunc) []float64 {
 		lenRatio,
 		boolF(lenL == 0),
 		boolF(lenR == 0),
-	}
+	)
 }
 
 func sortedTokens(set map[string]struct{}) []string {

@@ -18,8 +18,11 @@ package matchers
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"time"
 
 	"certa/internal/dataset"
+	"certa/internal/embedding"
 	"certa/internal/nn"
 	"certa/internal/record"
 )
@@ -51,9 +54,10 @@ func Kinds() []Kind { return []Kind{DeepER, DeepMatcher, Ditto} }
 
 // Model is a trained ER matcher.
 type Model struct {
-	kind Kind
-	feat featurizer
-	net  *nn.Network
+	kind  Kind
+	feat  featurizer
+	net   *nn.Network
+	store *embedding.Store // persistent text-embedding cache; nil only mid-construction
 }
 
 // Name implements Matcher.
@@ -62,19 +66,100 @@ func (m *Model) Name() string { return string(m.kind) }
 // Kind returns which system this model implements.
 func (m *Model) Kind() Kind { return m.kind }
 
-// Score implements Matcher. It is pure and concurrency-safe.
+// initCaches attaches the matcher-lifetime caches: the persistent
+// embedding store (every distinct attribute/record text embeds once per
+// model lifetime instead of once per batch) and, for DeepMatcher-style
+// featurizers, the attribute-block memo. Both cache pure functions, so
+// scores are bit-identical with or without them. cacheSize bounds the
+// embedding store's entry count (0 = unbounded).
+func (m *Model) initCaches(cacheSize int) {
+	m.store = embedding.NewStore(m.feat.embedder(), embedding.StoreOptions{Capacity: cacheSize})
+	if dm, ok := m.feat.(*deepMatcherFeat); ok {
+		dm.memo = newBlockMemo()
+	}
+}
+
+// text returns the embedding function scoring should use: the persistent
+// store when attached, the bare embedder otherwise.
+func (m *Model) text() textFunc {
+	if m.store != nil {
+		return m.store.Text
+	}
+	return m.feat.embedder().Text
+}
+
+// EmbeddingStats reports the persistent embedding store's activity
+// (zero-valued when the store is absent).
+func (m *Model) EmbeddingStats() embedding.StoreStats {
+	if m.store == nil {
+		return embedding.StoreStats{}
+	}
+	return m.store.Stats()
+}
+
+// ForwardBench times this model's trained network on synthetic feature
+// rows: the pre-batching per-row path (one layer-output allocation chain
+// per row) against the batched arena kernel, returning nanoseconds per
+// row for each. The rows have the model's real feature dimension, so
+// the probe exercises exactly the architecture the workload scores; the
+// values are deterministic, so repeated probes are comparable.
+func (m *Model) ForwardBench(rows, iters int) (baselineNS, batchNS float64) {
+	dim := m.feat.dim()
+	flat := make([]float64, rows*dim)
+	rng := rand.New(rand.NewSource(1))
+	for i := range flat {
+		flat[i] = rng.Float64()
+	}
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for r := 0; r < rows; r++ {
+			m.net.PredictBaseline(flat[r*dim:][:dim])
+		}
+	}
+	baselineNS = float64(time.Since(start).Nanoseconds()) / float64(rows*iters)
+	start = time.Now()
+	for it := 0; it < iters; it++ {
+		m.net.PredictBatchFlat(flat, rows)
+	}
+	batchNS = float64(time.Since(start).Nanoseconds()) / float64(rows*iters)
+	return baselineNS, batchNS
+}
+
+// featBufPool recycles the flat featurization planes of Score and
+// ScoreBatch so steady-state scoring allocates nothing but the result.
+var featBufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// Score implements Matcher. It is concurrency-safe and, in steady state,
+// allocation-free: features are written into a pooled buffer and the
+// forward pass runs through the nn package's pooled batch engine.
 func (m *Model) Score(p record.Pair) float64 {
-	return m.net.Predict(m.feat.features(p))
+	bp := featBufPool.Get().(*[]float64)
+	buf := m.feat.appendFeatures((*bp)[:0], p, m.text())
+	s := m.net.Predict(buf)
+	*bp = buf[:0]
+	featBufPool.Put(bp)
+	return s
 }
 
 // ScoreBatch scores many pairs in one call (the explain.BatchModel
-// capability): the whole batch is featurized with a shared embedding
-// memo, so pairs that share a record — the dominant pattern in
-// perturbation batches — embed each distinct string once, then a single
-// batched forward pass produces the scores. Index-aligned with pairs and
-// bit-identical to per-pair Score calls.
+// capability): the batch is featurized straight into one pooled flat
+// plane — each distinct text resolved through the persistent embedding
+// store — and a single blocked forward pass produces the scores.
+// Index-aligned with pairs and bit-identical to per-pair Score calls.
 func (m *Model) ScoreBatch(pairs []record.Pair) []float64 {
-	return m.net.PredictBatch(m.feat.featuresBatch(pairs))
+	if len(pairs) == 0 {
+		return make([]float64, 0)
+	}
+	bp := featBufPool.Get().(*[]float64)
+	flat := (*bp)[:0]
+	text := m.text()
+	for _, p := range pairs {
+		flat = m.feat.appendFeatures(flat, p, text)
+	}
+	out := m.net.PredictBatchFlat(flat, len(pairs))
+	*bp = flat[:0]
+	featBufPool.Put(bp)
+	return out
 }
 
 // Config tunes training.
@@ -85,6 +170,11 @@ type Config struct {
 	EmbeddingDim int
 	// Epochs caps training passes (default per-kind).
 	Epochs int
+	// EmbeddingCacheSize bounds the trained model's persistent
+	// text-embedding store (0 = unbounded). Embeddings are cheap to
+	// recompute, so a bound only matters for very-high-cardinality
+	// deployments.
+	EmbeddingCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +193,12 @@ func Train(kind Kind, b *dataset.Benchmark, cfg Config) (*Model, error) {
 		return nil, err
 	}
 
+	// The model owns its caches from the start, so featurizing the
+	// training data warms the embedding store with the corpus texts.
+	m := &Model{kind: kind, feat: feat}
+	m.initCaches(cfg.EmbeddingCacheSize)
+	text := m.text()
+
 	train := b.Train
 	// Ditto's data augmentation: extra copies of training pairs with one
 	// random attribute blanked, teaching robustness to missing values.
@@ -113,13 +209,13 @@ func Train(kind Kind, b *dataset.Benchmark, cfg Config) (*Model, error) {
 	x := make([][]float64, len(train))
 	y := make([]float64, len(train))
 	for i, p := range train {
-		x[i] = feat.features(p.Pair)
+		x[i] = feat.appendFeatures(nil, p.Pair, text)
 		y[i] = label(p.Match)
 	}
 	vx := make([][]float64, len(b.Valid))
 	vy := make([]float64, len(b.Valid))
 	for i, p := range b.Valid {
-		vx[i] = feat.features(p.Pair)
+		vx[i] = feat.appendFeatures(nil, p.Pair, text)
 		vy[i] = label(p.Match)
 	}
 
@@ -139,7 +235,8 @@ func Train(kind Kind, b *dataset.Benchmark, cfg Config) (*Model, error) {
 	if _, err := net.Train(x, y, vx, vy, tc); err != nil {
 		return nil, fmt.Errorf("matchers: training %s on %s: %w", kind, b.Spec.Code, err)
 	}
-	return &Model{kind: kind, feat: feat, net: net}, nil
+	m.net = net
+	return m, nil
 }
 
 // MustTrain is Train that panics on error, for tests and examples.

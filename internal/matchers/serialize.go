@@ -25,15 +25,12 @@ type modelState struct {
 func (m *Model) MarshalBinary() ([]byte, error) {
 	st := modelState{Kind: string(m.kind)}
 
-	var emb *embedding.Embedder
+	emb := m.feat.embedder()
 	switch f := m.feat.(type) {
 	case *deepERFeat:
-		emb = f.emb
 	case *deepMatcherFeat:
-		emb = f.emb
 		st.Attrs = f.attrs
 	case *dittoFeat:
-		emb = f.emb
 		st.Attrs = f.attrs
 	default:
 		return nil, fmt.Errorf("matchers: cannot serialize featurizer %T", m.feat)
@@ -87,5 +84,8 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 	m.kind = kind
 	m.feat = feat
 	m.net = &net
+	// Restored models get fresh matcher-lifetime caches (the store holds
+	// derived data only, so nothing is serialized).
+	m.initCaches(0)
 	return nil
 }

@@ -1,0 +1,23 @@
+//go:build amd64
+
+package nn
+
+// cpuHasAVX reports whether the CPU and OS support AVX (CPUID feature
+// flags plus XGETBV confirmation that the OS saves YMM state).
+// Implemented in dense_avx_amd64.s.
+func cpuHasAVX() bool
+
+// denseFwdAVX computes y[o] = bias[o] + Σ_i wt[i*out+o]·x[i] for the
+// first out&^3 outputs, four outputs per YMM lane group. wt is the
+// column-major (transposed) weight matrix, so each lane walks the input
+// dimension in exactly Apply's left-to-right order with one accumulator
+// per output: VMULPD/VADDPD round identically to scalar MULSD/ADDSD, so
+// every computed output is bit-identical to the scalar path. The final
+// out%4 outputs are untouched — the caller finishes them in Go.
+// Requires in > 0 and out >= 4. Implemented in dense_avx_amd64.s.
+//
+//go:noescape
+func denseFwdAVX(x, wt, bias, y *float64, in, out int)
+
+// useAVX gates the assembly kernel at process start.
+var useAVX = cpuHasAVX()

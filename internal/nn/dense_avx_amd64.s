@@ -1,0 +1,163 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// CPUID leaf 1: ECX bit 28 = AVX, bit 27 = OSXSAVE. When both are set,
+// XGETBV(0) must report that the OS saves XMM and YMM state (XCR0 bits
+// 1 and 2) before AVX instructions are safe to execute.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL	$1, AX
+	CPUID
+	MOVL	CX, BX
+	ANDL	$0x18000000, BX	// OSXSAVE | AVX
+	CMPL	BX, $0x18000000
+	JNE	noavx
+	MOVL	$0, CX
+	XGETBV
+	ANDL	$6, AX		// XCR0: SSE | YMM state
+	CMPL	AX, $6
+	JNE	noavx
+	MOVB	$1, ret+0(FP)
+	RET
+noavx:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func denseFwdAVX(x, wt, bias, y *float64, in, out int)
+//
+// Column-major dense forward pass for one input row: each YMM lane is
+// one output's scalar accumulator, initialized from the bias and walking
+// the input dimension in index order — the exact accumulation order of
+// the scalar Apply path, with identical IEEE rounding (separate VMULPD
+// and VADDPD, never FMA). Outputs are processed in chunks of 32, 16 and
+// 4; the chunk-32 loop keeps eight independent accumulator chains in
+// flight to hide FP-add latency. The final out%4 outputs are left
+// untouched for the Go caller.
+//
+// Register plan:
+//   DI = x base            SI = wt column base (advances per chunk)
+//   DX = bias cursor       R8 = y cursor
+//   R9 = in                R10 = out*8 (wt row stride, bytes)
+//   R12 = outputs left     R13 = inner loop counter
+//   R14 = x cursor         R15 = wt cursor
+TEXT ·denseFwdAVX(SB), NOSPLIT, $0-48
+	MOVQ	x+0(FP), DI
+	MOVQ	wt+8(FP), SI
+	MOVQ	bias+16(FP), DX
+	MOVQ	y+24(FP), R8
+	MOVQ	in+32(FP), R9
+	MOVQ	out+40(FP), R10
+	MOVQ	R10, R12
+	SHLQ	$3, R10
+
+chunk32:
+	CMPQ	R12, $32
+	JLT	chunk16
+	VMOVUPD	0(DX), Y0
+	VMOVUPD	32(DX), Y1
+	VMOVUPD	64(DX), Y2
+	VMOVUPD	96(DX), Y3
+	VMOVUPD	128(DX), Y4
+	VMOVUPD	160(DX), Y5
+	VMOVUPD	192(DX), Y6
+	VMOVUPD	224(DX), Y7
+	MOVQ	DI, R14
+	MOVQ	SI, R15
+	MOVQ	R9, R13
+inner32:
+	VBROADCASTSD	(R14), Y8
+	VMULPD	0(R15), Y8, Y9
+	VADDPD	Y9, Y0, Y0
+	VMULPD	32(R15), Y8, Y10
+	VADDPD	Y10, Y1, Y1
+	VMULPD	64(R15), Y8, Y11
+	VADDPD	Y11, Y2, Y2
+	VMULPD	96(R15), Y8, Y12
+	VADDPD	Y12, Y3, Y3
+	VMULPD	128(R15), Y8, Y13
+	VADDPD	Y13, Y4, Y4
+	VMULPD	160(R15), Y8, Y14
+	VADDPD	Y14, Y5, Y5
+	VMULPD	192(R15), Y8, Y15
+	VADDPD	Y15, Y6, Y6
+	VMULPD	224(R15), Y8, Y9
+	VADDPD	Y9, Y7, Y7
+	ADDQ	$8, R14
+	ADDQ	R10, R15
+	DECQ	R13
+	JNZ	inner32
+	VMOVUPD	Y0, 0(R8)
+	VMOVUPD	Y1, 32(R8)
+	VMOVUPD	Y2, 64(R8)
+	VMOVUPD	Y3, 96(R8)
+	VMOVUPD	Y4, 128(R8)
+	VMOVUPD	Y5, 160(R8)
+	VMOVUPD	Y6, 192(R8)
+	VMOVUPD	Y7, 224(R8)
+	ADDQ	$256, SI
+	ADDQ	$256, DX
+	ADDQ	$256, R8
+	SUBQ	$32, R12
+	JMP	chunk32
+
+chunk16:
+	CMPQ	R12, $16
+	JLT	chunk4
+	VMOVUPD	0(DX), Y0
+	VMOVUPD	32(DX), Y1
+	VMOVUPD	64(DX), Y2
+	VMOVUPD	96(DX), Y3
+	MOVQ	DI, R14
+	MOVQ	SI, R15
+	MOVQ	R9, R13
+inner16:
+	VBROADCASTSD	(R14), Y8
+	VMULPD	0(R15), Y8, Y9
+	VADDPD	Y9, Y0, Y0
+	VMULPD	32(R15), Y8, Y10
+	VADDPD	Y10, Y1, Y1
+	VMULPD	64(R15), Y8, Y11
+	VADDPD	Y11, Y2, Y2
+	VMULPD	96(R15), Y8, Y12
+	VADDPD	Y12, Y3, Y3
+	ADDQ	$8, R14
+	ADDQ	R10, R15
+	DECQ	R13
+	JNZ	inner16
+	VMOVUPD	Y0, 0(R8)
+	VMOVUPD	Y1, 32(R8)
+	VMOVUPD	Y2, 64(R8)
+	VMOVUPD	Y3, 96(R8)
+	ADDQ	$128, SI
+	ADDQ	$128, DX
+	ADDQ	$128, R8
+	SUBQ	$16, R12
+	JMP	chunk16
+
+chunk4:
+	CMPQ	R12, $4
+	JLT	done
+	VMOVUPD	0(DX), Y0
+	MOVQ	DI, R14
+	MOVQ	SI, R15
+	MOVQ	R9, R13
+inner4:
+	VBROADCASTSD	(R14), Y8
+	VMULPD	0(R15), Y8, Y9
+	VADDPD	Y9, Y0, Y0
+	ADDQ	$8, R14
+	ADDQ	R10, R15
+	DECQ	R13
+	JNZ	inner4
+	VMOVUPD	Y0, 0(R8)
+	ADDQ	$32, SI
+	ADDQ	$32, DX
+	ADDQ	$32, R8
+	SUBQ	$4, R12
+	JMP	chunk4
+
+done:
+	VZEROUPPER
+	RET

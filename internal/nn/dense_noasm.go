@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package nn
+
+// useAVX is false on platforms without the assembly kernel; Dense falls
+// back to the pure-Go blocked kernels, which compute identical bits.
+const useAVX = false
+
+// denseFwdAVX is unreachable when useAVX is false.
+func denseFwdAVX(x, wt, bias, y *float64, in, out int) {
+	panic("nn: denseFwdAVX called without assembly support")
+}

@@ -6,6 +6,33 @@
 // Inference (Network.Predict / Apply) is pure and safe for concurrent
 // use; training mutates layer state and must be single-threaded, which
 // the Trainer enforces by construction.
+//
+// # Batched inference
+//
+// The hot path of perturbation-based explainers is thousands of forward
+// passes over near-identical inputs, so inference has a batched engine
+// next to the scalar one: every Layer implements ApplyBatch over a
+// packed row-major plane, activations and the final sigmoid apply over
+// the whole plane, and all scratch lives in a pooled arena that is
+// recycled across calls — steady-state Predict/PredictBatchFlat
+// allocate nothing beyond the result slice.
+//
+// Dense has two kernels. On amd64 with AVX, a hand-written assembly
+// kernel walks a cached column-major copy of the weights so that four
+// consecutive outputs accumulate in one YMM register while each output
+// still sums the weighted inputs in index order (dense_avx_amd64.s).
+// Everywhere else, a register-blocked pure-Go kernel processes
+// denseRowBlock batch rows per streaming pass over each weight row.
+//
+// Bit-for-bit agreement with the scalar path is a contract, not an
+// accident: both kernels keep one scalar accumulator per (row, output)
+// pair and add the weighted inputs in exactly Apply's left-to-right
+// order — the vector kernel uses separate VMULPD/VADDPD (never FMA),
+// which round identically to scalar multiply and add — so PredictBatch,
+// PredictBatchFlat, Predict and PredictBaseline agree to the last bit
+// on every row (the property test in batch_test.go gates this).
+// PredictBaseline retains the historical allocating row-at-a-time path
+// as the reference implementation.
 package nn
 
 import (
@@ -14,6 +41,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
 // param is one trainable tensor with its gradient accumulator and Adam
@@ -22,12 +51,21 @@ type param struct {
 	w, g   []float64
 	m, v   []float64 // Adam moments, allocated lazily
 	shape2 int       // fan-in for printing/debugging; 0 for biases
+	ver    uint64    // bumped on every weight mutation; invalidates derived layouts
 }
 
 // Layer is one stage of a feed-forward network.
 type Layer interface {
 	// Apply runs pure inference (no stored state, concurrency-safe).
 	Apply(x []float64) []float64
+	// ApplyBatch runs pure inference over a packed row-major batch: x
+	// holds rows consecutive input vectors of width len(x)/rows. The
+	// result plane (rows × OutSize vectors) is written into dst when its
+	// capacity suffices and reallocated otherwise; callers pass a reused
+	// buffer (or nil) and keep the return value. Every row of the result
+	// is bit-identical to Apply on that row — batched layers must not
+	// reorder each row's float accumulation.
+	ApplyBatch(dst, x []float64, rows int) []float64
 	// forwardTrain runs the training forward pass and may store state
 	// needed by backward (dropout masks, pre-activations).
 	forwardTrain(x []float64, rng *rand.Rand) []float64
@@ -47,6 +85,38 @@ type Layer interface {
 type Dense struct {
 	In, Out int
 	w, b    *param
+	tw      atomic.Pointer[twCache] // column-major weights for the vector kernel
+}
+
+// twCache is a column-major (input-major) copy of the weight matrix,
+// tagged with the weight version it was derived from. The vector kernel
+// walks it so that four consecutive outputs sit in one YMM register
+// while each output's accumulation still runs in input order.
+type twCache struct {
+	ver uint64
+	tw  []float64 // tw[i*Out+o] = w[o*In+i]
+}
+
+// transposed returns the column-major weight copy, rebuilding it when
+// the weights have changed since it was derived (training bumps the
+// version; inference never does, so steady-state calls allocate
+// nothing). Concurrent callers may race to rebuild — both produce the
+// same bytes and the loser's copy is garbage, which is benign.
+func (d *Dense) transposed() []float64 {
+	ver := d.w.ver
+	if c := d.tw.Load(); c != nil && c.ver == ver {
+		return c.tw
+	}
+	in, out := d.In, d.Out
+	tw := make([]float64, in*out)
+	for o := 0; o < out; o++ {
+		row := d.w.w[o*in:][:in]
+		for i, v := range row {
+			tw[i*out+o] = v
+		}
+	}
+	d.tw.Store(&twCache{ver: ver, tw: tw})
+	return tw
 }
 
 // NewDense creates a dense layer with Xavier/Glorot-uniform initialized
@@ -83,6 +153,114 @@ func (d *Dense) Apply(x []float64) []float64 {
 		y[o] = s
 	}
 	return y
+}
+
+// denseRowBlock is the register-blocking factor of the batched Dense
+// kernel over batch rows: that many rows share one streaming pass over
+// each weight row. Combined with the two-output blocking below it gives
+// eight independent accumulator chains per inner loop — enough to hide
+// FP-add latency, which is what bounds a single serial dot product.
+const denseRowBlock = 4
+
+// ApplyBatch implements Layer with a register-blocked matrix–matrix
+// kernel: blocks of four batch rows × two outputs share one pass over
+// the inputs. Blocking happens over rows and outputs only — never over
+// the input dimension, which would split an accumulator and change float
+// rounding. Every (row, output) pair keeps one scalar accumulator that
+// adds the weighted inputs in exactly Apply's left-to-right order, so
+// each output value is bit-identical to the scalar path's.
+func (d *Dense) ApplyBatch(dst, x []float64, rows int) []float64 {
+	if len(x) != rows*d.In {
+		panic(fmt.Sprintf("nn: Dense batch expects %d×%d inputs, got %d values", rows, d.In, len(x)))
+	}
+	dst = growTo(dst, rows*d.Out)
+	in, out := d.In, d.Out
+	if useAVX && out >= 4 && in > 0 && rows > 0 {
+		// Vector path: each row runs through the column-major AVX kernel
+		// (four outputs per YMM lane group, accumulating in input order —
+		// bit-identical to Apply), with the out%4 remainder finished by
+		// the scalar loop below.
+		tw := d.transposed()
+		bias := d.b.w
+		vec := out &^ 3
+		for r := 0; r < rows; r++ {
+			xr := x[r*in:][:in]
+			yr := dst[r*out:][:out]
+			denseFwdAVX(&xr[0], &tw[0], &bias[0], &yr[0], in, out)
+			for o := vec; o < out; o++ {
+				w0 := d.w.w[o*in:][:in]
+				s := bias[o]
+				for i := 0; i < in; i++ {
+					s += w0[i] * xr[i]
+				}
+				yr[o] = s
+			}
+		}
+		return dst
+	}
+	wts, bias := d.w.w, d.b.w
+	r := 0
+	for ; r+denseRowBlock <= rows; r += denseRowBlock {
+		// Reslicing to exactly [:in]/[:out] lets the compiler drop the
+		// bounds checks in the hot loops below.
+		x0 := x[(r+0)*in:][:in]
+		x1 := x[(r+1)*in:][:in]
+		x2 := x[(r+2)*in:][:in]
+		x3 := x[(r+3)*in:][:in]
+		y0 := dst[(r+0)*out:][:out]
+		y1 := dst[(r+1)*out:][:out]
+		y2 := dst[(r+2)*out:][:out]
+		y3 := dst[(r+3)*out:][:out]
+		for o := 0; o < out; o++ {
+			w0 := wts[o*in:][:in]
+			a0, a1, a2, a3 := bias[o], bias[o], bias[o], bias[o]
+			for i := 0; i < in; i++ {
+				u := w0[i]
+				a0 += u * x0[i]
+				a1 += u * x1[i]
+				a2 += u * x2[i]
+				a3 += u * x3[i]
+			}
+			y0[o], y1[o], y2[o], y3[o] = a0, a1, a2, a3
+		}
+	}
+	for ; r < rows; r++ {
+		d.applyRow(dst[r*out:][:out], x[r*in:][:in])
+	}
+	return dst
+}
+
+// applyRow computes one row's outputs with output-blocking: four output
+// accumulators share the input stream, so even the scalar Predict path
+// has independent FP chains. Each accumulator's order is Apply's.
+func (d *Dense) applyRow(y, xr []float64) {
+	in := d.In
+	xr = xr[:in]
+	wts, bias := d.w.w, d.b.w
+	o := 0
+	for ; o+4 <= d.Out; o += 4 {
+		w0 := wts[(o+0)*in:][:in]
+		w1 := wts[(o+1)*in:][:in]
+		w2 := wts[(o+2)*in:][:in]
+		w3 := wts[(o+3)*in:][:in]
+		s0, s1, s2, s3 := bias[o], bias[o+1], bias[o+2], bias[o+3]
+		for i := 0; i < in; i++ {
+			v := xr[i]
+			s0 += w0[i] * v
+			s1 += w1[i] * v
+			s2 += w2[i] * v
+			s3 += w3[i] * v
+		}
+		y[o], y[o+1], y[o+2], y[o+3] = s0, s1, s2, s3
+	}
+	for ; o < d.Out; o++ {
+		w0 := wts[o*in:][:in]
+		s := bias[o]
+		for i := 0; i < in; i++ {
+			s += w0[i] * xr[i]
+		}
+		y[o] = s
+	}
 }
 
 func (d *Dense) forwardTrain(x []float64, _ *rand.Rand) []float64 { return d.Apply(x) }
@@ -126,6 +304,26 @@ func (ReLU) Apply(x []float64) []float64 {
 	return y
 }
 
+// ApplyBatch implements Layer. Element-wise, so the plane is processed
+// in one pass regardless of the row structure. The select runs in the
+// integer domain (mask built from an unsigned range check) instead of a
+// float branch: activation signs are data-dependent coin flips, and a
+// mispredicting branch per element costs more than the whole max. The
+// mask keeps Apply's exact semantics — v > 0 passes through (including
+// +Inf), everything else (negatives, ±0, NaN) becomes +0.
+func (ReLU) ApplyBatch(dst, x []float64, rows int) []float64 {
+	dst = growTo(dst, len(x))
+	for i, v := range x {
+		u := math.Float64bits(v)
+		var m uint64
+		if u-1 < 0x7FF0000000000000 { // u in [1, +Inf bits]: exactly v > 0
+			m = ^uint64(0)
+		}
+		dst[i] = math.Float64frombits(u & m)
+	}
+	return dst
+}
+
 func (r ReLU) forwardTrain(x []float64, _ *rand.Rand) []float64 { return r.Apply(x) }
 
 func (ReLU) backward(x, gradOut []float64) []float64 {
@@ -153,6 +351,15 @@ func (Tanh) Apply(x []float64) []float64 {
 		y[i] = math.Tanh(v)
 	}
 	return y
+}
+
+// ApplyBatch implements Layer.
+func (Tanh) ApplyBatch(dst, x []float64, rows int) []float64 {
+	dst = growTo(dst, len(x))
+	for i, v := range x {
+		dst[i] = math.Tanh(v)
+	}
+	return dst
 }
 
 func (t Tanh) forwardTrain(x []float64, _ *rand.Rand) []float64 { return t.Apply(x) }
@@ -186,6 +393,13 @@ func (d *Dropout) Apply(x []float64) []float64 {
 	y := make([]float64, len(x))
 	copy(y, x)
 	return y
+}
+
+// ApplyBatch implements Layer (inference: identity).
+func (d *Dropout) ApplyBatch(dst, x []float64, rows int) []float64 {
+	dst = growTo(dst, len(x))
+	copy(dst, x)
+	return dst
 }
 
 func (d *Dropout) forwardTrain(x []float64, rng *rand.Rand) []float64 {
@@ -257,18 +471,138 @@ func (n *Network) Logit(x []float64) float64 {
 	return h[0]
 }
 
-// Predict returns the matching probability sigmoid(logit) in [0,1].
+// growTo returns dst resized to n values, reallocating only when its
+// capacity is insufficient. Contents are unspecified — callers must
+// write every element.
+func growTo(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// arena is the reusable scratch of one batched forward pass: a packing
+// buffer for the input plane plus two ping-pong activation buffers.
+// Arenas are recycled through a pool so steady-state inference allocates
+// nothing beyond the caller-facing result slice.
+type arena struct {
+	in, a, b []float64
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// forwardFrom runs the batched layer stack over a packed row-major input
+// plane, ping-ponging activations between the arena's two scratch
+// buffers. x itself is never written, so callers may pass caller-owned
+// memory. The returned plane aliases arena scratch — copy out what you
+// keep before releasing the arena.
+func (n *Network) forwardFrom(ar *arena, x []float64, rows int) []float64 {
+	cur := x
+	scratch := [2][]float64{ar.a, ar.b}
+	si := 0
+	for _, l := range n.Layers {
+		out := l.ApplyBatch(scratch[si][:0], cur, rows)
+		scratch[si] = out[:cap(out)] // keep grown capacity for reuse
+		cur = out
+		si = 1 - si
+	}
+	ar.a, ar.b = scratch[0], scratch[1]
+	return cur
+}
+
+// Predict returns the matching probability sigmoid(logit) in [0,1]. It
+// routes through the pooled batch engine with a single row, so the
+// scalar path shares the allocation-free kernels (and agrees with the
+// historical PredictBaseline bit-for-bit).
 func (n *Network) Predict(x []float64) float64 {
+	ar := arenaPool.Get().(*arena)
+	z := n.forwardFrom(ar, x, 1)
+	if len(z) != 1 {
+		panic(fmt.Sprintf("nn: network output width %d, want 1", len(z)))
+	}
+	p := sigmoid(z[0])
+	arenaPool.Put(ar)
+	return p
+}
+
+// PredictBaseline is the historical row-at-a-time forward pass: the
+// allocating Apply chain the batched engine replaced. It is retained as
+// the bit-for-bit reference implementation the batch path is
+// property-tested against, and as the baseline certa-bench measures
+// forward_pass_speedup from.
+func (n *Network) PredictBaseline(x []float64) float64 {
 	return sigmoid(n.Logit(x))
 }
 
 // PredictBatch runs pure inference over many inputs and returns one
-// probability per row, index-aligned. Each row goes through the exact
-// Predict path, so batch and scalar inference agree bit-for-bit.
+// probability per row, index-aligned. The rows are packed into a pooled
+// arena and pushed through the blocked batch kernels in one pass per
+// layer; every row agrees bit-for-bit with scalar Predict.
 func (n *Network) PredictBatch(xs [][]float64) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = n.Predict(x)
+	if len(xs) == 0 {
+		return make([]float64, 0)
+	}
+	w := len(xs[0])
+	ar := arenaPool.Get().(*arena)
+	ar.in = growTo(ar.in, len(xs)*w)
+	for r, x := range xs {
+		if len(x) != w {
+			arenaPool.Put(ar)
+			panic(fmt.Sprintf("nn: ragged batch: row 0 has width %d, row %d has %d", w, r, len(x)))
+		}
+		copy(ar.in[r*w:(r+1)*w], x)
+	}
+	out := n.predictPacked(ar, ar.in, len(xs))
+	arenaPool.Put(ar)
+	return out
+}
+
+// PredictBatchFlat scores a packed row-major batch: x holds rows
+// consecutive feature vectors of equal width len(x)/rows. It is the
+// zero-copy entry point for callers that featurize directly into a flat
+// buffer (matchers.ScoreBatch); x is read-only. Returns one probability
+// per row, bit-identical to scalar Predict on each row.
+func (n *Network) PredictBatchFlat(x []float64, rows int) []float64 {
+	if rows == 0 {
+		return make([]float64, 0)
+	}
+	if len(x)%rows != 0 {
+		panic(fmt.Sprintf("nn: flat batch of %d values does not divide into %d rows", len(x), rows))
+	}
+	ar := arenaPool.Get().(*arena)
+	out := n.predictPacked(ar, x, rows)
+	arenaPool.Put(ar)
+	return out
+}
+
+// batchTile bounds how many batch rows travel through the layer stack
+// at once: large enough to amortize weight streaming across the blocked
+// kernel, small enough that every intermediate activation plane stays
+// cache-resident (64 rows × 64 hidden units is 32KB) instead of
+// thrashing L2 the way a whole perturbation batch would. Tiling over
+// rows never touches a row's accumulation order, so it cannot change
+// results.
+const batchTile = 64
+
+// predictPacked runs the layer stack over a packed plane in
+// cache-friendly row tiles and applies the sigmoid across each tile's
+// logit row, copying the probabilities into a fresh caller-facing slice
+// so the arena can be released.
+func (n *Network) predictPacked(ar *arena, x []float64, rows int) []float64 {
+	w := len(x) / rows
+	out := make([]float64, rows)
+	for t := 0; t < rows; t += batchTile {
+		nr := rows - t
+		if nr > batchTile {
+			nr = batchTile
+		}
+		z := n.forwardFrom(ar, x[t*w:(t+nr)*w], nr)
+		if len(z) != nr {
+			panic(fmt.Sprintf("nn: network output width %d per row, want 1", len(z)/nr))
+		}
+		for r, v := range z {
+			out[t+r] = sigmoid(v)
+		}
 	}
 	return out
 }

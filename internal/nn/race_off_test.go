@@ -1,0 +1,8 @@
+//go:build !race
+
+package nn
+
+// raceEnabled reports whether the race detector is active. The
+// allocation gates skip under -race: the detector makes sync.Pool drop
+// puts at random, so pooled paths show spurious allocations there.
+const raceEnabled = false

@@ -54,6 +54,7 @@ func (a *adam) step(params []*param, batchSize int, l2 float64) {
 	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
 	for _, p := range params {
+		p.ver++ // invalidate derived weight layouts (Dense transpose cache)
 		if p.m == nil {
 			p.m = make([]float64, len(p.w))
 			p.v = make([]float64, len(p.w))
@@ -186,5 +187,6 @@ func (n *Network) restore(ws [][]float64) {
 	params := n.allParams()
 	for i, p := range params {
 		copy(p.w, ws[i])
+		p.ver++ // invalidate derived weight layouts
 	}
 }

@@ -96,7 +96,13 @@ type Scorer struct {
 
 	mu    sync.Mutex
 	local map[string]float64
-	stats Stats
+	// memoized holds keys whose flip outcome was answered by the shared
+	// flip memo (predicted class known, score never fetched). The view
+	// counts them as seen — a private cache would hold their scores — so
+	// a later score request for one is a view hit whose score is fetched
+	// from the shared store without recounting the work.
+	memoized map[string]bool
+	stats    Stats
 }
 
 // New wraps a model in a private scoring view: a fresh single-view
@@ -171,14 +177,18 @@ func (s *Scorer) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]
 	}
 
 	// Resolve view hits and collect unique misses in first-occurrence
-	// order.
+	// order. Keys the flip memo answered earlier (sentinel) also need a
+	// fetch — the view never saw their scores — but count as view hits,
+	// not misses: a private cache would be answering from its own store.
 	type miss struct {
-		key  string
-		pair record.Pair
+		key      string
+		pair     record.Pair
+		sentinel bool
 	}
 	var misses []miss
 	missAt := make(map[string]int) // key -> index into misses
 	pending := make([][]int, 0)    // miss index -> output slots
+	counted := 0                   // misses charged to the view (non-sentinel)
 
 	s.mu.Lock()
 	s.stats.Lookups += len(pairs)
@@ -195,13 +205,21 @@ func (s *Scorer) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]
 				s.stats.Hits++
 				continue
 			}
+			if _, ok := s.memoized[k]; ok {
+				s.stats.Hits++
+				missAt[k] = len(misses)
+				misses = append(misses, miss{key: k, pair: pairs[i], sentinel: true})
+				pending = append(pending, []int{i})
+				continue
+			}
 		}
 		missAt[k] = len(misses)
 		misses = append(misses, miss{key: k, pair: pairs[i]})
 		pending = append(pending, []int{i})
+		counted++
 	}
-	if len(misses) > 0 {
-		s.stats.Misses += len(misses)
+	if counted > 0 {
+		s.stats.Misses += counted
 		s.stats.Batches++
 	}
 	s.mu.Unlock()
@@ -235,12 +253,149 @@ func (s *Scorer) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]
 	for mi, m := range misses {
 		if !s.opts.Disabled {
 			s.local[m.key] = scores[mi]
+			if m.sentinel {
+				delete(s.memoized, m.key)
+			}
 		}
 		for _, slot := range pending[mi] {
 			out[slot] = scores[mi]
 		}
 	}
 	s.mu.Unlock()
+	return out, nil
+}
+
+// ScoreFlipsContext answers the lattice oracle's real question — does
+// this perturbed pair's predicted class differ from y? — through the
+// shared cross-explanation flip memo. View-level resolution mirrors
+// ScoreBatchContext exactly (local scores, in-batch duplicates, then
+// unique misses), so Stats and therefore Diagnostics are bit-identical
+// to the score path's; the difference is where misses are answered.
+// Each miss first consults the Service's flip memo: a hit means another
+// explanation already settled this pair content's class, so the answer
+// is derived without a score fetch or model call. Remaining misses are
+// scored through the shared store as usual and their classes published
+// to the memo. With the memo disabled (or the view's cache disabled)
+// the call degrades to ScoreBatchContext plus a threshold.
+func (s *Scorer) ScoreFlipsContext(ctx context.Context, pairs []record.Pair, y bool) ([]bool, error) {
+	if s.opts.Disabled || !s.svc.flipEnabled() {
+		scores, err := s.ScoreBatchContext(ctx, pairs)
+		if err != nil {
+			return nil, err
+		}
+		flips := make([]bool, len(scores))
+		for i, v := range scores {
+			flips[i] = (v > 0.5) != y
+		}
+		return flips, nil
+	}
+
+	out := make([]bool, len(pairs))
+	if len(pairs) == 0 {
+		return out, ctx.Err()
+	}
+	keys := make([]string, len(pairs))
+	for i, p := range pairs {
+		keys[i] = Key(p)
+	}
+
+	type miss struct {
+		key  string
+		pair record.Pair
+	}
+	var misses []miss
+	missAt := make(map[string]int)
+	pending := make([][]int, 0)
+
+	s.mu.Lock()
+	s.stats.Lookups += len(pairs)
+	for i, k := range keys {
+		if v, ok := s.local[k]; ok {
+			out[i] = (v > 0.5) != y
+			s.stats.Hits++
+			continue
+		}
+		if cls, ok := s.memoized[k]; ok {
+			out[i] = cls != y
+			s.stats.Hits++
+			continue
+		}
+		if mi, ok := missAt[k]; ok {
+			pending[mi] = append(pending[mi], i)
+			s.stats.Hits++
+			continue
+		}
+		missAt[k] = len(misses)
+		misses = append(misses, miss{key: k, pair: pairs[i]})
+		pending = append(pending, []int{i})
+	}
+	if len(misses) > 0 {
+		// Memo-answered misses count like any other: the view requested a
+		// unique evaluation it had never seen, exactly what a private
+		// cache would charge — which keeps Diagnostics (and the anytime
+		// budget they feed) deterministic however the misses get answered.
+		s.stats.Misses += len(misses)
+		s.stats.Batches++
+	}
+	s.mu.Unlock()
+
+	if len(misses) == 0 {
+		return out, nil
+	}
+
+	missKeys := make([]string, len(misses))
+	for i, m := range misses {
+		missKeys[i] = m.key
+	}
+	classes, known := s.svc.flipGet(missKeys)
+
+	// Fetch (and score, where the store doesn't have them either) only
+	// the keys no explanation has settled yet.
+	var fkeys []string
+	var fpairs []record.Pair
+	var fidx []int
+	for i := range misses {
+		if !known[i] {
+			fidx = append(fidx, i)
+			fkeys = append(fkeys, misses[i].key)
+			fpairs = append(fpairs, misses[i].pair)
+		}
+	}
+	var scores []float64
+	if len(fkeys) > 0 {
+		var err error
+		scores, err = s.svc.fetch(ctx, fkeys, fpairs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s.mu.Lock()
+	for i, m := range misses {
+		if known[i] {
+			s.memoized[m.key] = classes[i]
+			flip := classes[i] != y
+			for _, slot := range pending[i] {
+				out[slot] = flip
+			}
+		}
+	}
+	fclasses := make([]bool, len(fkeys))
+	for j, i := range fidx {
+		v := scores[j]
+		s.local[misses[i].key] = v
+		cls := v > 0.5
+		fclasses[j] = cls
+		flip := cls != y
+		for _, slot := range pending[i] {
+			out[slot] = flip
+		}
+	}
+	s.mu.Unlock()
+
+	if len(fkeys) > 0 {
+		s.svc.flipPut(fkeys, fclasses)
+	}
 	return out, nil
 }
 

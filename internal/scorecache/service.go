@@ -25,6 +25,12 @@ type ServiceOptions struct {
 	// Shards is the number of lock stripes (default 32). More stripes
 	// reduce contention between concurrent explanations.
 	Shards int
+	// DisableFlipMemo turns off the cross-explanation flip-outcome memo
+	// (see Scorer.ScoreFlipsContext): every lattice oracle answer is then
+	// derived from a score lookup, as before the memo existed. Scores and
+	// explanation results are identical either way; the memo only changes
+	// how much shared work is spent producing them.
+	DisableFlipMemo bool
 }
 
 func (o ServiceOptions) withDefaults() ServiceOptions {
@@ -53,6 +59,24 @@ type ServiceStats struct {
 	Batches int
 	// Evictions counts entries dropped by the capacity bound.
 	Evictions int
+	// FlipLookups counts misses the per-explanation views referred to the
+	// flip-outcome memo; FlipHits counts the ones the memo answered —
+	// lattice subsets another explanation already settled, skipped
+	// without a score lookup or model call. Both are 0 when the memo is
+	// disabled. The split between score lookups and flip lookups depends
+	// on scheduling (which explanation publishes a class first), so these
+	// two counters — unlike explanation Diagnostics — are not
+	// parallelism-deterministic.
+	FlipLookups int
+	FlipHits    int
+}
+
+// FlipHitRate returns FlipHits/FlipLookups, or 0 before any flip lookup.
+func (s ServiceStats) FlipHitRate() float64 {
+	if s.FlipLookups == 0 {
+		return 0
+	}
+	return float64(s.FlipHits) / float64(s.FlipLookups)
 }
 
 // HitRate returns Hits/Lookups, or 0 before any lookup.
@@ -110,9 +134,21 @@ type Service struct {
 	cmodel explain.ContextModel
 	opts   ServiceOptions
 	shards []serviceShard
+	flips  []flipShard // cross-explanation flip-outcome memo; nil when disabled
 
 	statmu sync.Mutex
 	stats  ServiceStats
+}
+
+// flipShard is one lock stripe of the flip-outcome memo: pair content →
+// predicted class (score > 0.5). The class is a pure function of the
+// content (scoring is deterministic), so whichever explanation publishes
+// it first, every later reader derives the same flip answer its own
+// scoring would have produced. Entries are one bool per key, so the memo
+// is left unbounded even when the score store has a capacity limit.
+type flipShard struct {
+	mu sync.RWMutex
+	m  map[string]bool
 }
 
 // NewService wraps a model in a shared scoring service. The model's
@@ -137,7 +173,60 @@ func NewService(m explain.Model, opts ServiceOptions) *Service {
 	for i := range s.shards {
 		s.shards[i] = serviceShard{entries: make(map[string]*entry), cap: perShard}
 	}
+	if !opts.DisableFlipMemo {
+		s.flips = make([]flipShard, opts.Shards)
+		for i := range s.flips {
+			s.flips[i].m = make(map[string]bool)
+		}
+	}
 	return s
+}
+
+// flipEnabled reports whether the flip-outcome memo is active.
+func (s *Service) flipEnabled() bool { return s.flips != nil }
+
+// flipGet consults the flip memo for each key, returning the known
+// classes and a parallel known-mask, and records the lookup statistics.
+func (s *Service) flipGet(keys []string) (classes, known []bool) {
+	classes = make([]bool, len(keys))
+	known = make([]bool, len(keys))
+	hits := 0
+	for i, k := range keys {
+		fs := &s.flips[flipHash(k)%uint32(len(s.flips))]
+		fs.mu.RLock()
+		cls, ok := fs.m[k]
+		fs.mu.RUnlock()
+		if ok {
+			classes[i], known[i] = cls, true
+			hits++
+		}
+	}
+	s.statmu.Lock()
+	s.stats.FlipLookups += len(keys)
+	s.stats.FlipHits += hits
+	s.statmu.Unlock()
+	return classes, known
+}
+
+// flipPut publishes predicted classes for freshly scored keys. Classes
+// are deterministic per key, so concurrent publishes agree and
+// last-writer-wins is benign.
+func (s *Service) flipPut(keys []string, classes []bool) {
+	for i, k := range keys {
+		fs := &s.flips[flipHash(k)%uint32(len(s.flips))]
+		fs.mu.Lock()
+		fs.m[k] = classes[i]
+		fs.mu.Unlock()
+	}
+}
+
+func flipHash(key string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // Name implements explain.Model.
@@ -164,7 +253,7 @@ func (s *Service) NewScorer(opts Options) *Scorer {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = 1
 	}
-	return &Scorer{svc: s, opts: opts, local: make(map[string]float64)}
+	return &Scorer{svc: s, opts: opts, local: make(map[string]float64), memoized: make(map[string]bool)}
 }
 
 // Score implements explain.Model through the shared store.

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"certa/internal/core"
+	"certa/internal/embedding"
 	"certa/internal/explain"
 	"certa/internal/neighborhood"
 	"certa/internal/record"
@@ -470,6 +471,24 @@ func (s *Server) Stats() StatsResponse {
 			Batches:         st.Batches,
 			Evictions:       st.Evictions,
 			HitRate:         st.HitRate(),
+			FlipLookups:     st.FlipLookups,
+			FlipHits:        st.FlipHits,
+			FlipHitRate:     st.FlipHitRate(),
+		}
+		if es, ok := b.model.(interface {
+			EmbeddingStats() embedding.StoreStats
+		}); ok {
+			est := es.EmbeddingStats()
+			if est.Lookups > 0 || est.Entries > 0 {
+				bs.Embedding = &EmbeddingStats{
+					Lookups:   est.Lookups,
+					Hits:      est.Hits,
+					Misses:    est.Misses,
+					Evictions: est.Evictions,
+					Entries:   est.Entries,
+					HitRate:   est.HitRate(),
+				}
+			}
 		}
 		if ist, ok := b.opts.Retrieval.Stats(); ok {
 			bs.Index = &IndexStats{

@@ -116,9 +116,32 @@ type BackendStats struct {
 	Batches   int     `json:"batches"`
 	Evictions int     `json:"evictions,omitempty"`
 	HitRate   float64 `json:"hit_rate"`
+	// The cross-explanation flip-outcome memo (see
+	// scorecache.ServiceStats): FlipHits counts lattice oracle questions
+	// answered without a score lookup because another explanation already
+	// settled the pair content's class. All zero when the memo is
+	// disabled.
+	FlipLookups int     `json:"flip_lookups"`
+	FlipHits    int     `json:"flip_hits"`
+	FlipHitRate float64 `json:"flip_hit_rate"`
+	// Embedding reports the backend model's persistent embedding store
+	// (absent for models that don't keep one).
+	Embedding *EmbeddingStats `json:"embedding,omitempty"`
 	// Index reports the backend's candidate retrieval index (absent
 	// only when the backend was configured with unindexed scan sources).
 	Index *IndexStats `json:"index,omitempty"`
+}
+
+// EmbeddingStats reports a backend model's matcher-lifetime embedding
+// store in GET /v1/stats: Hits are texts served without re-embedding,
+// Entries the vectors currently held.
+type EmbeddingStats struct {
+	Lookups   int     `json:"lookups"`
+	Hits      int     `json:"hits"`
+	Misses    int     `json:"misses"`
+	Evictions int     `json:"evictions,omitempty"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // StatsResponse is the body of GET /v1/stats.

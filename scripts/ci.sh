@@ -19,8 +19,8 @@ go build ./...
 echo "== go test =="
 go test -timeout 300s ./...
 
-echo "== race (context + shared scoring pipeline + retrieval layer) =="
-go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/
+echo "== race (context + shared scoring pipeline + retrieval layer + scoring engine) =="
+go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/ ./internal/nn/ ./internal/embedding/
 
 echo "== bench smoke =="
 go test -timeout 600s -bench=. -benchtime=1x -run='^$' .
@@ -42,3 +42,14 @@ grep -q '"index"' BENCH_explain.json
 grep -q '"build_ms"' BENCH_explain.json
 grep -q '"retrieval_speedup"' BENCH_explain.json
 echo "index section present, build_ms recorded"
+
+# The scoring-engine probe must be present: forward-pass kernel speedup,
+# embedding-store and flip-memo reuse, and the trajectory vs the PR 5
+# baseline throughput.
+echo "== bench scoring probe assertions =="
+grep -q '"scoring"' BENCH_explain.json
+grep -q '"forward_pass_speedup"' BENCH_explain.json
+grep -q '"embedding_store_hit_rate"' BENCH_explain.json
+grep -q '"flip_memo_hit_rate"' BENCH_explain.json
+grep -q '"speedup_vs_pr5_baseline"' BENCH_explain.json
+echo "scoring section present"
