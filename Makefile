@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: all vet build test bench servesmoke profile ci clean
+.PHONY: all vet lint build test bench servesmoke profile ci clean
 
 all: build
 
 vet:
 	$(GO) vet ./...
+
+# lint builds the certa-lint multichecker (five custom analyzers
+# enforcing the determinism, diagnostics-purity, context-threading and
+# wire-stability contracts; see internal/lint/CATALOG.md) and runs it
+# over the whole module through go vet's -vettool protocol.
+lint:
+	$(GO) build -o bin/certa-lint ./cmd/certa-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/certa-lint ./...
 
 build:
 	$(GO) build ./...
@@ -35,9 +43,10 @@ profile:
 		-cpuprofile certa.pprof -pprof-addr 127.0.0.1:0
 	@echo "CPU profile written to certa.pprof"
 
-ci: vet build test bench servesmoke BENCH_explain.json
+ci: vet lint build test bench servesmoke BENCH_explain.json
 
 clean:
 	rm -f BENCH_explain.json certa.pprof
+	rm -rf bin
 
 FORCE:

@@ -1,0 +1,40 @@
+// certa-lint is the repo's vettool: a multichecker bundling the five
+// analyzers that enforce the determinism, diagnostics-purity and
+// wire-stability contracts at the source level. Run it through the go
+// command so every package unit is analyzed with full type
+// information and results are build-cached:
+//
+//	make lint
+//	# equivalently:
+//	go build -o bin/certa-lint ./cmd/certa-lint
+//	go vet -vettool=$PWD/bin/certa-lint ./...
+//
+// Individual analyzers can be selected like standard vet checks, e.g.
+// `go vet -vettool=$PWD/bin/certa-lint -maporder ./...`. A finding is
+// waived — with a mandatory justification — by a directive on or
+// directly above the offending line:
+//
+//	start := time.Now() //lint:allow nodrift build-time telemetry only
+//
+// The invariant catalog mapping each analyzer to the contract it
+// enforces and the PR that established it is internal/lint/CATALOG.md.
+package main
+
+import (
+	"certa/internal/lint/ctxthread"
+	"certa/internal/lint/diagpure"
+	"certa/internal/lint/maporder"
+	"certa/internal/lint/nodrift"
+	"certa/internal/lint/unitchecker"
+	"certa/internal/lint/wiretag"
+)
+
+func main() {
+	unitchecker.Main(
+		ctxthread.Analyzer,
+		diagpure.Analyzer,
+		maporder.Analyzer,
+		nodrift.Analyzer,
+		wiretag.Analyzer,
+	)
+}

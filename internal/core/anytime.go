@@ -40,6 +40,7 @@ type runBudget struct {
 func newRunBudget(sc *scorecache.Scorer, opts Options) *runBudget {
 	b := &runBudget{sc: sc, calls: opts.CallBudget}
 	if opts.Deadline > 0 {
+		//lint:allow nodrift the anytime deadline is wall-clock by contract (PR 3); budget truncation itself stays deterministic via call accounting
 		b.deadline = time.Now().Add(opts.Deadline)
 	}
 	return b
@@ -57,6 +58,7 @@ func (b *runBudget) exhausted() bool {
 		b.truncated, b.by = true, TruncatedByCallBudget
 		return true
 	}
+	//lint:allow nodrift deadline checkpoint reads the wall clock by design (PR 3); soft truncation is the point
 	if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
 		b.truncated, b.by = true, TruncatedByDeadline
 		return true

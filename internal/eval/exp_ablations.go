@@ -92,9 +92,12 @@ func tauMeasures(h *Harness, c *cell, tau int) ([]float64, error) {
 		}
 		sals = append(sals, res.Saliency)
 		chis = append(chis, res.BestSufficiency)
+		// Sum in the pair's deterministic attribute order: ranging the
+		// Scores map directly would accumulate the floats in random map
+		// order and make the reported mean-φ drift across runs.
 		var phiSum float64
-		for _, v := range res.Saliency.Scores {
-			phiSum += v
+		for _, ref := range res.Saliency.Pair.AttrRefs() {
+			phiSum += res.Saliency.Scores[ref]
 		}
 		phis = append(phis, phiSum/float64(len(res.Saliency.Scores)))
 		proxVals = append(proxVals, metrics.Proximity(res.Counterfactuals))

@@ -1,0 +1,201 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package through a Pass and reports Diagnostics.
+//
+// The build container for this repository has no module proxy access
+// and an empty module cache, so the canonical x/tools dependency cannot
+// be pinned in go.mod. This package keeps the same shape (Analyzer,
+// Pass, Diagnostic, pass.Reportf) so the certa-lint analyzers can be
+// ported to the real framework by swapping one import when the
+// dependency becomes available; until then the repo stays std-lib only.
+// What is deliberately NOT reimplemented: facts (cross-package
+// analysis), sub-analyzer requirements, and suggested fixes — the
+// certa-lint contracts are all expressible per package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one source-level contract checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph contract statement shown by
+	// `certa-lint help`.
+	Doc string
+
+	// Run inspects the package and reports findings via pass.Report.
+	// The returned value is unused (kept for x/tools signature
+	// compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// A Pass is the interface between the driver and one Analyzer applied
+// to one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver applies //lint:allow
+	// suppression after the fact, so analyzers always report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding tied to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a Diagnostic attributed to the analyzer that produced
+// it, after suppression filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. The certa-lint contracts govern shipped code; tests routinely
+// (and harmlessly) range over maps, stub clocks, and call the
+// non-context variants directly.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// Deref removes any pointer indirections from t.
+func Deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// IsNamed reports whether t (after removing pointers and aliases) is
+// the named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := Deref(types.Unalias(t)).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// Run applies every analyzer to the package, filters the findings
+// through the //lint:allow directives found in the files, validates
+// those directives, and returns the surviving findings ordered by
+// position. This is the single entry point shared by the vettool
+// driver (cmd/certa-lint via internal/lint/unitchecker) and the
+// analysistest harness, so suppression behaves identically under
+// `go vet` and under `go test`.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: d.Pos, Message: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	directives := ParseDirectives(fset, files)
+
+	// An allow directive covers its own line (trailing comment) and the
+	// line below it (standalone comment above the flagged statement).
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allowed := make(map[key]bool)
+	for _, d := range directives {
+		if !known[d.Analyzer] || d.Reason == "" {
+			continue
+		}
+		allowed[key{d.File, d.Line, d.Analyzer}] = true
+		allowed[key{d.File, d.Line + 1, d.Analyzer}] = true
+	}
+
+	kept := findings[:0]
+	for _, f := range findings {
+		posn := fset.Position(f.Pos)
+		if allowed[key{posn.Filename, posn.Line, f.Analyzer}] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	findings = kept
+
+	// A directive without a reason never suppresses anything and is
+	// itself a finding: the whole point of //lint:allow is that every
+	// waived invariant carries its justification in the source.
+	for _, d := range directives {
+		if !known[d.Analyzer] {
+			continue
+		}
+		if d.Reason == "" {
+			findings = append(findings, Finding{
+				Analyzer: d.Analyzer,
+				Pos:      d.Pos,
+				Message:  fmt.Sprintf("//lint:allow %s directive requires a non-empty reason", d.Analyzer),
+			})
+		}
+	}
+
+	sortFindings(fset, findings)
+	return findings, nil
+}
+
+func sortFindings(fset *token.FileSet, fs []Finding) {
+	// Order by file position, then analyzer name, for stable output.
+	less := func(a, b Finding) bool {
+		pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		if pa.Column != pb.Column {
+			return pa.Column < pb.Column
+		}
+		return a.Analyzer < b.Analyzer
+	}
+	// Insertion sort: finding lists are tiny.
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && less(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}

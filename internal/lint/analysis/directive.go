@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// The directive waives <analyzer>'s findings on the directive's own
+// line (trailing-comment form) or on the line immediately below it
+// (standalone-comment form). The reason is mandatory: a reasonless
+// directive suppresses nothing and is reported as a finding itself,
+// so every waived invariant is justified where it is waived.
+const directivePrefix = "//lint:allow"
+
+// A Directive is one parsed //lint:allow comment.
+type Directive struct {
+	// Analyzer is the name of the analyzer being waived.
+	Analyzer string
+	// Reason is the justification; empty means the directive is
+	// malformed and must be rejected.
+	Reason string
+	// File and Line locate the directive comment itself.
+	File string
+	Line int
+	Pos  token.Pos
+}
+
+// ParseDirectives extracts every //lint:allow directive from the
+// files' comments. Malformed directives (no analyzer name at all) are
+// represented with an empty Analyzer and skipped by the driver; a
+// directive naming an analyzer but giving no reason is returned with
+// Reason == "" so the driver can reject it.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := c.Text[len(directivePrefix):]
+				// Require a separator so "//lint:allowother" is not a directive.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
+				d := Directive{Pos: c.Pos()}
+				posn := fset.Position(c.Pos())
+				d.File, d.Line = posn.Filename, posn.Line
+				if len(fields) > 0 {
+					d.Analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}

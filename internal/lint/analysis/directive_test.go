@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseDirectives(t *testing.T) {
+	fset, files := parse(t, `package p
+
+//lint:allow maporder keys are attribute names; order restored by Ranked()
+var a int
+
+//lint:allow nodrift
+var b int
+
+//lint:allowother not a directive at all
+var c int
+
+var d int //lint:allow ctxthread	tab-separated   reason preserved
+`)
+	ds := ParseDirectives(fset, files)
+	if len(ds) != 3 {
+		t.Fatalf("got %d directives, want 3: %+v", len(ds), ds)
+	}
+	if ds[0].Analyzer != "maporder" || ds[0].Reason != "keys are attribute names; order restored by Ranked()" || ds[0].Line != 3 {
+		t.Errorf("directive 0 = %+v", ds[0])
+	}
+	if ds[1].Analyzer != "nodrift" || ds[1].Reason != "" {
+		t.Errorf("reasonless directive = %+v; want empty Reason for rejection", ds[1])
+	}
+	if ds[2].Analyzer != "ctxthread" || ds[2].Reason != "tab-separated reason preserved" {
+		t.Errorf("trailing directive = %+v", ds[2])
+	}
+}

@@ -1,0 +1,211 @@
+// Package analysistest runs a certa-lint analyzer over GOPATH-style
+// fixture trees and checks its findings against `// want` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture tree lives under <testdata>/src/<import/path>/*.go. Imports
+// are resolved inside the tree first, so fixtures depend on small local
+// stubs of the packages the analyzers match by import path ("context",
+// "certa/internal/core", ...) instead of typechecking the real standard
+// library — the analyzers only ever look at import paths and names, so
+// a stub with the right path exercises exactly the same matching logic
+// as the real package while keeping `go test ./internal/lint/...`
+// hermetic and fast.
+//
+// Expectations: a comment `// want "re1" "re2"` on a fixture line
+// demands one finding per quoted regexp on that line (any analyzer);
+// lines without a want comment demand silence. Findings are checked
+// after //lint:allow suppression, through the same analysis.Run entry
+// point the vettool uses, so a suppressed fixture asserts the directive
+// machinery itself.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"certa/internal/lint/analysis"
+)
+
+// Run analyzes each fixture package (an import path under dir/src)
+// with a and asserts its findings against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := &loader{
+		srcroot: filepath.Join(dir, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*loaded),
+	}
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture package %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.Run(ld.fset, pkg.files, pkg.pkg, pkg.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, ld.fset, pkg.files, findings)
+	}
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader typechecks fixture packages, resolving imports inside the
+// fixture tree so stubs shadow the real standard library.
+type loader struct {
+	srcroot string
+	fset    *token.FileSet
+	pkgs    map[string]*loaded
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.pkg, nil
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+
+	dir := filepath.Join(l.srcroot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %w (fixtures must stub every import under testdata/src)", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %q: no .go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// wantRe extracts the quoted regexps of a want comment: interpreted
+// ("...") or raw (backquoted) string literals, the latter for patterns
+// that themselves contain double quotes.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The block form `/* want "..." */` exists for lines whose
+				// line-comment slot is already taken — e.g. asserting the
+				// rejection of a reasonless //lint:allow on its own line.
+				var text string
+				var ok bool
+				if strings.HasPrefix(c.Text, "/*") {
+					inner := strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+					text, ok = strings.CutPrefix(strings.TrimSpace(inner), "want ")
+				} else {
+					text, ok = strings.CutPrefix(c.Text, "// want ")
+				}
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", posn, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, pat, err)
+						continue
+					}
+					k := key{posn.Filename, posn.Line}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		posn := fset.Position(f.Pos)
+		k := key{posn.Filename, posn.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s [%s]", posn, f.Message, f.Analyzer)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}

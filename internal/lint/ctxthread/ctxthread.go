@@ -1,0 +1,138 @@
+// Package ctxthread defines an analyzer that keeps context threading
+// intact: once a function has a context.Context (or an *http.Request
+// carrying one), calling the non-context variant of an API that has
+// one silently drops cancellation and anytime budgets on the floor —
+// the exact failure mode PR 3 built ExplainContext / ScoreBatchContext
+// / EachContext to prevent.
+package ctxthread
+
+import (
+	"go/ast"
+	"go/types"
+
+	"certa/internal/lint/analysis"
+)
+
+// Analyzer flags calls to a function or method X from a
+// context-bearing function when an X + "Context" sibling exists (same
+// package scope or same method set) whose first parameter is a
+// context.Context.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxthread",
+	Doc: `flags calls to non-context API variants from context-bearing functions
+
+A function holding a context.Context (or an *http.Request) that calls
+ScoreBatch/Each/Explain instead of the Context variant severs the
+cancellation and call-budget chain PR 3 threaded through the scoring
+stack: client disconnects and deadlines stop propagating. Call the
+*Context sibling and pass the ctx. Deliberate detachment (e.g. an
+adapter's fallback path) is waived with //lint:allow ctxthread
+<reason>; the adapter X-Context-calls-X pattern itself is recognized
+and never flagged.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !bearsContext(pass.TypesInfo, fn) {
+				continue
+			}
+			checkCalls(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// bearsContext reports whether fn can reach a context: a
+// context.Context parameter or an *http.Request (whose Context method
+// hands one out).
+func bearsContext(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContext(tv.Type) || analysis.IsNamed(tv.Type, "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	return analysis.IsNamed(t, "context", "Context")
+}
+
+func checkCalls(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch e := call.Fun.(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return true
+		}
+		callee, ok := info.ObjectOf(id).(*types.Func)
+		if !ok || callee.Pkg() == nil {
+			return true
+		}
+		name := callee.Name()
+		if len(name) >= len("Context") && name[len(name)-len("Context"):] == "Context" {
+			return true
+		}
+		// The adapter pattern — XContext dispatching to X after doing
+		// the ctx bookkeeping itself — is the one sanctioned caller.
+		if fn.Name.Name == name+"Context" {
+			return true
+		}
+		variant := contextVariant(callee)
+		if variant == nil {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s is called from context-bearing %s but has a context-aware sibling %s; call it and thread the ctx so cancellation and budgets propagate",
+			name, fn.Name.Name, variant.Name())
+		return true
+	})
+}
+
+// contextVariant finds a sibling of callee named <name>Context whose
+// first parameter is a context.Context: in the same package scope for
+// functions, in the receiver's method set for methods.
+func contextVariant(callee *types.Func) *types.Func {
+	name := callee.Name() + "Context"
+	sig := callee.Signature()
+	var obj types.Object
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, callee.Pkg(), name)
+	} else {
+		obj = callee.Pkg().Scope().Lookup(name)
+	}
+	v, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	vsig := v.Signature()
+	if vsig.Params().Len() == 0 || !isContext(vsig.Params().At(0).Type()) {
+		return nil
+	}
+	return v
+}

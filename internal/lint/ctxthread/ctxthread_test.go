@@ -1,0 +1,18 @@
+package ctxthread_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"certa/internal/lint/analysistest"
+	"certa/internal/lint/ctxthread"
+)
+
+// TestCtxThread covers non-context calls from ctx-bearing functions
+// and http handlers (vio), threaded/sibling-free/adapter cases
+// (clean), and directive suppression plus empty-reason rejection
+// (allow).
+func TestCtxThread(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "ctxthread"), ctxthread.Analyzer,
+		"vio", "clean", "allow")
+}

@@ -1,0 +1,18 @@
+package diagpure_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"certa/internal/lint/analysistest"
+	"certa/internal/lint/diagpure"
+)
+
+// TestDiagPure covers Diagnostics-from-Service violations (vio), the
+// sanctioned Scorer-view population and write-free Service reads
+// (clean), and directive suppression plus empty-reason rejection
+// (allow).
+func TestDiagPure(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "diagpure"), diagpure.Analyzer,
+		"vio", "clean", "allow")
+}

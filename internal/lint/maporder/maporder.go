@@ -1,0 +1,259 @@
+// Package maporder defines an analyzer enforcing the repo's
+// determinism contract around Go map iteration: explanation results,
+// serialized artifacts and hashes must be byte-identical run to run
+// (see TestIndexedScanEquivalence and the PR 1 parallelism
+// byte-identity tests), and `range` over a map is the one language
+// construct whose order changes on every run.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"certa/internal/lint/analysis"
+)
+
+// Analyzer flags map iterations whose bodies accumulate ordered output
+// — appending to a slice declared outside the loop, writing to an
+// io.Writer or hash, or accumulating a floating-point sum — unless the
+// accumulated slice is deterministically sorted afterwards in the same
+// function (the append-then-sort idiom used by scorecache.Snapshot and
+// blocking.CandidatesFor).
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: `flags range-over-map loops that produce ordered output without a deterministic sort
+
+Results, snapshots and saliency orderings must be byte-identical at any
+parallelism and across runs. Iterating a map while appending to an
+outer slice, writing bytes, or summing floats bakes the runtime's
+random map order into the output. Either iterate a sorted key slice,
+or append inside the loop and sort the slice immediately after
+(scorecache.Snapshot is the reference idiom). Float sums additionally
+reorder rounding error; integer-valued sums that are provably exact can
+be waived with //lint:allow maporder <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Visit every function body (declarations and literals); each
+		// body is scanned independently so a redeeming sort is searched
+		// for in the same function that runs the loop.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody scans one function body (excluding nested function
+// literals, which are visited separately) for map-range loops.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkMapRange(pass, body, rng)
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	walkSkippingFuncLits(rng.Body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return
+			}
+			obj := rootObject(info, st.Lhs[0])
+			if obj == nil || declaredWithin(obj, rng) {
+				return
+			}
+			if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+				// s = append(s, ...) accumulating into an outer slice.
+				if call, ok := st.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+					if !sortedAfter(pass, funcBody, rng, obj) {
+						pass.Reportf(st.Pos(),
+							"append to %q inside range over map bakes random map order into the slice; sort it after the loop or iterate sorted keys", obj.Name())
+					}
+				}
+				return
+			}
+			// x += ... / x -= ... on a float accumulator: map order
+			// reorders the rounding error of the sum.
+			if st.Tok == token.ADD_ASSIGN || st.Tok == token.SUB_ASSIGN || st.Tok == token.MUL_ASSIGN || st.Tok == token.QUO_ASSIGN {
+				if tv, ok := info.Types[st.Lhs[0]]; ok && isFloat(tv.Type) {
+					pass.Reportf(st.Pos(),
+						"floating-point accumulation into %q inside range over map makes the rounding order nondeterministic; iterate sorted keys", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := writerCall(info, st); ok {
+				pass.Reportf(st.Pos(),
+					"%s inside range over map writes bytes in random map order; iterate sorted keys (append-then-sort, see scorecache.Snapshot)", name)
+			}
+		}
+	})
+}
+
+// rootObject resolves the outermost identifier of an assignable
+// expression (x, x.f, x[i]) to its object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() != token.NoPos && n.Pos() <= obj.Pos() && obj.Pos() < n.End()
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// writerCall reports whether call feeds bytes to a writer or hash:
+// fmt.Fprint*, io.WriteString, or any method named Write/WriteString/
+// WriteByte/WriteRune (io.Writer, bufio.Writer, strings.Builder,
+// hash.Hash all share these names).
+func writerCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Signature().Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return fn.Name(), true
+		}
+		return "", false
+	}
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + fn.Name(), true
+		}
+	case "io":
+		if fn.Name() == "WriteString" {
+			return "io.WriteString", true
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether, after the range loop, the enclosing
+// function calls a sort/slices function with obj among its arguments —
+// the append-then-sort idiom that restores determinism.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(pass.TypesInfo, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// walkSkippingFuncLits visits every node under root except the bodies
+// of nested function literals (each function body is analyzed in its
+// own right).
+func walkSkippingFuncLits(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil || n == root {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		fn(n)
+		return true
+	})
+}

@@ -1,0 +1,17 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"certa/internal/lint/analysistest"
+	"certa/internal/lint/maporder"
+)
+
+// TestMapOrder covers the violating fixture (a), the clean idioms
+// including append-then-sort (b), and suppression: a reasoned
+// //lint:allow silences the finding, a reasonless one suppresses
+// nothing and is rejected (c).
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "maporder"), maporder.Analyzer, "a", "b", "c")
+}

@@ -1,0 +1,19 @@
+package nodrift_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"certa/internal/lint/analysistest"
+	"certa/internal/lint/nodrift"
+)
+
+// TestNoDrift covers the deny-set package (certa/internal/core stub):
+// clock, environment and global-rand reads are flagged, seeded
+// *rand.Rand methods are not, reasoned directives suppress and a
+// reasonless one is rejected — and the allowlisted serving layer
+// (certa/internal/server stub) where the same calls are silent.
+func TestNoDrift(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "nodrift"), nodrift.Analyzer,
+		"certa/internal/core", "certa/internal/server")
+}

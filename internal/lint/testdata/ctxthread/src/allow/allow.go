@@ -1,0 +1,20 @@
+// Package allow is ctxthread's suppression fixture.
+package allow
+
+import "context"
+
+func Flush() error { return nil }
+
+func FlushContext(ctx context.Context) error { return nil }
+
+// shutdown deliberately detaches: the final flush must run even when
+// the caller's context is already cancelled.
+func shutdown(ctx context.Context) error {
+	//lint:allow ctxthread shutdown flush must complete even after the caller's ctx is cancelled
+	return Flush()
+}
+
+func missingReason(ctx context.Context) error {
+	/* want "lint:allow ctxthread directive requires a non-empty reason" */ //lint:allow ctxthread
+	return Flush()                                                          // want `Flush is called from context-bearing missingReason but has a context-aware sibling FlushContext`
+}

@@ -1,0 +1,11 @@
+// Package workpool is a fixture stub mirroring the real package's
+// Each / EachContext pair.
+package workpool
+
+import "context"
+
+func Each(n, workers int, fn func(i int) error) error { return nil }
+
+func EachContext(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	return nil
+}

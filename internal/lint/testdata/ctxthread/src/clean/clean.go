@@ -1,0 +1,51 @@
+// Package clean is ctxthread's clean fixture: contexts threaded
+// through, sibling-free calls, non-context-bearing callers, and the
+// sanctioned adapter pattern.
+package clean
+
+import (
+	"context"
+	"net/http"
+
+	"certa/internal/workpool"
+)
+
+type Model struct{}
+
+func (m *Model) Score() float64 { return 0 }
+
+func (m *Model) ScoreContext(ctx context.Context) float64 { return 0 }
+
+// Plain has no context variant anywhere.
+func Plain() int { return 0 }
+
+// threaded calls the Context variants: nothing to flag.
+func threaded(ctx context.Context, m *Model) float64 {
+	_ = workpool.EachContext(ctx, 8, 2, func(ctx context.Context, i int) error { return nil })
+	return m.ScoreContext(ctx)
+}
+
+// noSibling calls an API without a Context variant.
+func noSibling(ctx context.Context) int { return Plain() }
+
+// detached bears no context, so the non-context call is fine.
+func detached(m *Model) float64 { return m.Score() }
+
+// handler threads the request context on.
+func handler(w http.ResponseWriter, r *http.Request) {
+	_ = workpool.EachContext(r.Context(), 4, 2, func(ctx context.Context, i int) error { return nil })
+}
+
+// Work / WorkContext: the adapter pattern — the Context variant
+// dispatching to the plain one after its own ctx bookkeeping — is the
+// one sanctioned caller.
+func Work() error { return nil }
+
+func WorkContext(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return nil
+	default:
+	}
+	return Work()
+}

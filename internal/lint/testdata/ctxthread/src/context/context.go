@@ -1,0 +1,9 @@
+// Package context is a fixture stub: ctxthread matches the Context
+// type by import path and name.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+}
+
+func Background() Context { return nil }

@@ -1,0 +1,13 @@
+// Package http is a fixture stub: ctxthread treats an *http.Request
+// parameter as context-bearing (its Context method hands one out).
+package http
+
+import "context"
+
+type Request struct{ ctx context.Context }
+
+func (r *Request) Context() context.Context { return r.ctx }
+
+type ResponseWriter interface {
+	Write(p []byte) (int, error)
+}

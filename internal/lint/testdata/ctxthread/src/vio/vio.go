@@ -1,0 +1,33 @@
+// Package vio is ctxthread's violating fixture: context-bearing
+// functions calling the non-context variant of an API that has one.
+package vio
+
+import (
+	"context"
+	"net/http"
+
+	"certa/internal/workpool"
+)
+
+// Model has both variants, like core.Explain/ExplainContext.
+type Model struct{}
+
+func (m *Model) Score() float64 { return 0 }
+
+func (m *Model) ScoreContext(ctx context.Context) float64 { return 0 }
+
+func Run() error { return nil }
+
+func RunContext(ctx context.Context) error { return nil }
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	_ = workpool.Each(8, 2, func(i int) error { return nil }) // want `Each is called from context-bearing handler but has a context-aware sibling EachContext`
+}
+
+func scoreAll(ctx context.Context, m *Model) float64 {
+	return m.Score() // want `Score is called from context-bearing scoreAll but has a context-aware sibling ScoreContext`
+}
+
+func driver(ctx context.Context) error {
+	return Run() // want `Run is called from context-bearing driver but has a context-aware sibling RunContext`
+}

@@ -1,0 +1,23 @@
+// Package allow is diagpure's suppression fixture.
+package allow
+
+import (
+	"certa/internal/core"
+	"certa/internal/scorecache"
+)
+
+// debugSnapshot deliberately mixes the two for a debug endpoint that
+// documents its own schedule-dependence; the directive waives it.
+func debugSnapshot(svc *scorecache.Service) core.Diagnostics {
+	var d core.Diagnostics
+	//lint:allow diagpure debug-only snapshot; endpoint documents that these counters are schedule-dependent
+	d.CacheHits = svc.Stats().FlipHits
+	return d
+}
+
+func missingReason(svc *scorecache.Service) core.Diagnostics {
+	var d core.Diagnostics
+	/* want "lint:allow diagpure directive requires a non-empty reason" */ //lint:allow diagpure
+	d.CacheHits = svc.Stats().FlipHits                                     // want `missingReason writes core.Diagnostics while touching shared scorecache.ServiceStats.FlipHits`
+	return d
+}

@@ -1,0 +1,10 @@
+// Package core is a fixture stub: diagpure matches the Diagnostics
+// type by import path and name, so this stub exercises the same
+// matching as the real certa/internal/core.
+package core
+
+type Diagnostics struct {
+	ModelCalls   int
+	CacheHits    int
+	FlipMemoHits int
+}

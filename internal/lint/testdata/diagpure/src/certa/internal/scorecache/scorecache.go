@@ -1,0 +1,25 @@
+// Package scorecache is a fixture stub mirroring the real package's
+// split: Service/ServiceStats are shared, schedule-dependent state;
+// the per-explanation Scorer view is deterministic and sanctioned as
+// a Diagnostics source.
+package scorecache
+
+type Service struct{ lookups int }
+
+func (s *Service) Stats() ServiceStats { return ServiceStats{Lookups: s.lookups} }
+
+func (s *Service) Len() int { return 0 }
+
+type ServiceStats struct {
+	Lookups  int
+	FlipHits int
+}
+
+type Scorer struct{ hits, misses int }
+
+func (s *Scorer) Stats() Stats { return Stats{Hits: s.hits, Misses: s.misses} }
+
+type Stats struct {
+	Hits   int
+	Misses int
+}

@@ -1,0 +1,32 @@
+// Package clean is diagpure's clean fixture: Diagnostics populated
+// from the per-explanation Scorer view, shared Service state read by
+// functions that never touch Diagnostics, and an empty literal.
+package clean
+
+import (
+	"certa/internal/core"
+	"certa/internal/scorecache"
+)
+
+// fromScorer is the sanctioned pattern (PR 6): the per-explanation
+// view's counters are parallelism-deterministic.
+func fromScorer(sc *scorecache.Scorer) core.Diagnostics {
+	var d core.Diagnostics
+	st := sc.Stats()
+	d.CacheHits = st.Hits
+	d.ModelCalls = st.Misses
+	return d
+}
+
+// serviceView reads shared state but writes no Diagnostics.
+func serviceView(svc *scorecache.Service) scorecache.ServiceStats {
+	return svc.Stats()
+}
+
+// zeroValue constructs an empty Diagnostics next to a shared read: a
+// zero literal carries no counters, so nothing schedule-dependent can
+// leak through it.
+func zeroValue(svc *scorecache.Service) core.Diagnostics {
+	_ = svc.Len()
+	return core.Diagnostics{}
+}

@@ -1,0 +1,25 @@
+// Package vio is diagpure's violating fixture: functions that
+// populate core.Diagnostics from shared scorecache.Service state.
+package vio
+
+import (
+	"certa/internal/core"
+	"certa/internal/scorecache"
+)
+
+func build(svc *scorecache.Service) core.Diagnostics {
+	var d core.Diagnostics
+	d.CacheHits = svc.Stats().FlipHits // want `build writes core.Diagnostics while touching shared scorecache.ServiceStats.FlipHits`
+	return d
+}
+
+func fromLiteral(svc *scorecache.Service) core.Diagnostics {
+	n := svc.Len()
+	return core.Diagnostics{ModelCalls: n} // want `fromLiteral writes core.Diagnostics while touching shared scorecache.Service.Len`
+}
+
+func increment(d *core.Diagnostics, st scorecache.ServiceStats) {
+	if st.FlipHits > 0 {
+		d.FlipMemoHits++ // want `increment writes core.Diagnostics while touching shared scorecache.ServiceStats.FlipHits`
+	}
+}

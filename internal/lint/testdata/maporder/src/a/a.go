@@ -1,0 +1,36 @@
+// Package a is maporder's violating fixture: map iterations that bake
+// random order into a slice, a byte stream, and a float sum.
+package a
+
+type sink struct{}
+
+func (s *sink) Write(p []byte) (int, error)       { return len(p), nil }
+func (s *sink) WriteString(p string) (int, error) { return len(p), nil }
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map`
+	}
+	return keys
+}
+
+func writeInLoop(m map[string]int, w *sink) {
+	for k := range m {
+		w.WriteString(k) // want `WriteString inside range over map writes bytes in random map order`
+	}
+}
+
+func floatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into "sum" inside range over map`
+	}
+	return sum
+}
+
+func accumulateIntoIndexed(m map[string]float64, sums []float64) {
+	for _, v := range m {
+		sums[0] += v // want `floating-point accumulation into "sums" inside range over map`
+	}
+}

@@ -1,0 +1,61 @@
+// Package b is maporder's clean fixture: every map iteration restores
+// determinism — append-then-sort, iteration over pre-sorted keys,
+// order-free accumulators.
+package b
+
+import "sort"
+
+type sink struct{}
+
+func (s *sink) WriteString(p string) (int, error) { return len(p), nil }
+
+// appendThenSort is the sanctioned idiom (scorecache.Snapshot).
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSortSlice sorts through sort.Slice with the accumulator as
+// an argument of a nested comparison closure.
+func appendThenSortSlice(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// writeSortedKeys iterates a slice, not the map, when writing.
+func writeSortedKeys(m map[string]int, w *sink) {
+	for _, k := range appendThenSort(m) {
+		w.WriteString(k)
+	}
+}
+
+// intCount and map-to-map copies are order-independent.
+func orderFree(m map[string]int) (int, map[string]int) {
+	n := 0
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		n += v
+		out[k] = v
+	}
+	return n, out
+}
+
+// localAccumulator appends to a slice declared inside the loop body:
+// per-iteration state, no cross-iteration order.
+func localAccumulator(m map[string][]string) int {
+	total := 0
+	for _, vs := range m {
+		var local []string
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+// Package c is maporder's suppression fixture: the same violations as
+// package a, waived with a justified //lint:allow — and one directive
+// with no reason, which suppresses nothing and is itself rejected.
+package c
+
+func integerValuedSum(m map[string]int) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:allow maporder summing exact small integers; every order yields the same float
+		sum += float64(v)
+	}
+	return sum
+}
+
+func trailingForm(m map[string]int) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += float64(v) //lint:allow maporder integer-valued sum is order-exact
+	}
+	return sum
+}
+
+func missingReason(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		/* want "lint:allow maporder directive requires a non-empty reason" */ //lint:allow maporder
+		keys = append(keys, k)                                                 // want `append to "keys" inside range over map`
+	}
+	return keys
+}

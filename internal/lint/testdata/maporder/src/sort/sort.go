@@ -1,0 +1,10 @@
+// Package sort is a fixture stub: maporder recognizes redeeming sort
+// calls by the callee's package path, so a stub with the real import
+// path exercises the same matching as the standard library.
+package sort
+
+func Slice(x any, less func(i, j int) bool) {}
+
+func Strings(x []string) {}
+
+func Ints(x []int) {}

@@ -1,0 +1,13 @@
+// Package server stands in for certa/internal/server, an allowlisted
+// serving layer: clocks and environment reads are its job, so nodrift
+// must stay silent here.
+package server
+
+import (
+	"os"
+	"time"
+)
+
+func requestClock() time.Time { return time.Now() }
+
+func listenAddr() string { return os.Getenv("CERTA_ADDR") }

@@ -1,0 +1,28 @@
+// Package rand is a fixture stub: nodrift denies the package-level
+// functions (shared, unseeded generator) but not methods on a seeded
+// *Rand, so the stub provides both.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand { return &Rand{src: src} }
+
+func NewSource(seed int64) Source { return source(seed) }
+
+type source int64
+
+func (s source) Int63() int64 { return int64(s) }
+
+func Float64() float64 { return 0 }
+
+func Intn(n int) int { return 0 }
+
+func Shuffle(n int, swap func(i, j int)) {}
+
+func (r *Rand) Float64() float64 { return 0 }
+
+func (r *Rand) Intn(n int) int { return 0 }
+
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}

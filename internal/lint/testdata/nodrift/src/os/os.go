@@ -1,0 +1,6 @@
+// Package os is a fixture stub for nodrift's environment-read checks.
+package os
+
+func Getenv(key string) string { return "" }
+
+func LookupEnv(key string) (string, bool) { return "", false }

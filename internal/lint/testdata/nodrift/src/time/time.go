@@ -1,0 +1,14 @@
+// Package time is a fixture stub: nodrift matches callees by import
+// path and name, so a stub with the real path exercises the same
+// matching as the standard library.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time { return Time{} }
+
+func Since(t Time) Duration { return 0 }
+
+func Unix(sec, nsec int64) Time { return Time{} }

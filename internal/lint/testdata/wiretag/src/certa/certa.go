@@ -1,0 +1,23 @@
+// Package certa stands in for the public package: its clean wire
+// structs must produce no findings.
+package certa
+
+// ExplainRequest is the fully tagged request shape.
+type ExplainRequest struct {
+	LeftID  string `json:"left_id"`
+	RightID string `json:"right_id"`
+	debug   bool
+}
+
+// ExplainResponse is pinned by testdata/explain_response_golden.json;
+// json:"-" keeps Internal off the wire deliberately.
+type ExplainResponse struct {
+	Score    float64 `json:"score"`
+	Internal string  `json:"-"`
+}
+
+// BatchResponse is pinned by testdata/wire_golden.json.
+type BatchResponse struct {
+	ExplainResponse
+	Items []ExplainResponse `json:"items"`
+}

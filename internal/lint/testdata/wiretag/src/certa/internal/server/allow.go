@@ -1,0 +1,15 @@
+package server
+
+// InfoResponse is pinned by testdata/info_golden.json. Legacy
+// deliberately marshals under its Go name; the directive records why.
+type InfoResponse struct {
+	OK bool `json:"ok"`
+	//lint:allow wiretag Legacy predates the tagging contract; v0 clients parse the Go-spelled name
+	Legacy string
+}
+
+// StatusResponse is pinned by testdata/status_golden.json.
+type StatusResponse struct {
+	/* want "lint:allow wiretag directive requires a non-empty reason" */ //lint:allow wiretag
+	Code int                                                              // want `exported field StatusResponse.Code of wire struct has no json tag`
+}

@@ -1,0 +1,31 @@
+// Package server stands in for certa/internal/server, a wire package:
+// its exported structs form the HTTP schema.
+package server
+
+type BadResponse struct { // want `wire struct BadResponse has no golden-file reference`
+	Name string // want `exported field BadResponse.Name of wire struct has no json tag`
+	Hits int    // want `exported field BadResponse.Hits of wire struct has no json tag`
+}
+
+// Payload is wire-ish because it already has json-tagged fields; the
+// untagged exported field is the accidental-schema-change case.
+type Payload struct {
+	A int    `json:"a"`
+	B string // want `exported field Payload.B of wire struct has no json tag`
+}
+
+// PingResponse is fully tagged but cites no golden fixture.
+type PingResponse struct { // want `wire struct PingResponse has no golden-file reference`
+	OK bool `json:"ok"`
+}
+
+// helper is unexported: not part of the wire schema.
+type helper struct {
+	Name string
+}
+
+// Tuning is exported but not wire-ish (no tags, no Request/Response
+// suffix): plain config structs stay untagged.
+type Tuning struct {
+	Workers int
+}

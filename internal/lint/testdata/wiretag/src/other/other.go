@@ -1,0 +1,8 @@
+// Package other is outside the wire packages: even an untagged
+// Response struct is silent here — the schema contract only covers
+// certa and certa/internal/server.
+package other
+
+type LocalResponse struct {
+	Name string
+}

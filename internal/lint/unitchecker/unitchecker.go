@@ -1,0 +1,294 @@
+// Package unitchecker makes a suite of analyzers runnable as a
+// `go vet -vettool` program. It speaks the cmd/go vet protocol:
+//
+//   - `certa-lint -V=full` prints a version line that hashes the
+//     binary, so the go command's build cache keys vet results on the
+//     tool's exact contents;
+//   - `certa-lint -flags` prints the JSON flag descriptions the go
+//     command uses to validate command-line analyzer selection;
+//   - `certa-lint [-<analyzer>...] <unit>.cfg` analyzes one package:
+//     the .cfg file (written by cmd/go) names the Go sources, maps
+//     every import to the compiler's export-data file in the build
+//     cache, and names the .vetx facts file the tool must write.
+//
+// Like the x/tools original this reads dependency types from gc export
+// data via go/importer, so analysis of a package never re-typechecks
+// its dependencies from source. Unlike the original it has no facts to
+// exchange, so dependency units (VetxOnly) are satisfied with an empty
+// facts file and skipped — `go vet ./...` only pays for the packages
+// it names.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"certa/internal/lint/analysis"
+)
+
+// Config is the JSON schema of the .cfg file cmd/go hands a vettool
+// for each package unit. Field names and meaning match the go
+// command's (and x/tools unitchecker's) definition; fields this driver
+// does not consume are kept so decoding stays strict about nothing and
+// future go versions remain compatible.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool built from the given
+// analyzers. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (go vet passes -V=full for cache keying)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flag descriptions as JSON and exit")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON on stdout instead of text on stderr")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, false, doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	if *versionFlag != "" {
+		printVersion(progname)
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		printFlags(analyzers)
+		os.Exit(0)
+	}
+
+	// cmd/go semantics: naming any analyzer runs only the named ones;
+	// naming none runs them all.
+	var selected []*analysis.Analyzer
+	any := false
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			any = true
+			selected = append(selected, a)
+		}
+	}
+	if !any {
+		selected = analyzers
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, `%[1]s: invoke via "go vet -vettool=$(which %[1]s) ./..." (direct use requires a cmd/go-generated .cfg argument)`+"\n", progname)
+		os.Exit(1)
+	}
+	os.Exit(run(args[0], selected, *jsonFlag))
+}
+
+// printVersion emits the `name version ...` line cmd/go hashes into
+// its action IDs. Including a digest of the executable means editing
+// an analyzer invalidates cached vet results, exactly like x/tools.
+func printVersion(progname string) {
+	data, err := os.ReadFile(os.Args[0])
+	if err != nil {
+		// Still print a well-formed line; the go command only needs
+		// the "name version ..." shape.
+		fmt.Printf("%s version devel certa-lint\n", progname)
+		return
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, sha256.Sum256(data))
+}
+
+type flagDesc struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+func printFlags(analyzers []*analysis.Analyzer) {
+	descs := []flagDesc{{Name: "V", Bool: false, Usage: "print version and exit"}}
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		descs = append(descs, flagDesc{Name: a.Name, Bool: true, Usage: doc})
+	}
+	data, err := json.Marshal(descs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer, asJSON bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "certa-lint: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "certa-lint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// Dependency units exist only to provide facts to their importers.
+	// certa-lint is facts-free, so an empty .vetx satisfies the build
+	// graph and the (possibly large) dependency is never typechecked.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg.VetxOutput); err != nil {
+			fmt.Fprintf(os.Stderr, "certa-lint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "certa-lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(&cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "certa-lint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	findings, err := analysis.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "certa-lint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// The facts file must exist even when diagnostics are reported,
+	// otherwise cmd/go records a cache miss for every importer.
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintf(os.Stderr, "certa-lint: %v\n", err)
+		return 1
+	}
+
+	if len(findings) == 0 {
+		return 0
+	}
+	if asJSON {
+		printJSON(cfg.ID, fset, findings)
+		return 0 // mirror x/tools: -json reports findings as data, not failure
+	}
+	wd, _ := os.Getwd()
+	for _, f := range findings {
+		posn := fset.Position(f.Pos)
+		name := posn.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", name, posn.Line, posn.Column, f.Message, f.Analyzer)
+	}
+	return 2
+}
+
+func printJSON(id string, fset *token.FileSet, findings []analysis.Finding) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{
+			Posn:    fset.Position(f.Pos).String(),
+			Message: f.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{id: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	enc.Encode(out)
+}
+
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte("certa-lint: no facts\n"), 0666)
+}
+
+// typecheck loads the unit's dependency types from the gc export-data
+// files cmd/go listed in the config and typechecks the unit's sources.
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if actual, ok := cfg.ImportMap[path]; ok {
+			path = actual
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tcfg := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,132 @@
+// Package wiretag defines an analyzer guarding the wire schema's
+// stability. PR 4 froze the HTTP API's JSON shape behind explicit
+// struct tags and a golden-file round-trip test; an exported field
+// added without a tag silently ships a Go-spelled name to every
+// client, and a new top-level response type without a golden file has
+// no drift detector at all. This analyzer turns both into vet
+// failures.
+package wiretag
+
+import (
+	"go/ast"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"certa/internal/lint/analysis"
+)
+
+// wirePackages are the packages whose exported structs form the HTTP
+// wire schema: the server's request/response/stats types and any wire
+// struct declared in the public certa package.
+var wirePackages = map[string]bool{
+	"certa":                 true,
+	"certa/internal/server": true,
+}
+
+// goldenRef matches a reference to a golden fixture file in a doc
+// comment, e.g. "testdata/explain_response_golden.json".
+var goldenRef = regexp.MustCompile(`testdata/[^\s"]+\.json`)
+
+// Analyzer enforces, inside the wire packages: (1) every exported
+// field of a wire struct (a struct named *Request/*Response, or one
+// that already has json-tagged fields) carries an explicit json tag;
+// (2) every top-level *Response struct's doc comment names the golden
+// fixture (testdata/*.json) that pins its serialized form.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiretag",
+	Doc: `requires explicit json tags and a golden-file reference on wire structs
+
+The HTTP schema (PR 4) is a compatibility contract: clients parse the
+exact bytes. An untagged exported field marshals under its Go name and
+changes the schema by accident; a response type without a golden
+fixture has no test standing between a refactor and every downstream
+client. Tag every exported field (use json:"-" to keep one off the
+wire deliberately) and reference the golden file in the response
+type's doc comment.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !wirePackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				checkStruct(pass, ts.Name.Name, st, doc)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkStruct(pass *analysis.Pass, name string, st *ast.StructType, doc *ast.CommentGroup) {
+	wireish := strings.HasSuffix(name, "Request") || strings.HasSuffix(name, "Response")
+	if !wireish {
+		for _, field := range st.Fields.List {
+			if _, ok := jsonTag(field); ok {
+				wireish = true
+				break
+			}
+		}
+	}
+	if !wireish {
+		return
+	}
+
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded: its own declaration is checked
+		}
+		_, tagged := jsonTag(field)
+		for _, fname := range field.Names {
+			if !fname.IsExported() {
+				continue
+			}
+			if !tagged {
+				pass.Reportf(fname.Pos(),
+					"exported field %s.%s of wire struct has no json tag; the wire name must be chosen explicitly (json:\"...\" or json:\"-\")", name, fname.Name)
+			}
+		}
+	}
+
+	if strings.HasSuffix(name, "Response") {
+		if doc == nil || !goldenRef.MatchString(doc.Text()) {
+			pass.Reportf(st.Pos(),
+				"wire struct %s has no golden-file reference; cite the fixture (testdata/*.json) pinning its schema in the type's doc comment", name)
+		}
+	}
+}
+
+// jsonTag returns the json struct tag of field, if present.
+func jsonTag(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(raw).Lookup("json")
+}

@@ -1,0 +1,18 @@
+package wiretag_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"certa/internal/lint/analysistest"
+	"certa/internal/lint/wiretag"
+)
+
+// TestWireTag covers untagged wire fields and golden-less Response
+// types in the server stub (including a reasoned field-level waiver
+// and an empty-reason rejection), the fully clean public-package
+// fixture, and a non-wire package where everything is silent.
+func TestWireTag(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "wiretag"), wiretag.Analyzer,
+		"certa/internal/server", "certa", "other")
+}

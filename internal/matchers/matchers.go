@@ -110,17 +110,21 @@ func (m *Model) ForwardBench(rows, iters int) (baselineNS, batchNS float64) {
 	for i := range flat {
 		flat[i] = rng.Float64()
 	}
+	//lint:allow nodrift ForwardBench measures kernel wall time for certa-bench telemetry; no Result depends on it
 	start := time.Now()
 	for it := 0; it < iters; it++ {
 		for r := 0; r < rows; r++ {
 			m.net.PredictBaseline(flat[r*dim:][:dim])
 		}
 	}
+	//lint:allow nodrift benchmark timing readout, telemetry only
 	baselineNS = float64(time.Since(start).Nanoseconds()) / float64(rows*iters)
+	//lint:allow nodrift benchmark timing restart, telemetry only
 	start = time.Now()
 	for it := 0; it < iters; it++ {
 		m.net.PredictBatchFlat(flat, rows)
 	}
+	//lint:allow nodrift benchmark timing readout, telemetry only
 	batchNS = float64(time.Since(start).Nanoseconds()) / float64(rows*iters)
 	return baselineNS, batchNS
 }

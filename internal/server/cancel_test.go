@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -106,6 +107,102 @@ func TestClientDisconnectCancelsExplanation(t *testing.T) {
 
 	// The server is still healthy: the same request, uncancelled, now
 	// completes (the model unblocks).
+	sm.unblockAfter.Store(true)
+	resp, body := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel request: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestClientDisconnectStopsBatchDispatch is the regression test for the
+// severed-context bug certa-lint's ctxthread analyzer surfaced in
+// handleBatch: the handler held r.Context() but dispatched items through
+// workpool.Each, so a disconnected client's remaining batch items were
+// still pushed one by one through admission and the serve path (each
+// failing individually against the dead context). With EachContext the
+// disconnect stops dispatch: out of a 16-item batch stuck on its first
+// explanations, only the items already handed to workers are ever
+// accounted — the rest are never dispatched at all.
+func TestClientDisconnectStopsBatchDispatch(t *testing.T) {
+	sm := &stuckModel{started: make(chan struct{})}
+	// MaxInFlight+MaxQueue bounds the batch worker pool: 2 workers here,
+	// so after the disconnect at most the two in-flight items (plus the
+	// two at the dispatch barrier) can reach the serve path.
+	s := newTestServer(t, sm, Options{MaxInFlight: 1, MaxQueue: 1}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{}}
+	defer client.CloseIdleConnections()
+
+	const items = 16
+	var breq BatchRequest
+	for i := 0; i < items; i++ {
+		breq.Requests = append(breq.Requests, ExplainRequest{
+			LeftID:  "l" + strconv.Itoa(i),
+			RightID: "r" + strconv.Itoa(i),
+		})
+	}
+	data, err := json.Marshal(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/explain/batch",
+		strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// An item is inside the model, blocked. Drop the client.
+	select {
+	case <-sm.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never reached the model")
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled batch request returned no error")
+	}
+
+	// Everything in flight unwinds...
+	waitFor(t, "admission drain", func() bool {
+		inflight, queued, _ := s.adm.snapshot()
+		return inflight == 0 && queued == 0
+	})
+	// ...and the items that were never dispatched never show up in the
+	// serve counters: with Each instead of EachContext every one of the
+	// 16 items was pushed through the dead context and accounted (as a
+	// cancellation each). Watch the counters until they go quiet — the
+	// handler may still be unwinding — and judge the peak.
+	accounted := func() int {
+		st := s.Stats()
+		return int(st.Served + st.Coalesced + st.Rejected + st.Cancelled + st.Errors)
+	}
+	last, stable := accounted(), 0
+	for stable < 30 { // quiet for 300ms
+		time.Sleep(10 * time.Millisecond)
+		if now := accounted(); now != last {
+			last, stable = now, 0
+		} else {
+			stable++
+		}
+	}
+	if last >= items/2 {
+		st := s.Stats()
+		t.Fatalf("disconnected batch still accounted %d of %d items (served=%d coalesced=%d rejected=%d cancelled=%d errors=%d); dispatch was not stopped",
+			last, items, st.Served, st.Coalesced, st.Rejected, st.Cancelled, st.Errors)
+	}
+
+	// The server is still healthy afterwards.
 	sm.unblockAfter.Store(true)
 	resp, body := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
 	if resp.StatusCode != http.StatusOK {

@@ -396,9 +396,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Workers beyond the admission capacity would only pile up in its
 	// queue (or be rejected), so that capacity bounds useful concurrency.
 	// Item failures are reported in place and never returned, so
-	// workpool's fail-fast path stays dormant and every item runs.
+	// workpool's fail-fast path stays dormant and every item runs —
+	// unless the client disconnects: the request context cancels
+	// EachContext, which stops dispatching the remaining items instead
+	// of pushing each of them through admission for a caller that is
+	// gone (the severed-context bug certa-lint's ctxthread analyzer
+	// flags).
 	workers := s.opts.MaxInFlight + s.opts.MaxQueue
-	workpool.Each(n, workers, func(i int) error {
+	workpool.EachContext(r.Context(), n, workers, func(ctx context.Context, i int) error {
 		item := &req.Requests[i]
 		b, _, err := s.resolveBackend(item.Benchmark)
 		if err != nil {
@@ -410,7 +415,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			itemError(i, b.name, "", err.Error())
 			return nil
 		}
-		body, _, err := s.serveOne(r.Context(), b, p, item.knobs())
+		body, _, err := s.serveOne(ctx, b, p, item.knobs())
 		if err != nil {
 			s.countServeError(err)
 			itemError(i, b.name, p.Key(), err.Error())

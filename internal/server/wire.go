@@ -55,6 +55,9 @@ type ExplainRequest struct {
 
 // ExplainResponse is the body of a successful explanation, and one
 // element of a batch response (where Error marks per-item failures).
+// Its serialized form is pinned by the golden fixture
+// testdata/explain_response_golden.json at the repo root (wire_test.go;
+// refresh deliberate schema changes with -update-golden).
 type ExplainResponse struct {
 	Benchmark string       `json:"benchmark"`
 	PairKey   string       `json:"pair_key"`
@@ -70,17 +73,21 @@ type BatchRequest struct {
 	Requests []ExplainRequest `json:"requests"`
 }
 
-// BatchResponse is index-aligned with BatchRequest.Requests.
+// BatchResponse is index-aligned with BatchRequest.Requests. Its
+// serialized form is pinned by testdata/wire_golden.json
+// (wire_golden_test.go; refresh with -update-golden).
 type BatchResponse struct {
 	Responses []ExplainResponse `json:"responses"`
 }
 
-// ErrorResponse is the body of every non-200 response.
+// ErrorResponse is the body of every non-200 response. Its serialized
+// form is pinned by testdata/wire_golden.json (wire_golden_test.go).
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse is the body of GET /v1/healthz.
+// HealthResponse is the body of GET /v1/healthz. Its serialized form
+// is pinned by testdata/wire_golden.json (wire_golden_test.go).
 type HealthResponse struct {
 	Status   string   `json:"status"`
 	UptimeMS float64  `json:"uptime_ms"`
@@ -144,7 +151,10 @@ type EmbeddingStats struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. Its serialized form —
+// including every nested stats block — is pinned by
+// testdata/wire_golden.json (wire_golden_test.go; refresh deliberate
+// schema changes with -update-golden).
 type StatsResponse struct {
 	UptimeMS float64 `json:"uptime_ms"`
 	// Served counts completed explanation computations; Coalesced counts

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestWireGolden pins the serialized form of every server wire type
+// that is not already covered by the repo-root ExplainResponse golden:
+// BatchResponse, ErrorResponse, HealthResponse and StatsResponse with
+// all nested stats blocks populated. The fixture is built from fixed
+// values, so the test asserts schema stability (field names, omitempty
+// decisions, nesting), not server behavior: adding, renaming or
+// untagging a field fails here until the golden is deliberately
+// refreshed with -update-golden. certa-lint's wiretag analyzer
+// requires this file to be referenced from each type's doc comment.
+func TestWireGolden(t *testing.T) {
+	doc := struct {
+		Batch  BatchResponse  `json:"batch"`
+		Error  ErrorResponse  `json:"error"`
+		Health HealthResponse `json:"health"`
+		Stats  StatsResponse  `json:"stats"`
+	}{
+		Batch: BatchResponse{
+			Responses: []ExplainResponse{
+				{Benchmark: "AB", PairKey: "l1|r1"},
+				{Benchmark: "AB", PairKey: "", Error: "pair not found"},
+			},
+		},
+		Error:  ErrorResponse{Error: "backend \"nope\" not found"},
+		Health: HealthResponse{Status: "ok", UptimeMS: 1250, Backends: []string{"AB", "BA"}},
+		Stats: StatsResponse{
+			UptimeMS:      1250,
+			Served:        40,
+			Coalesced:     8,
+			Rejected:      2,
+			Cancelled:     1,
+			Errors:        1,
+			InFlight:      3,
+			Queued:        2,
+			EwmaLatencyMS: 17.5,
+			Backends: map[string]BackendStats{
+				"AB": {
+					Model:           "deepmatcher",
+					Entries:         128,
+					RestoredEntries: 64,
+					Lookups:         4096,
+					Hits:            3072,
+					Misses:          1024,
+					Batches:         96,
+					Evictions:       16,
+					HitRate:         0.75,
+					FlipLookups:     256,
+					FlipHits:        128,
+					FlipHitRate:     0.5,
+					Embedding: &EmbeddingStats{
+						Lookups: 2048, Hits: 1536, Misses: 512,
+						Evictions: 8, Entries: 504, HitRate: 0.75,
+					},
+					Index: &IndexStats{Records: 2000, DistinctTokens: 5432, BuildMS: 3.25},
+				},
+			},
+		},
+	}
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "wire_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden after a deliberate schema change)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire schema drifted from %s (run with -update-golden after a deliberate schema change)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}

@@ -1,5 +1,5 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite, a one-iteration benchmark smoke
+# CI gate: vet, certa-lint, build, full test suite, a one-iteration benchmark smoke
 # pass, and the batched-pipeline perf probe (BENCH_explain.json, which
 # records explanations/sec, cache hit rate and the anytime
 # quality-vs-budget curve across PRs).
@@ -13,14 +13,22 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+# certa-lint runs the repo's own analyzers (maporder, nodrift,
+# diagpure, ctxthread, wiretag — see internal/lint/CATALOG.md) through
+# go vet's -vettool protocol, before the test stage so contract
+# violations fail fast.
+echo "== certa-lint (custom analyzers via go vet -vettool) =="
+go build -o bin/certa-lint ./cmd/certa-lint
+go vet -vettool="$(pwd)/bin/certa-lint" ./...
+
 echo "== go build =="
 go build ./...
 
 echo "== go test =="
 go test -timeout 300s ./...
 
-echo "== race (context + shared scoring pipeline + retrieval layer + scoring engine) =="
-go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/ ./internal/nn/ ./internal/embedding/
+echo "== race (context + shared scoring pipeline + retrieval layer + scoring engine + HTTP serving + lattice) =="
+go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/ ./internal/nn/ ./internal/embedding/ ./internal/server/ ./internal/lattice/
 
 echo "== bench smoke =="
 go test -timeout 600s -bench=. -benchtime=1x -run='^$' .
