@@ -142,6 +142,7 @@ import (
 	"certa/internal/core"
 	"certa/internal/dataset"
 	"certa/internal/explain"
+	"certa/internal/lattice"
 	"certa/internal/lime"
 	"certa/internal/matchers"
 	"certa/internal/metrics"
@@ -222,6 +223,15 @@ type (
 	TokenScore = core.TokenScore
 	// TokenOptions tunes the token-level refinement.
 	TokenOptions = core.TokenOptions
+	// PrunePolicy is the lattice-level pruning policy
+	// (Options.LatticePrune): stop exploring a lattice once a completed
+	// level's flip fraction reaches Threshold — under monotone
+	// propagation the deeper questions of such a saturated lattice are
+	// mostly already answered for free. Pruning decisions
+	// depend only on each lattice's own oracle answers, so pruned
+	// results stay byte-identical at any Parallelism; the zero policy is
+	// exact exploration.
+	PrunePolicy = lattice.PrunePolicy
 )
 
 // New creates a CERTA explainer over the two sources U and V.

@@ -31,6 +31,7 @@ import (
 
 	"certa"
 	"certa/internal/debugserve"
+	"certa/internal/embedding"
 	"certa/internal/eval"
 	"certa/internal/matchers"
 	"certa/internal/neighborhood"
@@ -54,6 +55,7 @@ func main() {
 		benchJSON   = flag.String("benchjson", "", "run the batched-pipeline perf probe on AB and write JSON metrics to this file")
 		deadline    = flag.Duration("deadline", 0, "per-explanation soft deadline for the perf probe (Options.Deadline; 0 = none)")
 		callBudget  = flag.String("call-budget", "", "comma-separated CallBudget sweep for the perf probe's anytime curve, e.g. 40,80,160 (0 = unlimited reference)")
+		prune       = flag.Float64("lattice-prune", 0.25, "pruning threshold for the perf probe's pruned pass (the BENCH \"pruning\" section; 0 = skip the pruned pass)")
 		serveReqs   = flag.Int("serve-requests", 96, "load-generator requests against the in-process HTTP server for the perf probe's serve section (0 = skip)")
 		serveConc   = flag.Int("serve-conc", 8, "load-generator client concurrency")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this auxiliary address while the run executes (empty = disabled)")
@@ -91,7 +93,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := writeBenchJSON(*benchJSON, *seed, *parallelism, *deadline, budgets, *serveReqs, *serveConc); err != nil {
+		if err := writeBenchJSON(*benchJSON, *seed, *parallelism, *deadline, budgets, *prune, *serveReqs, *serveConc); err != nil {
 			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -214,6 +216,55 @@ type benchMetrics struct {
 	// embedding-store and flip-memo reuse, and the end-to-end trajectory
 	// against the PR 5 baseline.
 	Scoring *scoringMetrics `json:"scoring"`
+	// Pruning is the lattice-pruning probe: the same workload re-explained
+	// under Options.LatticePrune on a fresh scoring service, with quality
+	// measured as saliency agreement against the exact main run, plus the
+	// featurization before/after microbench.
+	Pruning *pruningMetrics `json:"pruning"`
+}
+
+// pruningMetrics is the "pruning" section of BENCH_explain.json: what
+// the estimator mode (Options.LatticePrune) saves on the blocked-cluster
+// workload and what it costs in saliency fidelity, anchored against the
+// PR 7 exact-mode baseline.
+type pruningMetrics struct {
+	// Threshold / MinLevels echo the policy of the pruned pass
+	// (-lattice-prune; MinLevels 0 = the engine default of 2).
+	Threshold float64 `json:"threshold"`
+	MinLevels int     `json:"min_levels"`
+	// WallSeconds / ExplanationsPerSec are the pruned pass end to end on
+	// its own fresh scoring service (so the exact and pruned passes each
+	// pay their own model calls); SpeedupVsExact divides the pruned
+	// throughput by the headline exact run's.
+	WallSeconds        float64 `json:"wall_seconds"`
+	ExplanationsPerSec float64 `json:"explanations_per_sec"`
+	SpeedupVsExact     float64 `json:"speedup_vs_exact"`
+	// ModelCallsPerExpl is the pruned pass's per-explanation unique-call
+	// count (the questions actually asked — the quantity pruning
+	// attacks); QuestionReduction divides the exact run's count by it.
+	// PrunedQueriesPerExpl is the ledger of questions the policy skipped.
+	ModelCallsPerExpl    float64 `json:"model_calls_per_explanation"`
+	QuestionReduction    float64 `json:"question_reduction_vs_exact"`
+	PrunedQueriesPerExpl float64 `json:"pruned_queries_per_explanation"`
+	// SaliencyTop2Agreement is the quality gate (mean Jaccard overlap of
+	// the top-2 salient attributes with the exact run — the same measure
+	// the anytime curve reports); CFValidity the pruned counterfactuals'
+	// flip rate (-1 when none were emitted).
+	SaliencyTop2Agreement float64 `json:"saliency_top2_agreement"`
+	CFValidity            float64 `json:"cf_validity"`
+	// The PR 7 anchors (its BENCH_explain.json exact-mode recordings) and
+	// the trajectory against them.
+	PR7BaselineExplPerSec   float64 `json:"pr7_baseline_explanations_per_sec"`
+	PR7BaselineCallsPerExpl float64 `json:"pr7_baseline_model_calls_per_explanation"`
+	SpeedupVsPR7Baseline    float64 `json:"speedup_vs_pr7_baseline"`
+	QuestionReductionVsPR7  float64 `json:"question_reduction_vs_pr7_baseline"`
+	// The featurization microbench: one DeepMatcher attribute block
+	// through the tokenize-once path (matchers.AttrBlock) vs the
+	// re-tokenizing reference (matchers.AttrBlockRef), embeddings
+	// memoized as in production.
+	FeaturizeNSPerOp          float64 `json:"featurize_ns_per_op"`
+	FeaturizeReferenceNSPerOp float64 `json:"featurize_reference_ns_per_op"`
+	FeaturizeSpeedup          float64 `json:"featurize_speedup"`
 }
 
 // scoringMetrics is the "scoring" section of BENCH_explain.json: what
@@ -267,6 +318,17 @@ type serveMetrics struct {
 	// SharedCacheHitRate is the server-side score cache's hit rate over
 	// the whole load.
 	SharedCacheHitRate float64 `json:"shared_cache_hit_rate"`
+	// FlipLookups / FlipHits / FlipMemoHitRate are the service's
+	// flip-outcome memo counters over the whole load. Within a single
+	// cold explanation the memo structurally hits on only a few percent
+	// of questions (each batch settles most of its questions locally
+	// under the view lock; see the scoring section's one-pass rate) —
+	// the memo's payoff is RE-explanation, which this load exercises by
+	// cycling the pairs: every warm pass answers its lattice questions
+	// from the memo without touching the model.
+	FlipLookups     int     `json:"flip_lookups"`
+	FlipHits        int     `json:"flip_hits"`
+	FlipMemoHitRate float64 `json:"flip_memo_hit_rate"`
 }
 
 // indexMetrics is the "index" section of BENCH_explain.json: what the
@@ -322,6 +384,14 @@ type anytimePoint struct {
 // scoring section's end-to-end speedup is measured against.
 const pr5BaselineExplPerSec = 7.27
 
+// The PR 7 exact-mode anchors from its BENCH_explain.json (-parallelism
+// 4): the throughput and per-explanation question count the pruning
+// section's trajectory is measured against.
+const (
+	pr7BaselineExplPerSec   = 30.79
+	pr7BaselineCallsPerExpl = 4150.7
+)
+
 // parseBudgets parses the -call-budget sweep list.
 func parseBudgets(s string) ([]int, error) {
 	if s == "" {
@@ -344,8 +414,11 @@ func parseBudgets(s string) ([]int, error) {
 // as JSON. deadline applies Options.Deadline to the main run; budgets
 // adds the anytime quality-vs-budget curve, each sweep point explaining
 // the same workload under its own fresh scoring service (the serving
-// scenario a budgeted deployment would run).
-func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Duration, budgets []int, serveReqs, serveConc int) error {
+// scenario a budgeted deployment would run). prune > 0 adds the pruned
+// pass (the "pruning" section), whose saliency agreement is measured
+// against the main run — run it without -deadline so that reference is
+// the exact exploration.
+func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Duration, budgets []int, prune float64, serveReqs, serveConc int) error {
 	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{
 		Seed: seed, MaxRecords: 120, MaxMatches: 60,
 	})
@@ -515,6 +588,53 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 		SpeedupVsPR5:            m.ExplanationsPerSec / pr5BaselineExplPerSec,
 	}
 
+	// The pruning probe: the same workload under Options.LatticePrune on
+	// a fresh scoring service (both passes pay their own model calls),
+	// with saliency fidelity measured against the exact main run.
+	if prune > 0 {
+		// MinLevels 1 lets the cut fire on narrow schemas: the AB
+		// benchmark has 3 attributes, so its lattices only explore
+		// levels 1..2 and the engine default (MinLevels 2) leaves no
+		// level at which a cut could still skip anything.
+		policy := certa.PrunePolicy{Threshold: prune, MinLevels: 1}
+		psvc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+		pstart := time.Now()
+		prunedResults, err := certa.ExplainBatch(model, bench.Left, bench.Right, pairs, certa.Options{
+			Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: psvc,
+			Retrieval: idx, LatticePrune: policy,
+		})
+		if err != nil {
+			return err
+		}
+		pwall := time.Since(pstart).Seconds()
+		var prunedCalls, prunedQueries float64
+		for _, res := range prunedResults {
+			prunedCalls += float64(res.Diag.ModelCalls)
+			prunedQueries += float64(res.Diag.PrunedQueries)
+		}
+		ps := eval.SummarizeAnytime(prunedResults, results)
+		featNS, featRefNS := featurizeMicrobench()
+		m.Pruning = &pruningMetrics{
+			Threshold:                 policy.Threshold,
+			MinLevels:                 policy.MinLevels,
+			WallSeconds:               pwall,
+			ExplanationsPerSec:        n / pwall,
+			SpeedupVsExact:            (n / pwall) / m.ExplanationsPerSec,
+			ModelCallsPerExpl:         prunedCalls / n,
+			QuestionReduction:         m.ModelCallsPerExpl / (prunedCalls / n),
+			PrunedQueriesPerExpl:      prunedQueries / n,
+			SaliencyTop2Agreement:     ps.Top2Agreement,
+			CFValidity:                ps.CFValidity,
+			PR7BaselineExplPerSec:     pr7BaselineExplPerSec,
+			PR7BaselineCallsPerExpl:   pr7BaselineCallsPerExpl,
+			SpeedupVsPR7Baseline:      (n / pwall) / pr7BaselineExplPerSec,
+			QuestionReductionVsPR7:    pr7BaselineCallsPerExpl / (prunedCalls / n),
+			FeaturizeNSPerOp:          featNS,
+			FeaturizeReferenceNSPerOp: featRefNS,
+			FeaturizeSpeedup:          featRefNS / featNS,
+		}
+	}
+
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -531,9 +651,10 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 			m.Index.RetrievalSpeedup, m.ExplanationsPerSec, m.Index.ScanExplanationsPerSec, m.Index.SpeedupVsScan)
 	}
 	if m.Serve != nil {
-		fmt.Fprintf(os.Stderr, "certa-bench: serve probe: %.1f req/s over %d requests (conc %d), p50 %.1fms, p99 %.1fms, %d coalesced, cache hit rate %.1f%%\n",
+		fmt.Fprintf(os.Stderr, "certa-bench: serve probe: %.1f req/s over %d requests (conc %d), p50 %.1fms, p99 %.1fms, %d coalesced, cache hit rate %.1f%%, flip memo hit rate %.1f%%\n",
 			m.Serve.ServeThroughput, m.Serve.Requests, m.Serve.Concurrency,
-			m.Serve.P50MS, m.Serve.P99MS, m.Serve.Coalesced, 100*m.Serve.SharedCacheHitRate)
+			m.Serve.P50MS, m.Serve.P99MS, m.Serve.Coalesced, 100*m.Serve.SharedCacheHitRate,
+			100*m.Serve.FlipMemoHitRate)
 	}
 	if m.Scoring != nil {
 		fmt.Fprintf(os.Stderr, "certa-bench: scoring probe: forward pass %.1fx (%.0f -> %.0f ns/row), embedding store hit rate %.1f%%, flip memo %d/%d hits, %.2fx vs PR 5 baseline %.2f expl/s\n",
@@ -541,7 +662,47 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 			100*m.Scoring.EmbeddingStoreHitRate, m.Scoring.FlipHits, m.Scoring.FlipLookups,
 			m.Scoring.SpeedupVsPR5, m.Scoring.PR5BaselineExplPerSec)
 	}
+	if m.Pruning != nil {
+		fmt.Fprintf(os.Stderr, "certa-bench: pruning probe: threshold %.2f: %.1f expl/s (%.2fx exact, %.2fx vs PR 7 baseline %.2f), %.0f calls/expl (%.2fx fewer questions), top-2 agreement %.3f, featurize %.0f -> %.0f ns/block (%.2fx)\n",
+			m.Pruning.Threshold, m.Pruning.ExplanationsPerSec, m.Pruning.SpeedupVsExact,
+			m.Pruning.SpeedupVsPR7Baseline, m.Pruning.PR7BaselineExplPerSec,
+			m.Pruning.ModelCallsPerExpl, m.Pruning.QuestionReduction, m.Pruning.SaliencyTop2Agreement,
+			m.Pruning.FeaturizeReferenceNSPerOp, m.Pruning.FeaturizeNSPerOp, m.Pruning.FeaturizeSpeedup)
+	}
 	return nil
+}
+
+// featurizeMicrobench times one DeepMatcher attribute block — the
+// featurization hot path at high embedding-store hit rates — through
+// the tokenize-once production path (matchers.AttrBlock) and the
+// re-tokenizing reference (matchers.AttrBlockRef) on a representative
+// product-title pair, with embeddings memoized as the persistent store
+// does in production.
+func featurizeMicrobench() (nsPerOp, refNSPerOp float64) {
+	emb := embedding.New(16)
+	emb.Fit([]string{"sony dcr trv27 minidv handycam", "canon zr60 digital camcorder 3.99"})
+	memo := make(map[string][]float64)
+	text := func(s string) []float64 {
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		v := emb.Text(s)
+		memo[s] = v
+		return v
+	}
+	lv := "Sony DCR-TRV27 MiniDV Handycam Camcorder w/ 2.5\" LCD"
+	rv := "sony dcr trv27 minidv digital handycam camcorder 690 usd"
+	const iters = 20000
+	dst := make([]float64, 0, 8)
+	timeBlock := func(block func([]float64, func(string) []float64, string, string) []float64) float64 {
+		dst = block(dst[:0], text, lv, rv) // warm-up settles the embedding memo
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			dst = block(dst[:0], text, lv, rv)
+		}
+		return float64(time.Since(start)) / float64(iters)
+	}
+	return timeBlock(matchers.AttrBlock), timeBlock(matchers.AttrBlockRef)
 }
 
 // runServeLoad is the load-generator mode: it stands the serving
@@ -612,6 +773,9 @@ func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pa
 		Coalesced:          st.Coalesced,
 		Rejected:           st.Rejected,
 		SharedCacheHitRate: st.Backends["AB"].HitRate,
+		FlipLookups:        st.Backends["AB"].FlipLookups,
+		FlipHits:           st.Backends["AB"].FlipHits,
+		FlipMemoHitRate:    st.Backends["AB"].FlipHitRate,
 	}, nil
 }
 

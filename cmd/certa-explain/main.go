@@ -40,11 +40,13 @@ func main() {
 		callBudget = flag.Int("call-budget", 0, "anytime cap on unique model calls (0 = unlimited); a tripped budget returns the best-so-far explanation")
 		deadline   = flag.Duration("deadline", 0, "anytime soft wall-clock allowance for the explanation (0 = none)")
 		augBudget  = flag.Int("augment-budget", 0, "token-drop variants the augmented-support search may try per missing support (0 = default 200)")
+		prune      = flag.Float64("lattice-prune", 0, "lattice pruning threshold: stop exploring a lattice once a completed level's flip fraction reaches this (0 = exact exploration)")
+		pruneMin   = flag.Int("lattice-prune-min-levels", 0, "levels that must be fully explored before -lattice-prune may cut (0 = default 2; narrow schemas need 1: a 3-attribute lattice only has levels 1..2)")
 		jsonOut    = flag.Bool("json", false, "emit the explanation as the server's ExplainResponse JSON document on stdout")
 	)
 	flag.Parse()
 
-	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *parallel, *seed, *records, *matches, *tokens, *saveModel, *loadModel, *callBudget, *deadline, *augBudget, *jsonOut); err != nil {
+	if err := run(*ds, *model, *pairIdx, *wrong, *triangles, *parallel, *seed, *records, *matches, *tokens, *saveModel, *loadModel, *callBudget, *deadline, *augBudget, *prune, *pruneMin, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "certa-explain: %v\n", err)
 		os.Exit(1)
 	}
@@ -71,7 +73,7 @@ func (c *checkedWriter) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, seed int64, records, matches int, tokens bool, saveModel, loadModel string, callBudget int, deadline time.Duration, augBudget int, jsonOut bool) error {
+func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, seed int64, records, matches int, tokens bool, saveModel, loadModel string, callBudget int, deadline time.Duration, augBudget int, prune float64, pruneMin int, jsonOut bool) error {
 	// Human-readable progress goes to stdout normally, to stderr in
 	// -json mode (stdout then carries exactly one JSON document).
 	cw := &checkedWriter{w: os.Stdout}
@@ -151,6 +153,7 @@ func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, see
 	explainer := certa.New(bench.Left, bench.Right, certa.Options{
 		Triangles: triangles, Seed: seed, Parallelism: parallel,
 		CallBudget: callBudget, Deadline: deadline, AugmentBudget: augBudget,
+		LatticePrune: certa.PrunePolicy{Threshold: prune, MinLevels: pruneMin},
 	})
 	res, err := explainer.Explain(m, target.Pair)
 	if err != nil {
@@ -218,6 +221,10 @@ func run(ds, model string, pairIdx int, wrong bool, triangles, parallel int, see
 	fmt.Fprintf(out, "batched scoring: %d lookups in %d batches, %d unique model calls, cache hit rate %.1f%% (seed path: %d calls)\n",
 		res.Diag.CacheLookups, res.Diag.BatchCalls, res.Diag.ModelCalls,
 		100*res.Diag.CacheHitRate(), res.Diag.SeedPathCalls)
+	if res.Diag.PrunedQueries > 0 {
+		fmt.Fprintf(out, "lattice pruning: %d questions skipped across %d unexplored levels\n",
+			res.Diag.PrunedQueries, res.Diag.PruneLevels)
+	}
 	if cw.err != nil {
 		return fmt.Errorf("writing to stdout: %w", cw.err)
 	}

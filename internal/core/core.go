@@ -131,6 +131,26 @@ type Options struct {
 	// MaxLatticeAttrs guards against schemas too wide for power-set
 	// exploration (default 12; the paper's benchmarks have at most 8).
 	MaxLatticeAttrs int
+	// LatticePrune cuts lattice exploration early: after each fully
+	// explored level, a lattice whose level flip fraction reaches the
+	// policy threshold stops asking questions (lattice.PrunePolicy —
+	// see its comment for why saturated lattices, not flip-poor ones,
+	// are the safe cut). It also shortens the augmented triangle
+	// search's barren-stream patience (see prunePatience). The zero
+	// value is off and leaves every result byte-identical to an
+	// unpruned run.
+	//
+	// Determinism story: pruning decisions are a pure function of each
+	// lattice's own oracle answers — never shared-cache hit patterns,
+	// scheduling or Parallelism — so a pruned explanation is itself
+	// byte-identical at any Parallelism and with or without a shared
+	// service. What changes under pruning is the estimator, exactly as
+	// with anytime truncation: saliency and sufficiency are computed from
+	// the levels actually explored, and Diagnostics grow
+	// PrunedQueries/PruneLevels recording what the cut skipped. Quality
+	// is gated by measured saliency agreement against the exact run (see
+	// certa-bench's "pruning" section), not assumed.
+	LatticePrune lattice.PrunePolicy
 	// Shared injects a shared scoring service (scorecache.NewService)
 	// reused across explanations: every distinct pair content is scored
 	// once per service lifetime instead of once per explanation. The
@@ -282,6 +302,14 @@ type Diagnostics struct {
 	// TruncatedBy names the limit that tripped first: TruncatedByCallBudget
 	// or TruncatedByDeadline. Empty when Truncated is false.
 	TruncatedBy string `json:"truncated_by,omitempty"`
+	// PrunedQueries counts lattice questions skipped by
+	// Options.LatticePrune: nodes above a lattice's prune cut that neither
+	// monotone propagation nor the oracle ever settled. PruneLevels totals
+	// the levels those cuts skipped across all lattices of the
+	// explanation. Both are zero (and absent on the wire) when pruning is
+	// off, keeping default output byte-identical to an unpruned build.
+	PrunedQueries int `json:"pruned_queries,omitempty"`
+	PruneLevels   int `json:"prune_levels,omitempty"`
 	// BudgetSpent is the unique model calls charged against CallBudget —
 	// the explanation's private-view misses, equal to ModelCalls. It is
 	// reported separately so budget accounting reads explicitly.
@@ -524,27 +552,51 @@ func (e *Explainer) exploreSide(ctx context.Context, bud *runBudget, prog *progr
 		return counts, nil
 	}
 
+	// The oracle needs classes, not scores, and most questions repeat
+	// perturbations some lattice already asked: the keyers assemble each
+	// question's canonical cache key without cloning a record, so the
+	// score cache and the shared flip memo answer known subsets with zero
+	// materialization — pairs are built only for true misses, with
+	// identical answers and identical per-explanation accounting.
+	keyers := make([]*scorecache.PerturbKeyer, len(supports))
+	for i, w := range supports {
+		keyers[i] = scorecache.NewPerturbKeyer(p, side, w)
+	}
 	oracle := func(qs []lattice.Query) ([]bool, error) {
-		pairs := make([]record.Pair, len(qs))
+		keys := make([]string, len(qs))
 		for i, q := range qs {
-			pairs[i] = perturb(p, side, supports[q.Lattice], counts.attrs, q.Mask)
+			keys[i] = keyers[q.Lattice].Key(uint32(q.Mask))
 		}
-		// The oracle needs classes, not scores: ScoreFlipsContext lets the
-		// shared flip memo answer subsets another explanation already
-		// settled without a score fetch or model call, with identical
-		// answers and identical per-explanation accounting.
-		return sc.ScoreFlipsContext(ctx, pairs, y)
+		return sc.ScoreFlipsKeyedContext(ctx, keys, y, func(i int) record.Pair {
+			q := qs[i]
+			return perturb(p, side, supports[q.Lattice], counts.attrs, q.Mask)
+		})
 	}
 
 	before := sc.Stats().Misses
-	results, err := lattice.ExploreMany(n, len(supports), oracle, !e.opts.NoMonotone, bud.exhausted)
+	results, err := lattice.ExploreManyOpts(n, len(supports), oracle, lattice.ExploreOptions{
+		Monotone: !e.opts.NoMonotone,
+		Stop:     bud.exhausted,
+		Prune:    e.opts.LatticePrune,
+	})
 	if err != nil {
 		return nil, err
 	}
 	diag.LatticePredictions += sc.Stats().Misses - before
-	truncated := len(results) > 0 && results[0].Truncated
+	// A pruned lattice is complete by policy, never Truncated; with
+	// pruning on, the budget checkpoint may have marked some lattices
+	// Truncated while others had already pruned themselves out.
+	truncated := false
+	levelsDone := 0
+	for _, lr := range results {
+		if lr.Truncated {
+			truncated = true
+			levelsDone = lr.LevelsDone
+			break
+		}
+	}
 	if truncated && n > 1 {
-		prog.phase(float64(results[0].LevelsDone) / float64(n-1))
+		prog.phase(float64(levelsDone) / float64(n-1))
 	} else {
 		prog.phase(1)
 	}
@@ -555,6 +607,13 @@ func (e *Explainer) exploreSide(ctx context.Context, bud *runBudget, prog *progr
 		// or cache counter sees them.
 		raw := sc.Underlying()
 		for idx, lr := range results {
+			if lr.Pruned {
+				// A pruned lattice deliberately left nodes untagged;
+				// CompareExact would charge those as wrong inferences, which
+				// they are not — they are the policy's accepted unknowns,
+				// reported via PrunedQueries instead.
+				continue
+			}
 			w := supports[idx]
 			exact := func(mask lattice.Mask) bool {
 				perturbed := perturb(p, side, w, counts.attrs, mask)
@@ -569,6 +628,10 @@ func (e *Explainer) exploreSide(ctx context.Context, bud *runBudget, prog *progr
 	for idx, lr := range results {
 		diag.LatticeQueries += lr.Performed
 		diag.ExpectedPredictions += lr.Expected
+		if lr.Pruned {
+			diag.PrunedQueries += lr.PrunedQueries
+			diag.PruneLevels += (n - 1) - lr.LevelsDone
+		}
 		for _, mask := range lr.Flipped() {
 			counts.flips++
 			for _, ai := range mask.Elems() {

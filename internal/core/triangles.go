@@ -81,6 +81,17 @@ const maxSearchChunk = 256
 // flip before the stream is declared hopeless.
 const augmentPatience = 20
 
+// prunePatience replaces augmentPatience when Options.LatticePrune is
+// enabled. A barren candidate record costs a full token-drop fan-out
+// (tens of scored variants) before patience ticks, so the exact mode's
+// 20-record tail is the single largest cost on sides where supports are
+// scarce. Cutting it to 6 is the LEMON-style budget cut of the pruned
+// mode: selection stays a pure function of (pair, sources, Seed) — so
+// results remain byte-identical at any Parallelism — and the saliency
+// cost of the shorter tail is gated by certa-bench's measured top-2
+// agreement against the exact run, not assumed.
+const prunePatience = 6
+
 // supportScan selects the first `want` eligible candidates of a
 // deterministic stream, scoring the stream in geometrically growing
 // chunks through the cached batch scorer. The selection is identical to
@@ -235,12 +246,20 @@ func (s *supportScan) finish() []*record.Record {
 // serving-shaped workload: many candidate pairs per query record) scan
 // the same candidates in the same order, so a shared scoring service
 // answers the repeat scans from its store.
+//
+// The shuffle is deliberately kept in pruned mode too: on sides where
+// eligible candidates are scarce, any ordering scans the full stream
+// anyway, and on dense sides a relevance reordering changes which
+// supports are selected — a set divergence the pruned mode's agreement
+// gate would then have to absorb for no measured call savings.
 func (e *Explainer) naturalSupports(ctx context.Context, bud *runBudget, prog *progress, sc *scorecache.Scorer, p record.Pair, y bool, side record.Side, want int, calls, seedCalls *int) ([]*record.Record, error) {
 	self := p.Record(side)
 	fixed := p.Record(side.Opposite())
-	stream := e.sources.Side(side).Shuffled(e.opts.Seed*131 + int64(side) + int64(hashString(fixed.Text())))
+	src := e.sources.Side(side)
+	seed := e.opts.Seed*131 + int64(side) + int64(hashString(fixed.Text()))
 
 	scan := newSupportScan(ctx, bud, sc, p, side, y, want)
+	stream := src.Shuffled(seed)
 	for !scan.done {
 		w, ok := stream.Next()
 		if !ok {
@@ -294,10 +313,14 @@ func (e *Explainer) augmentedSupports(ctx context.Context, bud *runBudget, prog 
 		// Non-Match, dissimilar records flip fastest. The seeded shuffle
 		// remains the tie-break, so Seed still diversifies selection.
 		stream = src.Ranked(seed, fixed.Text(), y /* ascending overlap when seeking Non-Match */)
-		// Abandon streams that yield nothing: after 20 consecutive
+		// Abandon streams that yield nothing: after this many consecutive
 		// candidate records' worth of ineligible variants, no support is
 		// coming from the rest of the (relevance-ranked) stream either.
+		// Pruned mode gives up sooner; see prunePatience.
 		scan.patience = augmentPatience
+		if e.opts.LatticePrune.Enabled() {
+			scan.patience = prunePatience
+		}
 	}
 	generated := 0
 	augID := 0

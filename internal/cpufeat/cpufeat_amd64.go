@@ -1,0 +1,11 @@
+//go:build amd64
+
+package cpufeat
+
+// cpuHasAVX reports whether the CPU and OS support AVX (CPUID feature
+// flags plus XGETBV confirmation that the OS saves YMM state).
+// Implemented in cpufeat_amd64.s.
+func cpuHasAVX() bool
+
+// AVX reports AVX support, detected once at process start.
+var AVX = cpuHasAVX()

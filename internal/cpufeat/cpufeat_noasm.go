@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package cpufeat
+
+// AVX is always false off amd64; every kernel user takes its pure-Go
+// fallback.
+const AVX = false

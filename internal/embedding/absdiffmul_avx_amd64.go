@@ -1,0 +1,19 @@
+//go:build amd64
+
+package embedding
+
+import "certa/internal/cpufeat"
+
+// useAVX gates the assembly kernels at process start.
+var useAVX = cpufeat.AVX
+
+// absDiffMulAVX computes diff[i] = |a[i]-b[i]| and prod[i] = a[i]*b[i]
+// for the first n elements, four per YMM iteration. n must be a positive
+// multiple of 4; the caller finishes any remainder in Go. The absolute
+// value replicates the scalar branch exactly — negate only where
+// (a-b) < 0 — via compare-and-blend rather than clearing the sign bit,
+// so -0 and NaN results carry the same bits as the scalar path.
+// Implemented in absdiffmul_avx_amd64.s.
+//
+//go:noescape
+func absDiffMulAVX(a, b, diff, prod *float64, n int)

@@ -1,0 +1,47 @@
+//go:build amd64
+
+#include "textflag.h"
+
+DATA signmask<>+0(SB)/8, $0x8000000000000000
+DATA signmask<>+8(SB)/8, $0x8000000000000000
+DATA signmask<>+16(SB)/8, $0x8000000000000000
+DATA signmask<>+24(SB)/8, $0x8000000000000000
+GLOBL signmask<>(SB), RODATA|NOPTR, $32
+
+// func absDiffMulAVX(a, b, diff, prod *float64, n int)
+//
+// Four elements per iteration: d = a-b, then blend in -d exactly where
+// d < 0 (ordered compare, so NaN keeps the subtraction's own result and
+// -0 survives, matching the scalar branch bit for bit), and the Hadamard
+// product. Element-wise only — no cross-lane reduction — so
+// vectorization cannot reorder any floating-point operation.
+//
+// Register plan:
+//   DI = a   SI = b   R8 = diff   R9 = prod   CX = remaining count
+//   Y7 = sign mask    Y6 = zeros
+TEXT ·absDiffMulAVX(SB), NOSPLIT, $0-40
+	MOVQ	a+0(FP), DI
+	MOVQ	b+8(FP), SI
+	MOVQ	diff+16(FP), R8
+	MOVQ	prod+24(FP), R9
+	MOVQ	n+32(FP), CX
+	VMOVUPD	signmask<>(SB), Y7
+	VXORPD	Y6, Y6, Y6
+loop:
+	VMOVUPD	(DI), Y0
+	VMOVUPD	(SI), Y1
+	VSUBPD	Y1, Y0, Y2	// d = a-b
+	VXORPD	Y7, Y2, Y3	// -d
+	VCMPPD	$1, Y6, Y2, Y4	// d < 0 (LT_OS: false for NaN)
+	VBLENDVPD	Y4, Y3, Y2, Y5
+	VMOVUPD	Y5, (R8)
+	VMULPD	Y1, Y0, Y5	// a*b
+	VMOVUPD	Y5, (R9)
+	ADDQ	$32, DI
+	ADDQ	$32, SI
+	ADDQ	$32, R8
+	ADDQ	$32, R9
+	SUBQ	$4, CX
+	JNZ	loop
+	VZEROUPPER
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package embedding
+
+// useAVX is always false off amd64; AbsDiffMul runs the scalar path.
+const useAVX = false
+
+func absDiffMulAVX(a, b, diff, prod *float64, n int) {
+	panic("embedding: absDiffMulAVX called without amd64 kernel")
+}

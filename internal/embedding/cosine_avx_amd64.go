@@ -1,0 +1,28 @@
+//go:build amd64
+
+package embedding
+
+// cosineAccumAVX accumulates out[0] = Σ a[i]·b[i], out[1] = Σ a[i]²,
+// out[2] = Σ b[i]² over the first n elements. The three sums are
+// independent accumulator lanes that walk i strictly in order — each
+// addition is the same IEEE operation, in the same sequence, as the
+// scalar loop's, so every result is bit-identical to cosineAccumGeneric
+// (no FMA, no lane reassociation). Requires n > 0 and both slices at
+// least n long. Implemented in cosine_avx_amd64.s.
+//
+// The kernel is correct but NOT dispatched: a reduction whose additions
+// must stay in scalar order is latency-bound at one dependent add per
+// element per lane, the very bound the compiler's scalar loop already
+// sits on, and the lane-packing shuffles only add overhead (measured
+// ~60 vs ~40 ns at dim 64, and ~2x slower at dims 32–512; see
+// BenchmarkCosine). It is kept, gated and bit-identity-tested as the
+// record of that measurement; the dispatched SIMD win lives in the
+// element-wise featurization kernel (absdiffmul_avx_amd64.s), where no
+// ordering constraint applies.
+//
+//go:noescape
+func cosineAccumAVX(a, b *float64, n int, out *float64)
+
+func cosineAccum(a, b []float64) (dot, na, nb float64) {
+	return cosineAccumGeneric(a, b)
+}

@@ -1,0 +1,64 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cosineAccumAVX(a, b *float64, n int, out *float64)
+//
+// Three accumulator lanes walk the input index strictly in order:
+// X2 = [na, nb] (one VMULPD/VADDPD pair covers both squares of the
+// iteration) and X0 = [dot] scalar. Separate multiply and add — never
+// FMA — so each lane's sequence of IEEE operations is exactly the
+// scalar loop's and the results are bit-identical to cosineAccumGeneric.
+// The loop is unrolled two elements deep with disjoint scratch
+// registers; the unroll does not reorder any lane's additions.
+//
+// Register plan:
+//   DI = a cursor   SI = b cursor   CX = remaining count   DX = out
+//   X8/X10 = [a, b] per element     X9/X11 = [b, a] shuffles
+//   X12..X15 = products scratch
+TEXT ·cosineAccumAVX(SB), NOSPLIT, $0-32
+	MOVQ	a+0(FP), DI
+	MOVQ	b+8(FP), SI
+	MOVQ	n+16(FP), CX
+	MOVQ	out+24(FP), DX
+	VXORPD	X0, X0, X0	// [dot, -]
+	VXORPD	X2, X2, X2	// [na, nb]
+
+pair:
+	CMPQ	CX, $2
+	JLT	tail
+	VMOVSD	(DI), X8
+	VMOVHPD	(SI), X8, X8	// [a0, b0]
+	VMOVSD	8(DI), X10
+	VMOVHPD	8(SI), X10, X10	// [a1, b1]
+	VMULPD	X8, X8, X12	// [a0², b0²]
+	VADDPD	X12, X2, X2
+	VPERMILPD	$1, X8, X9	// [b0, a0]
+	VMULSD	X9, X8, X13	// a0·b0
+	VADDSD	X13, X0, X0
+	VMULPD	X10, X10, X14	// [a1², b1²]
+	VADDPD	X14, X2, X2
+	VPERMILPD	$1, X10, X11	// [b1, a1]
+	VMULSD	X11, X10, X15	// a1·b1
+	VADDSD	X15, X0, X0
+	ADDQ	$16, DI
+	ADDQ	$16, SI
+	SUBQ	$2, CX
+	JMP	pair
+
+tail:
+	TESTQ	CX, CX
+	JZ	store
+	VMOVSD	(DI), X8
+	VMOVHPD	(SI), X8, X8	// [a, b]
+	VMULPD	X8, X8, X12	// [a², b²]
+	VADDPD	X12, X2, X2
+	VPERMILPD	$1, X8, X9	// [b, a]
+	VMULSD	X9, X8, X13	// a·b
+	VADDSD	X13, X0, X0
+
+store:
+	VMOVSD	X0, 0(DX)	// dot
+	VMOVUPD	X2, 8(DX)	// na, nb
+	VZEROUPPER
+	RET

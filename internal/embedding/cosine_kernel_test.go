@@ -1,0 +1,81 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCosineAccumKernelBitIdentical is the kernel's correctness gate: on
+// hardware where the AVX path runs, every accumulator must match the
+// pure-Go reference bit for bit — same IEEE operations in the same
+// order, no FMA contraction, no lane reassociation. On machines (or
+// architectures) without the kernel the comparison is trivially true,
+// so the test is portable.
+func TestCosineAccumKernelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(300)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			// Mix magnitudes so rounding actually exercises the order of
+			// operations; include exact zeros and negatives.
+			a[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+			b[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+			if rng.Intn(17) == 0 {
+				a[i] = 0
+			}
+			if rng.Intn(17) == 0 {
+				b[i] = 0
+			}
+		}
+		gd, gna, gnb := cosineAccumGeneric(a, b)
+		kd, kna, knb := cosineAccum(a, b)
+		if math.Float64bits(gd) != math.Float64bits(kd) ||
+			math.Float64bits(gna) != math.Float64bits(kna) ||
+			math.Float64bits(gnb) != math.Float64bits(knb) {
+			t.Fatalf("n=%d: kernel (%x,%x,%x) != generic (%x,%x,%x)", n,
+				math.Float64bits(kd), math.Float64bits(kna), math.Float64bits(knb),
+				math.Float64bits(gd), math.Float64bits(gna), math.Float64bits(gnb))
+		}
+	}
+}
+
+// TestCosineZeroVectors pins the zero-norm contract across both paths.
+func TestCosineZeroVectors(t *testing.T) {
+	z := make([]float64, 8)
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := Cosine(z, v); got != 0 {
+		t.Fatalf("Cosine(0, v) = %v, want 0", got)
+	}
+	if got := Cosine(v, z); got != 0 {
+		t.Fatalf("Cosine(v, 0) = %v, want 0", got)
+	}
+	if got := Cosine(nil, nil); got != 0 {
+		t.Fatalf("Cosine(nil, nil) = %v, want 0", got)
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.Run("kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Cosine(x, y)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dot, na, nb := cosineAccumGeneric(x, y)
+			if na != 0 && nb != 0 {
+				_ = dot / math.Sqrt(na*nb)
+			}
+		}
+	})
+}

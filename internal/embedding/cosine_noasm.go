@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package embedding
+
+func cosineAccum(a, b []float64) (dot, na, nb float64) {
+	return cosineAccumGeneric(a, b)
+}

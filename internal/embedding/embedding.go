@@ -102,16 +102,22 @@ func (e *Embedder) Text(s string) []float64 {
 // Cosine is the cosine similarity between two embeddings, 0 when either
 // is the zero vector.
 func Cosine(a, b []float64) float64 {
-	var dot, na, nb float64
+	dot, na, nb := cosineAccum(a, b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// cosineAccumGeneric is the pure-Go accumulator and the reference the
+// amd64 kernel must match bit-for-bit (TestCosineAccumKernelBitIdentical).
+func cosineAccumGeneric(a, b []float64) (dot, na, nb float64) {
 	for i := range a {
 		dot += a[i] * b[i]
 		na += a[i] * a[i]
 		nb += b[i] * b[i]
 	}
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return dot / math.Sqrt(na*nb)
+	return dot, na, nb
 }
 
 // addHashed adds weight * unitHash(s) into v using a splitmix64 stream

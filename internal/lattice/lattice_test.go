@@ -43,7 +43,7 @@ func monotoneOracle(minimal ...Mask) Oracle {
 // indexed N=0, D=1, P=2.
 func TestExploreFigure9a(t *testing.T) {
 	oracle := monotoneOracle(MaskOf(0), MaskOf(1))
-	res := Explore(3, oracle, true)
+	res := mustExplore(t, 3, oracle, true)
 	// Performed: only the three singletons (everything above is inferred).
 	if res.Performed != 3 {
 		t.Errorf("Performed = %d, want 3", res.Performed)
@@ -61,7 +61,7 @@ func TestExploreFigure9a(t *testing.T) {
 // Figure 9(b): N flips alone; D and P only flip together.
 func TestExploreFigure9b(t *testing.T) {
 	oracle := monotoneOracle(MaskOf(0), MaskOf(1, 2))
-	res := Explore(3, oracle, true)
+	res := mustExplore(t, 3, oracle, true)
 	// Tested: singletons N, D, P plus the pair {D,P} = 4 calls
 	// ({N,D} and {N,P} are inferred from {N}).
 	if res.Performed != 4 {
@@ -80,7 +80,7 @@ func TestExploreFigure9b(t *testing.T) {
 // Figure 9(c): only N flips; {D,P} tested and does not flip.
 func TestExploreFigure9c(t *testing.T) {
 	oracle := monotoneOracle(MaskOf(0))
-	res := Explore(3, oracle, true)
+	res := mustExplore(t, 3, oracle, true)
 	if res.Performed != 4 {
 		t.Errorf("Performed = %d, want 4", res.Performed)
 	}
@@ -97,7 +97,7 @@ func TestExploreFigure9c(t *testing.T) {
 // Figure 9(d): no singleton flips; all pairs flip.
 func TestExploreFigure9d(t *testing.T) {
 	oracle := monotoneOracle(MaskOf(0, 1), MaskOf(0, 2), MaskOf(1, 2))
-	res := Explore(3, oracle, true)
+	res := mustExplore(t, 3, oracle, true)
 	// Tested: 3 singletons + 3 pairs = 6.
 	if res.Performed != 6 {
 		t.Errorf("Performed = %d, want 6", res.Performed)
@@ -123,7 +123,7 @@ func TestFigure9TotalFlips(t *testing.T) {
 	}
 	total := 0
 	for _, o := range oracles {
-		total += len(Explore(3, o, true).Flipped())
+		total += len(mustExplore(t, 3, o, true).Flipped())
 	}
 	if total != 19 {
 		t.Errorf("total flips = %d, want 19 (paper §4 example)", total)
@@ -132,7 +132,7 @@ func TestFigure9TotalFlips(t *testing.T) {
 
 func TestExploreNoFlips(t *testing.T) {
 	oracle := func(Mask) bool { return false }
-	res := Explore(3, oracle, true)
+	res := mustExplore(t, 3, oracle, true)
 	if res.Performed != res.Expected {
 		t.Errorf("Performed = %d, want %d (nothing inferable)", res.Performed, res.Expected)
 	}
@@ -147,7 +147,7 @@ func TestExploreNoFlips(t *testing.T) {
 func TestExploreExactMode(t *testing.T) {
 	calls := 0
 	oracle := func(m Mask) bool { calls++; return m.Contains(0) }
-	res := Explore(3, oracle, false)
+	res := mustExplore(t, 3, oracle, false)
 	if res.Performed != res.Expected || calls != res.Expected {
 		t.Errorf("exact mode should test all %d nodes, did %d", res.Expected, res.Performed)
 	}
@@ -163,21 +163,41 @@ func TestExploreExactMode(t *testing.T) {
 	}
 }
 
-func TestExplorePanicsOnBadN(t *testing.T) {
-	for _, n := range []int{0, -1, MaxElements + 1} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Explore(%d) should panic", n)
-				}
-			}()
-			Explore(n, func(Mask) bool { return false }, true)
-		}()
+// Regression test for the n-bound satellite: an out-of-range element
+// count is an explicit error from Explore and ExploreMany — never a
+// panic, never a silently truncated lattice.
+func TestExploreErrorsOnBadN(t *testing.T) {
+	oracle := func(Mask) bool { return false }
+	for _, n := range []int{0, -1, MaxElements + 1, maskBits, maskBits + 1, 64} {
+		res, err := Explore(n, oracle, true)
+		if err == nil || res != nil {
+			t.Errorf("Explore(%d) = (%v, %v), want explicit error", n, res, err)
+		}
+		many, err := ExploreMany(n, 2, func(qs []Query) ([]bool, error) {
+			return make([]bool, len(qs)), nil
+		}, true, nil)
+		if err == nil || many != nil {
+			t.Errorf("ExploreMany(%d) = (%v, %v), want explicit error", n, many, err)
+		}
+	}
+	// The valid range still works and never errors.
+	if _, err := Explore(MaxElements, oracle, true); err != nil {
+		t.Errorf("Explore(MaxElements) errored: %v", err)
 	}
 }
 
+// mustExplore unwraps Explore for the valid-n test fixtures.
+func mustExplore(tb testing.TB, n int, oracle Oracle, monotone bool) *Result {
+	tb.Helper()
+	res, err := Explore(n, oracle, monotone)
+	if err != nil {
+		tb.Fatalf("Explore(%d): %v", n, err)
+	}
+	return res
+}
+
 func TestExploreSingleElement(t *testing.T) {
-	res := Explore(1, func(Mask) bool { t.Fatal("oracle must not be called for n=1"); return false }, true)
+	res := mustExplore(t, 1, func(Mask) bool { t.Fatal("oracle must not be called for n=1"); return false }, true)
 	if res.Performed != 0 || res.Expected != 0 {
 		t.Error("n=1 lattice has no testable nodes")
 	}
@@ -185,7 +205,7 @@ func TestExploreSingleElement(t *testing.T) {
 
 func TestCompareExactPerfectMonotone(t *testing.T) {
 	oracle := monotoneOracle(MaskOf(0))
-	mono := Explore(4, oracle, true)
+	mono := mustExplore(t, 4, oracle, true)
 	saved, wrong := CompareExact(mono, oracle)
 	if wrong != 0 {
 		t.Errorf("monotone oracle should have 0 wrong, got %d", wrong)
@@ -206,7 +226,7 @@ func TestCompareExactNonMonotone(t *testing.T) {
 		}
 		return m.Contains(0)
 	}
-	mono := Explore(3, oracle, true)
+	mono := mustExplore(t, 3, oracle, true)
 	saved, wrong := CompareExact(mono, oracle)
 	if saved == 0 {
 		t.Fatal("expected savings")
@@ -243,8 +263,8 @@ func TestMonotoneExplorationMatchesExactProperty(t *testing.T) {
 			minimal = append(minimal, m)
 		}
 		oracle := monotoneOracle(minimal...)
-		mono := Explore(n, oracle, true)
-		exact := Explore(n, oracle, false)
+		mono := mustExplore(t, n, oracle, true)
+		exact := mustExplore(t, n, oracle, false)
 		for m := 1; m < len(mono.Tags); m++ {
 			if mono.Tags[m].Flip != exact.Tags[m].Flip {
 				return false
@@ -272,7 +292,7 @@ func TestFlipsConsistentWithMFAProperty(t *testing.T) {
 			minimal = append(minimal, Mask(1+rng.Intn(1<<uint(n)-1)))
 		}
 		oracle := monotoneOracle(minimal...)
-		res := Explore(n, oracle, true)
+		res := mustExplore(t, n, oracle, true)
 		mfa := res.MFA()
 		for m := 1; m < len(res.Tags); m++ {
 			covered := false
@@ -297,7 +317,7 @@ func BenchmarkExploreMonotone8(b *testing.B) {
 	oracle := monotoneOracle(MaskOf(0, 3), MaskOf(2))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Explore(8, oracle, true)
+		mustExplore(b, 8, oracle, true)
 	}
 }
 
@@ -305,6 +325,6 @@ func BenchmarkExploreExact8(b *testing.B) {
 	oracle := monotoneOracle(MaskOf(0, 3), MaskOf(2))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Explore(8, oracle, false)
+		mustExplore(b, 8, oracle, false)
 	}
 }

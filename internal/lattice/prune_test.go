@@ -1,0 +1,247 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomMonotoneOracle draws a random up-closed flip predicate: a few
+// minimal masks whose supersets (and nothing else) flip.
+func randomMonotoneOracle(rng *rand.Rand, n int) Oracle {
+	var minimal []Mask
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		minimal = append(minimal, Mask(1+rng.Intn(1<<uint(n)-1)))
+	}
+	return monotoneOracle(minimal...)
+}
+
+// randomOracle draws an arbitrary (generally non-monotone) flip
+// predicate: each testable node flips independently with probability p.
+func randomOracle(rng *rand.Rand, n int, p float64) Oracle {
+	size := 1 << uint(n)
+	flips := make([]bool, size)
+	for m := 1; m < size-1; m++ {
+		flips[m] = rng.Float64() < p
+	}
+	return func(m Mask) bool { return flips[m] }
+}
+
+// mfaSymmetricDifference counts masks in exactly one of the two MFAs.
+func mfaSymmetricDifference(a, b []Mask) int {
+	seen := make(map[Mask]int)
+	for _, m := range a {
+		seen[m]++
+	}
+	for _, m := range b {
+		seen[m]--
+	}
+	d := 0
+	for _, c := range seen {
+		if c != 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// The zero PrunePolicy must leave exploration untouched: identical tags,
+// counters and flags to the policy-free entry point, whatever the oracle.
+func TestPrunePolicyOffIsIdentical(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%4)
+		rng := rand.New(rand.NewSource(seed))
+		oracle := randomOracle(rng, n, 0.3)
+		for _, monotone := range []bool{true, false} {
+			plain, err := Explore(n, oracle, monotone)
+			if err != nil {
+				return false
+			}
+			opt, err := ExploreOpts(n, oracle, ExploreOptions{Monotone: monotone, Prune: PrunePolicy{}})
+			if err != nil {
+				return false
+			}
+			if plain.Performed != opt.Performed || opt.Pruned || opt.PrunedQueries != 0 {
+				return false
+			}
+			for m := range plain.Tags {
+				if plain.Tags[m] != opt.Tags[m] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lock-step batched exploration must prune exactly where per-lattice
+// sequential exploration does: the decision depends only on each
+// lattice's own tags, so batching across lattices cannot move the cut.
+func TestPruneMatchesSequentialExplore(t *testing.T) {
+	policy := PrunePolicy{Threshold: 0.25, MinLevels: 2}
+	for n := 3; n <= 6; n++ {
+		rng := rand.New(rand.NewSource(int64(n) * 17))
+		oracles := make([]Oracle, 5)
+		for i := range oracles {
+			if i%2 == 0 {
+				oracles[i] = randomMonotoneOracle(rng, n)
+			} else {
+				oracles[i] = randomOracle(rng, n, 0.15)
+			}
+		}
+		batch := func(qs []Query) ([]bool, error) {
+			out := make([]bool, len(qs))
+			for i, q := range qs {
+				out[i] = oracles[q.Lattice](q.Mask)
+			}
+			return out, nil
+		}
+		many, err := ExploreManyOpts(n, len(oracles), batch, ExploreOptions{Monotone: true, Prune: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for li, oracle := range oracles {
+			single, err := ExploreOpts(n, oracle, ExploreOptions{Monotone: true, Prune: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := many[li]
+			if got.Pruned != single.Pruned || got.PruneLevel != single.PruneLevel ||
+				got.PrunedQueries != single.PrunedQueries || got.Performed != single.Performed {
+				t.Fatalf("n=%d lattice=%d: batched %+v, sequential %+v", n, li, got, single)
+			}
+			for m := range got.Tags {
+				if got.Tags[m] != single.Tags[m] {
+					t.Fatalf("n=%d lattice=%d mask=%v: tag %+v, want %+v",
+						n, li, Mask(m), got.Tags[m], single.Tags[m])
+				}
+			}
+		}
+	}
+}
+
+// On an oracle with no flips at all, pruning cuts right after MinLevels
+// and the bookkeeping accounts for every skipped question.
+func TestPruneReportsSkippedQueries(t *testing.T) {
+	const n = 5
+	// Monotone oracle: every superset of {bit0} flips. Level 1 tests all
+	// 5 singletons and finds the one flip; propagation tags the 4
+	// level-2 supersets of {bit0}, so level 2 only queries the 6
+	// bit0-free pairs. The completed level 2 is then 4/10 = 0.4 flipped,
+	// which reaches the 0.25 saturation threshold and cuts levels 3..4.
+	res, err := ExploreOpts(n, func(m Mask) bool { return m&1 != 0 },
+		ExploreOptions{Monotone: true, Prune: PrunePolicy{Threshold: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pruned || res.PruneLevel != 3 || res.LevelsDone != 2 {
+		t.Fatalf("expected a cut after the default MinLevels=2: %+v", res)
+	}
+	// Performed: 5 singletons + 6 bit0-free pairs. PrunedQueries counts
+	// only the untagged frontier — the bit0-free masks of levels 3..4
+	// (4 triples + 1 quad); the propagated flips there were already
+	// answered for free and are not "skipped questions".
+	if res.Performed != 11 || res.PrunedQueries != 5 {
+		t.Fatalf("Performed=%d PrunedQueries=%d, want 11/5", res.Performed, res.PrunedQueries)
+	}
+	inferred := 0
+	full := Mask(len(res.Tags) - 1)
+	for m := Mask(1); m < full; m++ {
+		if res.Tags[m].Inferred {
+			inferred++
+		}
+	}
+	if res.Performed+inferred+res.PrunedQueries != res.Expected {
+		t.Fatalf("accounting hole: %d+%d+%d != %d",
+			res.Performed, inferred, res.PrunedQueries, res.Expected)
+	}
+}
+
+// Pruned-vs-exact property, monotone oracles: a pruned monotone run may
+// leave nodes untagged, but every verdict it does emit — tested or
+// inferred — agrees with the oracle (zero wrong verdicts), and whenever
+// CompareExact reports no wrong skipped verdicts either, the MFA is
+// identical to the exact run's.
+func TestPrunedVsExactMonotoneProperty(t *testing.T) {
+	f := func(seed int64, nRaw, thrRaw uint8) bool {
+		n := 3 + int(nRaw%4) // 3..6
+		rng := rand.New(rand.NewSource(seed))
+		oracle := randomMonotoneOracle(rng, n)
+		policy := PrunePolicy{Threshold: 0.05 + float64(thrRaw%40)/100, MinLevels: 1 + int(thrRaw%3)}
+		pruned, err := ExploreOpts(n, oracle, ExploreOptions{Monotone: true, Prune: policy})
+		if err != nil {
+			return false
+		}
+		full := Mask(len(pruned.Tags) - 1)
+		for m := 1; m < len(pruned.Tags); m++ {
+			tag := pruned.Tags[m]
+			if !tag.Tested && !tag.Inferred {
+				continue // untagged: no verdict, not a wrong one
+			}
+			if Mask(m) != full && tag.Flip != oracle(Mask(m)) {
+				return false // a wrong verdict
+			}
+		}
+		_, wrong := CompareExact(pruned, oracle)
+		if wrong == 0 {
+			exact, err := Explore(n, oracle, false)
+			if err != nil {
+				return false
+			}
+			if mfaSymmetricDifference(pruned.MFA(), exact.MFA()) != 0 {
+				return false
+			}
+		}
+		return IsAntichain(pruned.MFA())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Pruned-vs-exact property, non-monotone oracles: the divergence a
+// pruned monotone run introduces on top of the monotone assumption stays
+// bounded — per seed the MFA's symmetric difference against exact never
+// exceeds the wrong skipped verdicts CompareExact counts plus the MFA
+// sizes involved (a sanity ceiling), and in aggregate the normalized
+// divergence stays under one half. wrong == 0 still implies an MFA
+// identical to exact.
+func TestPrunedVsExactNonMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	totalDiff, totalSize := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(4)
+		oracle := randomOracle(rng, n, 0.1+rng.Float64()*0.3)
+		policy := PrunePolicy{Threshold: 0.05 + rng.Float64()*0.3, MinLevels: 1 + rng.Intn(3)}
+		pruned, err := ExploreOpts(n, oracle, ExploreOptions{Monotone: true, Prune: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Explore(n, oracle, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wrong := CompareExact(pruned, oracle)
+		diff := mfaSymmetricDifference(pruned.MFA(), exact.MFA())
+		if wrong == 0 && diff != 0 {
+			t.Fatalf("trial %d: zero wrong verdicts but MFA diverges by %d", trial, diff)
+		}
+		if diff > wrong+len(pruned.MFA())+len(exact.MFA()) {
+			t.Fatalf("trial %d: divergence %d exceeds its ceiling (wrong=%d)", trial, diff, wrong)
+		}
+		totalDiff += diff
+		totalSize += len(exact.MFA())
+		if !IsAntichain(pruned.MFA()) {
+			t.Fatalf("trial %d: pruned MFA is not an antichain", trial)
+		}
+	}
+	if totalSize == 0 {
+		t.Fatal("degenerate suite: no exact MFA members at all")
+	}
+	if ratio := float64(totalDiff) / float64(totalSize); ratio > 0.5 {
+		t.Fatalf("aggregate MFA divergence %.3f exceeds the 0.5 bound", ratio)
+	}
+}

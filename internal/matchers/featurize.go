@@ -85,16 +85,15 @@ func (f *deepERFeat) appendFeatures(dst []float64, p record.Pair, text textFunc)
 	lt, rt := p.Left.Text(), p.Right.Text()
 	le := text(lt)
 	re := text(rt)
-	for i := range le {
-		d := le[i] - re[i]
-		if d < 0 {
-			d = -d
-		}
-		dst = append(dst, d)
-	}
-	for i := range le {
-		dst = append(dst, le[i]*re[i])
-	}
+	// Extend dst by the two blocks (appending the inputs reuses the batch
+	// plane's capacity without a zero-filled temp), then let the
+	// element-wise SIMD kernel overwrite them: diff block first, Hadamard
+	// block second, bit-identical to the scalar loops it replaced.
+	d := len(le)
+	base := len(dst)
+	dst = append(dst, le...)
+	dst = append(dst, re...)
+	embedding.AbsDiffMul(dst[base:base+d], dst[base+d:base+2*d], le, re)
 	jac := 0.0
 	if lt != "" && rt != "" {
 		jac = strutil.Jaccard(lt, rt)
@@ -198,7 +197,46 @@ func fnvHash(s string) uint64 {
 // similarity (real DL matchers learn exactly this from their embedding
 // of empty strings), and the missing-value indicators carry what signal
 // remains.
+//
+// Each value is tokenized and sorted once; Jaccard, containment and
+// number overlap are computed from the shared sorted slices (pooled, so
+// steady state allocates nothing beyond the normalized strings). All
+// three reduce to the same integer counts as the string-based measures,
+// so the block is bit-identical to appendAttrBlockRef — the property
+// test TestAttrBlockMatchesReference gates this.
 func appendAttrBlock(dst []float64, text textFunc, lv, rv string) []float64 {
+	lm, rm := strutil.IsMissing(lv), strutil.IsMissing(rv)
+	if lm || rm {
+		bothMissing, oneMissing := 0.0, 1.0
+		if lm && rm {
+			bothMissing, oneMissing = 1.0, 0.0
+		}
+		return append(dst, 0, 0, 0, 0, 0, bothMissing, oneMissing)
+	}
+	sc := tokScratchPool.Get().(*tokScratch)
+	la := strutil.AppendTokens(sc.a[:0], lv)
+	ra := strutil.AppendTokens(sc.b[:0], rv)
+	strutil.SortTokens(la)
+	strutil.SortTokens(ra)
+	dst = append(dst,
+		embedding.Cosine(text(lv), text(rv)),
+		strutil.JaccardSortedTokens(la, ra),
+		strutil.LevenshteinSimilarity(truncateForLev(lv), truncateForLev(rv)),
+		strutil.ContainmentSortedTokens(la, ra),
+		strutil.NumberOverlapSortedTokens(la, ra),
+		0,
+		0,
+	)
+	sc.a, sc.b = la, ra
+	tokScratchPool.Put(sc)
+	return dst
+}
+
+// appendAttrBlockRef is the pre-optimization reference: each similarity
+// re-tokenizes its inputs independently. Kept as the bit-identity oracle
+// for the tokenize-once path and as the "before" side of the
+// featurization benchmark.
+func appendAttrBlockRef(dst []float64, text textFunc, lv, rv string) []float64 {
 	lm, rm := strutil.IsMissing(lv), strutil.IsMissing(rv)
 	if lm || rm {
 		bothMissing, oneMissing := 0.0, 1.0
@@ -217,6 +255,22 @@ func appendAttrBlock(dst []float64, text textFunc, lv, rv string) []float64 {
 		0,
 	)
 }
+
+// AttrBlock and AttrBlockRef expose the two attribute-block paths for
+// the featurization benchmark (cmd/certa-bench reports ns/op for both).
+func AttrBlock(dst []float64, text func(string) []float64, lv, rv string) []float64 {
+	return appendAttrBlock(dst, text, lv, rv)
+}
+
+// AttrBlockRef is the pre-optimization baseline counterpart of AttrBlock.
+func AttrBlockRef(dst []float64, text func(string) []float64, lv, rv string) []float64 {
+	return appendAttrBlockRef(dst, text, lv, rv)
+}
+
+// tokScratch pools the per-call token slices of appendAttrBlock.
+type tokScratch struct{ a, b []string }
+
+var tokScratchPool = sync.Pool{New: func() any { return &tokScratch{} }}
 
 // truncateForLev caps value length so edit distance stays cheap on long
 // descriptions.

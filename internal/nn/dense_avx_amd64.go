@@ -2,10 +2,7 @@
 
 package nn
 
-// cpuHasAVX reports whether the CPU and OS support AVX (CPUID feature
-// flags plus XGETBV confirmation that the OS saves YMM state).
-// Implemented in dense_avx_amd64.s.
-func cpuHasAVX() bool
+import "certa/internal/cpufeat"
 
 // denseFwdAVX computes y[o] = bias[o] + Σ_i wt[i*out+o]·x[i] for the
 // first out&^3 outputs, four outputs per YMM lane group. wt is the
@@ -20,4 +17,4 @@ func cpuHasAVX() bool
 func denseFwdAVX(x, wt, bias, y *float64, in, out int)
 
 // useAVX gates the assembly kernel at process start.
-var useAVX = cpuHasAVX()
+var useAVX = cpufeat.AVX

@@ -2,29 +2,6 @@
 
 #include "textflag.h"
 
-// func cpuHasAVX() bool
-//
-// CPUID leaf 1: ECX bit 28 = AVX, bit 27 = OSXSAVE. When both are set,
-// XGETBV(0) must report that the OS saves XMM and YMM state (XCR0 bits
-// 1 and 2) before AVX instructions are safe to execute.
-TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
-	MOVL	$1, AX
-	CPUID
-	MOVL	CX, BX
-	ANDL	$0x18000000, BX	// OSXSAVE | AVX
-	CMPL	BX, $0x18000000
-	JNE	noavx
-	MOVL	$0, CX
-	XGETBV
-	ANDL	$6, AX		// XCR0: SSE | YMM state
-	CMPL	AX, $6
-	JNE	noavx
-	MOVB	$1, ret+0(FP)
-	RET
-noavx:
-	MOVB	$0, ret+0(FP)
-	RET
-
 // func denseFwdAVX(x, wt, bias, y *float64, in, out int)
 //
 // Column-major dense forward pass for one input row: each YMM lane is

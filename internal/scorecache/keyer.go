@@ -1,0 +1,83 @@
+package scorecache
+
+import (
+	"strconv"
+	"strings"
+
+	"certa/internal/record"
+)
+
+// PerturbKeyer assembles the canonical cache Key of a mask-perturbed
+// pair without materializing the perturbed record. CERTA's lattice
+// oracle asks thousands of subset questions per explanation, and before
+// this existed every question paid for a full record clone plus a map of
+// copied values just to discover the answer was already memoized.
+//
+// The keyer precomputes, once per (pair, side, support record):
+//
+//   - the serialized bytes before and after the perturbed record's value
+//     fragments (the other side's whole record and the schema header),
+//   - two ";len:value" fragments per attribute — the free record's value
+//     and the support record's value.
+//
+// Key(mask) then concatenates head + the mask-selected fragment per
+// attribute + tail, byte-for-byte identical to
+// Key(perturb(pair, side, support, attrs, mask)) — the property test
+// TestPerturbKeyerMatchesMaterializedKey gates this. The mask is a plain
+// uint32 in lattice bit order (bit i selects the support's value for
+// Schema.Attrs[i]), kept untyped here so the cache layer stays
+// independent of the lattice package.
+type PerturbKeyer struct {
+	head  string
+	tail  string
+	frags [][2]string // per attr: [0] free value fragment, [1] support value fragment
+}
+
+// NewPerturbKeyer prepares mask→key assembly for perturbations of the
+// given side's record with values copied from support w. The free record
+// on that side must be non-nil (a nil fixed record is tolerated, exactly
+// like Key).
+func NewPerturbKeyer(p record.Pair, side record.Side, w *record.Record) *PerturbKeyer {
+	free := p.Record(side)
+	var head strings.Builder
+	if side == record.Right {
+		writeRecord(&head, p.Left)
+		head.WriteByte('|')
+	}
+	head.WriteString(strconv.Itoa(len(free.Schema.Name)))
+	head.WriteByte('#')
+	head.WriteString(free.Schema.Name)
+
+	var tail strings.Builder
+	if side == record.Left {
+		tail.WriteByte('|')
+		writeRecord(&tail, p.Right)
+	}
+
+	frags := make([][2]string, len(free.Schema.Attrs))
+	for i, a := range free.Schema.Attrs {
+		fv := free.Values[i]
+		wv := w.Value(a)
+		frags[i][0] = ";" + strconv.Itoa(len(fv)) + ":" + fv
+		frags[i][1] = ";" + strconv.Itoa(len(wv)) + ":" + wv
+	}
+	return &PerturbKeyer{head: head.String(), tail: tail.String(), frags: frags}
+}
+
+// Key assembles the canonical key for the subset mask: bit i selects the
+// support record's value for attribute i, a zero bit keeps the free
+// record's own value.
+func (k *PerturbKeyer) Key(mask uint32) string {
+	n := len(k.head) + len(k.tail)
+	for i := range k.frags {
+		n += len(k.frags[i][(mask>>uint(i))&1])
+	}
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(k.head)
+	for i := range k.frags {
+		b.WriteString(k.frags[i][(mask>>uint(i))&1])
+	}
+	b.WriteString(k.tail)
+	return b.String()
+}

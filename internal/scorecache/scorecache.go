@@ -267,48 +267,74 @@ func (s *Scorer) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]
 
 // ScoreFlipsContext answers the lattice oracle's real question — does
 // this perturbed pair's predicted class differ from y? — through the
-// shared cross-explanation flip memo. View-level resolution mirrors
-// ScoreBatchContext exactly (local scores, in-batch duplicates, then
-// unique misses), so Stats and therefore Diagnostics are bit-identical
-// to the score path's; the difference is where misses are answered.
-// Each miss first consults the Service's flip memo: a hit means another
-// explanation already settled this pair content's class, so the answer
-// is derived without a score fetch or model call. Remaining misses are
-// scored through the shared store as usual and their classes published
-// to the memo. With the memo disabled (or the view's cache disabled)
-// the call degrades to ScoreBatchContext plus a threshold.
+// shared cross-explanation flip memo. It is ScoreFlipsKeyedContext with
+// the keys derived from the materialized pairs; callers that can compute
+// keys without building the pairs (the lattice oracle, via PerturbKeyer)
+// should use the keyed entry point directly so memo- and view-resident
+// questions skip pair materialization entirely.
 func (s *Scorer) ScoreFlipsContext(ctx context.Context, pairs []record.Pair, y bool) ([]bool, error) {
 	if s.opts.Disabled || !s.svc.flipEnabled() {
-		scores, err := s.ScoreBatchContext(ctx, pairs)
-		if err != nil {
-			return nil, err
-		}
-		flips := make([]bool, len(scores))
-		for i, v := range scores {
-			flips[i] = (v > 0.5) != y
-		}
-		return flips, nil
-	}
-
-	out := make([]bool, len(pairs))
-	if len(pairs) == 0 {
-		return out, ctx.Err()
+		return s.flipsViaScores(ctx, pairs, y)
 	}
 	keys := make([]string, len(pairs))
 	for i, p := range pairs {
 		keys[i] = Key(p)
 	}
+	return s.ScoreFlipsKeyedContext(ctx, keys, y, func(i int) record.Pair { return pairs[i] })
+}
 
-	type miss struct {
-		key  string
-		pair record.Pair
+// flipsViaScores is the memo-less fallback: score everything, threshold.
+func (s *Scorer) flipsViaScores(ctx context.Context, pairs []record.Pair, y bool) ([]bool, error) {
+	scores, err := s.ScoreBatchContext(ctx, pairs)
+	if err != nil {
+		return nil, err
 	}
-	var misses []miss
+	flips := make([]bool, len(scores))
+	for i, v := range scores {
+		flips[i] = (v > 0.5) != y
+	}
+	return flips, nil
+}
+
+// ScoreFlipsKeyedContext is the streaming form of ScoreFlipsContext: the
+// caller supplies canonical keys (see Key and PerturbKeyer) up front and
+// a materialize callback invoked only for the questions that truly need
+// a record.Pair — the ones no memo layer can answer. keys[i] must equal
+// Key(materialize(i)); materialize may be called at most once per index.
+//
+// Resolution order per question: the view classifies every key against
+// its private key set exactly as ScoreBatchContext would — local scores,
+// previously memo-answered keys and in-batch duplicates are view hits,
+// unique unseen keys are view misses — and only the misses are put to
+// the shared flip memo (one FlipLookup each; a hit means some other
+// explanation already scored this exact pair content and its class
+// answers the question with no score fetch, no model call and no pair
+// materialization). The two layers never disagree — a predicted class is
+// a pure function of pair content — so Stats, and therefore Diagnostics
+// and the anytime budgets they feed, are bit-identical to the unkeyed
+// path and independent of what the memo happens to hold. Only the view
+// misses the memo cannot answer are materialized and fetched through the
+// shared store.
+func (s *Scorer) ScoreFlipsKeyedContext(ctx context.Context, keys []string, y bool, materialize func(i int) record.Pair) ([]bool, error) {
+	if s.opts.Disabled || !s.svc.flipEnabled() {
+		pairs := make([]record.Pair, len(keys))
+		for i := range keys {
+			pairs[i] = materialize(i)
+		}
+		return s.flipsViaScores(ctx, pairs, y)
+	}
+
+	out := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return out, ctx.Err()
+	}
+
+	var misses []int // key index of each unique unseen key
 	missAt := make(map[string]int)
 	pending := make([][]int, 0)
 
 	s.mu.Lock()
-	s.stats.Lookups += len(pairs)
+	s.stats.Lookups += len(keys)
 	for i, k := range keys {
 		if v, ok := s.local[k]; ok {
 			out[i] = (v > 0.5) != y
@@ -326,7 +352,7 @@ func (s *Scorer) ScoreFlipsContext(ctx context.Context, pairs []record.Pair, y b
 			continue
 		}
 		missAt[k] = len(misses)
-		misses = append(misses, miss{key: k, pair: pairs[i]})
+		misses = append(misses, i)
 		pending = append(pending, []int{i})
 	}
 	if len(misses) > 0 {
@@ -343,59 +369,59 @@ func (s *Scorer) ScoreFlipsContext(ctx context.Context, pairs []record.Pair, y b
 		return out, nil
 	}
 
+	// Put only the questions the view could not answer itself to the
+	// shared memo — FlipHitRate then measures cross-explanation reuse,
+	// undiluted by questions this explanation had already settled.
 	missKeys := make([]string, len(misses))
-	for i, m := range misses {
-		missKeys[i] = m.key
+	for j, ki := range misses {
+		missKeys[j] = keys[ki]
 	}
 	classes, known := s.svc.flipGet(missKeys)
 
-	// Fetch (and score, where the store doesn't have them either) only
-	// the keys no explanation has settled yet.
-	var fkeys []string
-	var fpairs []record.Pair
-	var fidx []int
-	for i := range misses {
-		if !known[i] {
-			fidx = append(fidx, i)
-			fkeys = append(fkeys, misses[i].key)
-			fpairs = append(fpairs, misses[i].pair)
+	// Resolve memo-answered misses without materializing anything; the
+	// sentinel keeps a later score request for the same key honest (the
+	// view holds a class, not a score — the score still needs a fetch,
+	// charged as a view hit).
+	var fidx []int // miss indexes the memo could not answer
+	s.mu.Lock()
+	for mi, ki := range misses {
+		if known[mi] {
+			s.memoized[keys[ki]] = classes[mi]
+			flip := classes[mi] != y
+			for _, slot := range pending[mi] {
+				out[slot] = flip
+			}
+			continue
 		}
+		fidx = append(fidx, mi)
 	}
-	var scores []float64
-	if len(fkeys) > 0 {
-		var err error
-		scores, err = s.svc.fetch(ctx, fkeys, fpairs)
-		if err != nil {
-			return nil, err
-		}
+	s.mu.Unlock()
+
+	if len(fidx) == 0 {
+		return out, nil
+	}
+
+	fkeys := make([]string, len(fidx))
+	fpairs := make([]record.Pair, len(fidx))
+	for j, mi := range fidx {
+		fkeys[j] = keys[misses[mi]]
+		fpairs[j] = materialize(misses[mi])
+	}
+	scores, err := s.svc.fetch(ctx, fkeys, fpairs)
+	if err != nil {
+		return nil, err
 	}
 
 	s.mu.Lock()
-	for i, m := range misses {
-		if known[i] {
-			s.memoized[m.key] = classes[i]
-			flip := classes[i] != y
-			for _, slot := range pending[i] {
-				out[slot] = flip
-			}
-		}
-	}
-	fclasses := make([]bool, len(fkeys))
-	for j, i := range fidx {
+	for j, mi := range fidx {
 		v := scores[j]
-		s.local[misses[i].key] = v
-		cls := v > 0.5
-		fclasses[j] = cls
-		flip := cls != y
-		for _, slot := range pending[i] {
+		s.local[fkeys[j]] = v
+		flip := (v > 0.5) != y
+		for _, slot := range pending[mi] {
 			out[slot] = flip
 		}
 	}
 	s.mu.Unlock()
-
-	if len(fkeys) > 0 {
-		s.svc.flipPut(fkeys, fclasses)
-	}
 	return out, nil
 }
 

@@ -59,14 +59,23 @@ type ServiceStats struct {
 	Batches int
 	// Evictions counts entries dropped by the capacity bound.
 	Evictions int
-	// FlipLookups counts misses the per-explanation views referred to the
-	// flip-outcome memo; FlipHits counts the ones the memo answered —
-	// lattice subsets another explanation already settled, skipped
-	// without a score lookup or model call. Both are 0 when the memo is
-	// disabled. The split between score lookups and flip lookups depends
-	// on scheduling (which explanation publishes a class first), so these
-	// two counters — unlike explanation Diagnostics — are not
-	// parallelism-deterministic.
+	// FlipLookups counts lattice flip questions the per-explanation views
+	// put to the flip-outcome memo: one per unique question the view
+	// could not answer from its own key set (duplicates and
+	// locally-settled questions never reach the memo); FlipHits counts
+	// the ones the memo answered — pair contents some explanation already
+	// scored, whose published class settles the question without a new
+	// score fetch, model call or even pair materialization (see
+	// Scorer.ScoreFlipsKeyedContext). FlipHitRate is therefore the
+	// cross-explanation reuse rate over the questions that needed an
+	// answer. The memo
+	// is populated from every batch the service scores, so triangle-search
+	// candidates — which dominate the store and recur across explanations
+	// that share a pivot — answer the lattice questions whose perturbed
+	// content coincides with them. Both counters are 0 when the memo is
+	// disabled. Hit attribution depends on scheduling (which explanation
+	// publishes a class first), so these two counters — unlike explanation
+	// Diagnostics — are not parallelism-deterministic.
 	FlipLookups int
 	FlipHits    int
 }
@@ -504,6 +513,20 @@ func (s *Service) scoreClaims(ctx context.Context, keys []string, pairs []record
 		sh.mu.Unlock()
 	}
 	published = true
+	if s.flipEnabled() {
+		// Publish every freshly scored key's predicted class to the flip
+		// memo. Classes are one bool per content and never evicted, so the
+		// memo can answer lattice flip questions about any content the
+		// service ever scored — support candidates included — long after
+		// the score itself may have been evicted.
+		fkeys := make([]string, len(claims))
+		fclasses := make([]bool, len(claims))
+		for i, e := range claims {
+			fkeys[i] = e.key
+			fclasses[i] = scores[i] > 0.5
+		}
+		s.flipPut(fkeys, fclasses)
+	}
 	if evictions > 0 {
 		s.statmu.Lock()
 		s.stats.Evictions += evictions

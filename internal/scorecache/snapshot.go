@@ -184,6 +184,11 @@ func (s *Service) Restore(r io.Reader) (int, error) {
 		evictions += sh.link(e)
 		sh.mu.Unlock()
 		installed++
+		if s.flipEnabled() {
+			// A restored score determines its class; seed the flip memo so
+			// warm restarts answer lattice questions as well as scores.
+			s.flipPut([]string{en.key}, []bool{en.score > 0.5})
+		}
 	}
 	if evictions > 0 {
 		s.statmu.Lock()

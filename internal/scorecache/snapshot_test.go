@@ -176,8 +176,8 @@ func TestRestoreRejectsHugeKeyLength(t *testing.T) {
 	// must fail on the length sanity bound, not attempt the allocation.
 	var buf bytes.Buffer
 	buf.Write(snapshotMagic[:])
-	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0})    // count = 1
-	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})    // keyLen = 4 GiB
+	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0}) // count = 1
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // keyLen = 4 GiB
 	target := NewService(&countingModel{}, ServiceOptions{})
 	if _, err := target.Restore(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("Restore accepted a 4 GiB key length frame")

@@ -49,6 +49,7 @@ import (
 	"certa/internal/core"
 	"certa/internal/embedding"
 	"certa/internal/explain"
+	"certa/internal/lattice"
 	"certa/internal/neighborhood"
 	"certa/internal/record"
 	"certa/internal/scorecache"
@@ -89,8 +90,8 @@ type Backend struct {
 	// Model is the classifier being explained.
 	Model explain.Model
 	// Options are the base explainer options (Triangles, Seed,
-	// Parallelism...). Per-request knobs overlay CallBudget, Deadline
-	// and AugmentBudget; Shared is overwritten with the backend's
+	// Parallelism...). Per-request knobs overlay CallBudget, Deadline,
+	// AugmentBudget and LatticePrune; Shared is overwritten with the backend's
 	// long-lived service. When Retrieval is nil, the backend builds its
 	// candidate index at server construction and reports it in
 	// /v1/stats.
@@ -292,6 +293,9 @@ func (s *Server) compute(ctx context.Context, b *backend, p record.Pair, k knobs
 	}
 	if k.augmentBudget > 0 {
 		opts.AugmentBudget = k.augmentBudget
+	}
+	if k.pruneThreshold > 0 {
+		opts.LatticePrune = lattice.PrunePolicy{Threshold: k.pruneThreshold, MinLevels: k.pruneMinLevels}
 	}
 	start := time.Now()
 	res, err := core.New(b.left, b.right, opts).ExplainContext(ctx, b.model, p)

@@ -485,12 +485,51 @@ func TestCoalesceKeyRespectsIdentityAndOptions(t *testing.T) {
 	if coalesceKey("toy", knobs{callBudget: 10}, p) == base ||
 		coalesceKey("toy", knobs{deadlineMS: 10}, p) == base ||
 		coalesceKey("toy", knobs{augmentBudget: 10}, p) == base ||
-		coalesceKey("toy", knobs{topK: 1}, p) == base {
+		coalesceKey("toy", knobs{topK: 1}, p) == base ||
+		coalesceKey("toy", knobs{pruneThreshold: 0.5}, p) == base ||
+		coalesceKey("toy", knobs{pruneThreshold: 0.5, pruneMinLevels: 3}, p) ==
+			coalesceKey("toy", knobs{pruneThreshold: 0.5}, p) {
 		t.Fatal("different knobs coalesced onto one response body")
 	}
 	// The identical request does share.
 	if coalesceKey("toy", knobs{}, p) != base {
 		t.Fatal("identical requests produced different coalesce keys")
+	}
+}
+
+// TestLatticePruneKnob exercises the lattice_prune request knob end to
+// end: a pruned request must succeed, report the skipped questions in
+// diagnostics, and ask no more lattice questions than the exact run of
+// the same pair.
+func TestLatticePruneKnob(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	exact, exactBody := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	pruned, prunedBody := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{
+		LeftID: "l0", RightID: "r0",
+		LatticePrune: &WirePrunePolicy{Threshold: 0.25, MinLevels: 1},
+	})
+	if exact.StatusCode != 200 || pruned.StatusCode != 200 {
+		t.Fatalf("statuses %d/%d: %s / %s", exact.StatusCode, pruned.StatusCode, exactBody, prunedBody)
+	}
+	var exactOut, prunedOut ExplainResponse
+	if err := json.Unmarshal(exactBody, &exactOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(prunedBody, &prunedOut); err != nil {
+		t.Fatal(err)
+	}
+	if exactOut.Result.Diag.PrunedQueries != 0 {
+		t.Fatalf("exact request reported %d pruned queries", exactOut.Result.Diag.PrunedQueries)
+	}
+	if prunedOut.Result.Diag.PrunedQueries == 0 {
+		t.Fatal("threshold-0.25 request pruned nothing; the knob did not reach the engine")
+	}
+	if prunedOut.Result.Diag.LatticeQueries > exactOut.Result.Diag.LatticeQueries {
+		t.Fatalf("pruned run asked more questions (%d) than exact (%d)",
+			prunedOut.Result.Diag.LatticeQueries, exactOut.Result.Diag.LatticeQueries)
 	}
 }
 

@@ -51,6 +51,24 @@ type ExplainRequest struct {
 	// TopK shapes the response: only the k most salient attributes and
 	// at most k counterfactual examples are returned. 0 = everything.
 	TopK int `json:"top_k,omitempty"`
+	// LatticePrune maps onto Options.LatticePrune: the estimator mode
+	// that stops exploring a lattice when a completed level's flip
+	// fraction reaches the threshold. Omitted (or zero threshold) =
+	// exact exploration. Pruned responses report the skipped work in
+	// diagnostics.pruned_queries / diagnostics.prune_levels.
+	LatticePrune *WirePrunePolicy `json:"lattice_prune,omitempty"`
+}
+
+// WirePrunePolicy is the request form of lattice.PrunePolicy. Its
+// serialized form is pinned by testdata/wire_golden.json
+// (wire_golden_test.go; refresh with -update-golden).
+type WirePrunePolicy struct {
+	// Threshold is the per-level flip fraction at which a lattice
+	// counts as saturated and stops exploring; <= 0 disables pruning.
+	Threshold float64 `json:"threshold"`
+	// MinLevels is the number of lattice levels that must be fully
+	// explored before pruning may trigger (0 = the engine default of 2).
+	MinLevels int `json:"min_levels,omitempty"`
 }
 
 // ExplainResponse is the body of a successful explanation, and one
@@ -234,14 +252,21 @@ func inlineRecord(w *WireRecord, schema *record.Schema, side string) (*record.Re
 // coalescing key: requests are shared only when both the pair content
 // and the options agree.
 type knobs struct {
-	deadlineMS    int
-	callBudget    int
-	augmentBudget int
-	topK          int
+	deadlineMS     int
+	callBudget     int
+	augmentBudget  int
+	topK           int
+	pruneThreshold float64
+	pruneMinLevels int
 }
 
 func (r *ExplainRequest) knobs() knobs {
-	return knobs{deadlineMS: r.DeadlineMS, callBudget: r.CallBudget, augmentBudget: r.AugmentBudget, topK: r.TopK}
+	k := knobs{deadlineMS: r.DeadlineMS, callBudget: r.CallBudget, augmentBudget: r.AugmentBudget, topK: r.TopK}
+	if r.LatticePrune != nil {
+		k.pruneThreshold = r.LatticePrune.Threshold
+		k.pruneMinLevels = r.LatticePrune.MinLevels
+	}
+	return k
 }
 
 // coalesceKey renders the identity of a computation: backend, anytime
@@ -265,6 +290,10 @@ func coalesceKey(backendName string, k knobs, p record.Pair) string {
 	b.WriteString(strconv.Itoa(k.augmentBudget))
 	b.WriteString("|k")
 	b.WriteString(strconv.Itoa(k.topK))
+	b.WriteString("|pt")
+	b.WriteString(strconv.FormatFloat(k.pruneThreshold, 'g', -1, 64))
+	b.WriteString("|pm")
+	b.WriteString(strconv.Itoa(k.pruneMinLevels))
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(len(p.Left.ID)))
 	b.WriteByte('#')

@@ -13,6 +13,7 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fi
 
 // TestWireGolden pins the serialized form of every server wire type
 // that is not already covered by the repo-root ExplainResponse golden:
+// the ExplainRequest knob set (including the lattice_prune policy),
 // BatchResponse, ErrorResponse, HealthResponse and StatsResponse with
 // all nested stats blocks populated. The fixture is built from fixed
 // values, so the test asserts schema stability (field names, omitempty
@@ -22,11 +23,24 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fi
 // requires this file to be referenced from each type's doc comment.
 func TestWireGolden(t *testing.T) {
 	doc := struct {
-		Batch  BatchResponse  `json:"batch"`
-		Error  ErrorResponse  `json:"error"`
-		Health HealthResponse `json:"health"`
-		Stats  StatsResponse  `json:"stats"`
+		Request ExplainRequest `json:"request"`
+		Batch   BatchResponse  `json:"batch"`
+		Error   ErrorResponse  `json:"error"`
+		Health  HealthResponse `json:"health"`
+		Stats   StatsResponse  `json:"stats"`
 	}{
+		Request: ExplainRequest{
+			Benchmark:  "AB",
+			LeftID:     "l1",
+			RightID:    "r1",
+			DeadlineMS: 500,
+			CallBudget: 250,
+			TopK:       2,
+			LatticePrune: &WirePrunePolicy{
+				Threshold: 0.125,
+				MinLevels: 2,
+			},
+		},
 		Batch: BatchResponse{
 			Responses: []ExplainResponse{
 				{Benchmark: "AB", PairKey: "l1|r1"},

@@ -30,6 +30,45 @@ func IsMissing(s string) bool {
 // spaces. Punctuation is kept (product names such as "dav-is50 / b" carry
 // signal in the benchmarks), but control characters are dropped.
 func Normalize(s string) string {
+	if normalizedASCII(s) {
+		// Already in canonical form: the slow path below would rebuild the
+		// identical string byte for byte, so return the input unallocated.
+		// Most benchmark values normalize once and then flow through the
+		// featurizers repeatedly in canonical form.
+		return s
+	}
+	return normalizeSlow(s)
+}
+
+// normalizedASCII reports whether s is already exactly what normalizeSlow
+// would produce: lowercase ASCII, no control bytes, single interior
+// spaces, no leading or trailing space.
+func normalizedASCII(s string) bool {
+	prevSpace := true // reject a leading space
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ':
+			if prevSpace {
+				return false
+			}
+			prevSpace = true
+		case c < 0x21 || c == 0x7f || c >= 0x80 || (c >= 'A' && c <= 'Z'):
+			// Control bytes, uppercase, and any non-ASCII byte (which may
+			// begin a multi-byte rune needing lowering or collapsing) take
+			// the slow path.
+			return false
+		default:
+			prevSpace = false
+		}
+	}
+	return !prevSpace || len(s) == 0 // reject a trailing space
+}
+
+// normalizeSlow is the rune-correct reference implementation; the fast
+// path above must agree with it on every input
+// (TestNormalizeFastPathMatchesReference).
+func normalizeSlow(s string) string {
 	var b strings.Builder
 	b.Grow(len(s))
 	space := true // suppress leading spaces
@@ -181,8 +220,76 @@ func OverlapCoefficient(a, b string) float64 {
 }
 
 // LevenshteinDistance returns the edit distance between a and b with unit
-// costs. It runs in O(len(a)*len(b)) time and O(min) space.
+// costs. It runs in O(len(a)*len(b)) time and O(min) space. All-ASCII
+// inputs take a byte-indexed path with stack-allocated DP rows (the
+// featurize hot path truncates values to 64 bytes, so that path never
+// allocates); the distance is identical because ASCII bytes and runes
+// correspond one to one (TestLevenshteinASCIIMatchesReference).
 func LevenshteinDistance(a, b string) int {
+	if asciiOnly(a) && asciiOnly(b) {
+		return levenshteinASCII(a, b)
+	}
+	return levenshteinRunes(a, b)
+}
+
+func asciiOnly(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+func levenshteinASCII(a, b string) int {
+	// A shared prefix or suffix never participates in an optimal unit-cost
+	// edit script; stripping it is exact and collapses the DP for the
+	// near-identical strings perturbation workloads compare.
+	for len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+		a, b = a[1:], b[1:]
+	}
+	for len(a) > 0 && len(b) > 0 && a[len(a)-1] == b[len(b)-1] {
+		a, b = a[:len(a)-1], b[:len(b)-1]
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	var stack [2][72]int
+	var prev, cur []int
+	if len(b)+1 <= len(stack[0]) {
+		prev, cur = stack[0][:len(b)+1], stack[1][:len(b)+1]
+	} else {
+		prev, cur = make([]int, len(b)+1), make([]int, len(b)+1)
+	}
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// levenshteinRunes is the rune-correct reference implementation.
+func levenshteinRunes(a, b string) int {
 	ra, rb := []rune(a), []rune(b)
 	if len(ra) < len(rb) {
 		ra, rb = rb, ra

@@ -30,6 +30,13 @@ go test -timeout 300s ./...
 echo "== race (context + shared scoring pipeline + retrieval layer + scoring engine + HTTP serving + lattice) =="
 go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/ ./internal/nn/ ./internal/embedding/ ./internal/server/ ./internal/lattice/
 
+# The lattice-pruning paths specifically, under the race detector at
+# Parallelism 8 (TestLatticePruneDeterministic and friends run inside the
+# package sweeps above too; this names them so a -run filter regression
+# can't silently drop them).
+echo "== race (pruned-mode determinism) =="
+go test -race -timeout 300s -run 'Prune' ./internal/lattice/ ./internal/core/ ./internal/server/
+
 echo "== bench smoke =="
 go test -timeout 600s -bench=. -benchtime=1x -run='^$' .
 
@@ -61,3 +68,29 @@ grep -q '"embedding_store_hit_rate"' BENCH_explain.json
 grep -q '"flip_memo_hit_rate"' BENCH_explain.json
 grep -q '"speedup_vs_pr5_baseline"' BENCH_explain.json
 echo "scoring section present"
+
+# The pruning probe must be present: the pruned pass's throughput and
+# question ledger plus its saliency-agreement quality gate.
+echo "== bench pruning probe assertions =="
+grep -q '"pruning"' BENCH_explain.json
+grep -q '"pruned_queries_per_explanation"' BENCH_explain.json
+grep -q '"question_reduction_vs_exact"' BENCH_explain.json
+grep -q '"saliency_top2_agreement"' BENCH_explain.json
+grep -q '"speedup_vs_pr7_baseline"' BENCH_explain.json
+grep -q '"featurize_speedup"' BENCH_explain.json
+echo "pruning section present"
+
+# Numeric gates. The serve section's flip_memo_hit_rate measures
+# cross-explanation reuse (the load cycles its pairs, so warm passes
+# answer lattice questions from the memo): it must clear 0.2. The
+# pruning section's saliency_top2_agreement is the pruned estimator's
+# quality gate: it must clear 0.9. Section order in the JSON is
+# index, anytime, serve, scoring, pruning — the awk scripts key on the
+# section name before reading the field.
+echo "== bench numeric gates =="
+serve_flip=$(awk -F': ' '/"serve"/{s=1} s && /"flip_memo_hit_rate"/{gsub(/,/,"",$2); print $2; exit}' BENCH_explain.json)
+echo "serve flip_memo_hit_rate: $serve_flip (gate: >= 0.2)"
+awk "BEGIN{exit !($serve_flip >= 0.2)}"
+agreement=$(awk -F': ' '/"pruning"/{p=1} p && /"saliency_top2_agreement"/{gsub(/,/,"",$2); print $2; exit}' BENCH_explain.json)
+echo "pruning saliency_top2_agreement: $agreement (gate: >= 0.9)"
+awk "BEGIN{exit !($agreement >= 0.9)}"
