@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,7 +24,6 @@ import (
 	"os"
 	"reflect"
 	"runtime/pprof"
-	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -35,6 +35,7 @@ import (
 	"certa/internal/eval"
 	"certa/internal/matchers"
 	"certa/internal/neighborhood"
+	"certa/internal/telemetry"
 	"certa/internal/workpool"
 )
 
@@ -64,12 +65,12 @@ func main() {
 	flag.Parse()
 
 	if *pprofAddr != "" {
-		bound, err := debugserve.Start(*pprofAddr)
+		bound, err := debugserve.Start(*pprofAddr, telemetry.Default.Handler())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "certa-bench: pprof endpoints on http://%s/debug/pprof/\n", bound)
+		fmt.Fprintf(os.Stderr, "certa-bench: pprof endpoints on http://%s/debug/pprof/ (metrics at /v1/metrics)\n", bound)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -221,6 +222,29 @@ type benchMetrics struct {
 	// measured as saliency agreement against the exact main run, plus the
 	// featurization before/after microbench.
 	Pruning *pruningMetrics `json:"pruning"`
+	// Telemetry is the observability probe: the serve probe's scrape
+	// footprint and the cost of always-on span recording.
+	Telemetry *telemetryMetrics `json:"telemetry"`
+}
+
+// telemetryMetrics is the "telemetry" section of BENCH_explain.json:
+// what the internal/telemetry layer costs. SeriesCount/ScrapeBytes are
+// read from the serve probe's GET /v1/metrics exposition (zero when
+// -serve-requests=0 skips that probe). The overhead pair times the
+// same workload with and without a telemetry.Trace riding the context
+// — fresh scoring services per pass so both pay identical model calls,
+// best-of alternating reps to shed scheduler noise — and the CI gate
+// holds trace_overhead_pct under 2.
+type telemetryMetrics struct {
+	SeriesCount int `json:"series_count"`
+	ScrapeBytes int `json:"scrape_bytes"`
+	// PlainNSPerExpl/TracedNSPerExpl are ns per explanation without and
+	// with a trace on the context; the overhead fields are their
+	// difference (clamped at zero: the delta drowns in noise).
+	PlainNSPerExpl         float64 `json:"plain_ns_per_explanation"`
+	TracedNSPerExpl        float64 `json:"traced_ns_per_explanation"`
+	TraceOverheadNSPerExpl float64 `json:"trace_overhead_ns_per_explanation"`
+	TraceOverheadPct       float64 `json:"trace_overhead_pct"`
 }
 
 // pruningMetrics is the "pruning" section of BENCH_explain.json: what
@@ -562,12 +586,34 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 		}
 	}
 
+	var seriesCount, scrapeBytes int
 	if serveReqs > 0 {
-		serve, err := runServeLoad(bench, model, pairs, idx, seed, parallelism, serveReqs, serveConc)
+		serve, series, bytes, err := runServeLoad(bench, model, pairs, idx, seed, parallelism, serveReqs, serveConc)
 		if err != nil {
 			return err
 		}
 		m.Serve = serve
+		seriesCount, scrapeBytes = series, bytes
+	}
+
+	// The observability probe: scrape footprint from the serve pass
+	// above, span-recording overhead from a dedicated alternating A/B
+	// pass. The CI gate holds the overhead percentage under 2.
+	plainNS, tracedNS, err := traceOverheadProbe(bench, model, pairs, idx, seed, parallelism)
+	if err != nil {
+		return err
+	}
+	overheadNS := tracedNS - plainNS
+	if overheadNS < 0 {
+		overheadNS = 0 // the delta drowned in scheduler noise
+	}
+	m.Telemetry = &telemetryMetrics{
+		SeriesCount:            seriesCount,
+		ScrapeBytes:            scrapeBytes,
+		PlainNSPerExpl:         plainNS,
+		TracedNSPerExpl:        tracedNS,
+		TraceOverheadNSPerExpl: overheadNS,
+		TraceOverheadPct:       100 * overheadNS / plainNS,
 	}
 
 	// The scoring-engine probe: kernel microbench on the trained
@@ -669,6 +715,11 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 			m.Pruning.ModelCallsPerExpl, m.Pruning.QuestionReduction, m.Pruning.SaliencyTop2Agreement,
 			m.Pruning.FeaturizeReferenceNSPerOp, m.Pruning.FeaturizeNSPerOp, m.Pruning.FeaturizeSpeedup)
 	}
+	if m.Telemetry != nil {
+		fmt.Fprintf(os.Stderr, "certa-bench: telemetry probe: %d series (%d scrape bytes), trace overhead %.0f ns/expl (%.3f%% of %.0f ns)\n",
+			m.Telemetry.SeriesCount, m.Telemetry.ScrapeBytes,
+			m.Telemetry.TraceOverheadNSPerExpl, m.Telemetry.TraceOverheadPct, m.Telemetry.PlainNSPerExpl)
+	}
 	return nil
 }
 
@@ -711,31 +762,38 @@ func featurizeMicrobench() (nsPerOp, refNSPerOp float64) {
 // blocked-cluster workload from conc client workers — cycling the
 // pairs, so the first pass is cold and later passes exercise the warm
 // shared cache and request coalescing — and distills end-to-end
-// latency percentiles.
-func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pair, idx *certa.CandidateIndex, seed int64, parallelism, requests, conc int) (*serveMetrics, error) {
+// latency percentiles from the client-side telemetry histogram (the
+// same Quantile estimate a Prometheus scrape of the series would
+// compute). The server publishes into telemetry.Default, and the probe
+// scrapes its GET /v1/metrics once after the load for the telemetry
+// section's footprint numbers.
+func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pair, idx *certa.CandidateIndex, seed int64, parallelism, requests, conc int) (*serveMetrics, int, int, error) {
 	svc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
 	srv, err := certa.NewServer([]certa.ServerBackend{{
 		Name: "AB", Left: bench.Left, Right: bench.Right, Model: model,
 		Options: certa.Options{Triangles: 100, Seed: seed, Parallelism: parallelism, Retrieval: idx},
 		Pairs:   pairs, Service: svc,
-	}}, certa.ServerOptions{MaxInFlight: parallelism, MaxQueue: requests})
+	}}, certa.ServerOptions{MaxInFlight: parallelism, MaxQueue: requests, Metrics: telemetry.Default})
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	httpSrv := &http.Server{Handler: srv}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
-	url := "http://" + ln.Addr().String() + "/v1/explain"
+	base := "http://" + ln.Addr().String()
+	url := base + "/v1/explain"
 
 	if conc <= 0 {
 		conc = 1
 	}
-	latencies := make([]float64, requests)
+	lat := telemetry.Default.Histogram("certa_bench_client_request_duration_seconds",
+		"End-to-end client-observed request latency of the serve probe.",
+		nil, telemetry.LatencyBuckets)
 	var failed atomic.Int64
 	start := time.Now()
 	workpool.Each(requests, conc, func(i int) error {
@@ -752,31 +810,109 @@ func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pa
 			failed.Add(1)
 			return nil
 		}
-		latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+		lat.Observe(time.Since(t0).Seconds())
 		return nil
 	})
 	wall := time.Since(start).Seconds()
 	if n := failed.Load(); n > 0 {
-		return nil, fmt.Errorf("serve probe: %d/%d requests failed", n, requests)
+		return nil, 0, 0, fmt.Errorf("serve probe: %d/%d requests failed", n, requests)
 	}
 
-	sorted := append([]float64(nil), latencies...)
-	sort.Float64s(sorted)
+	// One scrape of the server's exposition for the telemetry section:
+	// how many series the run produced and what one scrape weighs.
+	scrapeBytes := 0
+	if resp, err := http.Get(base + "/v1/metrics"); err == nil {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && resp.StatusCode == http.StatusOK {
+			scrapeBytes = len(body)
+		}
+	}
+
 	st := srv.Stats()
 	return &serveMetrics{
 		Requests:           requests,
 		Concurrency:        conc,
 		WallSeconds:        wall,
 		ServeThroughput:    float64(requests) / wall,
-		P50MS:              percentile(sorted, 0.50),
-		P99MS:              percentile(sorted, 0.99),
+		P50MS:              lat.Quantile(0.50) * 1000,
+		P99MS:              lat.Quantile(0.99) * 1000,
 		Coalesced:          st.Coalesced,
 		Rejected:           st.Rejected,
 		SharedCacheHitRate: st.Backends["AB"].HitRate,
 		FlipLookups:        st.Backends["AB"].FlipLookups,
 		FlipHits:           st.Backends["AB"].FlipHits,
 		FlipMemoHitRate:    st.Backends["AB"].FlipHitRate,
-	}, nil
+	}, telemetry.Default.SeriesCount(), scrapeBytes, nil
+}
+
+// traceOverheadProbe measures what always-on span recording costs: the
+// same workload explained with and without a telemetry.Trace on the
+// context, twin fresh scoring services per rep so both modes pay
+// identical model calls. Each explanation gets its own fresh Trace —
+// the serving layer's shape (one trace per computation), so span-mutex
+// contention is what a request actually pays, not an artifact of one
+// tree shared across the whole concurrent batch. Returns ns per
+// explanation for the plain and traced passes.
+func traceOverheadProbe(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pair, idx *certa.CandidateIndex, seed int64, parallelism int) (plainNS, tracedNS float64, err error) {
+	// The two modes are interleaved at PAIR granularity against twin
+	// scoring services that see the identical pair sequence, and each
+	// pair keeps its fastest rep: a GC pause or a load burst from the
+	// rest of the CI run lands on one explanation, not on a whole
+	// mode's pass, so it biases neither side and the per-pair minimum
+	// sheds it. The within-rep order flips every rep to cancel the
+	// warm-predictor edge the second run of a pair gets.
+	const reps = 5
+	bestPlain := make([]float64, len(pairs))
+	bestTraced := make([]float64, len(pairs))
+	for i := range pairs {
+		bestPlain[i], bestTraced[i] = math.MaxFloat64, math.MaxFloat64
+	}
+	for r := 0; r < reps; r++ {
+		svcP := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+		svcT := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+		runOne := func(i int, traced bool) error {
+			svc := svcP
+			ctx := context.Background()
+			if traced {
+				svc = svcT
+				ctx = telemetry.WithTrace(ctx, telemetry.New())
+			}
+			opts := certa.Options{
+				Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: svc, Retrieval: idx,
+			}
+			start := time.Now()
+			if _, err := certa.ExplainBatchContext(ctx, model, bench.Left, bench.Right, pairs[i:i+1], opts); err != nil {
+				return err
+			}
+			ns := float64(time.Since(start))
+			if traced {
+				bestTraced[i] = math.Min(bestTraced[i], ns)
+			} else {
+				bestPlain[i] = math.Min(bestPlain[i], ns)
+			}
+			return nil
+		}
+		for i := range pairs {
+			first, second := false, true // plain then traced
+			if r%2 == 1 {
+				first, second = true, false
+			}
+			if err := runOne(i, first); err != nil {
+				return 0, 0, err
+			}
+			if err := runOne(i, second); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	for i := range pairs {
+		plainNS += bestPlain[i]
+		tracedNS += bestTraced[i]
+	}
+	plainNS /= float64(len(pairs))
+	tracedNS /= float64(len(pairs))
+	return plainNS, tracedNS, nil
 }
 
 // retrievalMicrobench times the candidate retrieval alone: for every
@@ -812,22 +948,6 @@ func retrievalMicrobench(bench *certa.Benchmark, pairs []certa.Pair, idx *certa.
 		return float64(time.Since(start)) / float64(time.Millisecond)
 	}
 	return timeSources(scan), timeSources(idx)
-}
-
-// percentile reads the q-quantile from an ascending-sorted sample
-// (nearest-rank).
-func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 // anytimeSweepPoint explains the workload once at the given CallBudget

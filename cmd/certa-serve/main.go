@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -34,6 +35,7 @@ import (
 
 	"certa"
 	"certa/internal/debugserve"
+	"certa/internal/telemetry"
 )
 
 func main() {
@@ -54,30 +56,40 @@ func main() {
 		loadModel   = flag.String("load-model", "", "load a previously saved model instead of training")
 		augBudget   = flag.Int("augment-budget", 0, "default token-drop variants per missing augmented support (0 = engine default 200; requests may override via augment_budget)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown allowance for in-flight requests")
-		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this auxiliary address (empty = disabled)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof and /v1/metrics on this auxiliary address (empty = disabled)")
+		logLevel    = flag.String("log-level", "info", "request log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
 	if *pprofAddr != "" {
-		bound, err := debugserve.Start(*pprofAddr)
+		bound, err := debugserve.Start(*pprofAddr, telemetry.Default.Handler())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "certa-serve: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("pprof endpoints on http://%s/debug/pprof/", bound)
+		log.Printf("pprof endpoints on http://%s/debug/pprof/ (metrics at /v1/metrics)", bound)
 	}
 
 	if err := run(*addr, *addrFile, *ds, *model, *records, *matches, *seed, *triangles,
-		*parallelism, *maxInflight, *maxQueue, *cacheFile, *cacheCap, *loadModel, *augBudget, *drain); err != nil {
+		*parallelism, *maxInflight, *maxQueue, *cacheFile, *cacheCap, *loadModel, *augBudget, *drain, *logLevel); err != nil {
 		fmt.Fprintf(os.Stderr, "certa-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, addrFile, ds, model string, records, matches int, seed int64, triangles,
-	parallelism, maxInflight, maxQueue int, cacheFile string, cacheCap int, loadModel string, augBudget int, drain time.Duration) error {
+	parallelism, maxInflight, maxQueue int, cacheFile string, cacheCap int, loadModel string, augBudget int,
+	drain time.Duration, logLevel string) error {
 	log.SetPrefix("certa-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	// The structured request log goes to stderr beside the startup log;
+	// one summary line per request with the per-stage time breakdown.
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	bench, err := certa.GenerateBenchmark(ds, certa.BenchmarkOptions{
 		Seed: seed, MaxRecords: records, MaxMatches: matches,
@@ -149,7 +161,14 @@ func run(addr, addrFile, ds, model string, records, matches int, seed int64, tri
 		Pairs:           pairs,
 		Service:         svc,
 		RestoredEntries: restored,
-	}}, certa.ServerOptions{MaxInFlight: maxInflight, MaxQueue: maxQueue})
+	}}, certa.ServerOptions{
+		MaxInFlight: maxInflight, MaxQueue: maxQueue,
+		Logger: logger,
+		// The process-wide registry, so the server's series share the
+		// -pprof-addr scrape surface with any other instrumentation; the
+		// public mux serves the same registry at GET /v1/metrics.
+		Metrics: telemetry.Default,
+	})
 	if err != nil {
 		return err
 	}

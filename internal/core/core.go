@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"certa/internal/neighborhood"
 	"certa/internal/record"
 	"certa/internal/scorecache"
+	"certa/internal/telemetry"
 )
 
 // Options tunes the CERTA explainer. The zero value gives the paper's
@@ -403,14 +405,23 @@ func (e *Explainer) ExplainContext(ctx context.Context, m explain.Model, p recor
 	}
 	bud := newRunBudget(sc, e.opts)
 	prog := &progress{}
-	origScores, err := sc.ScoreBatchContext(ctx, []record.Pair{p})
+	// Telemetry spans time the stages of this explanation when the
+	// serving layer put a telemetry.Trace on ctx (no-ops otherwise).
+	// They are a wall-clock side channel in the sense of the PR 6
+	// FlipHits split: nothing in Diagnostics or the Result depends on
+	// them, so byte-identity at any Parallelism is untouched.
+	spOrig, octx := telemetry.StartSpan(ctx, "original_score")
+	origScores, err := sc.ScoreBatchContext(octx, []record.Pair{p})
+	spOrig.End()
 	if err != nil {
 		return nil, err
 	}
 	origScore := origScores[0]
 	y := origScore > 0.5
 
-	tri, searchCalls, seedSearchCalls, err := e.findTriangles(ctx, bud, prog, sc, p, y)
+	spTri, tctx := telemetry.StartSpan(ctx, "triangles")
+	tri, searchCalls, seedSearchCalls, err := e.findTriangles(tctx, bud, prog, sc, p, y)
+	spTri.End()
 	if err != nil {
 		return nil, err
 	}
@@ -488,7 +499,9 @@ func (e *Explainer) ExplainContext(ctx context.Context, m explain.Model, p recor
 		// asks for were (almost always) already paid for during lattice
 		// exploration, and an anytime result should keep its
 		// counterfactual examples.
-		res.Counterfactuals, err = e.buildCounterfactuals(ctx, sc, p, origScore, best, leftCounts, rightCounts, bestChi)
+		spCF, cctx := telemetry.StartSpan(ctx, "counterfactuals")
+		res.Counterfactuals, err = e.buildCounterfactuals(cctx, sc, p, origScore, best, leftCounts, rightCounts, bestChi)
+		spCF.End()
 		if err != nil {
 			return nil, err
 		}
@@ -552,6 +565,12 @@ func (e *Explainer) exploreSide(ctx context.Context, bud *runBudget, prog *progr
 		return counts, nil
 	}
 
+	// One span per side; each lock-step level batch records a child
+	// below (the oracle closure), so the trace attributes lattice time
+	// per level.
+	spSide, ctx := telemetry.StartSpan(ctx, "lattice/"+side.String())
+	defer spSide.End()
+
 	// The oracle needs classes, not scores, and most questions repeat
 	// perturbations some lattice already asked: the keyers assemble each
 	// question's canonical cache key without cloning a record, so the
@@ -567,10 +586,20 @@ func (e *Explainer) exploreSide(ctx context.Context, bud *runBudget, prog *progr
 		for i, q := range qs {
 			keys[i] = keyers[q.Lattice].Key(uint32(q.Mask))
 		}
-		return sc.ScoreFlipsKeyedContext(ctx, keys, y, func(i int) record.Pair {
+		// The lock-step exploration batches one level at a time, so one
+		// oracle call is one lattice level across every triangle.
+		qctx := ctx
+		var sp *telemetry.Span
+		if len(qs) > 0 {
+			sp, qctx = telemetry.StartSpan(ctx, "lattice/level"+strconv.Itoa(qs[0].Mask.Count()))
+			sp.AddItems(len(qs))
+		}
+		flips, err := sc.ScoreFlipsKeyedContext(qctx, keys, y, func(i int) record.Pair {
 			q := qs[i]
 			return perturb(p, side, supports[q.Lattice], counts.attrs, q.Mask)
 		})
+		sp.End()
+		return flips, err
 	}
 
 	before := sc.Stats().Misses

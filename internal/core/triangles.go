@@ -8,6 +8,7 @@ import (
 	"certa/internal/record"
 	"certa/internal/scorecache"
 	"certa/internal/strutil"
+	"certa/internal/telemetry"
 )
 
 // triangles holds the support records selected for one explanation.
@@ -258,6 +259,8 @@ func (e *Explainer) naturalSupports(ctx context.Context, bud *runBudget, prog *p
 	src := e.sources.Side(side)
 	seed := e.opts.Seed*131 + int64(side) + int64(hashString(fixed.Text()))
 
+	sp, ctx := telemetry.StartSpan(ctx, "retrieval/natural")
+	defer sp.End()
 	scan := newSupportScan(ctx, bud, sc, p, side, y, want)
 	stream := src.Shuffled(seed)
 	for !scan.done {
@@ -275,6 +278,7 @@ func (e *Explainer) naturalSupports(ctx context.Context, bud *runBudget, prog *p
 	if scan.err != nil {
 		return nil, scan.err
 	}
+	sp.AddItems(scan.scored)
 	*calls += scan.scored
 	*seedCalls += scan.seed
 	scan.notePhase(prog)
@@ -301,6 +305,8 @@ func (e *Explainer) augmentedSupports(ctx context.Context, bud *runBudget, prog 
 	// unbounded (Options.AugmentBudget variants per missing support).
 	budget := want * e.opts.AugmentBudget
 
+	sp, ctx := telemetry.StartSpan(ctx, "retrieval/augmented")
+	defer sp.End()
 	scan := newSupportScan(ctx, bud, sc, p, side, y, want)
 	var stream *neighborhood.Stream
 	if e.opts.SeedSearch {
@@ -312,7 +318,9 @@ func (e *Explainer) augmentedSupports(ctx context.Context, bud *runBudget, prog 
 		// there by dropping noise tokens — visit those first. When it is
 		// Non-Match, dissimilar records flip fastest. The seeded shuffle
 		// remains the tie-break, so Seed still diversifies selection.
-		stream = src.Ranked(seed, fixed.Text(), y /* ascending overlap when seeking Non-Match */)
+		// RankedContext additionally records the eager ranking work
+		// (postings intersection + heap setup) as its own span.
+		stream = neighborhood.RankedContext(ctx, src, seed, fixed.Text(), y /* ascending overlap when seeking Non-Match */)
 		// Abandon streams that yield nothing: after this many consecutive
 		// candidate records' worth of ineligible variants, no support is
 		// coming from the rest of the (relevance-ranked) stream either.
@@ -363,6 +371,7 @@ func (e *Explainer) augmentedSupports(ctx context.Context, bud *runBudget, prog 
 	if scan.err != nil {
 		return nil, scan.err
 	}
+	sp.AddItems(scan.scored)
 	*calls += scan.scored
 	*seedCalls += scan.seed
 	scan.notePhase(prog)

@@ -11,15 +11,21 @@ import (
 )
 
 // Start listens on addr (use port 0 for an ephemeral port) and serves
-// /debug/pprof/ from a dedicated goroutine for the life of the process.
-// It returns the bound address so callers can log it.
-func Start(addr string) (string, error) {
+// /debug/pprof/ — plus, when metrics is non-nil, GET /v1/metrics — from
+// a dedicated goroutine for the life of the process. The daemons pass
+// telemetry.Default.Handler() so their instrumentation is scrapeable on
+// the auxiliary port even when the process has no public API surface
+// (certa-bench). It returns the bound address so callers can log it.
+func Start(addr string, metrics http.Handler) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if metrics != nil {
+		mux.Handle("GET /v1/metrics", metrics)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("debugserve: %w", err)

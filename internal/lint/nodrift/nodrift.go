@@ -66,6 +66,11 @@ var deterministicPackages = map[string]bool{
 	"certa/internal/strutil":      true,
 	"certa/internal/vector":       true,
 	"certa/internal/workpool":     true,
+	// telemetry is instrumented *into* the scoring path, so it joins the
+	// deny set: all of its span timing must flow through the one waived
+	// clock read behind telemetry.Clock (clock.go), not ad-hoc time.Now
+	// calls.
+	"certa/internal/telemetry": true,
 }
 
 // denied maps package path -> package-level function names that leak

@@ -16,6 +16,7 @@
 package matchers
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"certa/internal/embedding"
 	"certa/internal/nn"
 	"certa/internal/record"
+	"certa/internal/telemetry"
 )
 
 // Matcher is a black-box ER classifier: Score returns the matching
@@ -151,19 +153,39 @@ func (m *Model) Score(p record.Pair) float64 {
 // store — and a single blocked forward pass produces the scores.
 // Index-aligned with pairs and bit-identical to per-pair Score calls.
 func (m *Model) ScoreBatch(pairs []record.Pair) []float64 {
+	out, _ := m.ScoreBatchContext(context.Background(), pairs) // background ctx: never errs
+	return out
+}
+
+// ScoreBatchContext implements explain.ContextModel natively: the
+// batch observes ctx once up front (the same granularity the generic
+// adapter would give it) and the two kernel stages — featurization and
+// the blocked forward pass — are recorded as telemetry spans when a
+// trace rides ctx. Span timing is an observability side channel; the
+// scores stay bit-identical to ScoreBatch and per-pair Score calls.
+func (m *Model) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(pairs) == 0 {
-		return make([]float64, 0)
+		return make([]float64, 0), nil
 	}
 	bp := featBufPool.Get().(*[]float64)
 	flat := (*bp)[:0]
 	text := m.text()
+	sp, _ := telemetry.StartSpan(ctx, "featurize")
 	for _, p := range pairs {
 		flat = m.feat.appendFeatures(flat, p, text)
 	}
+	sp.AddItems(len(pairs))
+	sp.End()
+	sp, _ = telemetry.StartSpan(ctx, "forward")
 	out := m.net.PredictBatchFlat(flat, len(pairs))
+	sp.AddItems(len(pairs))
+	sp.End()
 	*bp = flat[:0]
 	featBufPool.Put(bp)
-	return out
+	return out, nil
 }
 
 // Config tunes training.

@@ -1,0 +1,20 @@
+package neighborhood
+
+import (
+	"context"
+
+	"certa/internal/telemetry"
+)
+
+// RankedContext is Ranked with the eager ranking work — the postings
+// intersections that compute every candidate's overlap and the lazy
+// heap's initialization — recorded as a telemetry span when a trace
+// rides ctx. The returned stream, its order and the records it yields
+// are exactly those of src.Ranked: tracing is a wall-clock side
+// channel and contributes nothing to candidate selection.
+func RankedContext(ctx context.Context, src CandidateSource, seed int64, query string, ascending bool) *Stream {
+	sp, _ := telemetry.StartSpan(ctx, "retrieval/rank")
+	st := src.Ranked(seed, query, ascending)
+	sp.End()
+	return st
+}

@@ -43,6 +43,7 @@ import (
 
 	"certa/internal/explain"
 	"certa/internal/record"
+	"certa/internal/telemetry"
 )
 
 // Options tunes a Scorer view.
@@ -376,7 +377,12 @@ func (s *Scorer) ScoreFlipsKeyedContext(ctx context.Context, keys []string, y bo
 	for j, ki := range misses {
 		missKeys[j] = keys[ki]
 	}
+	// Memo-lookup span: how long the shared flip memo took to answer
+	// (or decline) this batch of unique unseen questions.
+	sp, _ := telemetry.StartSpan(ctx, "memo")
 	classes, known := s.svc.flipGet(missKeys)
+	sp.AddItems(len(missKeys))
+	sp.End()
 
 	// Resolve memo-answered misses without materializing anything; the
 	// sentinel keeps a later score request for the same key honest (the

@@ -7,6 +7,7 @@ import (
 
 	"certa/internal/explain"
 	"certa/internal/record"
+	"certa/internal/telemetry"
 	"certa/internal/workpool"
 )
 
@@ -472,6 +473,12 @@ func (s *Service) scoreClaims(ctx context.Context, keys []string, pairs []record
 	if shards > len(claimed) {
 		shards = len(claimed)
 	}
+	// Span for the model evaluation of this batch's true misses; the
+	// matcher's featurize/forward spans nest under it (per shard).
+	// Telemetry is a side channel — scoring and publication are
+	// untouched by it.
+	sp, ctx := telemetry.StartSpan(ctx, "model")
+	sp.AddItems(len(claimed))
 	err = workpool.EachContext(ctx, shards, shards, func(ctx context.Context, w int) error {
 		per := (len(claimed) + shards - 1) / shards
 		lo := w * per
@@ -498,6 +505,7 @@ func (s *Service) scoreClaims(ctx context.Context, keys []string, pairs []record
 		copy(scores[lo:hi], got)
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return err
 	}

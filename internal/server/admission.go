@@ -34,7 +34,11 @@ type admission struct {
 	maxQueue int
 	inflight int
 	queue    []*ticket
-	ewmaMS   float64
+	// highWater is the deepest the queue has ever been — the signal
+	// (exported via /v1/stats and /v1/metrics) that MaxQueue is sized
+	// too tight even when the instantaneous depth looks calm.
+	highWater int
+	ewmaMS    float64
 }
 
 // newAdmission builds the controller; callers pass already-defaulted
@@ -59,6 +63,9 @@ func (a *admission) acquire(ctx context.Context) error {
 	}
 	t := &ticket{ready: make(chan struct{})}
 	a.queue = append(a.queue, t)
+	if len(a.queue) > a.highWater {
+		a.highWater = len(a.queue)
+	}
 	a.mu.Unlock()
 
 	select {
@@ -138,9 +145,10 @@ func (a *admission) retryAfterSeconds() int {
 	return secs
 }
 
-// snapshot reports the controller's instantaneous occupancy.
-func (a *admission) snapshot() (inflight, queued int, ewmaMS float64) {
+// snapshot reports the controller's instantaneous occupancy plus the
+// queue-depth high-water mark.
+func (a *admission) snapshot() (inflight, queued, highWater int, ewmaMS float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.inflight, len(a.queue), a.ewmaMS
+	return a.inflight, len(a.queue), a.highWater, a.ewmaMS
 }

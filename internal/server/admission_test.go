@@ -16,12 +16,12 @@ func TestAdmissionImmediateSlots(t *testing.T) {
 	if err := a.acquire(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if inflight, queued, _ := a.snapshot(); inflight != 2 || queued != 0 {
+	if inflight, queued, _, _ := a.snapshot(); inflight != 2 || queued != 0 {
 		t.Fatalf("occupancy = %d/%d", inflight, queued)
 	}
 	a.release()
 	a.release()
-	if inflight, _, _ := a.snapshot(); inflight != 0 {
+	if inflight, _, _, _ := a.snapshot(); inflight != 0 {
 		t.Fatalf("inflight = %d after releases", inflight)
 	}
 }
@@ -46,7 +46,7 @@ func TestAdmissionFIFOOrder(t *testing.T) {
 			granted <- i
 		}(i)
 		waitFor(t, "waiter queued", func() bool {
-			_, queued, _ := a.snapshot()
+			_, queued, _, _ := a.snapshot()
 			return queued == i+1
 		})
 	}
@@ -64,7 +64,7 @@ func TestAdmissionFIFOOrder(t *testing.T) {
 		}
 	}
 	a.release()
-	if inflight, queued, _ := a.snapshot(); inflight != 0 || queued != 0 {
+	if inflight, queued, _, _ := a.snapshot(); inflight != 0 || queued != 0 {
 		t.Fatalf("occupancy = %d/%d after drain", inflight, queued)
 	}
 }
@@ -77,7 +77,7 @@ func TestAdmissionOverflowRejects(t *testing.T) {
 	}
 	go a.acquire(ctx) // fills the queue
 	waitFor(t, "queue fill", func() bool {
-		_, queued, _ := a.snapshot()
+		_, queued, _, _ := a.snapshot()
 		return queued == 1
 	})
 	if err := a.acquire(ctx); !errors.Is(err, errOverloaded) {
@@ -101,7 +101,7 @@ func TestAdmissionCancelledWaiterIsSkipped(t *testing.T) {
 	ctxA, cancelA := context.WithCancel(context.Background())
 	aErr := make(chan error, 1)
 	go func() { aErr <- a.acquire(ctxA) }()
-	waitFor(t, "A queued", func() bool { _, q, _ := a.snapshot(); return q == 1 })
+	waitFor(t, "A queued", func() bool { _, q, _, _ := a.snapshot(); return q == 1 })
 
 	bGranted := make(chan struct{})
 	go func() {
@@ -110,7 +110,7 @@ func TestAdmissionCancelledWaiterIsSkipped(t *testing.T) {
 		}
 		close(bGranted)
 	}()
-	waitFor(t, "B queued", func() bool { _, q, _ := a.snapshot(); return q == 2 })
+	waitFor(t, "B queued", func() bool { _, q, _, _ := a.snapshot(); return q == 2 })
 
 	cancelA()
 	if err := <-aErr; !errors.Is(err, context.Canceled) {
@@ -124,7 +124,7 @@ func TestAdmissionCancelledWaiterIsSkipped(t *testing.T) {
 		t.Fatal("release did not skip the abandoned waiter")
 	}
 	a.release()
-	if inflight, queued, _ := a.snapshot(); inflight != 0 || queued != 0 {
+	if inflight, queued, _, _ := a.snapshot(); inflight != 0 || queued != 0 {
 		t.Fatalf("occupancy = %d/%d after drain", inflight, queued)
 	}
 }
@@ -140,7 +140,7 @@ func TestAdmissionHandoffCancelRace(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
 		go func() { done <- a.acquire(ctx) }()
-		waitFor(t, "queued", func() bool { _, q, _ := a.snapshot(); return q == 1 })
+		waitFor(t, "queued", func() bool { _, q, _, _ := a.snapshot(); return q == 1 })
 		go cancel()
 		go a.release()
 		err := <-done
@@ -149,7 +149,7 @@ func TestAdmissionHandoffCancelRace(t *testing.T) {
 			a.release()
 		}
 		waitFor(t, "slot recovered", func() bool {
-			inflight, queued, _ := a.snapshot()
+			inflight, queued, _, _ := a.snapshot()
 			return inflight == 0 && queued == 0
 		})
 		cancel()
@@ -166,18 +166,18 @@ func TestAdmissionAbandonedWaiterFreesQueueCapacity(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() { errc <- a.acquire(ctx) }()
-	waitFor(t, "waiter queued", func() bool { _, q, _ := a.snapshot(); return q == 1 })
+	waitFor(t, "waiter queued", func() bool { _, q, _, _ := a.snapshot(); return q == 1 })
 	cancel()
 	if err := <-errc; !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled waiter got %v", err)
 	}
-	if _, q, _ := a.snapshot(); q != 0 {
+	if _, q, _, _ := a.snapshot(); q != 0 {
 		t.Fatalf("queue reports %d waiters after abandonment", q)
 	}
 	// The freed capacity admits a live waiter instead of rejecting it.
 	granted := make(chan error, 1)
 	go func() { granted <- a.acquire(context.Background()) }()
-	waitFor(t, "live waiter queued", func() bool { _, q, _ := a.snapshot(); return q == 1 })
+	waitFor(t, "live waiter queued", func() bool { _, q, _, _ := a.snapshot(); return q == 1 })
 	a.release()
 	if err := <-granted; err != nil {
 		t.Fatalf("live waiter rejected after abandonment freed the queue: %v", err)

@@ -89,7 +89,7 @@ func TestClientDisconnectCancelsExplanation(t *testing.T) {
 	waitFor(t, "cancelled counter", func() bool { return s.Stats().Cancelled == 1 })
 	// ...the admission slot drains...
 	waitFor(t, "admission drain", func() bool {
-		inflight, queued, _ := s.adm.snapshot()
+		inflight, queued, _, _ := s.adm.snapshot()
 		return inflight == 0 && queued == 0
 	})
 	// ...the coalescing table empties...
@@ -175,7 +175,7 @@ func TestClientDisconnectStopsBatchDispatch(t *testing.T) {
 
 	// Everything in flight unwinds...
 	waitFor(t, "admission drain", func() bool {
-		inflight, queued, _ := s.adm.snapshot()
+		inflight, queued, _, _ := s.adm.snapshot()
 		return inflight == 0 && queued == 0
 	})
 	// ...and the items that were never dispatched never show up in the

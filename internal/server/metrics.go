@@ -1,0 +1,172 @@
+package server
+
+import (
+	"time"
+
+	"certa/internal/telemetry"
+)
+
+// The server's metric catalog. Every counter the serving layers keep —
+// and every stat the engine reports through side channels
+// (scorecache.ServiceStats, embedding.StoreStats, index build stats) —
+// is published as a named series in Options.Metrics and scraped at
+// GET /v1/metrics. Counters that already live elsewhere are bridged
+// with callback-backed series (CounterFunc/GaugeFunc) read at scrape
+// time, so there is exactly one source of truth per number: the same
+// values /v1/stats reports, in Prometheus text form.
+const (
+	metricUptime    = "certa_uptime_seconds"
+	metricServed    = "certa_explanations_served_total"
+	metricCoalesced = "certa_requests_coalesced_total"
+	metricRejected  = "certa_requests_rejected_total"
+	metricCancelled = "certa_requests_cancelled_total"
+	metricErrors    = "certa_request_errors_total"
+
+	metricAdmInFlight  = "certa_admission_in_flight"
+	metricAdmQueue     = "certa_admission_queue_depth"
+	metricAdmHighWater = "certa_admission_queue_high_water"
+	metricAdmEwma      = "certa_admission_ewma_latency_seconds"
+
+	metricBackendRequests = "certa_backend_requests_total"
+	metricBackendErrors   = "certa_backend_errors_total"
+
+	metricCacheLookups   = "certa_score_cache_lookups_total"
+	metricCacheHits      = "certa_score_cache_hits_total"
+	metricCacheMisses    = "certa_score_cache_misses_total"
+	metricCacheBatches   = "certa_score_cache_batches_total"
+	metricCacheEvictions = "certa_score_cache_evictions_total"
+	metricCacheEntries   = "certa_score_cache_entries"
+
+	metricFlipLookups = "certa_flip_memo_lookups_total"
+	metricFlipHits    = "certa_flip_memo_hits_total"
+
+	metricEmbedLookups   = "certa_embedding_lookups_total"
+	metricEmbedHits      = "certa_embedding_hits_total"
+	metricEmbedMisses    = "certa_embedding_misses_total"
+	metricEmbedEvictions = "certa_embedding_evictions_total"
+	metricEmbedEntries   = "certa_embedding_entries"
+
+	metricIndexRecords = "certa_index_records"
+	metricIndexTokens  = "certa_index_distinct_tokens"
+	metricIndexBuild   = "certa_index_build_seconds"
+
+	metricExplainDuration = "certa_explain_duration_seconds"
+	metricStageDuration   = "certa_stage_duration_seconds"
+	metricHTTPDuration    = "certa_http_request_duration_seconds"
+)
+
+const helpStageDuration = "Per-computation wall time spent in one engine stage (from the explanation trace)."
+
+// registerMetrics publishes the server's observable state into
+// s.metrics. Called once from New, after the backends are resolved.
+func (s *Server) registerMetrics() {
+	m := s.metrics
+	m.GaugeFunc(metricUptime, "Seconds since server construction.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	m.CounterFunc(metricServed, "Completed explanation computations.", nil,
+		func() float64 { return float64(s.served.Load()) })
+	m.CounterFunc(metricCoalesced, "Requests answered by attaching to another request's in-flight computation.", nil,
+		func() float64 { return float64(s.coalesced.Load()) })
+	m.CounterFunc(metricRejected, "Requests rejected with 429 by the admission controller.", nil,
+		func() float64 { return float64(s.rejected.Load()) })
+	m.CounterFunc(metricCancelled, "Requests whose client disconnected mid-wait or mid-computation.", nil,
+		func() float64 { return float64(s.cancelled.Load()) })
+	m.CounterFunc(metricErrors, "Requests that failed for any other reason.", nil,
+		func() float64 { return float64(s.errored.Load()) })
+
+	m.GaugeFunc(metricAdmInFlight, "Explanations computing right now.", nil, func() float64 {
+		inflight, _, _, _ := s.adm.snapshot()
+		return float64(inflight)
+	})
+	m.GaugeFunc(metricAdmQueue, "Explanations waiting for an in-flight slot.", nil, func() float64 {
+		_, queued, _, _ := s.adm.snapshot()
+		return float64(queued)
+	})
+	m.GaugeFunc(metricAdmHighWater, "Deepest the admission queue has been since startup.", nil, func() float64 {
+		_, _, hw, _ := s.adm.snapshot()
+		return float64(hw)
+	})
+	m.GaugeFunc(metricAdmEwma, "EWMA of per-explanation latency (prices Retry-After).", nil, func() float64 {
+		_, _, _, ewma := s.adm.snapshot()
+		return ewma / 1000 // the controller keeps milliseconds
+	})
+
+	s.httpExplain = m.Histogram(metricHTTPDuration,
+		"Whole-handler request latency, admission wait and coalescing included.",
+		telemetry.Labels{"endpoint": "/v1/explain"}, telemetry.LatencyBuckets)
+	s.httpBatch = m.Histogram(metricHTTPDuration,
+		"Whole-handler request latency, admission wait and coalescing included.",
+		telemetry.Labels{"endpoint": "/v1/explain/batch"}, telemetry.LatencyBuckets)
+
+	for _, name := range s.order {
+		s.registerBackendMetrics(s.backends[name])
+	}
+}
+
+// registerBackendMetrics publishes one backend's series, labeled
+// {backend="name"}. Engine-side stats (score cache, flip memo,
+// embedding store) are bridged from their existing side-channel
+// structs at scrape time.
+func (s *Server) registerBackendMetrics(b *backend) {
+	m := s.metrics
+	lbl := telemetry.Labels{"backend": b.name}
+
+	m.CounterFunc(metricBackendRequests, "Explanation requests routed to this backend.", lbl,
+		func() float64 { return float64(b.requests.Load()) })
+	m.CounterFunc(metricBackendErrors, "Routed requests that failed (rejections and cancellations included).", lbl,
+		func() float64 { return float64(b.errors.Load()) })
+	b.latency = m.Histogram(metricExplainDuration,
+		"Per-computation explanation latency, admission wait excluded.",
+		lbl, telemetry.LatencyBuckets)
+
+	m.CounterFunc(metricCacheLookups, "Score cache lookups.", lbl,
+		func() float64 { return float64(b.svc.Stats().Lookups) })
+	m.CounterFunc(metricCacheHits, "Score cache hits.", lbl,
+		func() float64 { return float64(b.svc.Stats().Hits) })
+	m.CounterFunc(metricCacheMisses, "Score cache misses (unique model invocations paid).", lbl,
+		func() float64 { return float64(b.svc.Stats().Misses) })
+	m.CounterFunc(metricCacheBatches, "Model forward batches issued by the score cache.", lbl,
+		func() float64 { return float64(b.svc.Stats().Batches) })
+	m.CounterFunc(metricCacheEvictions, "Score cache evictions.", lbl,
+		func() float64 { return float64(b.svc.Stats().Evictions) })
+	m.GaugeFunc(metricCacheEntries, "Scores currently stored in the cache.", lbl,
+		func() float64 { return float64(b.svc.Len()) })
+
+	m.CounterFunc(metricFlipLookups, "Flip-outcome memo lookups (lattice oracle questions).", lbl,
+		func() float64 { return float64(b.svc.Stats().FlipLookups) })
+	m.CounterFunc(metricFlipHits, "Lattice oracle questions answered from the cross-explanation flip memo.", lbl,
+		func() float64 { return float64(b.svc.Stats().FlipHits) })
+
+	if es, ok := b.model.(embeddingStatser); ok {
+		m.CounterFunc(metricEmbedLookups, "Embedding store lookups.", lbl,
+			func() float64 { return float64(es.EmbeddingStats().Lookups) })
+		m.CounterFunc(metricEmbedHits, "Texts served without re-embedding.", lbl,
+			func() float64 { return float64(es.EmbeddingStats().Hits) })
+		m.CounterFunc(metricEmbedMisses, "Embedding store misses.", lbl,
+			func() float64 { return float64(es.EmbeddingStats().Misses) })
+		m.CounterFunc(metricEmbedEvictions, "Embedding store evictions.", lbl,
+			func() float64 { return float64(es.EmbeddingStats().Evictions) })
+		m.GaugeFunc(metricEmbedEntries, "Vectors currently held by the embedding store.", lbl,
+			func() float64 { return float64(es.EmbeddingStats().Entries) })
+	}
+
+	// The retrieval index is immutable after construction, so its stats
+	// are plain gauges set once rather than scrape-time callbacks.
+	if ist, ok := b.opts.Retrieval.Stats(); ok {
+		m.Gauge(metricIndexRecords, "Records in the candidate retrieval index.", lbl).
+			Set(float64(ist.Records))
+		m.Gauge(metricIndexTokens, "Inverted-index vocabulary size.", lbl).
+			Set(float64(ist.DistinctTokens))
+		m.Gauge(metricIndexBuild, "Wall-clock index construction time.", lbl).
+			Set(ist.BuildMS / 1000)
+	}
+}
+
+// stageHist resolves the per-stage latency series for one (backend,
+// stage). Registration is idempotent, so stages discovered at runtime
+// (lattice/level3 appears only when a lattice reaches level 3) create
+// their series on first observation.
+func (s *Server) stageHist(backend, stage string) *telemetry.Histogram {
+	return s.metrics.Histogram(metricStageDuration, helpStageDuration,
+		telemetry.Labels{"backend": backend, "stage": stage}, telemetry.LatencyBuckets)
+}

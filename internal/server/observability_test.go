@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"certa/internal/telemetry"
+)
+
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsEndpoint drives one explanation and asserts the scrape
+// covers every series group the catalog promises: serving counters,
+// admission gauges, per-backend cache/memo/index bridges, and the
+// latency histograms fed by the per-computation trace.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	text := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		// Exact values: one request was served, none coalesced.
+		`certa_explanations_served_total 1`,
+		`certa_requests_coalesced_total 0`,
+		`certa_backend_requests_total{backend="toy"} 1`,
+		`certa_explain_duration_seconds_count{backend="toy"} 1`,
+		`certa_http_request_duration_seconds_count{endpoint="/v1/explain"} 1`,
+		// Presence: gauges and bridged engine-side counters.
+		`certa_uptime_seconds `,
+		`certa_admission_in_flight 0`,
+		`certa_admission_queue_high_water 0`,
+		`certa_score_cache_lookups_total{backend="toy"}`,
+		`certa_flip_memo_lookups_total{backend="toy"}`,
+		`certa_index_records{backend="toy"}`,
+		// Stage histograms fed from the trace: the engine stages must
+		// have produced series.
+		`certa_stage_duration_seconds_count{backend="toy",stage="triangles"} 1`,
+		`certa_stage_duration_seconds_count{backend="toy",stage="counterfactuals"} 1`,
+		`certa_stage_duration_seconds_count{backend="toy",stage="model"}`,
+		`# TYPE certa_explain_duration_seconds histogram`,
+		`# TYPE certa_explanations_served_total counter`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", text)
+	}
+}
+
+// TestDebugTraceKnob asserts ?debug=trace embeds the span tree and —
+// the load-bearing half — that tracing never changes the Result: the
+// traced and untraced result documents are byte-identical.
+func TestDebugTraceKnob(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, plainBody := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, plainBody)
+	}
+	resp, tracedBody := postJSON(t, ts.URL+"/v1/explain?debug=trace", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced status %d: %s", resp.StatusCode, tracedBody)
+	}
+	if resp.Header.Get("X-Certa-Request-Id") == "" {
+		t.Error("no X-Certa-Request-Id header")
+	}
+
+	var plain, traced ExplainResponse
+	if err := json.Unmarshal(plainBody, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(tracedBody, &traced); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced response carries a span tree")
+	}
+	if traced.Trace == nil {
+		t.Fatal("?debug=trace response has no span tree")
+	}
+	if traced.Trace.Name != "explain" || traced.Trace.DurationMS <= 0 {
+		t.Errorf("root span = %+v", traced.Trace)
+	}
+	stages := make(map[string]bool)
+	var walk func(sp *telemetry.WireSpan)
+	walk = func(sp *telemetry.WireSpan) {
+		stages[sp.Name] = true
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(traced.Trace)
+	// The warm-cache stages: this is the pair's second explanation, so
+	// model-call spans may be absent — the structural stages and the
+	// memo lookups are always there.
+	for _, want := range []string{"original_score", "triangles", "counterfactuals", "memo"} {
+		if !stages[want] {
+			t.Errorf("span tree has no %q span (got %v)", want, stages)
+		}
+	}
+
+	// Byte-identity with tracing on: the trace rides outside the result.
+	pr, err := json.Marshal(plain.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := json.Marshal(traced.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pr, tr) {
+		t.Errorf("traced result differs from untraced result:\n%s\n%s", pr, tr)
+	}
+}
+
+// TestRequestLogging asserts Options.Logger receives one structured
+// summary line per request, joined to the response by request ID and
+// carrying the stage breakdown for computation leaders.
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	s := newTestServer(t, overlapModel{}, Options{Logger: logger}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	reqID := resp.Header.Get("X-Certa-Request-Id")
+	if reqID == "" {
+		t.Fatal("no X-Certa-Request-Id header")
+	}
+	line := buf.String()
+	for _, want := range []string{
+		"msg=explain",
+		"req_id=" + reqID,
+		"backend=toy",
+		"pair=l0|r0",
+		"status=200",
+		"coalesced=false",
+		"stages=",
+		"triangles=",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line is missing %q:\n%s", want, line)
+		}
+	}
+}

@@ -6,10 +6,11 @@
 // A Server hosts one or more backends — a (sources, model) pair with one
 // long-lived shared scorecache.Service each — and exposes:
 //
-//	POST /v1/explain        one explanation
+//	POST /v1/explain        one explanation (?debug=trace returns the span tree)
 //	POST /v1/explain/batch  many, admitted and coalesced individually
 //	GET  /v1/healthz        liveness
-//	GET  /v1/stats          admission + coalescing + cache counters
+//	GET  /v1/stats          admission + coalescing + cache counters (JSON)
+//	GET  /v1/metrics        the same state as Prometheus text exposition
 //
 // Three serving layers sit between the HTTP surface and the engine:
 //
@@ -29,6 +30,16 @@
 //     the next scoring checkpoint. Per-request deadline_ms/call_budget
 //     knobs map onto the anytime Options and truncate instead.
 //
+// Observability cuts across all three: every computation runs under a
+// telemetry.Trace whose per-stage wall times feed the
+// certa_stage_duration_seconds histograms and the structured request
+// log (Options.Logger), and every ad-hoc counter the server keeps —
+// admission occupancy, coalesce hits, score-cache and flip-memo rates,
+// embedding-store hits, index build time — is published as a named
+// series in Options.Metrics (internal/telemetry). Timing is strictly a
+// side channel: it never reaches core.Diagnostics or any Result, so
+// the byte-identity contracts hold with tracing on.
+//
 // Backends can be handed a scorecache.Service restored from a snapshot
 // (Service.Restore), and the server's cache can be written back out with
 // Server.Snapshot — the persistence path cmd/certa-serve wires to
@@ -41,8 +52,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +66,7 @@ import (
 	"certa/internal/neighborhood"
 	"certa/internal/record"
 	"certa/internal/scorecache"
+	"certa/internal/telemetry"
 	"certa/internal/workpool"
 )
 
@@ -65,6 +79,17 @@ type Options struct {
 	MaxQueue int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Logger receives the structured request log: one summary line per
+	// explanation request (request ID, backend, status, duration, and —
+	// for the request that led the computation — the per-stage
+	// breakdown). Nil discards log output.
+	Logger *slog.Logger
+	// Metrics is the registry backing GET /v1/metrics; the server
+	// registers every series it publishes there at construction. Nil
+	// gets a fresh private registry, so embedded servers (tests) never
+	// collide; the daemons pass telemetry.Default to share one scrape
+	// surface with their other instrumentation.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +101,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	if o.Metrics == nil {
+		o.Metrics = telemetry.NewRegistry()
 	}
 	return o
 }
@@ -117,6 +148,15 @@ type backend struct {
 	pairs       []record.Pair
 	svc         *scorecache.Service
 	restored    int
+
+	// requests counts explanation requests routed to this backend
+	// (coalesced joiners included); errors the ones that failed after
+	// routing. Both feed /v1/stats and the certa_backend_*_total series.
+	requests atomic.Int64
+	errors   atomic.Int64
+	// latency is the certa_explain_duration_seconds{backend=...} series:
+	// per-computation latency, admission wait excluded.
+	latency *telemetry.Histogram
 }
 
 // Server is the HTTP explanation-serving subsystem. It implements
@@ -129,6 +169,15 @@ type Server struct {
 	coal     *coalescer
 	mux      *http.ServeMux
 	start    time.Time
+	metrics  *telemetry.Registry
+	logger   *slog.Logger
+	reqSeq   atomic.Int64
+
+	// httpExplain/httpBatch are the certa_http_request_duration_seconds
+	// series: whole-handler latency including admission wait and
+	// coalescing, one series per endpoint.
+	httpExplain *telemetry.Histogram
+	httpBatch   *telemetry.Histogram
 
 	// lifetime is the server's base context: computations are derived
 	// from it so Close aborts everything in flight.
@@ -156,6 +205,8 @@ func New(backends []Backend, opts Options) (*Server, error) {
 		coal:     newCoalescer(),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		metrics:  opts.Metrics,
+		logger:   opts.Logger,
 		lifetime: lifetime,
 		stop:     stop,
 	}
@@ -198,10 +249,12 @@ func New(backends []Backend, opts Options) (*Server, error) {
 		}
 		s.order = append(s.order, b.Name)
 	}
+	s.registerMetrics()
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/explain/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /v1/metrics", s.metrics.Handler())
 	return s, nil
 }
 
@@ -253,12 +306,18 @@ func (s *Server) resolveBackend(name string) (*backend, int, error) {
 }
 
 // serveOne runs one explanation request through coalescing + admission
-// and returns the shared response bytes.
-func (s *Server) serveOne(ctx context.Context, b *backend, p record.Pair, k knobs) (body []byte, joined bool, err error) {
+// and returns the shared response bytes. tr is the computation's trace
+// when this request led it (nil for joiners, whose bytes were computed
+// under another request's trace, and on error) — the handler folds it
+// into the request log line.
+func (s *Server) serveOne(ctx context.Context, b *backend, p record.Pair, k knobs, reqID string) (body []byte, joined bool, tr *telemetry.Trace, err error) {
 	key := coalesceKey(b.name, k, p)
 	for {
+		var led *telemetry.Trace
 		body, joined, err = s.coal.do(ctx, s.lifetime, key, func(compCtx context.Context) ([]byte, error) {
-			return s.compute(compCtx, b, p, k)
+			out, t, cerr := s.compute(compCtx, b, p, k, reqID, false)
+			led = t
+			return out, cerr
 		})
 		if joined && errors.Is(err, context.Canceled) && ctx.Err() == nil && s.lifetime.Err() == nil {
 			// We attached to a computation whose every requester had
@@ -271,15 +330,26 @@ func (s *Server) serveOne(ctx context.Context, b *backend, p record.Pair, k knob
 		if joined {
 			s.coalesced.Add(1)
 		}
-		return body, joined, err
+		if err == nil {
+			// Reading led is safe only once the computation has delivered a
+			// result (happens-before via the coalescer's result channel). On
+			// a cancelled wait the closure may still be running — leave tr
+			// nil rather than race.
+			tr = led
+		}
+		return body, joined, tr, err
 	}
 }
 
 // compute runs the explanation under an admission slot and marshals the
-// shared response body.
-func (s *Server) compute(ctx context.Context, b *backend, p record.Pair, k knobs) ([]byte, error) {
+// shared response body. Every computation runs under a fresh
+// telemetry.Trace: its stage totals feed the per-stage latency
+// histograms, and — when wantTree is set (?debug=trace) — the span
+// tree rides the response. Tracing is a wall-clock side channel; the
+// Result bytes are identical with and without it.
+func (s *Server) compute(ctx context.Context, b *backend, p record.Pair, k knobs, reqID string, wantTree bool) ([]byte, *telemetry.Trace, error) {
 	if err := s.adm.acquire(ctx); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer s.adm.release()
 
@@ -297,23 +367,43 @@ func (s *Server) compute(ctx context.Context, b *backend, p record.Pair, k knobs
 	if k.pruneThreshold > 0 {
 		opts.LatticePrune = lattice.PrunePolicy{Threshold: k.pruneThreshold, MinLevels: k.pruneMinLevels}
 	}
+	tr := telemetry.New()
+	tr.SetRequestID(reqID)
 	start := time.Now()
-	res, err := core.New(b.left, b.right, opts).ExplainContext(ctx, b.model, p)
+	res, err := core.New(b.left, b.right, opts).ExplainContext(telemetry.WithTrace(ctx, tr), b.model, p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	s.adm.observe(time.Since(start))
+	elapsed := time.Since(start)
+	tr.Root().End()
+	s.adm.observe(elapsed)
 	s.served.Add(1)
+	b.latency.Observe(elapsed.Seconds())
+	s.foldStages(b, tr)
 
-	body, err := json.Marshal(ExplainResponse{
+	resp := ExplainResponse{
 		Benchmark: b.name,
 		PairKey:   p.Key(),
 		Result:    shapeTopK(res, k.topK),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("marshaling response: %w", err)
 	}
-	return body, nil
+	if wantTree {
+		resp.Trace = tr.Tree()
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("marshaling response: %w", err)
+	}
+	return body, tr, nil
+}
+
+// foldStages folds one computation's trace into the per-stage latency
+// histograms, iterating the sorted stage names so series are touched
+// in a deterministic order.
+func (s *Server) foldStages(b *backend, tr *telemetry.Trace) {
+	stages := tr.Stages()
+	for _, name := range telemetry.StageNames(stages) {
+		s.stageHist(b.name, name).Observe(stages[name].Duration.Seconds())
+	}
 }
 
 // shapeTopK trims the result to the k most salient attributes and at
@@ -340,34 +430,109 @@ func shapeTopK(res *core.Result, k int) *core.Result {
 	return &shaped
 }
 
-// handleExplain serves POST /v1/explain.
+// handleExplain serves POST /v1/explain. With ?debug=trace the request
+// bypasses coalescing (wall times are per-computation; a shared body
+// could not carry them) but still holds an admission slot, and the
+// response embeds the span tree.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID := s.nextRequestID()
+	w.Header().Set("X-Certa-Request-Id", reqID)
 	var req ExplainRequest
 	if status, err := s.decode(w, r, &req); err != nil {
 		s.writeError(w, status, err)
+		s.logExplain(reqID, req.Benchmark, "", status, false, time.Since(start), nil, err)
 		return
 	}
 	b, status, err := s.resolveBackend(req.Benchmark)
 	if err != nil {
 		s.writeError(w, status, err)
+		s.logExplain(reqID, req.Benchmark, "", status, false, time.Since(start), nil, err)
 		return
 	}
 	p, err := b.resolvePair(&req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		s.logExplain(reqID, b.name, "", http.StatusBadRequest, false, time.Since(start), nil, err)
 		return
 	}
-	start := time.Now()
-	body, joined, err := s.serveOne(r.Context(), b, p, req.knobs())
+	b.requests.Add(1)
+	var (
+		body   []byte
+		joined bool
+		tr     *telemetry.Trace
+	)
+	if r.URL.Query().Get("debug") == "trace" {
+		body, tr, err = s.compute(r.Context(), b, p, req.knobs(), reqID, true)
+	} else {
+		body, joined, tr, err = s.serveOne(r.Context(), b, p, req.knobs(), reqID)
+	}
+	elapsed := time.Since(start)
+	s.httpExplain.Observe(elapsed.Seconds())
 	if err != nil {
-		s.writeServeError(w, r, err)
+		b.errors.Add(1)
+		status := s.writeServeError(w, r, err)
+		s.logExplain(reqID, b.name, p.Key(), status, joined, elapsed, nil, err)
 		return
 	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Certa-Coalesced", strconv.FormatBool(joined))
-	h.Set("X-Certa-Duration-Ms", strconv.FormatInt(time.Since(start).Milliseconds(), 10))
+	h.Set("X-Certa-Duration-Ms", strconv.FormatInt(elapsed.Milliseconds(), 10))
 	w.Write(body)
+	s.logExplain(reqID, b.name, p.Key(), http.StatusOK, joined, elapsed, tr, nil)
+}
+
+// nextRequestID mints a process-unique request ID. IDs are sequential
+// rather than random: the request log and span trees join on them, and
+// a monotone sequence keeps interleaved log lines sortable.
+func (s *Server) nextRequestID() string {
+	return "r" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+}
+
+// logExplain writes the one-line structured summary of one explanation
+// request. The stage breakdown appears only when this request led the
+// computation: joiners reused another request's bytes and have no
+// trace of their own.
+func (s *Server) logExplain(reqID, backend, pairKey string, status int, joined bool, d time.Duration, tr *telemetry.Trace, err error) {
+	attrs := []any{
+		"req_id", reqID,
+		"backend", backend,
+		"pair", pairKey,
+		"status", status,
+		"coalesced", joined,
+		"duration_ms", float64(d) / float64(time.Millisecond),
+	}
+	if st := stageSummary(tr); st != "" {
+		attrs = append(attrs, "stages", st)
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+		s.logger.Warn("explain", attrs...)
+		return
+	}
+	s.logger.Info("explain", attrs...)
+}
+
+// stageSummary renders a trace's stage totals as a compact
+// deterministic "name=durations[/items]" list, sorted by stage name.
+func stageSummary(tr *telemetry.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	stages := tr.Stages()
+	var b strings.Builder
+	for _, name := range telemetry.StageNames(stages) {
+		st := stages[name]
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.1fms", name, float64(st.Duration)/float64(time.Millisecond))
+		if st.Items > 0 {
+			fmt.Fprintf(&b, "/%d", st.Items)
+		}
+	}
+	return b.String()
 }
 
 // handleBatch serves POST /v1/explain/batch: items fan out over a
@@ -379,6 +544,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // response bytes verbatim (json.RawMessage), which also keeps coalesced
 // duplicates byte-identical by construction.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID := s.nextRequestID()
+	w.Header().Set("X-Certa-Request-Id", reqID)
 	var req BatchRequest
 	if status, err := s.decode(w, r, &req); err != nil {
 		s.writeError(w, status, err)
@@ -390,7 +558,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	n := len(req.Requests)
 	responses := make([]json.RawMessage, n)
+	var failed atomic.Int64
 	itemError := func(i int, benchmark, pairKey string, msg string) {
+		failed.Add(1)
 		body, err := json.Marshal(ExplainResponse{Benchmark: benchmark, PairKey: pairKey, Error: msg})
 		if err != nil {
 			body = []byte(`{"error":"encoding item error"}`)
@@ -419,8 +589,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			itemError(i, b.name, "", err.Error())
 			return nil
 		}
-		body, _, err := s.serveOne(ctx, b, p, item.knobs())
+		b.requests.Add(1)
+		body, _, _, err := s.serveOne(ctx, b, p, item.knobs(), reqID+"."+strconv.Itoa(i))
 		if err != nil {
+			b.errors.Add(1)
 			s.countServeError(err)
 			itemError(i, b.name, p.Key(), err.Error())
 			return nil
@@ -428,6 +600,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		responses[i] = body
 		return nil
 	})
+	elapsed := time.Since(start)
+	s.httpBatch.Observe(elapsed.Seconds())
+	s.logger.InfoContext(r.Context(), "batch",
+		"req_id", reqID,
+		"items", n,
+		"failed", failed.Load(),
+		"duration_ms", float64(elapsed)/float64(time.Millisecond))
 	if r.Context().Err() != nil {
 		return // client gone; nothing to write
 	}
@@ -453,25 +632,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.Stats())
 }
 
+// embeddingStatser is implemented by backend models that keep a
+// matcher-lifetime embedding store (see embedding.Store).
+type embeddingStatser interface {
+	EmbeddingStats() embedding.StoreStats
+}
+
 // Stats assembles the server's counters.
 func (s *Server) Stats() StatsResponse {
-	inflight, queued, ewma := s.adm.snapshot()
+	inflight, queued, highWater, ewma := s.adm.snapshot()
 	out := StatsResponse{
-		UptimeMS:      float64(time.Since(s.start)) / float64(time.Millisecond),
-		Served:        s.served.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Rejected:      s.rejected.Load(),
-		Cancelled:     s.cancelled.Load(),
-		Errors:        s.errored.Load(),
-		InFlight:      inflight,
-		Queued:        queued,
-		EwmaLatencyMS: ewma,
-		Backends:      make(map[string]BackendStats, len(s.backends)),
+		UptimeMS:       float64(time.Since(s.start)) / float64(time.Millisecond),
+		Served:         s.served.Load(),
+		Coalesced:      s.coalesced.Load(),
+		Rejected:       s.rejected.Load(),
+		Cancelled:      s.cancelled.Load(),
+		Errors:         s.errored.Load(),
+		InFlight:       inflight,
+		Queued:         queued,
+		QueueHighWater: highWater,
+		EwmaLatencyMS:  ewma,
+		Backends:       make(map[string]BackendStats, len(s.backends)),
 	}
 	for name, b := range s.backends {
 		st := b.svc.Stats()
 		bs := BackendStats{
 			Model:           b.model.Name(),
+			Requests:        b.requests.Load(),
+			Errors:          b.errors.Load(),
 			Entries:         b.svc.Len(),
 			RestoredEntries: b.restored,
 			Lookups:         st.Lookups,
@@ -484,9 +672,7 @@ func (s *Server) Stats() StatsResponse {
 			FlipHits:        st.FlipHits,
 			FlipHitRate:     st.FlipHitRate(),
 		}
-		if es, ok := b.model.(interface {
-			EmbeddingStats() embedding.StoreStats
-		}); ok {
+		if es, ok := b.model.(embeddingStatser); ok {
 			est := es.EmbeddingStats()
 			if est.Lookups > 0 || est.Entries > 0 {
 				bs.Embedding = &EmbeddingStats{
@@ -544,16 +730,18 @@ func (s *Server) countServeError(err error) (status int) {
 	}
 }
 
-// writeServeError reports a serveOne failure over HTTP.
-func (s *Server) writeServeError(w http.ResponseWriter, r *http.Request, err error) {
+// writeServeError reports a serveOne failure over HTTP, returning the
+// status for the request log line.
+func (s *Server) writeServeError(w http.ResponseWriter, r *http.Request, err error) int {
 	status := s.countServeError(err)
 	if r.Context().Err() != nil {
-		return // client gone; the status would never arrive
+		return status // client gone; the status would never arrive
 	}
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
 	}
 	s.writeError(w, status, err)
+	return status
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {

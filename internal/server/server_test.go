@@ -400,7 +400,7 @@ func TestAdmissionOverloadReturns429(t *testing.T) {
 		// next, so the arrival order is deterministic.
 		deadline := time.Now().Add(10 * time.Second)
 		for {
-			inflight, queued, _ := s.adm.snapshot()
+			inflight, queued, _, _ := s.adm.snapshot()
 			if inflight+queued == i+1 {
 				break
 			}

@@ -8,6 +8,7 @@ import (
 	"certa/internal/core"
 	"certa/internal/record"
 	"certa/internal/scorecache"
+	"certa/internal/telemetry"
 )
 
 // The wire types of the HTTP API. certa-explain -json prints the same
@@ -81,6 +82,13 @@ type ExplainResponse struct {
 	PairKey   string       `json:"pair_key"`
 	Result    *core.Result `json:"result,omitempty"`
 	Error     string       `json:"error,omitempty"`
+	// Trace is the per-stage wall-time span tree of this computation,
+	// present only when the request asked for it (?debug=trace). Traced
+	// requests bypass coalescing — wall times are per-computation, so a
+	// shared body could not carry them — and are therefore a debugging
+	// tool, not a production knob. The Result itself is byte-identical
+	// with and without tracing.
+	Trace *telemetry.WireSpan `json:"trace,omitempty"`
 }
 
 // BatchRequest asks for many explanations in one round trip. Items are
@@ -128,6 +136,11 @@ type IndexStats struct {
 // /v1/stats.
 type BackendStats struct {
 	Model string `json:"model"`
+	// Requests counts explanation requests routed to this backend
+	// (coalesced joiners included); Errors the ones that failed after
+	// routing (overload rejections and cancellations included).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors,omitempty"`
 	// Entries is the number of scores currently stored;
 	// RestoredEntries how many of the initial ones came from a snapshot
 	// (certa-serve -cache-file).
@@ -188,11 +201,13 @@ type StatsResponse struct {
 	Cancelled int64 `json:"cancelled"`
 	Errors    int64 `json:"errors"`
 	// InFlight/Queued are the admission controller's instantaneous
-	// occupancy; EwmaLatencyMS its latency estimate (prices Retry-After).
-	InFlight      int                     `json:"in_flight"`
-	Queued        int                     `json:"queued"`
-	EwmaLatencyMS float64                 `json:"ewma_latency_ms"`
-	Backends      map[string]BackendStats `json:"backends"`
+	// occupancy; QueueHighWater the deepest the queue has been since
+	// startup; EwmaLatencyMS its latency estimate (prices Retry-After).
+	InFlight       int                     `json:"in_flight"`
+	Queued         int                     `json:"queued"`
+	QueueHighWater int                     `json:"queue_high_water"`
+	EwmaLatencyMS  float64                 `json:"ewma_latency_ms"`
+	Backends       map[string]BackendStats `json:"backends"`
 }
 
 // resolvePair materializes the request's pair against a backend.

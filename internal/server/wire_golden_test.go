@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"certa/internal/telemetry"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
@@ -43,25 +45,35 @@ func TestWireGolden(t *testing.T) {
 		},
 		Batch: BatchResponse{
 			Responses: []ExplainResponse{
-				{Benchmark: "AB", PairKey: "l1|r1"},
+				{Benchmark: "AB", PairKey: "l1|r1",
+					Trace: &telemetry.WireSpan{
+						Name: "explain", DurationMS: 12.5,
+						Children: []*telemetry.WireSpan{
+							{Name: "triangles", StartMS: 0.25, DurationMS: 4, Items: 6},
+							{Name: "counterfactuals", StartMS: 4.5, DurationMS: 8},
+						},
+					}},
 				{Benchmark: "AB", PairKey: "", Error: "pair not found"},
 			},
 		},
 		Error:  ErrorResponse{Error: "backend \"nope\" not found"},
 		Health: HealthResponse{Status: "ok", UptimeMS: 1250, Backends: []string{"AB", "BA"}},
 		Stats: StatsResponse{
-			UptimeMS:      1250,
-			Served:        40,
-			Coalesced:     8,
-			Rejected:      2,
-			Cancelled:     1,
-			Errors:        1,
-			InFlight:      3,
-			Queued:        2,
-			EwmaLatencyMS: 17.5,
+			UptimeMS:       1250,
+			Served:         40,
+			Coalesced:      8,
+			Rejected:       2,
+			Cancelled:      1,
+			Errors:         1,
+			InFlight:       3,
+			Queued:         2,
+			QueueHighWater: 5,
+			EwmaLatencyMS:  17.5,
 			Backends: map[string]BackendStats{
 				"AB": {
 					Model:           "deepmatcher",
+					Requests:        48,
+					Errors:          4,
 					Entries:         128,
 					RestoredEntries: 64,
 					Lookups:         4096,

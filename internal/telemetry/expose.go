@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4). Output is deterministic:
+// families sorted by name, series by their canonical label rendering,
+// histogram buckets ascending with the cumulative `le` convention —
+// which is what lets testdata/exposition_golden.txt pin the format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			sers = append(sers, f.series[k])
+		}
+		f.mu.Unlock()
+
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range sers {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch {
+	case f.kind == kindHistogram && s.hist != nil:
+		writeHistogram(bw, f.name, s)
+	case s.fn != nil:
+		writeSample(bw, f.name, s.labels, s.fn())
+	case s.counter != nil:
+		writeSample(bw, f.name, s.labels, float64(s.counter.Value()))
+	case s.gauge != nil:
+		writeSample(bw, f.name, s.labels, s.gauge.Value())
+	}
+}
+
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.hist
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(bw, name+"_bucket", withLE(s.labels, formatValue(b)), float64(cum))
+	}
+	cum += h.inf.Load()
+	writeSample(bw, name+"_bucket", withLE(s.labels, "+Inf"), float64(cum))
+	writeSample(bw, name+"_sum", s.labels, h.Sum())
+	writeSample(bw, name+"_count", s.labels, float64(h.Count()))
+}
+
+// withLE appends the `le` bucket label to an already-rendered label
+// set. le always renders last, after the series' own (sorted) labels.
+func withLE(labels, bound string) string {
+	le := `le="` + bound + `"`
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
+}
+
+func writeSample(bw *bufio.Writer, name, labels string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the exposition — the body
+// behind GET /v1/metrics on certa-serve and the daemons' debug muxes.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

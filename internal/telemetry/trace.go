@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace records the wall-time span tree of one explanation. It is
+// carried by the context (WithTrace / StartSpan) and safe for
+// concurrent span recording: parallel lattice levels, workpool scoring
+// shards and coalesced batch items all append under one mutex.
+//
+// A Trace is an observability side channel in the exact sense of
+// scorecache.ServiceStats: schedule-dependent, never part of
+// core.Diagnostics or any Result, so byte-identity and
+// parallelism-determinism contracts hold with tracing enabled.
+type Trace struct {
+	clock Clock
+	start time.Time
+	reqID atomic.Pointer[string]
+
+	mu   sync.Mutex
+	root *Span
+}
+
+// Span is one timed stage. All methods are nil-safe so instrumented
+// code records unconditionally; when no Trace rides the context,
+// StartSpan returns nil and every call on it is a no-op.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Duration // offset from the trace start
+	items atomic.Int64
+
+	// guarded by tr.mu
+	duration time.Duration
+	ended    bool
+	children []*Span
+}
+
+// New returns a Trace timed by the System clock.
+func New() *Trace { return NewWithClock(System) }
+
+// NewWithClock returns a Trace timed by c (tests pass a fake).
+func NewWithClock(c Clock) *Trace {
+	tr := &Trace{clock: c, start: c.Now()}
+	tr.root = &Span{tr: tr, name: "explain"}
+	return tr
+}
+
+// SetRequestID attaches the serving layer's request ID, so a span tree
+// and the request log line that summarizes it can be joined.
+func (tr *Trace) SetRequestID(id string) {
+	if tr == nil {
+		return
+	}
+	tr.reqID.Store(&id)
+}
+
+// RequestID returns the attached request ID, or "".
+func (tr *Trace) RequestID() string {
+	if tr == nil {
+		return ""
+	}
+	if p := tr.reqID.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Root returns the implicit root span ("explain").
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
+}
+
+type spanKey struct{}
+
+// WithTrace returns a context carrying tr; spans started from it nest
+// under the root.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, tr.root)
+}
+
+// FromContext returns the Trace riding ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if sp, ok := ctx.Value(spanKey{}).(*Span); ok {
+		return sp.tr
+	}
+	return nil
+}
+
+// StartSpan opens a child of the context's current span and returns it
+// with a derived context under which further spans nest. With no trace
+// on the context it returns (nil, ctx) — one Value lookup, no
+// allocation — which is the entire cost of instrumentation when
+// tracing is off.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent, ok := ctx.Value(spanKey{}).(*Span)
+	if !ok || parent == nil {
+		return nil, ctx
+	}
+	tr := parent.tr
+	sp := &Span{tr: tr, name: name, start: tr.clock.Now().Sub(tr.start)}
+	tr.mu.Lock()
+	parent.children = append(parent.children, sp)
+	tr.mu.Unlock()
+	return sp, context.WithValue(ctx, spanKey{}, sp)
+}
+
+// End closes the span. Ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tr.clock.Now().Sub(s.tr.start)
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.duration = now - s.start
+	}
+	s.tr.mu.Unlock()
+}
+
+// AddItems notes n units of work (candidates scanned, lattice
+// questions asked, pairs featurized) against the span.
+func (s *Span) AddItems(n int) {
+	if s == nil {
+		return
+	}
+	s.items.Add(int64(n))
+}
+
+// WireSpan is the JSON form of a span tree, returned by the server's
+// debug=trace knob inside ExplainResponse.
+type WireSpan struct {
+	Name       string      `json:"name"`
+	StartMS    float64     `json:"start_ms"`
+	DurationMS float64     `json:"duration_ms"`
+	Items      int64       `json:"items,omitempty"`
+	Children   []*WireSpan `json:"children,omitempty"`
+}
+
+// Tree snapshots the span tree. Unended spans (including the root)
+// report the duration up to now.
+func (tr *Trace) Tree() *WireSpan {
+	if tr == nil {
+		return nil
+	}
+	now := tr.clock.Now().Sub(tr.start)
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.root.wire(now)
+}
+
+// wire converts one span (caller holds tr.mu).
+func (s *Span) wire(now time.Duration) *WireSpan {
+	d := s.duration
+	if !s.ended {
+		d = now - s.start
+	}
+	w := &WireSpan{
+		Name:       s.name,
+		StartMS:    ms(s.start),
+		DurationMS: ms(d),
+		Items:      s.items.Load(),
+	}
+	for _, c := range s.children {
+		w.Children = append(w.Children, c.wire(now))
+	}
+	return w
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// StageTotal aggregates every span of one name.
+type StageTotal struct {
+	Duration time.Duration
+	Count    int64
+	Items    int64
+}
+
+// Stages folds the span tree (root excluded) by span name — the form
+// the serving layer feeds into its per-stage latency histograms and
+// request log lines. Unended spans count as zero duration.
+func (tr *Trace) Stages() map[string]StageTotal {
+	if tr == nil {
+		return nil
+	}
+	out := make(map[string]StageTotal)
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		for _, c := range s.children {
+			agg := out[c.name]
+			if c.ended {
+				agg.Duration += c.duration
+			}
+			agg.Count++
+			agg.Items += c.items.Load()
+			out[c.name] = agg
+			walk(c)
+		}
+	}
+	walk(tr.root)
+	return out
+}
+
+// StageNames returns the stage names of Stages() sorted, for
+// deterministic log lines and histogram label iteration.
+func StageNames(stages map[string]StageTotal) []string {
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newFakeTrace returns a trace whose clock advances 1ms per reading,
+// so span durations are a pure function of the call sequence.
+func newFakeTrace() *Trace {
+	return NewWithClock(&fakeClock{now: time.Unix(0, 0), step: time.Millisecond})
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := newFakeTrace()
+	ctx := WithTrace(context.Background(), tr)
+
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext lost the trace")
+	}
+	outer, ctx2 := StartSpan(ctx, "triangles")
+	inner, _ := StartSpan(ctx2, "retrieval/natural")
+	inner.AddItems(12)
+	inner.End()
+	outer.End()
+	sibling, _ := StartSpan(ctx, "lattice/left")
+	sibling.End()
+	tr.SetRequestID("r000007")
+
+	w := tr.Tree()
+	if w.Name != "explain" || len(w.Children) != 2 {
+		t.Fatalf("unexpected tree root: %+v", w)
+	}
+	tri := w.Children[0]
+	if tri.Name != "triangles" || len(tri.Children) != 1 {
+		t.Fatalf("unexpected first child: %+v", tri)
+	}
+	ret := tri.Children[0]
+	if ret.Name != "retrieval/natural" || ret.Items != 12 {
+		t.Fatalf("unexpected grandchild: %+v", ret)
+	}
+	if ret.DurationMS <= 0 || tri.DurationMS < ret.DurationMS {
+		t.Fatalf("durations not nested: parent %v child %v", tri.DurationMS, ret.DurationMS)
+	}
+	if w.Children[1].Name != "lattice/left" {
+		t.Fatalf("sibling did not attach to root: %+v", w.Children[1])
+	}
+	if tr.RequestID() != "r000007" {
+		t.Fatalf("request id = %q", tr.RequestID())
+	}
+}
+
+func TestStages(t *testing.T) {
+	tr := newFakeTrace()
+	ctx := WithTrace(context.Background(), tr)
+	for i := 0; i < 3; i++ {
+		sp, _ := StartSpan(ctx, "forward")
+		sp.AddItems(10)
+		sp.End()
+	}
+	sp, _ := StartSpan(ctx, "memo")
+	sp.End()
+
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %v", stages)
+	}
+	f := stages["forward"]
+	if f.Count != 3 || f.Items != 30 || f.Duration != 3*time.Millisecond {
+		t.Fatalf("forward agg = %+v", f)
+	}
+	names := StageNames(stages)
+	if len(names) != 2 || names[0] != "forward" || names[1] != "memo" {
+		t.Fatalf("StageNames = %v", names)
+	}
+}
+
+// TestNilSafety: with no trace on the context every operation is a
+// no-op — this is the always-on instrumentation contract.
+func TestNilSafety(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("trace from bare context")
+	}
+	sp, ctx2 := StartSpan(ctx, "anything")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan on bare context must return (nil, same ctx)")
+	}
+	sp.AddItems(5)
+	sp.End()
+
+	var tr *Trace
+	tr.SetRequestID("x")
+	if tr.RequestID() != "" || tr.Tree() != nil || tr.Stages() != nil || tr.Root() != nil {
+		t.Fatal("nil trace methods must no-op")
+	}
+	if WithTrace(ctx, nil) != ctx {
+		t.Fatal("WithTrace(nil) must return ctx unchanged")
+	}
+}
+
+// TestConcurrentSpans exercises parallel span recording under one
+// trace — the workpool-sharded scoring shape — and belongs to the
+// -race matrix.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New() // real clock: fakeClock is not goroutine-safe
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp, sub := StartSpan(ctx, "model")
+				leaf, _ := StartSpan(sub, "forward")
+				leaf.AddItems(1)
+				leaf.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	st := tr.Stages()
+	if st["model"].Count != 1600 || st["forward"].Count != 1600 || st["forward"].Items != 1600 {
+		t.Fatalf("lost spans: %+v", st)
+	}
+}
+
+func TestUnendedSpanDuration(t *testing.T) {
+	tr := newFakeTrace()
+	ctx := WithTrace(context.Background(), tr)
+	sp, _ := StartSpan(ctx, "open")
+	_ = sp
+	w := tr.Tree()
+	if len(w.Children) != 1 || w.Children[0].DurationMS <= 0 {
+		t.Fatalf("unended span should report elapsed time: %+v", w)
+	}
+	if st := tr.Stages(); st["open"].Duration != 0 || st["open"].Count != 1 {
+		t.Fatalf("unended span must not contribute duration to stages: %+v", st["open"])
+	}
+}

@@ -27,8 +27,8 @@ go build ./...
 echo "== go test =="
 go test -timeout 300s ./...
 
-echo "== race (context + shared scoring pipeline + retrieval layer + scoring engine + HTTP serving + lattice) =="
-go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/ ./internal/nn/ ./internal/embedding/ ./internal/server/ ./internal/lattice/
+echo "== race (context + shared scoring pipeline + retrieval layer + scoring engine + HTTP serving + lattice + telemetry) =="
+go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/ ./internal/nn/ ./internal/embedding/ ./internal/server/ ./internal/lattice/ ./internal/telemetry/
 
 # The lattice-pruning paths specifically, under the race detector at
 # Parallelism 8 (TestLatticePruneDeterministic and friends run inside the
@@ -80,6 +80,16 @@ grep -q '"speedup_vs_pr7_baseline"' BENCH_explain.json
 grep -q '"featurize_speedup"' BENCH_explain.json
 echo "pruning section present"
 
+# The telemetry probe must be present: the registry's series footprint,
+# the scrape size, and the measured per-explanation tracing overhead.
+echo "== bench telemetry probe assertions =="
+grep -q '"telemetry"' BENCH_explain.json
+grep -q '"series_count"' BENCH_explain.json
+grep -q '"scrape_bytes"' BENCH_explain.json
+grep -q '"trace_overhead_ns_per_explanation"' BENCH_explain.json
+grep -q '"trace_overhead_pct"' BENCH_explain.json
+echo "telemetry section present"
+
 # Numeric gates. The serve section's flip_memo_hit_rate measures
 # cross-explanation reuse (the load cycles its pairs, so warm passes
 # answer lattice questions from the memo): it must clear 0.2. The
@@ -94,3 +104,8 @@ awk "BEGIN{exit !($serve_flip >= 0.2)}"
 agreement=$(awk -F': ' '/"pruning"/{p=1} p && /"saliency_top2_agreement"/{gsub(/,/,"",$2); print $2; exit}' BENCH_explain.json)
 echo "pruning saliency_top2_agreement: $agreement (gate: >= 0.9)"
 awk "BEGIN{exit !($agreement >= 0.9)}"
+# The telemetry section's trace_overhead_pct is the observability tax:
+# per-explanation tracing must cost under 2% of the untraced pipeline.
+overhead=$(awk -F': ' '/"telemetry"/{t=1} t && /"trace_overhead_pct"/{gsub(/,/,"",$2); print $2; exit}' BENCH_explain.json)
+echo "telemetry trace_overhead_pct: $overhead (gate: < 2)"
+awk "BEGIN{exit !($overhead < 2)}"

@@ -3,7 +3,9 @@
 // issues one cold and one warm request, shuts it down gracefully
 // (snapshot written), restarts it from the snapshot and asserts the
 // restarted server answers the same request entirely from the restored
-// cache (warm hit rate > 0, zero model invocations). Run from CI as:
+// cache (warm hit rate > 0, zero model invocations). It also scrapes
+// GET /v1/metrics and asserts the telemetry surface recorded the smoke
+// requests. Run from CI as:
 //
 //	go run ./scripts/servesmoke
 package main
@@ -17,6 +19,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -75,6 +78,13 @@ func run() error {
 	if st.Served != 2 {
 		stop()
 		return fmt.Errorf("first life served %d computations, want 2", st.Served)
+	}
+	// The telemetry scrape surface: after two explanations the explain
+	// latency histogram must have observations and the coalescing counter
+	// must be present (zero is fine — the requests were sequential).
+	if err := checkMetrics(addr); err != nil {
+		stop()
+		return err
 	}
 	fmt.Printf("servesmoke: first life: cold %s, warm %s, %d cached scores\n",
 		coldDur.Round(time.Millisecond), warmDur.Round(time.Millisecond), st.Backends["AB"].Entries)
@@ -186,6 +196,39 @@ func timedExplain(addr string, body []byte) ([]byte, time.Duration, error) {
 		return nil, 0, fmt.Errorf("status %d: %s", resp.StatusCode, out)
 	}
 	return out, time.Since(start), nil
+}
+
+// checkMetrics scrapes GET /v1/metrics and asserts the Prometheus text
+// surface is live: the per-backend explain latency histogram recorded
+// the smoke requests, and the coalescing counter is exported.
+func checkMetrics(addr string) error {
+	resp, err := http.Get("http://" + addr + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/metrics: status %d: %s", resp.StatusCode, body)
+	}
+	text := string(body)
+	count := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `certa_explain_duration_seconds_count{backend="AB"}`) {
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &count)
+		}
+	}
+	if count <= 0 {
+		return fmt.Errorf("/v1/metrics explain latency histogram recorded no observations:\n%s", text)
+	}
+	if !strings.Contains(text, "certa_requests_coalesced_total") {
+		return fmt.Errorf("/v1/metrics is missing certa_requests_coalesced_total:\n%s", text)
+	}
+	fmt.Printf("servesmoke: /v1/metrics live: %d explain observations, coalesce counter exported\n", count)
+	return nil
 }
 
 func stats(addr string) (server.StatsResponse, error) {
