@@ -173,13 +173,13 @@ func (m *Model) ScoreBatchContext(ctx context.Context, pairs []record.Pair) ([]f
 	bp := featBufPool.Get().(*[]float64)
 	flat := (*bp)[:0]
 	text := m.text()
-	sp, _ := telemetry.StartSpan(ctx, "featurize")
+	sp := telemetry.StartLeaf(ctx, "featurize")
 	for _, p := range pairs {
 		flat = m.feat.appendFeatures(flat, p, text)
 	}
 	sp.AddItems(len(pairs))
 	sp.End()
-	sp, _ = telemetry.StartSpan(ctx, "forward")
+	sp = telemetry.StartLeaf(ctx, "forward")
 	out := m.net.PredictBatchFlat(flat, len(pairs))
 	sp.AddItems(len(pairs))
 	sp.End()

@@ -13,7 +13,7 @@ import (
 // are exactly those of src.Ranked: tracing is a wall-clock side
 // channel and contributes nothing to candidate selection.
 func RankedContext(ctx context.Context, src CandidateSource, seed int64, query string, ascending bool) *Stream {
-	sp, _ := telemetry.StartSpan(ctx, "retrieval/rank")
+	sp := telemetry.StartLeaf(ctx, "retrieval/rank")
 	st := src.Ranked(seed, query, ascending)
 	sp.End()
 	return st

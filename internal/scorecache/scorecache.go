@@ -379,7 +379,7 @@ func (s *Scorer) ScoreFlipsKeyedContext(ctx context.Context, keys []string, y bo
 	}
 	// Memo-lookup span: how long the shared flip memo took to answer
 	// (or decline) this batch of unique unseen questions.
-	sp, _ := telemetry.StartSpan(ctx, "memo")
+	sp := telemetry.StartLeaf(ctx, "memo")
 	classes, known := s.svc.flipGet(missKeys)
 	sp.AddItems(len(missKeys))
 	sp.End()

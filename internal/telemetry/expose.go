@@ -50,13 +50,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	if fn := s.readFn(); fn != nil && f.kind != kindHistogram {
+		writeSample(bw, f.name, s.labels, fn())
+		return
+	}
 	switch {
 	case f.kind == kindHistogram && s.hist != nil:
 		writeHistogram(bw, f.name, s)
-	case s.fn != nil:
-		writeSample(bw, f.name, s.labels, s.fn())
 	case s.counter != nil:
-		writeSample(bw, f.name, s.labels, float64(s.counter.Value()))
+		writeSampleUint(bw, f.name, s.labels, s.counter.Value())
 	case s.gauge != nil:
 		writeSample(bw, f.name, s.labels, s.gauge.Value())
 	}
@@ -67,12 +69,12 @@ func writeHistogram(bw *bufio.Writer, name string, s *series) {
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		writeSample(bw, name+"_bucket", withLE(s.labels, formatValue(b)), float64(cum))
+		writeSampleUint(bw, name+"_bucket", withLE(s.labels, formatValue(b)), cum)
 	}
 	cum += h.inf.Load()
-	writeSample(bw, name+"_bucket", withLE(s.labels, "+Inf"), float64(cum))
+	writeSampleUint(bw, name+"_bucket", withLE(s.labels, "+Inf"), cum)
 	writeSample(bw, name+"_sum", s.labels, h.Sum())
-	writeSample(bw, name+"_count", s.labels, float64(h.Count()))
+	writeSampleUint(bw, name+"_count", s.labels, h.Count())
 }
 
 // withLE appends the `le` bucket label to an already-rendered label
@@ -90,6 +92,18 @@ func writeSample(bw *bufio.Writer, name, labels string, v float64) {
 	bw.WriteString(labels)
 	bw.WriteByte(' ')
 	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+// writeSampleUint renders integral samples (counter values, bucket
+// cumulative counts, _count) in plain decimal: FormatFloat 'g' would
+// switch to scientific notation at 1e6+, which scrapers parsing the
+// count with %d (servesmoke does) would silently misread.
+func writeSampleUint(bw *bufio.Writer, name, labels string, v uint64) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(v, 10))
 	bw.WriteByte('\n')
 }
 

@@ -64,15 +64,23 @@ type family struct {
 	series map[string]*series // key: canonical label rendering
 }
 
-// series is one (name, labels) sample stream. Exactly one of the
-// value fields is set, matching the family kind; fn takes precedence
-// over counter/gauge for callback-backed series.
+// series is one (name, labels) sample stream. The value field matching
+// the family kind is allocated at creation (under family.mu) and never
+// reassigned, so scrapes may read it without the lock; fn, the only
+// mutable field (re-registration replaces the callback), is atomic and
+// takes precedence over counter/gauge for callback-backed series.
 type series struct {
 	labels  string // canonical `{k="v",...}` rendering, "" when unlabeled
 	counter *Counter
 	gauge   *Gauge
-	fn      func() float64
+	fn      atomic.Value // func() float64, unset until a *Func registration
 	hist    *Histogram
+}
+
+// readFn returns the callback for a func-backed series, or nil.
+func (s *series) readFn() func() float64 {
+	fn, _ := s.fn.Load().(func() float64)
+	return fn
 }
 
 // Counter is a monotonically increasing sample. The zero value is
@@ -182,20 +190,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // Counter registers (or returns the existing) counter series.
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
-	s := r.register(name, help, kindCounter, labels, nil)
-	if s.counter == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	return r.register(name, help, kindCounter, labels, nil, nil).counter
 }
 
 // Gauge registers (or returns the existing) gauge series.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
-	s := r.register(name, help, kindGauge, labels, nil)
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	return r.register(name, help, kindGauge, labels, nil, nil).gauge
 }
 
 // CounterFunc registers a counter series whose value is read from fn
@@ -203,12 +203,12 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 // (server atomics, scorecache.ServiceStats). Re-registering the same
 // (name, labels) replaces the callback.
 func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
-	r.register(name, help, kindCounter, labels, fn)
+	r.register(name, help, kindCounter, labels, fn, nil)
 }
 
 // GaugeFunc registers a callback-backed gauge series.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
-	r.register(name, help, kindGauge, labels, fn)
+	r.register(name, help, kindGauge, labels, fn, nil)
 }
 
 // Histogram registers (or returns the existing) histogram series with
@@ -223,12 +223,7 @@ func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64
 			panic("telemetry: histogram " + name + " buckets must be strictly ascending")
 		}
 	}
-	s := r.register(name, help, kindHistogram, labels, nil)
-	if s.hist == nil {
-		bounds := append([]float64(nil), buckets...)
-		s.hist = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
-	}
-	return s.hist
+	return r.register(name, help, kindHistogram, labels, nil, buckets).hist
 }
 
 // SeriesCount returns the number of registered series (histograms
@@ -258,11 +253,14 @@ func (r *Registry) snapshotFamilies() []*family {
 }
 
 // register resolves (creates if absent) the series for (name, labels),
-// validating names and enforcing kind consistency per family. It
-// panics on misuse: metric registration happens at construction time,
-// so a bad name or a kind clash is a programmer error, not a runtime
-// condition.
-func (r *Registry) register(name, help string, kind metricKind, labels Labels, fn func() float64) *series {
+// validating names and enforcing kind consistency per family. The
+// kind-appropriate value (counter/gauge/hist) is allocated here, while
+// f.mu is held, so concurrent first registrations of the same series
+// all receive the same handle and no series field is ever written
+// outside the lock. It panics on misuse: metric registration happens
+// at construction time, so a bad name or a kind clash is a programmer
+// error, not a runtime condition.
+func (r *Registry) register(name, help string, kind metricKind, labels Labels, fn func() float64, buckets []float64) *series {
 	if !validMetricName(name) {
 		panic("telemetry: invalid metric name " + strconv.Quote(name))
 	}
@@ -282,10 +280,19 @@ func (r *Registry) register(name, help string, kind metricKind, labels Labels, f
 	s, ok := f.series[key]
 	if !ok {
 		s = &series{labels: key}
+		switch kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			bounds := append([]float64(nil), buckets...)
+			s.hist = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+		}
 		f.series[key] = s
 	}
 	if fn != nil {
-		s.fn = fn
+		s.fn.Store(fn)
 	}
 	return s
 }

@@ -119,6 +119,89 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+// TestConcurrentFirstRegistration exercises the lazy first-creation
+// path under -race: N goroutines race to register a fresh series (the
+// stageHist request-path pattern) and must all receive the same handle,
+// so no observation lands in an orphaned value.
+func TestConcurrentFirstRegistration(t *testing.T) {
+	const workers = 8
+	t.Run("counter", func(t *testing.T) {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		got := make([]*Counter, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c := r.Counter("certa_fresh_total", "c", Labels{"backend": "AB"})
+				c.Inc()
+				got[w] = c
+			}(w)
+		}
+		wg.Wait()
+		for w := 1; w < workers; w++ {
+			if got[w] != got[0] {
+				t.Fatalf("worker %d got a different *Counter for the same series", w)
+			}
+		}
+		if n := got[0].Value(); n != workers {
+			t.Fatalf("lost increments on racing registration: got %d want %d", n, workers)
+		}
+	})
+	t.Run("histogram", func(t *testing.T) {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		got := make([]*Histogram, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := r.Histogram("certa_fresh_seconds", "h", Labels{"backend": "AB", "stage": "forward"}, LatencyBuckets)
+				h.Observe(0.01)
+				got[w] = h
+			}(w)
+		}
+		wg.Wait()
+		for w := 1; w < workers; w++ {
+			if got[w] != got[0] {
+				t.Fatalf("worker %d got a different *Histogram for the same series", w)
+			}
+		}
+		if n := got[0].Count(); n != workers {
+			t.Fatalf("lost observations on racing registration: got %d want %d", n, workers)
+		}
+	})
+}
+
+// TestLargeCountsPlainDecimal: counter values and histogram counts at
+// 1e6+ must render in plain decimal, not scientific notation — smoke
+// checks parse the _count line with %d.
+func TestLargeCountsPlainDecimal(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("certa_big_total", "c", nil).Add(2_500_000)
+	h := r.Histogram("certa_big_seconds", "h", nil, []float64{0.01})
+	for i := 0; i < 3; i++ {
+		h.Observe(0.005)
+	}
+	h.total.Add(1_999_997) // simulate 2M observations without the loop
+	h.counts[0].Add(1_999_997)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"certa_big_total 2500000\n",
+		"certa_big_seconds_count 2000000\n",
+		`certa_big_seconds_bucket{le="0.01"} 2000000` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing plain-decimal line %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "e+") {
+		t.Fatalf("scientific notation leaked into exposition:\n%s", out)
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("certa_q_seconds", "q", nil, []float64{0.01, 0.1, 1})

@@ -116,6 +116,24 @@ func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
 	return sp, context.WithValue(ctx, spanKey{}, sp)
 }
 
+// StartLeaf opens a child of the context's current span without
+// deriving a context — the cheaper call for leaf stages (memo lookups,
+// featurize/forward batches) that never nest further: it skips the
+// context.WithValue allocation StartSpan pays, which matters on the
+// batch-granularity hot path the bench's overhead gate watches.
+func StartLeaf(ctx context.Context, name string) *Span {
+	parent, ok := ctx.Value(spanKey{}).(*Span)
+	if !ok || parent == nil {
+		return nil
+	}
+	tr := parent.tr
+	sp := &Span{tr: tr, name: name, start: tr.clock.Now().Sub(tr.start)}
+	tr.mu.Lock()
+	parent.children = append(parent.children, sp)
+	tr.mu.Unlock()
+	return sp
+}
+
 // End closes the span. Ending twice keeps the first duration.
 func (s *Span) End() {
 	if s == nil {

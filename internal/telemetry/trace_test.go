@@ -77,6 +77,33 @@ func TestStages(t *testing.T) {
 	}
 }
 
+// TestStartLeaf: leaf spans attach to the context's current span like
+// StartSpan children, but without deriving a context — the cheap call
+// for batch-granularity stages that never nest further.
+func TestStartLeaf(t *testing.T) {
+	tr := newFakeTrace()
+	ctx := WithTrace(context.Background(), tr)
+	outer, ctx2 := StartSpan(ctx, "model")
+	leaf := StartLeaf(ctx2, "forward")
+	leaf.AddItems(9)
+	leaf.End()
+	outer.End()
+	root := StartLeaf(ctx, "memo")
+	root.End()
+
+	w := tr.Tree()
+	if len(w.Children) != 2 || w.Children[0].Name != "model" || w.Children[1].Name != "memo" {
+		t.Fatalf("unexpected tree: %+v", w)
+	}
+	fwd := w.Children[0].Children
+	if len(fwd) != 1 || fwd[0].Name != "forward" || fwd[0].Items != 9 || fwd[0].DurationMS <= 0 {
+		t.Fatalf("leaf did not nest under the context span: %+v", fwd)
+	}
+	if st := tr.Stages(); st["forward"].Count != 1 || st["memo"].Count != 1 {
+		t.Fatalf("stages = %+v", st)
+	}
+}
+
 // TestNilSafety: with no trace on the context every operation is a
 // no-op — this is the always-on instrumentation contract.
 func TestNilSafety(t *testing.T) {
@@ -88,6 +115,10 @@ func TestNilSafety(t *testing.T) {
 	if sp != nil || ctx2 != ctx {
 		t.Fatal("StartSpan on bare context must return (nil, same ctx)")
 	}
+	if StartLeaf(ctx, "anything") != nil {
+		t.Fatal("StartLeaf on bare context must return nil")
+	}
+	StartLeaf(ctx, "anything").End()
 	sp.AddItems(5)
 	sp.End()
 

@@ -1,0 +1,76 @@
+package certa_test
+
+import (
+	"context"
+	"testing"
+
+	"certa"
+	"certa/internal/telemetry"
+)
+
+// The traced/plain benchmark pair below measures span-recording cost in
+// isolation — the steady-state complement to certa-bench's paired A/B
+// probe. Compare the two ns/op figures directly:
+//
+//	go test -run '^$' -bench 'BenchmarkExplainPlain|BenchmarkExplainTraced' -count 5 .
+type traceBenchFixture struct {
+	bench *certa.Benchmark
+	model *certa.Matcher
+	pairs []certa.Pair
+	idx   *certa.CandidateIndex
+	svc   *certa.ScoringService
+}
+
+var traceBenchFx *traceBenchFixture
+
+func loadTraceBenchFixture(b *testing.B) *traceBenchFixture {
+	if traceBenchFx != nil {
+		return traceBenchFx
+	}
+	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{Seed: 7, MaxRecords: 120, MaxMatches: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := certa.TrainMatcher(certa.DeepMatcher, bench, certa.MatcherConfig{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := certa.BlockedClusterPairs(bench.Left, bench.Right, bench.Test[0].Pair, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	traceBenchFx = &traceBenchFixture{
+		bench: bench,
+		model: model,
+		pairs: pairs,
+		idx:   certa.NewCandidateIndex(bench.Left, bench.Right),
+		svc:   certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: 4}),
+	}
+	return traceBenchFx
+}
+
+func benchExplainTrace(b *testing.B, traced bool) {
+	f := loadTraceBenchFixture(b)
+	opts := certa.Options{Triangles: 100, Seed: 7, Parallelism: 4, Shared: f.svc, Retrieval: f.idx}
+	// One warmup sweep so the shared service is equally hot for both
+	// modes regardless of benchmark execution order.
+	for i := range f.pairs {
+		if _, err := certa.ExplainBatchContext(context.Background(), f.model, f.bench.Left, f.bench.Right, f.pairs[i:i+1], opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		if traced {
+			ctx = telemetry.WithTrace(ctx, telemetry.New())
+		}
+		j := i % len(f.pairs)
+		if _, err := certa.ExplainBatchContext(ctx, f.model, f.bench.Left, f.bench.Right, f.pairs[j:j+1], opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExplainPlain(b *testing.B)  { benchExplainTrace(b, false) }
+func BenchmarkExplainTraced(b *testing.B) { benchExplainTrace(b, true) }
