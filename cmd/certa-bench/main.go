@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -30,11 +31,13 @@ import (
 	"time"
 
 	"certa"
+	"certa/internal/cluster"
 	"certa/internal/debugserve"
 	"certa/internal/embedding"
 	"certa/internal/eval"
 	"certa/internal/matchers"
 	"certa/internal/neighborhood"
+	"certa/internal/scorecache"
 	"certa/internal/telemetry"
 	"certa/internal/workpool"
 )
@@ -59,6 +62,7 @@ func main() {
 		prune       = flag.Float64("lattice-prune", 0.25, "pruning threshold for the perf probe's pruned pass (the BENCH \"pruning\" section; 0 = skip the pruned pass)")
 		serveReqs   = flag.Int("serve-requests", 96, "load-generator requests against the in-process HTTP server for the perf probe's serve section (0 = skip)")
 		serveConc   = flag.Int("serve-conc", 8, "load-generator client concurrency")
+		clusterN    = flag.Int("cluster-workers", 4, "ring size for the perf probe's cluster section — sharded ring vs single worker at equal per-worker cache capacity (0 = skip)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this auxiliary address while the run executes (empty = disabled)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (make profile uses it on the perf probe)")
 	)
@@ -94,7 +98,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := writeBenchJSON(*benchJSON, *seed, *parallelism, *deadline, budgets, *prune, *serveReqs, *serveConc); err != nil {
+		if err := writeBenchJSON(*benchJSON, *seed, *parallelism, *deadline, budgets, *prune, *serveReqs, *serveConc, *clusterN); err != nil {
 			fmt.Fprintf(os.Stderr, "certa-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -225,6 +229,65 @@ type benchMetrics struct {
 	// Telemetry is the observability probe: the serve probe's scrape
 	// footprint and the cost of always-on span recording.
 	Telemetry *telemetryMetrics `json:"telemetry"`
+	// Cluster is the scale-out probe: the same blocked-cluster workload
+	// routed through a consistent-hash ring of capacity-bounded workers
+	// (internal/cluster) versus a single worker with the same per-worker
+	// cache capacity.
+	Cluster *clusterMetrics `json:"cluster,omitempty"`
+}
+
+// clusterMetrics is the "cluster" section of BENCH_explain.json: what
+// consistent-hash sharding buys on a machine (or fleet) where no single
+// worker's stores can hold the whole workload. Both configurations run
+// the identical cycling workload through a real certa-router over real
+// TCP with the same per-worker capacities — the score cache sized so
+// the ring's largest shard working set just fits, the result memo so
+// the ring's largest request slice just fits. The single worker
+// therefore thrashes both LRUs (a cycling workload is eviction's worst
+// case), while each ring worker's slice of the keyspace stays resident
+// end to end; the speedup is cache locality through shard routing, not
+// CPU parallelism (the client is sequential and the host may have one
+// core).
+type clusterMetrics struct {
+	Workers      int `json:"workers"`
+	VirtualNodes int `json:"virtual_nodes"`
+	// UniqueScoreKeys is the workload's whole score keyspace (measured by
+	// an enumeration pass); PerWorkerCacheCapacity the LRU bound every
+	// worker gets in both configurations (largest ring shard + slack).
+	UniqueScoreKeys        int `json:"unique_score_keys"`
+	PerWorkerCacheCapacity int `json:"per_worker_cache_capacity"`
+	// PerWorkerResultMemo is the serving-layer memo bound every worker
+	// gets in both configurations: the largest number of distinct pairs
+	// the ring routes to any one worker. A ring worker's slice fits; the
+	// single worker cycles the full pair set through the same bound.
+	PerWorkerResultMemo int `json:"per_worker_result_memo"`
+	// WarmupRequests is the untimed cold cycle each configuration gets;
+	// TimedRequests the measured cycling requests that follow it.
+	WarmupRequests int `json:"warmup_requests"`
+	TimedRequests  int `json:"timed_requests"`
+	// The headline comparison: sequential-client request throughput of
+	// the ring vs the single worker, both behind a router.
+	SingleWorkerRPS float64 `json:"requests_per_sec_1_worker"`
+	RingRPS         float64 `json:"requests_per_sec_ring"`
+	Speedup         float64 `json:"speedup_ring_vs_1_worker"`
+	// The mechanism: cumulative shared-cache hit rates and resident
+	// entries. The ring's aggregate footprint covers the keyspace;
+	// the single worker's cannot.
+	SingleWorkerHitRate  float64 `json:"cache_hit_rate_1_worker"`
+	RingHitRate          float64 `json:"cache_hit_rate_ring"`
+	SingleWorkerEntries  int     `json:"cache_entries_1_worker"`
+	RingAggregateEntries int     `json:"ring_aggregate_cache_entries"`
+	// The serving-layer tier of the same mechanism: how often a repeat
+	// request replayed its memoized body instead of recomputing. Ring
+	// workers keep their slice resident; the single worker's memo
+	// cycles and misses.
+	SingleWorkerMemoHitRate float64 `json:"result_memo_hit_rate_1_worker"`
+	RingMemoHitRate         float64 `json:"result_memo_hit_rate_ring"`
+	// RoutedByteIdentical reports that every response body the ring and
+	// the single-worker router returned was byte-identical to a direct
+	// (router-less) certa-serve server's — the routing layer's
+	// transparency contract, re-checked on every bench run.
+	RoutedByteIdentical bool `json:"routed_byte_identical_to_direct"`
 }
 
 // telemetryMetrics is the "telemetry" section of BENCH_explain.json:
@@ -338,9 +401,16 @@ type serveMetrics struct {
 	P99MS           float64 `json:"p99_ms"`
 	// Coalesced counts requests that shared another request's in-flight
 	// computation; Rejected counts admission 429s (the load is sized to
-	// the queue, so normally 0).
-	Coalesced int64 `json:"coalesced"`
-	Rejected  int64 `json:"rejected"`
+	// the queue, so normally 0). CoalesceStormRequests is the burst of
+	// identical requests fired at the cold first pair before the timed
+	// load specifically to exercise coalescing (identical requests only
+	// coalesce while one is still computing, and the cycling load is too
+	// fast past the cold pass for duplicates to overlap on their own) —
+	// all but one of the burst must land as Coalesced, and CI gates on
+	// the counter being non-zero.
+	Coalesced             int64 `json:"coalesced"`
+	Rejected              int64 `json:"rejected"`
+	CoalesceStormRequests int   `json:"coalesce_storm_requests"`
 	// SharedCacheHitRate is the server-side score cache's hit rate over
 	// the whole load.
 	SharedCacheHitRate float64 `json:"shared_cache_hit_rate"`
@@ -444,7 +514,7 @@ func parseBudgets(s string) ([]int, error) {
 // pass (the "pruning" section), whose saliency agreement is measured
 // against the main run — run it without -deadline so that reference is
 // the exact exploration.
-func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Duration, budgets []int, prune float64, serveReqs, serveConc int) error {
+func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Duration, budgets []int, prune float64, serveReqs, serveConc, clusterWorkers int) error {
 	bench, err := certa.GenerateBenchmark("AB", certa.BenchmarkOptions{
 		Seed: seed, MaxRecords: 120, MaxMatches: 60,
 	})
@@ -682,6 +752,16 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 		}
 	}
 
+	// The scale-out probe: the same workload through a real router over
+	// a sharded ring vs a single worker at equal per-worker capacity.
+	if clusterWorkers > 0 {
+		cm, err := runClusterProbe(bench, model, pairs, idx, seed, parallelism, clusterWorkers)
+		if err != nil {
+			return err
+		}
+		m.Cluster = cm
+	}
+
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -720,6 +800,14 @@ func writeBenchJSON(path string, seed int64, parallelism int, deadline time.Dura
 		fmt.Fprintf(os.Stderr, "certa-bench: telemetry probe: %d series (%d scrape bytes), trace overhead %.0f ns/expl (%.3f%% of %.0f ns)\n",
 			m.Telemetry.SeriesCount, m.Telemetry.ScrapeBytes,
 			m.Telemetry.TraceOverheadNSPerExpl, m.Telemetry.TraceOverheadPct, m.Telemetry.PlainNSPerExpl)
+	}
+	if m.Cluster != nil {
+		fmt.Fprintf(os.Stderr, "certa-bench: cluster probe: %d-worker ring %.1f req/s vs single worker %.1f req/s (%.2fx) at capacity %d over %d keys; cache hit rate %.1f%% vs %.1f%%, memo hit rate %.1f%% vs %.1f%% (cap %d), byte-identical: %v\n",
+			m.Cluster.Workers, m.Cluster.RingRPS, m.Cluster.SingleWorkerRPS, m.Cluster.Speedup,
+			m.Cluster.PerWorkerCacheCapacity, m.Cluster.UniqueScoreKeys,
+			100*m.Cluster.RingHitRate, 100*m.Cluster.SingleWorkerHitRate,
+			100*m.Cluster.RingMemoHitRate, 100*m.Cluster.SingleWorkerMemoHitRate,
+			m.Cluster.PerWorkerResultMemo, m.Cluster.RoutedByteIdentical)
 	}
 	return nil
 }
@@ -796,6 +884,33 @@ func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pa
 		"End-to-end client-observed request latency of the serve probe.",
 		nil, telemetry.LatencyBuckets)
 	var failed atomic.Int64
+
+	// The coalesce storm: identical requests coalesce only while one of
+	// them is still computing, and past the cold first pass the cycling
+	// load below answers too fast for duplicates to overlap — which left
+	// the serve section's coalesced counter at 0 for entire runs, i.e.
+	// the path was never exercised. A concurrent burst of identical
+	// requests at the still-cold first pair pins it down: one request
+	// computes, the rest attach to its in-flight computation (coalescing
+	// runs before admission, so the burst cannot be rejected).
+	const stormSize = 8
+	workpool.Each(stormSize, stormSize, func(i int) error {
+		resp, err := http.Post(url, "application/json", strings.NewReader(`{"pair_index":0}`))
+		if err != nil {
+			failed.Add(1)
+			return nil
+		}
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if cerr != nil || resp.StatusCode != http.StatusOK {
+			failed.Add(1)
+		}
+		return nil
+	})
+	if st := srv.Stats(); st.Coalesced == 0 {
+		return nil, 0, 0, fmt.Errorf("serve probe: coalesce storm (%d identical concurrent requests) produced no coalesced requests", stormSize)
+	}
+
 	start := time.Now()
 	workpool.Each(requests, conc, func(i int) error {
 		body := fmt.Sprintf(`{"pair_index":%d}`, i%len(pairs))
@@ -832,19 +947,283 @@ func runServeLoad(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pa
 
 	st := srv.Stats()
 	return &serveMetrics{
-		Requests:           requests,
-		Concurrency:        conc,
-		WallSeconds:        wall,
-		ServeThroughput:    float64(requests) / wall,
-		P50MS:              lat.Quantile(0.50) * 1000,
-		P99MS:              lat.Quantile(0.99) * 1000,
-		Coalesced:          st.Coalesced,
-		Rejected:           st.Rejected,
-		SharedCacheHitRate: st.Backends["AB"].HitRate,
-		FlipLookups:        st.Backends["AB"].FlipLookups,
-		FlipHits:           st.Backends["AB"].FlipHits,
-		FlipMemoHitRate:    st.Backends["AB"].FlipHitRate,
+		Requests:              requests,
+		Concurrency:           conc,
+		WallSeconds:           wall,
+		ServeThroughput:       float64(requests) / wall,
+		P50MS:                 lat.Quantile(0.50) * 1000,
+		P99MS:                 lat.Quantile(0.99) * 1000,
+		Coalesced:             st.Coalesced,
+		Rejected:              st.Rejected,
+		CoalesceStormRequests: stormSize,
+		SharedCacheHitRate:    st.Backends["AB"].HitRate,
+		FlipLookups:           st.Backends["AB"].FlipLookups,
+		FlipHits:              st.Backends["AB"].FlipHits,
+		FlipMemoHitRate:       st.Backends["AB"].FlipHitRate,
 	}, telemetry.Default.SeriesCount(), scrapeBytes, nil
+}
+
+// clusterWorker is one in-process certa-serve-shaped worker of the
+// cluster probe, listening on a real ephemeral TCP port.
+type clusterWorker struct {
+	svc   *certa.ScoringService
+	srv   *certa.Server
+	url   string
+	close func()
+}
+
+// startClusterWorker stands up one worker over the shared fixture:
+// its own capacity-bounded scoring service and result memo, the shared
+// trained model and candidate index (identical engine options in every
+// worker and in the direct reference, so bodies can be byte-compared).
+func startClusterWorker(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pair, idx *certa.CandidateIndex, seed int64, parallelism, capacity, memoCap int, name string) (*clusterWorker, error) {
+	svc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism, Capacity: capacity})
+	srv, err := certa.NewServer([]certa.ServerBackend{{
+		Name: "AB", Left: bench.Left, Right: bench.Right, Model: model,
+		Options: certa.Options{Triangles: 100, Seed: seed, Parallelism: parallelism, Retrieval: idx},
+		Pairs:   pairs, Service: svc,
+	}}, certa.ServerOptions{Name: name, MaxInFlight: parallelism, MaxQueue: 256, ResultMemo: memoCap})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	return &clusterWorker{
+		svc:   svc,
+		srv:   srv,
+		url:   "http://" + ln.Addr().String(),
+		close: func() { httpSrv.Close(); srv.Close() },
+	}, nil
+}
+
+// postExplain issues one pair_index request and returns the body.
+func postExplain(base string, pairIdx int) ([]byte, error) {
+	resp, err := http.Post(base+"/v1/explain", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"pair_index":%d}`, pairIdx)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// runClusterProbe measures what consistent-hash sharding buys when no
+// single worker's stores can hold the whole workload. An enumeration
+// pass sizes the score keyspace exactly; every worker in both
+// configurations then gets the same per-worker bounds — score-cache
+// capacity fitting the ring's largest shard working set, result-memo
+// capacity fitting the ring's largest request slice — so each ring
+// worker keeps its slice of the keyspace resident at both tiers while
+// the single worker must evict. The cycling request stream is LRU's
+// worst case (each key's reuse distance is the whole cycle), and the
+// client is sequential, so the measured speedup is cache locality
+// through shard routing, not CPU parallelism. Both configurations sit
+// behind a real certa-router over real TCP; the warm-up cycle —
+// computed fresh in every configuration, before any memo can hit — is
+// byte-compared against a direct router-less server's bodies, and memo
+// replays are byte-identical to those by construction (the memo stores
+// the rendered bytes).
+func runClusterProbe(bench *certa.Benchmark, model *certa.Matcher, pairs []certa.Pair, idx *certa.CandidateIndex, seed int64, parallelism, workers int) (*clusterMetrics, error) {
+	if workers < 2 {
+		return nil, fmt.Errorf("cluster probe: need at least 2 workers, got %d", workers)
+	}
+	enumSvc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+	if _, err := certa.ExplainBatch(model, bench.Left, bench.Right, pairs, certa.Options{
+		Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: enumSvc, Retrieval: idx,
+	}); err != nil {
+		return nil, err
+	}
+	keys := enumSvc.Keys()
+
+	placement := make([]cluster.Member, workers)
+	for i := range placement {
+		placement[i] = cluster.Member{Name: fmt.Sprintf("w%d", i), URL: "http://placement.invalid"}
+	}
+	ring, err := cluster.NewRing(placement, 0)
+	if err != nil {
+		return nil, err
+	}
+	// A worker's cache working set is NOT its key shard: routing
+	// partitions requests by pair content, but each explanation then
+	// touches thousands of perturbed-variant and triangle-candidate keys
+	// from across the whole keyspace. Size the capacity bound from the
+	// real thing — group the pairs by ring owner, replay each group on a
+	// fresh service, and take the largest group's unique key count.
+	memberIdx := make(map[string]int, workers)
+	for i, m := range ring.Members() {
+		memberIdx[m.Name] = i
+	}
+	groups := make([][]certa.Pair, workers)
+	for _, p := range pairs {
+		wi := memberIdx[ring.Owner(scorecache.ShardHash(scorecache.Key(p))).Name]
+		groups[wi] = append(groups[wi], p)
+	}
+	maxWorkingSet := 0
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		gsvc := certa.NewScoringService(model, certa.ScoringServiceOptions{Parallelism: parallelism})
+		if _, err := certa.ExplainBatch(model, bench.Left, bench.Right, g, certa.Options{
+			Triangles: 100, Seed: seed, Parallelism: parallelism, Shared: gsvc, Retrieval: idx,
+		}); err != nil {
+			return nil, err
+		}
+		if n := gsvc.Len(); n > maxWorkingSet {
+			maxWorkingSet = n
+		}
+	}
+	// Largest per-worker working set plus headroom: the ring's workers
+	// never need to evict. The single worker serves every pair, so the
+	// same bound leaves it cycling a keyspace larger than its cache —
+	// LRU's worst case.
+	capacity := maxWorkingSet + maxWorkingSet/8
+	// Same sizing rule one tier up: the result memo holds the largest
+	// number of distinct pairs the ring routes to one worker, so a ring
+	// worker's request slice fits exactly while the single worker cycles
+	// the full pair set through it.
+	memoCap := 0
+	for _, g := range groups {
+		if len(g) > memoCap {
+			memoCap = len(g)
+		}
+	}
+
+	// The direct reference: a router-less, unbounded server (no memo)
+	// answers every pair once; all routed computed bodies below must
+	// match these bytes.
+	ref, err := startClusterWorker(bench, model, pairs, idx, seed, parallelism, 0, 0, "")
+	if err != nil {
+		return nil, err
+	}
+	refBodies := make([][]byte, len(pairs))
+	for i := range pairs {
+		if refBodies[i], err = postExplain(ref.url, i); err != nil {
+			ref.close()
+			return nil, fmt.Errorf("cluster probe reference: %w", err)
+		}
+	}
+	ref.close()
+
+	const cycles = 3
+	timed := cycles * len(pairs)
+
+	// runConfig measures one ring size end to end: cold warm-up cycle
+	// (byte-compared against the reference), then the timed cycling load.
+	runConfig := func(n int) (rps, hitRate, memoHitRate float64, entries int, identical bool, err error) {
+		ws := make([]*clusterWorker, 0, n)
+		defer func() {
+			for _, w := range ws {
+				w.close()
+			}
+		}()
+		members := make([]cluster.Member, n)
+		for i := 0; i < n; i++ {
+			w, werr := startClusterWorker(bench, model, pairs, idx, seed, parallelism, capacity, memoCap, fmt.Sprintf("w%d", i))
+			if werr != nil {
+				return 0, 0, 0, 0, false, werr
+			}
+			ws = append(ws, w)
+			members[i] = cluster.Member{Name: fmt.Sprintf("w%d", i), URL: w.url}
+		}
+		rt, rerr := cluster.NewRouter(members, cluster.Options{
+			Keyspaces: []cluster.Keyspace{{Name: "AB", Left: bench.Left, Right: bench.Right, Pairs: pairs}},
+		})
+		if rerr != nil {
+			return 0, 0, 0, 0, false, rerr
+		}
+		defer rt.Close()
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return 0, 0, 0, 0, false, lerr
+		}
+		httpRt := &http.Server{Handler: rt}
+		go httpRt.Serve(ln)
+		defer httpRt.Close()
+		base := "http://" + ln.Addr().String()
+
+		identical = true
+		for i := range pairs {
+			body, perr := postExplain(base, i)
+			if perr != nil {
+				return 0, 0, 0, 0, false, fmt.Errorf("cluster probe warm-up (%d workers): %w", n, perr)
+			}
+			if !bytes.Equal(body, refBodies[i]) {
+				identical = false
+			}
+		}
+		start := time.Now()
+		for r := 0; r < timed; r++ {
+			body, perr := postExplain(base, r%len(pairs))
+			if perr != nil {
+				return 0, 0, 0, 0, false, fmt.Errorf("cluster probe load (%d workers): %w", n, perr)
+			}
+			if !bytes.Equal(body, refBodies[r%len(pairs)]) {
+				identical = false
+			}
+		}
+		wall := time.Since(start).Seconds()
+
+		var lookups, hits int
+		var memoLookups, memoHits int64
+		for _, w := range ws {
+			st := w.svc.Stats()
+			lookups += st.Lookups
+			hits += st.Hits
+			entries += w.svc.Len()
+			if ms := w.srv.Stats().Backends["AB"].ResultMemo; ms != nil {
+				memoLookups += ms.Lookups
+				memoHits += ms.Hits
+			}
+		}
+		if lookups > 0 {
+			hitRate = float64(hits) / float64(lookups)
+		}
+		if memoLookups > 0 {
+			memoHitRate = float64(memoHits) / float64(memoLookups)
+		}
+		return float64(timed) / wall, hitRate, memoHitRate, entries, identical, nil
+	}
+
+	singleRPS, singleHit, singleMemoHit, singleEntries, singleIdentical, err := runConfig(1)
+	if err != nil {
+		return nil, err
+	}
+	ringRPS, ringHit, ringMemoHit, ringEntries, ringIdentical, err := runConfig(workers)
+	if err != nil {
+		return nil, err
+	}
+	return &clusterMetrics{
+		Workers:                 workers,
+		VirtualNodes:            ring.VirtualNodes(),
+		UniqueScoreKeys:         len(keys),
+		PerWorkerCacheCapacity:  capacity,
+		PerWorkerResultMemo:     memoCap,
+		WarmupRequests:          len(pairs),
+		TimedRequests:           timed,
+		SingleWorkerRPS:         singleRPS,
+		RingRPS:                 ringRPS,
+		Speedup:                 ringRPS / singleRPS,
+		SingleWorkerHitRate:     singleHit,
+		RingHitRate:             ringHit,
+		SingleWorkerEntries:     singleEntries,
+		RingAggregateEntries:    ringEntries,
+		SingleWorkerMemoHitRate: singleMemoHit,
+		RingMemoHitRate:         ringMemoHit,
+		RoutedByteIdentical:     singleIdentical && ringIdentical,
+	}, nil
 }
 
 // traceOverheadProbe measures what always-on span recording costs.

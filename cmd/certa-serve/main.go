@@ -17,6 +17,13 @@
 // requests first), so restarts answer repeat workloads warm. A
 // corrupted or truncated cache file is rejected and the server starts
 // cold — it never panics and never loads half a snapshot.
+//
+// As a ring member behind certa-router (see internal/cluster), -name
+// sets the worker identity reported in /v1/stats, and -warm-from pulls
+// a running donor's GET /v1/snapshot at startup — optionally filtered
+// by -warm-ring/-warm-vnodes so a joining worker installs exactly the
+// shard the ring assigns it. Warm-join failures of any kind degrade to
+// a cold start.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"certa"
+	"certa/internal/cluster"
 	"certa/internal/debugserve"
 	"certa/internal/telemetry"
 )
@@ -53,6 +61,11 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 64, "admission: max queued explanations before 429")
 		cacheFile   = flag.String("cache-file", "", "restore the score cache from this snapshot at startup and write it back on graceful shutdown")
 		cacheCap    = flag.Int("cache-capacity", 0, "bound on cached scores (0 = unbounded; sharded LRU past it)")
+		resultMemo  = flag.Int("result-memo", 0, "bound on memoized response bodies per backend (0 = disabled); repeats of deterministic requests replay their exact bytes without recomputing")
+		name        = flag.String("name", "", "worker name reported in /v1/stats (ring members: must match the router's -workers entry)")
+		warmFrom    = flag.String("warm-from", "", "pull a running worker's /v1/snapshot from this base URL at startup (warm join; any failure just means a cold start)")
+		warmRing    = flag.String("warm-ring", "", "ring membership (router -workers syntax) to filter the warm join by: only keys the ring assigns to -name are installed")
+		warmVnodes  = flag.Int("warm-vnodes", 0, "virtual nodes per member for -warm-ring placement (0 = default; must match the router's -vnodes)")
 		loadModel   = flag.String("load-model", "", "load a previously saved model instead of training")
 		augBudget   = flag.Int("augment-budget", 0, "default token-drop variants per missing augmented support (0 = engine default 200; requests may override via augment_budget)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown allowance for in-flight requests")
@@ -71,15 +84,16 @@ func main() {
 	}
 
 	if err := run(*addr, *addrFile, *ds, *model, *records, *matches, *seed, *triangles,
-		*parallelism, *maxInflight, *maxQueue, *cacheFile, *cacheCap, *loadModel, *augBudget, *drain, *logLevel); err != nil {
+		*parallelism, *maxInflight, *maxQueue, *cacheFile, *cacheCap, *resultMemo, *loadModel, *augBudget, *drain, *logLevel,
+		*name, *warmFrom, *warmRing, *warmVnodes); err != nil {
 		fmt.Fprintf(os.Stderr, "certa-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, addrFile, ds, model string, records, matches int, seed int64, triangles,
-	parallelism, maxInflight, maxQueue int, cacheFile string, cacheCap int, loadModel string, augBudget int,
-	drain time.Duration, logLevel string) error {
+	parallelism, maxInflight, maxQueue int, cacheFile string, cacheCap, resultMemo int, loadModel string, augBudget int,
+	drain time.Duration, logLevel string, name, warmFrom, warmRing string, warmVnodes int) error {
 	log.SetPrefix("certa-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
@@ -137,6 +151,39 @@ func run(addr, addrFile, ds, model string, records, matches int, seed int64, tri
 		}
 	}
 
+	// Warm join: pull a running donor's snapshot over HTTP, optionally
+	// keeping only the shard a ring assigns this worker. Any failure —
+	// unreachable donor, corrupted stream — just means a cold start; the
+	// snapshot's CRC framing guarantees nothing partial is installed.
+	if warmFrom != "" {
+		var keep func(key string) bool
+		if warmRing != "" {
+			if name == "" {
+				return fmt.Errorf("-warm-ring needs -name to know which shard is ours")
+			}
+			members, err := cluster.ParseMembers(warmRing)
+			if err != nil {
+				return fmt.Errorf("-warm-ring: %w", err)
+			}
+			ring, err := cluster.NewRing(members, warmVnodes)
+			if err != nil {
+				return err
+			}
+			keep = cluster.KeepOwned(ring, name)
+		}
+		n, err := cluster.FetchSnapshot(context.Background(), nil, warmFrom, ds, svc, keep)
+		if err != nil {
+			log.Printf("warm join from %s failed (%v); starting cold", warmFrom, err)
+		} else {
+			restored += n
+			if keep != nil {
+				log.Printf("warm join: restored %d cached scores (our shard) from %s", n, warmFrom)
+			} else {
+				log.Printf("warm join: restored %d cached scores from %s", n, warmFrom)
+			}
+		}
+	}
+
 	pairs := make([]certa.Pair, len(bench.Test))
 	for i, lp := range bench.Test {
 		pairs[i] = lp.Pair
@@ -162,8 +209,10 @@ func run(addr, addrFile, ds, model string, records, matches int, seed int64, tri
 		Service:         svc,
 		RestoredEntries: restored,
 	}}, certa.ServerOptions{
+		Name:        name,
 		MaxInFlight: maxInflight, MaxQueue: maxQueue,
-		Logger: logger,
+		ResultMemo: resultMemo,
+		Logger:     logger,
 		// The process-wide registry, so the server's series share the
 		// -pprof-addr scrape surface with any other instrumentation; the
 		// public mux serves the same registry at GET /v1/metrics.

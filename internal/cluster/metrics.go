@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"certa/internal/telemetry"
+)
+
+// The router's metric catalog: every counter the routing layer keeps,
+// published as named series in Options.Metrics and scraped at the
+// router's GET /v1/metrics. Worker-side engine series (cache rates,
+// stage latencies, admission occupancy) stay on the workers' own
+// /v1/metrics surfaces — a scraper walks the ring members for those,
+// and the router's /v1/stats aggregate is the JSON rollup. Series
+// names carry the certa_router_ prefix so a scrape of router + workers
+// into one TSDB never collides.
+const (
+	metricRouterUptime        = "certa_router_uptime_seconds"
+	metricRouterWorkers       = "certa_router_workers"
+	metricRouterHealthy       = "certa_router_workers_healthy"
+	metricRouterForwarded     = "certa_router_forwarded_total"
+	metricRouterBatchItems    = "certa_router_batch_items_total"
+	metricRouterFailovers     = "certa_router_failovers_total"
+	metricRouterUnroutable    = "certa_router_unroutable_total"
+	metricRouterWorkerHealthy = "certa_router_worker_healthy"
+	metricRouterWorkerErrors  = "certa_router_worker_errors_total"
+	metricRouterHTTPDuration  = "certa_router_request_duration_seconds"
+)
+
+// registerMetrics publishes the router's observable state. Called once
+// from NewRouter, after the worker list is resolved.
+func (rt *Router) registerMetrics() {
+	m := rt.metrics
+	m.GaugeFunc(metricRouterUptime, "Seconds since router construction.", nil, rt.uptimeSeconds)
+	m.GaugeFunc(metricRouterWorkers, "Ring members configured.", nil,
+		func() float64 { return float64(len(rt.workers)) })
+	m.GaugeFunc(metricRouterHealthy, "Ring members currently considered healthy.", nil,
+		func() float64 { return float64(rt.healthyWorkers()) })
+	m.CounterFunc(metricRouterForwarded, "Explain requests forwarded to workers (failover retries included).", nil,
+		func() float64 { return float64(rt.forwarded.Load()) })
+	m.CounterFunc(metricRouterBatchItems, "Batch items fanned out across the ring.", nil,
+		func() float64 { return float64(rt.batchItems.Load()) })
+	m.CounterFunc(metricRouterFailovers, "Forwards that failed a worker and fell through to a later replica.", nil,
+		func() float64 { return float64(rt.failovers.Load()) })
+	m.CounterFunc(metricRouterUnroutable, "Requests and batch items no reachable worker could serve.", nil,
+		func() float64 { return float64(rt.unroutable.Load()) })
+
+	for _, ws := range rt.workers {
+		ws := ws
+		lbl := telemetry.Labels{"worker": ws.member.Name}
+		m.GaugeFunc(metricRouterWorkerHealthy, "1 while the worker is considered healthy, 0 while down.", lbl,
+			func() float64 {
+				if ws.down.Load() {
+					return 0
+				}
+				return 1
+			})
+		m.CounterFunc(metricRouterWorkerErrors, "Transport and probe failures against this worker.", lbl,
+			func() float64 { return float64(ws.errors.Load()) })
+	}
+
+	rt.httpExplain = m.Histogram(metricRouterHTTPDuration,
+		"Whole-router request latency, failover retries included.",
+		telemetry.Labels{"endpoint": "/v1/explain"}, telemetry.LatencyBuckets)
+	rt.httpBatch = m.Histogram(metricRouterHTTPDuration,
+		"Whole-router request latency, failover retries included.",
+		telemetry.Labels{"endpoint": "/v1/explain/batch"}, telemetry.LatencyBuckets)
+}

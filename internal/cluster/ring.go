@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"certa/internal/scorecache"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count when
+// Options leave it zero: enough points that four members split a
+// keyspace within a few percent of evenly, cheap enough that ring
+// construction stays trivial.
+const DefaultVirtualNodes = 64
+
+// Member is one worker process in the ring.
+type Member struct {
+	// Name identifies the worker in stats, logs and — through the
+	// virtual-node labels — on the ring itself: placement depends only
+	// on member names and the virtual-node count, never on URLs, so a
+	// worker can move hosts without moving keys.
+	Name string
+	// URL is the worker's base HTTP address, e.g. "http://127.0.0.1:8081".
+	URL string
+}
+
+// Ring is a deterministic consistent-hash ring with virtual nodes.
+// Each member contributes vnodes points derived from
+// ShardHash(name + "#" + i); a key lives on the first point at or
+// clockwise after its placement position, and its replica order is
+// the owner followed by each distinct member clockwise. Construction
+// sorts members by name, so any two processes given the same
+// membership build byte-for-byte identical rings.
+//
+// Positions are mix64(ShardHash(...)) on both sides: FNV-1a barely
+// avalanches its final input bytes into the high bits that dominate
+// 64-bit ring ordering, so raw hashes of "w2#0".."w2#63" clump and
+// members end up owning wildly uneven arcs. The fixed splitmix64
+// finalizer spreads them; it is part of the placement contract exactly
+// like ShardHash and must never change.
+type Ring struct {
+	members []Member
+	vnodes  int
+	points  []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// NewRing builds a ring over the given members (vnodes <= 0 uses
+// DefaultVirtualNodes). Member names must be non-empty and unique;
+// URLs non-empty.
+func NewRing(members []Member, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	ms := append([]Member(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	r := &Ring{members: ms, vnodes: vnodes}
+	for i, m := range ms {
+		if m.Name == "" || m.URL == "" {
+			return nil, fmt.Errorf("cluster: member %d needs a name and a URL (got %q, %q)", i, m.Name, m.URL)
+		}
+		if i > 0 && ms[i-1].Name == m.Name {
+			return nil, fmt.Errorf("cluster: duplicate member name %q", m.Name)
+		}
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   mix64(scorecache.ShardHash(m.Name + "#" + strconv.Itoa(v))),
+				member: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between virtual nodes is vanishingly
+		// unlikely; breaking the tie by member index keeps even that
+		// case deterministic.
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Members returns the ring's members in name order (a copy).
+func (r *Ring) Members() []Member { return append([]Member(nil), r.members...) }
+
+// Size reports the number of members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// VirtualNodes reports the per-member virtual-node count in effect.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// mix64 is splitmix64's finalizer: a fixed bijective avalanche over
+// uint64, applied to every position entering the ring (see the Ring
+// doc for why). Frozen like ShardHash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ReplicaIndexes returns the preference list for a placement hash
+// (ShardHash of the canonical key) as indexes into Members() order:
+// the owner first, then each further distinct member in clockwise
+// ring order. Failover walks this list.
+func (r *Ring) ReplicaIndexes(hash uint64) []int {
+	pos := mix64(hash)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= pos })
+	out := make([]int, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// Replicas is ReplicaIndexes resolved to Members.
+func (r *Ring) Replicas(hash uint64) []Member {
+	idx := r.ReplicaIndexes(hash)
+	out := make([]Member, len(idx))
+	for i, j := range idx {
+		out[i] = r.members[j]
+	}
+	return out
+}
+
+// Owner returns the member owning a placement hash.
+func (r *Ring) Owner(hash uint64) Member {
+	return r.members[r.ReplicaIndexes(hash)[0]]
+}
+
+// OwnsKey reports whether the named member owns the canonical
+// pair-content key — the predicate a joining worker filters a shipped
+// snapshot with (see KeepOwned).
+func (r *Ring) OwnsKey(name, key string) bool {
+	return r.Owner(scorecache.ShardHash(key)).Name == name
+}
+
+// KeepOwned returns the placement filter for one member: keep exactly
+// the keys the ring assigns to it. Pass it to
+// scorecache.Service.RestoreFunc when consuming a donor's snapshot so
+// a joiner installs its shard and nothing else.
+func KeepOwned(r *Ring, name string) func(key string) bool {
+	return func(key string) bool { return r.OwnsKey(name, key) }
+}
+
+// ParseMembers parses the daemons' -workers flag value:
+// comma-separated entries, each either "name=url" or a bare "url"
+// (named w0, w1, ... by position). Every process describing the same
+// ring must use the same names in the same entry order, since names —
+// not URLs — determine placement.
+func ParseMembers(s string) ([]Member, error) {
+	var out []Member
+	for i, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		m := Member{Name: "w" + strconv.Itoa(i), URL: entry}
+		if name, url, ok := strings.Cut(entry, "="); ok {
+			m = Member{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)}
+		}
+		m.URL = strings.TrimSuffix(m.URL, "/")
+		if m.Name == "" || m.URL == "" {
+			return nil, fmt.Errorf("cluster: bad worker entry %q (want name=url or url)", entry)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no workers in %q", s)
+	}
+	return out, nil
+}

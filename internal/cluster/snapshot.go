@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"certa/internal/scorecache"
+)
+
+// FetchSnapshot pulls a donor worker's score cache over HTTP (the
+// worker's GET /v1/snapshot endpoint) and restores it into svc,
+// optionally filtered by keep — pass KeepOwned(ring, self) so a
+// joining worker installs exactly the shard the ring assigns it, or
+// nil to take everything (subject to the service's capacity bound).
+// It returns the number of entries installed.
+//
+// Integrity is the snapshot format's own CRC framing: a truncated or
+// bit-flipped stream is rejected by scorecache.RestoreFunc before
+// anything is installed, so a failed fetch means a cold start, never
+// a corrupt cache. Callers treat any error as "start cold and let the
+// cache warm over traffic".
+func FetchSnapshot(ctx context.Context, client *http.Client, donorURL, benchmark string, svc *scorecache.Service, keep func(key string) bool) (int, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	u := strings.TrimSuffix(donorURL, "/") + "/v1/snapshot"
+	if benchmark != "" {
+		u += "?benchmark=" + url.QueryEscape(benchmark)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: building snapshot request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: fetching snapshot from %s: %w", donorURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return 0, fmt.Errorf("cluster: snapshot from %s: status %d: %s", donorURL, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	n, err := svc.RestoreFunc(resp.Body, keep)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: restoring shipped snapshot: %w", err)
+	}
+	return n, nil
+}

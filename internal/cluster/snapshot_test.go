@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"certa/internal/record"
+	"certa/internal/scorecache"
+)
+
+// warmDonorSnapshot builds a warmed service over the shared fixture and
+// returns its serialized snapshot bytes plus the service itself.
+func warmDonorSnapshot(t *testing.T) (*scorecache.Service, []byte) {
+	t.Helper()
+	left, right := testSources(16)
+	svc := scorecache.NewService(overlapModel{}, scorecache.ServiceOptions{})
+	pairs := make([]record.Pair, 16)
+	for i := range pairs {
+		pairs[i] = record.Pair{Left: left.Records[i], Right: right.Records[i]}
+	}
+	svc.ScoreBatch(pairs)
+	if svc.Len() == 0 {
+		t.Fatal("donor service cached nothing")
+	}
+	var buf bytes.Buffer
+	if _, err := svc.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return svc, buf.Bytes()
+}
+
+// byteServer serves fixed bytes at every path — a stand-in donor whose
+// /v1/snapshot response the tests can corrupt at will.
+func byteServer(t *testing.T, body []byte) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFetchSnapshotRoundTrip: the happy path installs every entry the
+// donor shipped.
+func TestFetchSnapshotRoundTrip(t *testing.T) {
+	donor, snap := warmDonorSnapshot(t)
+	ts := byteServer(t, snap)
+	fresh := scorecache.NewService(overlapModel{}, scorecache.ServiceOptions{})
+	n, err := FetchSnapshot(context.Background(), nil, ts.URL, "toy", fresh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != donor.Len() || fresh.Len() != donor.Len() {
+		t.Fatalf("restored %d entries (service holds %d), donor had %d", n, fresh.Len(), donor.Len())
+	}
+}
+
+// TestFetchSnapshotTruncatedMeansColdStart: a donor dying mid-stream
+// ships a prefix; the CRC framing rejects every one and the joiner
+// stays empty — cold start, never a partial cache. Prefix lengths
+// sample the same space the scorecache fuzz seeds cover (header, count,
+// mid-entry, mid-checksum).
+func TestFetchSnapshotTruncatedMeansColdStart(t *testing.T) {
+	_, snap := warmDonorSnapshot(t)
+	cuts := []int{0, 1, 7, 8, 15, 16, 17, len(snap) / 3, len(snap) / 2, len(snap) - 5, len(snap) - 1}
+	for _, cut := range cuts {
+		if cut < 0 || cut >= len(snap) {
+			continue
+		}
+		ts := byteServer(t, snap[:cut])
+		fresh := scorecache.NewService(overlapModel{}, scorecache.ServiceOptions{})
+		n, err := FetchSnapshot(context.Background(), nil, ts.URL, "", fresh, nil)
+		if err == nil {
+			t.Fatalf("truncation at %d of %d accepted (%d entries)", cut, len(snap), n)
+		}
+		if fresh.Len() != 0 {
+			t.Fatalf("truncation at %d left %d entries installed", cut, fresh.Len())
+		}
+		// The joiner must still be fully usable cold.
+		left, right := testSources(1)
+		fresh.ScoreBatch([]record.Pair{{Left: left.Records[0], Right: right.Records[0]}})
+		if fresh.Len() != 1 {
+			t.Fatalf("service unusable after rejected truncated snapshot (cut %d)", cut)
+		}
+	}
+}
+
+// TestFetchSnapshotBitFlipMeansColdStart: a flipped bit anywhere in the
+// shipped stream — header, count, key bytes, score bits, checksum — is
+// caught by the CRC and nothing is installed. Sampled positions stride
+// the whole stream so every frame section is covered without an HTTP
+// round trip per byte.
+func TestFetchSnapshotBitFlipMeansColdStart(t *testing.T) {
+	_, snap := warmDonorSnapshot(t)
+	stride := len(snap)/64 + 1
+	for pos := 0; pos < len(snap); pos += stride {
+		corrupt := append([]byte(nil), snap...)
+		corrupt[pos] ^= 0x40
+		ts := byteServer(t, corrupt)
+		fresh := scorecache.NewService(overlapModel{}, scorecache.ServiceOptions{})
+		n, err := FetchSnapshot(context.Background(), nil, ts.URL, "", fresh, nil)
+		if err == nil {
+			t.Fatalf("bit flip at %d of %d accepted (%d entries)", pos, len(snap), n)
+		}
+		if fresh.Len() != 0 {
+			t.Fatalf("bit flip at %d left %d entries installed", pos, fresh.Len())
+		}
+		ts.Close()
+	}
+}
+
+// TestFetchSnapshotDonorErrors: non-200 donors and donors that serve
+// something that is not a snapshot both mean a clean cold start.
+func TestFetchSnapshotDonorErrors(t *testing.T) {
+	fresh := scorecache.NewService(overlapModel{}, scorecache.ServiceOptions{})
+
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown benchmark \"nope\""}`, http.StatusNotFound)
+	}))
+	defer notFound.Close()
+	if _, err := FetchSnapshot(context.Background(), nil, notFound.URL, "nope", fresh, nil); err == nil {
+		t.Fatal("404 donor accepted")
+	} else if !strings.Contains(err.Error(), "status 404") {
+		t.Fatalf("404 donor error does not say so: %v", err)
+	}
+
+	garbage := byteServer(t, []byte("<html>this is not a snapshot</html>"))
+	if _, err := FetchSnapshot(context.Background(), nil, garbage.URL, "", fresh, nil); err == nil {
+		t.Fatal("non-snapshot donor body accepted")
+	}
+
+	if _, err := FetchSnapshot(context.Background(), nil, "http://127.0.0.1:1", "", fresh, nil); err == nil {
+		t.Fatal("unreachable donor accepted")
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("failed fetches left %d entries installed", fresh.Len())
+	}
+}
+
+// TestFetchSnapshotShardFilterAgainstLiveWorker: end-to-end over a real
+// worker's /v1/snapshot endpoint, a ring-filtered fetch installs
+// exactly the joiner's shard — the cluster-side mirror of the
+// scorecache RestoreFunc unit tests.
+func TestFetchSnapshotShardFilterAgainstLiveWorker(t *testing.T) {
+	left, right := testSources(24)
+	var pairs []record.Pair
+	for i := 0; i < 6; i++ {
+		pairs = append(pairs, record.Pair{Left: left.Records[i], Right: right.Records[i]})
+	}
+	donor := newTestWorker(t, "w0", left, right, pairs, 0)
+	for i := range pairs {
+		if resp, body := post(t, donor.ts.URL+"/v1/explain", fmt.Sprintf(`{"pair_index":%d}`, i)); resp.StatusCode != 200 {
+			t.Fatalf("warming donor: %d %s", resp.StatusCode, body)
+		}
+	}
+	ring, err := NewRing([]Member{
+		{Name: "w0", URL: donor.ts.URL},
+		{Name: "w1", URL: "http://127.0.0.1:9001"},
+		{Name: "w2", URL: "http://127.0.0.1:9002"},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, name := range []string{"w0", "w1", "w2"} {
+		fresh := scorecache.NewService(overlapModel{}, scorecache.ServiceOptions{})
+		n, err := FetchSnapshot(context.Background(), nil, donor.ts.URL, "toy", fresh, KeepOwned(ring, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range fresh.Keys() {
+			if !ring.OwnsKey(name, key) {
+				t.Fatalf("%s installed foreign key %q", name, key)
+			}
+		}
+		total += n
+	}
+	if total != donor.svc.Len() {
+		t.Fatalf("shards sum to %d entries, donor holds %d — shards must partition the snapshot", total, donor.svc.Len())
+	}
+}

@@ -1,0 +1,21 @@
+// Package cluster stands in for certa/internal/cluster, a wire
+// package: the router mints its own ring health/stats documents, so
+// their schema needs the same tag and golden-file discipline as the
+// server's.
+package cluster
+
+// RingStatsResponse is fully tagged and cites its fixture in
+// testdata/wire_golden.json: the clean case.
+type RingStatsResponse struct {
+	Workers   int   `json:"workers"`
+	Forwarded int64 `json:"forwarded"`
+}
+
+type DriftResponse struct { // want `wire struct DriftResponse has no golden-file reference`
+	Failovers int // want `exported field DriftResponse.Failovers of wire struct has no json tag`
+}
+
+// aggregate is unexported: not part of the wire schema.
+type aggregate struct {
+	Served int64
+}

@@ -18,11 +18,13 @@ import (
 )
 
 // wirePackages are the packages whose exported structs form the HTTP
-// wire schema: the server's request/response/stats types and any wire
-// struct declared in the public certa package.
+// wire schema: the server's request/response/stats types, the cluster
+// router's ring health/stats documents, and any wire struct declared
+// in the public certa package.
 var wirePackages = map[string]bool{
-	"certa":                 true,
-	"certa/internal/server": true,
+	"certa":                  true,
+	"certa/internal/server":  true,
+	"certa/internal/cluster": true,
 }
 
 // goldenRef matches a reference to a golden fixture file in a doc

@@ -10,9 +10,10 @@ import (
 
 // TestWireTag covers untagged wire fields and golden-less Response
 // types in the server stub (including a reasoned field-level waiver
-// and an empty-reason rejection), the fully clean public-package
-// fixture, and a non-wire package where everything is silent.
+// and an empty-reason rejection), the cluster stub's router-minted
+// documents, the fully clean public-package fixture, and a non-wire
+// package where everything is silent.
 func TestWireTag(t *testing.T) {
 	analysistest.Run(t, filepath.Join("..", "testdata", "wiretag"), wiretag.Analyzer,
-		"certa/internal/server", "certa", "other")
+		"certa/internal/server", "certa/internal/cluster", "certa", "other")
 }

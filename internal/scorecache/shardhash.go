@@ -1,0 +1,29 @@
+package scorecache
+
+// ShardHash is the stable placement hash of a canonical pair-content
+// key (Key): FNV-1a over the key bytes, 64-bit. It exists so cluster
+// routing and worker-side caching can never disagree about where a
+// key lives — the router places requests on the ring by
+// ShardHash(Key(pair)), and a worker filters a shipped snapshot down
+// to its shard with the same function over the same canonical keys.
+//
+// The function is part of the wire contract, like the snapshot format:
+// a ring of old-hash routers and new-hash workers would scatter every
+// key to the wrong shard, so the constants below must never change.
+// TestShardHashPinned pins known values; changing the hash fails that
+// test until the change is acknowledged as a breaking one.
+func ShardHash(key string) uint64 {
+	// FNV-1a, 64-bit (offset basis and prime per the FNV reference).
+	// Inlined rather than hash/fnv so the placement hash is visibly
+	// frozen here and allocation-free on the router's hot path.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,75 @@
+package scorecache
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"certa/internal/record"
+)
+
+// TestShardHashPinned pins ShardHash to literal values. The hash is a
+// wire contract (router placement and worker-side snapshot filtering
+// must agree across processes and versions), so these constants may
+// only change together with a deliberate, ring-wide migration — if
+// this test fails, the placement of every key in every deployed ring
+// just moved.
+func TestShardHashPinned(t *testing.T) {
+	cases := []struct {
+		key  string
+		want uint64
+	}{
+		{"", 0xcbf29ce484222325}, // the FNV-1a 64-bit offset basis
+		{"a", 0xaf63dc4c8601ec8c},
+		{"shard", 0x6e308f493acb8a0b},
+		// A key in the canonical pair-content shape Key produces.
+		{"1#S;3:foo|1#S;3:bar", 0x9025d10f66b08b5e},
+		// Virtual-node labels as the ring hashes them (name + "#" + index).
+		{"w0#0", 0xf736edf71419f7a9},
+		{"w3#63", 0x79b344cec6ff07af},
+	}
+	for _, c := range cases {
+		if got := ShardHash(c.key); got != c.want {
+			t.Errorf("ShardHash(%q) = %#016x, want %#016x", c.key, got, c.want)
+		}
+	}
+}
+
+// TestShardHashMatchesReferenceFNV cross-checks the inlined constants
+// against the standard library's FNV-1a implementation, so a typo in
+// the pinned table above cannot hide a divergence from the reference
+// function.
+func TestShardHashMatchesReferenceFNV(t *testing.T) {
+	keys := []string{"", "x", "certa", "1#S;1:a;1:b|1#S;1:a;1:c"}
+	p := record.Pair{
+		Left:  record.MustNew("l0", record.MustSchema("S", "name"), "alpha beta"),
+		Right: record.MustNew("r0", record.MustSchema("S", "name"), "alpha gamma"),
+	}
+	keys = append(keys, Key(p))
+	for _, k := range keys {
+		h := fnv.New64a()
+		h.Write([]byte(k))
+		if got, want := ShardHash(k), h.Sum64(); got != want {
+			t.Errorf("ShardHash(%q) = %#016x, reference FNV-1a = %#016x", k, got, want)
+		}
+	}
+}
+
+// TestShardHashSpreads is a coarse distribution check: hashing many
+// distinct keys through a small modulus should not collapse onto a few
+// residues (which would defeat ring balance however many virtual nodes
+// members get).
+func TestShardHashSpreads(t *testing.T) {
+	const buckets = 8
+	counts := make([]int, buckets)
+	var b [8]byte
+	for i := 0; i < 4096; i++ {
+		binary.LittleEndian.PutUint64(b[:], uint64(i)*2654435761)
+		counts[ShardHash(string(b[:]))%buckets]++
+	}
+	for i, c := range counts {
+		if c < 4096/buckets/2 || c > 4096/buckets*2 {
+			t.Fatalf("bucket %d holds %d of 4096 keys (want roughly %d)", i, c, 4096/buckets)
+		}
+	}
+}

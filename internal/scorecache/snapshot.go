@@ -29,6 +29,31 @@ var snapshotMagic = [8]byte{'C', 'E', 'R', 'T', 'A', 'S', 'C', 1}
 // gets a chance to reject the file.
 const maxSnapshotKeyLen = 1 << 24
 
+// Keys returns the canonical pair-content keys of every ready entry,
+// sorted. It exists for cluster placement: a router (or a capacity
+// planner) maps each key through ShardHash onto the ring to see how
+// the store's working set distributes across workers. Like Snapshot it
+// skips in-flight computations and may run concurrently with scoring.
+func (s *Service) Keys() []string {
+	var keys []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			select {
+			case <-e.ready:
+				if !e.failed {
+					keys = append(keys, e.key)
+				}
+			default:
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Len reports the number of ready entries currently stored.
 func (s *Service) Len() int {
 	n := 0
@@ -120,6 +145,17 @@ func (s *Service) Snapshot(w io.Writer) (int, error) {
 // (including in-flight computations) are kept over the snapshot's value;
 // restored entries obey the capacity bound like any other insertion.
 func (s *Service) Restore(r io.Reader) (int, error) {
+	return s.RestoreFunc(r, nil)
+}
+
+// RestoreFunc is Restore with a placement filter: when keep is non-nil
+// only entries whose canonical key satisfies it are installed, so a
+// worker joining a ring can consume a donor's full snapshot and keep
+// just the shard the ring assigns it (cluster.KeepOwned). The filter
+// runs only after the whole stream has been parsed and
+// checksum-verified — a corrupt snapshot is rejected identically with
+// and without a filter, and never consults keep.
+func (s *Service) RestoreFunc(r io.Reader, keep func(key string) bool) (int, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -172,6 +208,9 @@ func (s *Service) Restore(r io.Reader) (int, error) {
 	installed := 0
 	evictions := 0
 	for _, en := range entries {
+		if keep != nil && !keep(en.key) {
+			continue
+		}
 		sh := s.shardFor(en.key)
 		sh.mu.Lock()
 		if _, ok := sh.entries[en.key]; ok {

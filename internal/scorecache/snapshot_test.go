@@ -171,6 +171,114 @@ func TestRestoreRejectsTruncation(t *testing.T) {
 	}
 }
 
+// TestRestoreFuncKeepsOnlyFilteredKeys covers the shard-filtered
+// restore path a ring joiner uses: consume a donor's full snapshot,
+// install only the keys a placement predicate accepts, and answer
+// exactly those without model calls afterwards.
+func TestRestoreFuncKeepsOnlyFilteredKeys(t *testing.T) {
+	svc, _ := warmService(t, 20)
+	var buf bytes.Buffer
+	if _, err := svc.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Split on a high hash bit: the low bit of FNV-1a is linear in the
+	// input bytes, and these fixture keys repeat their varying bytes on
+	// both pair sides, which would make a %2 split degenerate.
+	keep := func(key string) bool { return ShardHash(key)>>33&1 == 0 }
+	want := 0
+	for _, k := range svc.Keys() {
+		if keep(k) {
+			want++
+		}
+	}
+	if want == 0 || want == 20 {
+		t.Fatalf("degenerate filter split %d/20; pick different fixture keys", want)
+	}
+
+	m := &countingModel{}
+	target := NewService(m, ServiceOptions{})
+	n, err := target.RestoreFunc(bytes.NewReader(buf.Bytes()), keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("RestoreFunc installed %d entries, filter accepts %d", n, want)
+	}
+	if got := target.Len(); got != want {
+		t.Fatalf("Len() = %d after filtered restore, want %d", got, want)
+	}
+	for _, k := range target.Keys() {
+		if !keep(k) {
+			t.Fatalf("filtered restore installed rejected key %q", k)
+		}
+	}
+	// Kept keys answer without the model; dropped keys still cost a call.
+	for i := 0; i < 20; i++ {
+		p := pairOf(fmt.Sprintf("val-%03d", i), "x")
+		before := m.calls
+		target.Score(p)
+		paid := m.calls - before
+		if kept := keep(Key(p)); kept && paid != 0 {
+			t.Fatalf("pair %d: kept key paid %d model calls", i, paid)
+		} else if !kept && paid == 0 {
+			t.Fatalf("pair %d: dropped key was answered without the model", i)
+		}
+	}
+}
+
+// TestRestoreFuncRejectsCorruptionBeforeFiltering: a corrupt stream is
+// rejected identically with a filter attached, and the keep predicate
+// is never consulted — filtering happens strictly after verification.
+func TestRestoreFuncRejectsCorruptionBeforeFiltering(t *testing.T) {
+	svc, _ := warmService(t, 6)
+	var buf bytes.Buffer
+	if _, err := svc.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+	for _, i := range []int{0, len(snap) / 2, len(snap) - 1} {
+		corrupted := append([]byte(nil), snap...)
+		corrupted[i] ^= 0xFF
+		target := NewService(&countingModel{}, ServiceOptions{})
+		kept := 0
+		n, err := target.RestoreFunc(bytes.NewReader(corrupted), func(string) bool { kept++; return true })
+		if err == nil || n != 0 {
+			t.Fatalf("byte %d: filtered restore accepted corruption (n=%d err=%v)", i, n, err)
+		}
+		if kept != 0 {
+			t.Fatalf("byte %d: keep ran %d times on an unverified stream", i, kept)
+		}
+		if target.Len() != 0 {
+			t.Fatalf("byte %d: corrupt filtered restore installed entries", i)
+		}
+	}
+}
+
+// TestKeysMatchesSnapshotContents: Keys reports exactly the ready
+// entries, sorted — the enumeration cluster capacity planning leans on.
+func TestKeysMatchesSnapshotContents(t *testing.T) {
+	svc, _ := warmService(t, 9)
+	keys := svc.Keys()
+	if len(keys) != 9 {
+		t.Fatalf("Keys() returned %d keys, want 9", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys() not strictly sorted at %d: %q >= %q", i, keys[i-1], keys[i])
+		}
+	}
+	want := make(map[string]bool, 9)
+	for i := 0; i < 9; i++ {
+		want[Key(pairOf(fmt.Sprintf("val-%03d", i), "x"))] = true
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("Keys() returned unexpected key %q", k)
+		}
+	}
+}
+
 func TestRestoreRejectsHugeKeyLength(t *testing.T) {
 	// A handcrafted header claiming one entry with a multi-gigabyte key
 	// must fail on the length sanity bound, not attempt the allocation.

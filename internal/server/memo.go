@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sync"
+)
+
+// resultMemo is the serving-layer explanation memo: a bounded LRU of
+// rendered response bodies keyed by the coalescing key. Coalescing
+// shares one computation's bytes among identical in-flight requests;
+// the memo extends exactly that sharing across time, so a repeat of an
+// already-answered request is served its byte-identical body without
+// holding an admission slot or touching the engine. It is the layer
+// that makes a sharded serving ring scale: each worker's memo holds
+// the responses for its slice of the keyspace, and the ring's
+// aggregate memo capacity grows with the worker count.
+//
+// Only deterministic computations are memoized: requests carrying a
+// deadline_ms are excluded by the caller (their truncation point
+// depends on the wall clock, so a replayed body could differ from a
+// fresh one), as are traced (?debug=trace) requests, which bypass
+// this path entirely. Everything else — including call_budget and
+// lattice_prune modes, which truncate deterministically — replays
+// exactly the bytes a fresh computation would produce.
+type resultMemo struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*memoEntry
+	// Intrusive doubly-linked LRU ring, most recent at head.next.
+	head    memoEntry
+	lookups int64
+	hits    int64
+}
+
+type memoEntry struct {
+	key        string
+	body       []byte
+	prev, next *memoEntry
+}
+
+// newResultMemo builds a memo bounded to capacity entries; capacity
+// must be positive (a disabled memo is a nil *resultMemo).
+func newResultMemo(capacity int) *resultMemo {
+	m := &resultMemo{
+		capacity: capacity,
+		entries:  make(map[string]*memoEntry, capacity),
+	}
+	m.head.prev, m.head.next = &m.head, &m.head
+	return m
+}
+
+func (m *resultMemo) unlink(e *memoEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (m *resultMemo) pushFront(e *memoEntry) {
+	e.prev = &m.head
+	e.next = m.head.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// get returns the memoized body for key, refreshing its recency. A nil
+// memo reports a miss without counting a lookup.
+func (m *resultMemo) get(key string) ([]byte, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lookups++
+	e, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	m.hits++
+	m.unlink(e)
+	m.pushFront(e)
+	return e.body, true
+}
+
+// put installs a freshly computed body, evicting the coldest entry
+// past the capacity bound. Re-putting an existing key only refreshes
+// recency: coalesced leaders and near-simultaneous repeats produce
+// identical bytes, so the stored body never needs replacing.
+func (m *resultMemo) put(key string, body []byte) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[key]; ok {
+		m.unlink(e)
+		m.pushFront(e)
+		return
+	}
+	e := &memoEntry{key: key, body: body}
+	m.entries[key] = e
+	m.pushFront(e)
+	if len(m.entries) > m.capacity {
+		coldest := m.head.prev
+		m.unlink(coldest)
+		delete(m.entries, coldest.key)
+	}
+}
+
+// stats snapshots the memo's counters.
+func (m *resultMemo) stats() (lookups, hits int64, entries int) {
+	if m == nil {
+		return 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lookups, m.hits, len(m.entries)
+}

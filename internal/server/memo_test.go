@@ -1,0 +1,271 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestResultMemoReplaysIdenticalBody: with the memo enabled, a repeat
+// of an already-answered deterministic request is flagged memoized and
+// replays the exact bytes of the first answer.
+func TestResultMemoReplaysIdenticalBody(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{ResultMemo: 8}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := ExplainRequest{LeftID: "l0", RightID: "r0"}
+	resp1, body1 := postJSON(t, ts.URL+"/v1/explain", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Certa-Memoized"); got != "false" {
+		t.Fatalf("X-Certa-Memoized = %q on a first request", got)
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/explain", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Certa-Memoized"); got != "true" {
+		t.Fatalf("X-Certa-Memoized = %q on a repeat request", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("memoized body differs from the computed one:\n%s\n%s", body1, body2)
+	}
+
+	st := s.Stats()
+	if st.Memoized != 1 {
+		t.Fatalf("Stats.Memoized = %d, want 1", st.Memoized)
+	}
+	ms := st.Backends["toy"].ResultMemo
+	if ms == nil {
+		t.Fatal("BackendStats.ResultMemo missing with the memo enabled")
+	}
+	if ms.Capacity != 8 || ms.Lookups != 2 || ms.Hits != 1 || ms.Entries != 1 {
+		t.Fatalf("memo stats = %+v, want capacity 8, 2 lookups, 1 hit, 1 entry", ms)
+	}
+	if ms.HitRate != 0.5 {
+		t.Fatalf("memo hit rate = %v, want 0.5", ms.HitRate)
+	}
+}
+
+// TestResultMemoKeyedByKnobs: requests that differ only in engine knobs
+// memoize separately — a knob change must never replay another
+// configuration's body.
+func TestResultMemoKeyedByKnobs(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{ResultMemo: 8}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, plain := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	resp, topk := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0", TopK: 1})
+	if got := resp.Header.Get("X-Certa-Memoized"); got != "false" {
+		t.Fatalf("X-Certa-Memoized = %q across a knob change", got)
+	}
+	if bytes.Equal(plain, topk) {
+		t.Fatal("top_k=1 body identical to the unknobbed one — knob not in the memo key?")
+	}
+}
+
+// TestResultMemoExcludesDeadlines: deadline-bearing requests are
+// nondeterministic (their truncation point depends on the wall clock),
+// so they are neither served from nor stored into the memo.
+func TestResultMemoExcludesDeadlines(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{ResultMemo: 8}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := ExplainRequest{LeftID: "l0", RightID: "r0", DeadlineMS: 60_000}
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/explain", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Certa-Memoized"); got != "false" {
+			t.Fatalf("deadline request %d: X-Certa-Memoized = %q", i, got)
+		}
+	}
+	if ms := s.Stats().Backends["toy"].ResultMemo; ms.Lookups != 0 || ms.Entries != 0 {
+		t.Fatalf("deadline requests touched the memo: %+v", ms)
+	}
+}
+
+// TestResultMemoTraceBypass: ?debug=trace recomputes with tracing
+// enabled rather than replaying a stored body, and leaves the memo
+// untouched.
+func TestResultMemoTraceBypass(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{ResultMemo: 8}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := ExplainRequest{LeftID: "l0", RightID: "r0"}
+	postJSON(t, ts.URL+"/v1/explain", req)
+
+	resp, body := postJSON(t, ts.URL+"/v1/explain?debug=trace", req)
+	if got := resp.Header.Get("X-Certa-Memoized"); got != "false" {
+		t.Fatalf("X-Certa-Memoized = %q on a traced request", got)
+	}
+	var out ExplainResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("traced request came back without a trace — replayed from the memo?")
+	}
+	if ms := s.Stats().Backends["toy"].ResultMemo; ms.Lookups != 1 {
+		t.Fatalf("traced request consulted the memo: %+v", ms)
+	}
+}
+
+// TestResultMemoDisabledByDefault: Options.ResultMemo zero means no
+// memo — repeats recompute and /v1/stats omits the block.
+func TestResultMemoDisabledByDefault(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := ExplainRequest{LeftID: "l0", RightID: "r0"}
+	postJSON(t, ts.URL+"/v1/explain", req)
+	resp, _ := postJSON(t, ts.URL+"/v1/explain", req)
+	if got := resp.Header.Get("X-Certa-Memoized"); got != "false" {
+		t.Fatalf("X-Certa-Memoized = %q with the memo disabled", got)
+	}
+	st := s.Stats()
+	if st.Memoized != 0 {
+		t.Fatalf("Stats.Memoized = %d with the memo disabled", st.Memoized)
+	}
+	if st.Backends["toy"].ResultMemo != nil {
+		t.Fatal("BackendStats.ResultMemo present with the memo disabled")
+	}
+}
+
+// TestResultMemoLRUBound: the memo never holds more than capacity
+// bodies and evicts in least-recently-used order, recency refreshed by
+// both hits and re-puts.
+func TestResultMemoLRUBound(t *testing.T) {
+	m := newResultMemo(2)
+	m.put("a", []byte("A"))
+	m.put("b", []byte("B"))
+	if _, ok := m.get("a"); !ok { // a is now most recent
+		t.Fatal("a missing before capacity was reached")
+	}
+	m.put("c", []byte("C")) // evicts b, the coldest
+	if _, ok := m.get("b"); ok {
+		t.Fatal("b survived past capacity")
+	}
+	if body, ok := m.get("a"); !ok || string(body) != "A" {
+		t.Fatalf("a = %q, %v after eviction of b", body, ok)
+	}
+	m.put("a", []byte("ignored")) // re-put refreshes recency, keeps bytes
+	m.put("d", []byte("D"))       // evicts c
+	if _, ok := m.get("c"); ok {
+		t.Fatal("c survived though a was refreshed ahead of it")
+	}
+	if body, ok := m.get("a"); !ok || string(body) != "A" {
+		t.Fatalf("re-put replaced a's body: %q, %v", body, ok)
+	}
+	lookups, hits, entries := m.stats()
+	if entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
+	}
+	if lookups != 5 || hits != 3 {
+		t.Fatalf("lookups, hits = %d, %d, want 5, 3", lookups, hits)
+	}
+}
+
+// TestResultMemoNilSafe: a disabled memo is a nil pointer; every method
+// must tolerate it.
+func TestResultMemoNilSafe(t *testing.T) {
+	var m *resultMemo
+	if _, ok := m.get("k"); ok {
+		t.Fatal("nil memo reported a hit")
+	}
+	m.put("k", []byte("v"))
+	if lookups, hits, entries := m.stats(); lookups != 0 || hits != 0 || entries != 0 {
+		t.Fatal("nil memo reported nonzero stats")
+	}
+}
+
+// TestResultMemoBatchItems: batch items share the memo with single
+// requests — a batch repeating an answered pair replays its body.
+func TestResultMemoBatchItems(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{ResultMemo: 8}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, single := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+
+	resp, body := postJSON(t, ts.URL+"/v1/explain/batch", BatchRequest{
+		Requests: []ExplainRequest{{LeftID: "l0", RightID: "r0"}, {LeftID: "l1", RightID: "r1"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	item0, err := json.Marshal(out.Responses[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(single), bytes.TrimSpace(item0)) {
+		t.Fatalf("batch item differs from the memoized single body:\n%s\n%s", single, item0)
+	}
+	if got := s.Stats().Memoized; got != 1 {
+		t.Fatalf("Stats.Memoized = %d after a batch repeat, want 1", got)
+	}
+}
+
+// TestResultMemoConcurrentRepeats: hammering one pair from many
+// goroutines with the memo enabled stays race-free and byte-stable
+// (exercised under -race in CI).
+func TestResultMemoConcurrentRepeats(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{ResultMemo: 4}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, want := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{LeftID: "l0", RightID: "r0"})
+	post := func() ([]byte, error) {
+		resp, err := http.Post(ts.URL+"/v1/explain", "application/json",
+			bytes.NewReader([]byte(`{"left_id":"l0","right_id":"r0"}`)))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		if _, err := out.ReadFrom(resp.Body); err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, out.Bytes())
+		}
+		return out.Bytes(), nil
+	}
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 4; i++ {
+				got, err := post()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(want, got) {
+					errs <- fmt.Errorf("concurrent repeat diverged:\n%s\n%s", want, got)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

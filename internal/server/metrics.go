@@ -18,6 +18,7 @@ const (
 	metricUptime    = "certa_uptime_seconds"
 	metricServed    = "certa_explanations_served_total"
 	metricCoalesced = "certa_requests_coalesced_total"
+	metricMemoized  = "certa_requests_memoized_total"
 	metricRejected  = "certa_requests_rejected_total"
 	metricCancelled = "certa_requests_cancelled_total"
 	metricErrors    = "certa_request_errors_total"
@@ -39,6 +40,10 @@ const (
 
 	metricFlipLookups = "certa_flip_memo_lookups_total"
 	metricFlipHits    = "certa_flip_memo_hits_total"
+
+	metricMemoLookups = "certa_result_memo_lookups_total"
+	metricMemoHits    = "certa_result_memo_hits_total"
+	metricMemoEntries = "certa_result_memo_entries"
 
 	metricEmbedLookups   = "certa_embedding_lookups_total"
 	metricEmbedHits      = "certa_embedding_hits_total"
@@ -67,6 +72,8 @@ func (s *Server) registerMetrics() {
 		func() float64 { return float64(s.served.Load()) })
 	m.CounterFunc(metricCoalesced, "Requests answered by attaching to another request's in-flight computation.", nil,
 		func() float64 { return float64(s.coalesced.Load()) })
+	m.CounterFunc(metricMemoized, "Requests answered by replaying a memoized response body.", nil,
+		func() float64 { return float64(s.memoized.Load()) })
 	m.CounterFunc(metricRejected, "Requests rejected with 429 by the admission controller.", nil,
 		func() float64 { return float64(s.rejected.Load()) })
 	m.CounterFunc(metricCancelled, "Requests whose client disconnected mid-wait or mid-computation.", nil,
@@ -136,6 +143,15 @@ func (s *Server) registerBackendMetrics(b *backend) {
 		func() float64 { return float64(b.svc.Stats().FlipLookups) })
 	m.CounterFunc(metricFlipHits, "Lattice oracle questions answered from the cross-explanation flip memo.", lbl,
 		func() float64 { return float64(b.svc.Stats().FlipHits) })
+
+	if b.memo != nil {
+		m.CounterFunc(metricMemoLookups, "Result memo lookups (deterministic explanation requests).", lbl,
+			func() float64 { lookups, _, _ := b.memo.stats(); return float64(lookups) })
+		m.CounterFunc(metricMemoHits, "Requests answered by replaying a memoized response body.", lbl,
+			func() float64 { _, hits, _ := b.memo.stats(); return float64(hits) })
+		m.GaugeFunc(metricMemoEntries, "Response bodies currently memoized.", lbl,
+			func() float64 { _, _, entries := b.memo.stats(); return float64(entries) })
+	}
 
 	if es, ok := b.model.(embeddingStatser); ok {
 		m.CounterFunc(metricEmbedLookups, "Embedding store lookups.", lbl,

@@ -10,6 +10,7 @@
 //	POST /v1/explain/batch  many, admitted and coalesced individually
 //	GET  /v1/healthz        liveness
 //	GET  /v1/stats          admission + coalescing + cache counters (JSON)
+//	GET  /v1/snapshot       the score cache in snapshot format (cluster warm bring-up)
 //	GET  /v1/metrics        the same state as Prometheus text exposition
 //
 // Three serving layers sit between the HTTP surface and the engine:
@@ -72,6 +73,10 @@ import (
 
 // Options tunes the serving layers.
 type Options struct {
+	// Name identifies this serving process in /v1/stats ("worker"). A
+	// cluster router uses it to label per-worker rows in its aggregated
+	// ring stats; standalone servers may leave it empty.
+	Name string
 	// MaxInFlight bounds concurrently computing explanations (default 4).
 	MaxInFlight int
 	// MaxQueue bounds explanations waiting for an in-flight slot
@@ -90,6 +95,17 @@ type Options struct {
 	// collide; the daemons pass telemetry.Default to share one scrape
 	// surface with their other instrumentation.
 	Metrics *telemetry.Registry
+	// ResultMemo bounds the per-backend memo of rendered response
+	// bodies (entries; 0 disables). A repeat of an already-answered
+	// deterministic request is served its byte-identical body from the
+	// memo — coalescing extended across time — without an admission
+	// slot or any engine work. Requests carrying deadline_ms are never
+	// memoized (their truncation point is wall-clock dependent), and
+	// ?debug=trace requests bypass the memo like they bypass
+	// coalescing. In a sharded ring every worker holds the memo slice
+	// for its shard of the keyspace, so aggregate memo capacity grows
+	// with the worker count.
+	ResultMemo int
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +164,9 @@ type backend struct {
 	pairs       []record.Pair
 	svc         *scorecache.Service
 	restored    int
+	// memo replays rendered response bodies for repeat deterministic
+	// requests (nil when Options.ResultMemo is 0).
+	memo *resultMemo
 
 	// requests counts explanation requests routed to this backend
 	// (coalesced joiners included); errors the ones that failed after
@@ -186,6 +205,7 @@ type Server struct {
 
 	served    atomic.Int64
 	coalesced atomic.Int64
+	memoized  atomic.Int64
 	rejected  atomic.Int64
 	cancelled atomic.Int64
 	errored   atomic.Int64
@@ -243,9 +263,14 @@ func New(backends []Backend, opts Options) (*Server, error) {
 				bopts.Retrieval = neighborhood.NewSources(b.Left, b.Right)
 			}
 		}
+		var memo *resultMemo
+		if opts.ResultMemo > 0 {
+			memo = newResultMemo(opts.ResultMemo)
+		}
 		s.backends[b.Name] = &backend{
 			name: b.Name, left: b.Left, right: b.Right, model: b.Model,
 			opts: bopts, pairs: b.Pairs, svc: svc, restored: b.RestoredEntries,
+			memo: memo,
 		}
 		s.order = append(s.order, b.Name)
 	}
@@ -254,6 +279,7 @@ func New(backends []Backend, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/explain/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.Handle("GET /v1/metrics", s.metrics.Handler())
 	return s, nil
 }
@@ -305,13 +331,23 @@ func (s *Server) resolveBackend(name string) (*backend, int, error) {
 	return b, 0, nil
 }
 
-// serveOne runs one explanation request through coalescing + admission
-// and returns the shared response bytes. tr is the computation's trace
-// when this request led it (nil for joiners, whose bytes were computed
-// under another request's trace, and on error) — the handler folds it
-// into the request log line.
-func (s *Server) serveOne(ctx context.Context, b *backend, p record.Pair, k knobs, reqID string) (body []byte, joined bool, tr *telemetry.Trace, err error) {
+// serveOne runs one explanation request through the result memo,
+// coalescing and admission, and returns the shared response bytes. tr
+// is the computation's trace when this request led it (nil for memo
+// hits and joiners, whose bytes were computed under another request's
+// trace, and on error) — the handler folds it into the request log
+// line. Deadline-bearing requests skip the memo in both directions:
+// their truncation point depends on the wall clock, so neither may a
+// stale body answer them nor may their body be replayed later.
+func (s *Server) serveOne(ctx context.Context, b *backend, p record.Pair, k knobs, reqID string) (body []byte, joined, memoized bool, tr *telemetry.Trace, err error) {
 	key := coalesceKey(b.name, k, p)
+	deterministic := k.deadlineMS == 0
+	if deterministic {
+		if body, ok := b.memo.get(key); ok {
+			s.memoized.Add(1)
+			return body, false, true, nil, nil
+		}
+	}
 	for {
 		var led *telemetry.Trace
 		body, joined, err = s.coal.do(ctx, s.lifetime, key, func(compCtx context.Context) ([]byte, error) {
@@ -336,8 +372,11 @@ func (s *Server) serveOne(ctx context.Context, b *backend, p record.Pair, k knob
 			// a cancelled wait the closure may still be running — leave tr
 			// nil rather than race.
 			tr = led
+			if deterministic {
+				b.memo.put(key, body)
+			}
 		}
-		return body, joined, tr, err
+		return body, joined, false, tr, err
 	}
 }
 
@@ -458,14 +497,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	b.requests.Add(1)
 	var (
-		body   []byte
-		joined bool
-		tr     *telemetry.Trace
+		body     []byte
+		joined   bool
+		memoized bool
+		tr       *telemetry.Trace
 	)
 	if r.URL.Query().Get("debug") == "trace" {
 		body, tr, err = s.compute(r.Context(), b, p, req.knobs(), reqID, true)
 	} else {
-		body, joined, tr, err = s.serveOne(r.Context(), b, p, req.knobs(), reqID)
+		body, joined, memoized, tr, err = s.serveOne(r.Context(), b, p, req.knobs(), reqID)
 	}
 	elapsed := time.Since(start)
 	s.httpExplain.Observe(elapsed.Seconds())
@@ -478,6 +518,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Certa-Coalesced", strconv.FormatBool(joined))
+	h.Set("X-Certa-Memoized", strconv.FormatBool(memoized))
 	h.Set("X-Certa-Duration-Ms", strconv.FormatInt(elapsed.Milliseconds(), 10))
 	w.Write(body)
 	s.logExplain(reqID, b.name, p.Key(), http.StatusOK, joined, elapsed, tr, nil)
@@ -590,7 +631,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return nil
 		}
 		b.requests.Add(1)
-		body, _, _, err := s.serveOne(ctx, b, p, item.knobs(), reqID+"."+strconv.Itoa(i))
+		body, _, _, _, err := s.serveOne(ctx, b, p, item.knobs(), reqID+"."+strconv.Itoa(i))
 		if err != nil {
 			b.errors.Add(1)
 			s.countServeError(err)
@@ -632,6 +673,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.Stats())
 }
 
+// handleSnapshot serves GET /v1/snapshot?benchmark=NAME: the named
+// backend's score cache streamed in the scorecache binary snapshot
+// format (octet-stream). This is the donor side of the cluster's warm
+// bring-up — a joining worker pulls it and restores the slice of keys
+// the ring assigns it (scorecache.RestoreFunc) before taking traffic.
+// Concurrent scoring may proceed while the snapshot streams; in-flight
+// entries are simply skipped. The CRC trailer inside the format is the
+// consumer's integrity check: if this stream dies mid-write the
+// partial body fails the consumer's checksum and it starts cold.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	b, status, err := s.resolveBackend(r.URL.Query().Get("benchmark"))
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Certa-Backend", b.name)
+	n, err := b.svc.Snapshot(w)
+	if err != nil {
+		// Headers are already gone, so there is no status to change;
+		// the truncated body fails the consumer's CRC check.
+		s.logger.WarnContext(r.Context(), "snapshot", "backend", b.name, "error", err.Error())
+		return
+	}
+	s.logger.InfoContext(r.Context(), "snapshot", "backend", b.name, "entries", n)
+}
+
 // embeddingStatser is implemented by backend models that keep a
 // matcher-lifetime embedding store (see embedding.Store).
 type embeddingStatser interface {
@@ -642,9 +710,11 @@ type embeddingStatser interface {
 func (s *Server) Stats() StatsResponse {
 	inflight, queued, highWater, ewma := s.adm.snapshot()
 	out := StatsResponse{
+		Worker:         s.opts.Name,
 		UptimeMS:       float64(time.Since(s.start)) / float64(time.Millisecond),
 		Served:         s.served.Load(),
 		Coalesced:      s.coalesced.Load(),
+		Memoized:       s.memoized.Load(),
 		Rejected:       s.rejected.Load(),
 		Cancelled:      s.cancelled.Load(),
 		Errors:         s.errored.Load(),
@@ -691,6 +761,19 @@ func (s *Server) Stats() StatsResponse {
 				DistinctTokens: ist.DistinctTokens,
 				BuildMS:        ist.BuildMS,
 			}
+		}
+		if b.memo != nil {
+			lookups, hits, entries := b.memo.stats()
+			ms := &ResultMemoStats{
+				Capacity: b.memo.capacity,
+				Entries:  entries,
+				Lookups:  lookups,
+				Hits:     hits,
+			}
+			if lookups > 0 {
+				ms.HitRate = float64(hits) / float64(lookups)
+			}
+			bs.ResultMemo = ms
 		}
 		out.Backends[name] = bs
 	}

@@ -706,3 +706,68 @@ func TestAugmentBudgetKnob(t *testing.T) {
 			tiny.Result.Diag.TriangleSearchCalls, def.Result.Diag.TriangleSearchCalls)
 	}
 }
+
+// TestSnapshotEndpointStreamsRestorableCache: GET /v1/snapshot returns
+// the score cache in the binary snapshot format, restorable into a
+// fresh service over HTTP — the donor side of cluster warm bring-up.
+// An unknown benchmark name is a 404 with the usual error body.
+func TestSnapshotEndpointStreamsRestorableCache(t *testing.T) {
+	s := newTestServer(t, overlapModel{}, Options{Name: "donor"}, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	idx := 0
+	if resp, body := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{PairIndex: &idx}); resp.StatusCode != 200 {
+		t.Fatalf("warming request: status %d: %s", resp.StatusCode, body)
+	}
+	svc, _ := s.CacheService("toy")
+	if svc.Len() == 0 {
+		t.Fatal("nothing cached; snapshot endpoint test is vacuous")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/snapshot?benchmark=toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/snapshot: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("snapshot Content-Type = %q", ct)
+	}
+	if bk := resp.Header.Get("X-Certa-Backend"); bk != "toy" {
+		t.Fatalf("X-Certa-Backend = %q, want %q", bk, "toy")
+	}
+	restored := scorecache.NewService(overlapModel{}, scorecache.ServiceOptions{})
+	n, err := restored.Restore(resp.Body)
+	if err != nil {
+		t.Fatalf("restoring streamed snapshot: %v", err)
+	}
+	if n != svc.Len() {
+		t.Fatalf("restored %d entries over HTTP, donor holds %d", n, svc.Len())
+	}
+
+	// Stats carry the worker name for ring aggregation.
+	var st StatsResponse
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Worker != "donor" {
+		t.Fatalf("stats.worker = %q, want %q", st.Worker, "donor")
+	}
+
+	badResp, err := http.Get(ts.URL + "/v1/snapshot?benchmark=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer badResp.Body.Close()
+	if badResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown benchmark snapshot: status %d, want 404", badResp.StatusCode)
+	}
+}

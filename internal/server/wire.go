@@ -168,6 +168,20 @@ type BackendStats struct {
 	// Index reports the backend's candidate retrieval index (absent
 	// only when the backend was configured with unindexed scan sources).
 	Index *IndexStats `json:"index,omitempty"`
+	// ResultMemo reports the backend's serving-layer memo of rendered
+	// response bodies (absent when ServerOptions.ResultMemo is 0).
+	ResultMemo *ResultMemoStats `json:"result_memo,omitempty"`
+}
+
+// ResultMemoStats reports one backend's serving-layer result memo in
+// GET /v1/stats: Hits are explanation requests answered by replaying a
+// previously rendered byte-identical body, Entries the bodies held.
+type ResultMemoStats struct {
+	Capacity int     `json:"capacity"`
+	Entries  int     `json:"entries"`
+	Lookups  int64   `json:"lookups"`
+	Hits     int64   `json:"hits"`
+	HitRate  float64 `json:"hit_rate"`
 }
 
 // EmbeddingStats reports a backend model's matcher-lifetime embedding
@@ -187,6 +201,10 @@ type EmbeddingStats struct {
 // testdata/wire_golden.json (wire_golden_test.go; refresh deliberate
 // schema changes with -update-golden).
 type StatsResponse struct {
+	// Worker names this serving process (Options.Name) so a cluster
+	// router can label the rows of its aggregated ring stats. Empty —
+	// and omitted — for unnamed standalone servers.
+	Worker   string  `json:"worker,omitempty"`
 	UptimeMS float64 `json:"uptime_ms"`
 	// Served counts completed explanation computations; Coalesced counts
 	// requests answered by attaching to another request's in-flight
@@ -194,6 +212,10 @@ type StatsResponse struct {
 	// explanations, with equality when none were cancelled).
 	Served    int64 `json:"served"`
 	Coalesced int64 `json:"coalesced"`
+	// Memoized counts requests answered from the result memo: repeats
+	// of an already-answered deterministic request whose stored body
+	// was replayed without admission or computation.
+	Memoized int64 `json:"memoized"`
 	// Rejected counts 429s from the admission controller, Cancelled
 	// client disconnects that aborted a wait or computation, Errors
 	// everything else that failed.
@@ -212,16 +234,26 @@ type StatsResponse struct {
 
 // resolvePair materializes the request's pair against a backend.
 func (b *backend) resolvePair(req *ExplainRequest) (record.Pair, error) {
+	return ResolvePair(req, b.left, b.right, b.pairs)
+}
+
+// ResolvePair materializes a request's pair against a backend's source
+// tables and registered pair list. Exported for the cluster router,
+// which must resolve a request exactly the way the worker will — the
+// canonical content key of the resolved pair is the shard key, so any
+// divergence here would route requests to workers whose caches can
+// never hit. The serving path itself goes through the same function.
+func ResolvePair(req *ExplainRequest, left, right *record.Table, pairs []record.Pair) (record.Pair, error) {
 	switch {
 	case req.Left != nil || req.Right != nil:
 		if req.Left == nil || req.Right == nil {
 			return record.Pair{}, fmt.Errorf("inline pair needs both left and right records")
 		}
-		l, err := inlineRecord(req.Left, b.left.Schema, "left")
+		l, err := inlineRecord(req.Left, left.Schema, "left")
 		if err != nil {
 			return record.Pair{}, err
 		}
-		r, err := inlineRecord(req.Right, b.right.Schema, "right")
+		r, err := inlineRecord(req.Right, right.Schema, "right")
 		if err != nil {
 			return record.Pair{}, err
 		}
@@ -230,21 +262,21 @@ func (b *backend) resolvePair(req *ExplainRequest) (record.Pair, error) {
 		if req.LeftID == "" || req.RightID == "" {
 			return record.Pair{}, fmt.Errorf("need both left_id and right_id")
 		}
-		l, ok := b.left.Get(req.LeftID)
+		l, ok := left.Get(req.LeftID)
 		if !ok {
-			return record.Pair{}, fmt.Errorf("no record %q in source %s", req.LeftID, b.left.Schema.Name)
+			return record.Pair{}, fmt.Errorf("no record %q in source %s", req.LeftID, left.Schema.Name)
 		}
-		r, ok := b.right.Get(req.RightID)
+		r, ok := right.Get(req.RightID)
 		if !ok {
-			return record.Pair{}, fmt.Errorf("no record %q in source %s", req.RightID, b.right.Schema.Name)
+			return record.Pair{}, fmt.Errorf("no record %q in source %s", req.RightID, right.Schema.Name)
 		}
 		return record.Pair{Left: l, Right: r}, nil
 	case req.PairIndex != nil:
 		i := *req.PairIndex
-		if i < 0 || i >= len(b.pairs) {
-			return record.Pair{}, fmt.Errorf("pair_index %d out of range [0,%d)", i, len(b.pairs))
+		if i < 0 || i >= len(pairs) {
+			return record.Pair{}, fmt.Errorf("pair_index %d out of range [0,%d)", i, len(pairs))
 		}
-		return b.pairs[i], nil
+		return pairs[i], nil
 	}
 	return record.Pair{}, fmt.Errorf("request addresses no pair (want left+right, left_id+right_id, or pair_index)")
 }

@@ -59,9 +59,11 @@ func TestWireGolden(t *testing.T) {
 		Error:  ErrorResponse{Error: "backend \"nope\" not found"},
 		Health: HealthResponse{Status: "ok", UptimeMS: 1250, Backends: []string{"AB", "BA"}},
 		Stats: StatsResponse{
+			Worker:         "w0",
 			UptimeMS:       1250,
 			Served:         40,
 			Coalesced:      8,
+			Memoized:       12,
 			Rejected:       2,
 			Cancelled:      1,
 			Errors:         1,
@@ -90,6 +92,9 @@ func TestWireGolden(t *testing.T) {
 						Evictions: 8, Entries: 504, HitRate: 0.75,
 					},
 					Index: &IndexStats{Records: 2000, DistinctTokens: 5432, BuildMS: 3.25},
+					ResultMemo: &ResultMemoStats{
+						Capacity: 16, Entries: 16, Lookups: 48, Hits: 12, HitRate: 0.25,
+					},
 				},
 			},
 		},

@@ -27,8 +27,8 @@ go build ./...
 echo "== go test =="
 go test -timeout 300s ./...
 
-echo "== race (context + shared scoring pipeline + retrieval layer + scoring engine + HTTP serving + lattice + telemetry) =="
-go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/ ./internal/nn/ ./internal/embedding/ ./internal/server/ ./internal/lattice/ ./internal/telemetry/
+echo "== race (context + shared scoring pipeline + retrieval layer + scoring engine + HTTP serving + lattice + telemetry + cluster routing) =="
+go test -race -timeout 600s ./internal/scorecache/ ./internal/workpool/ ./internal/core/ ./internal/neighborhood/ ./internal/nn/ ./internal/embedding/ ./internal/server/ ./internal/lattice/ ./internal/telemetry/ ./internal/cluster/
 
 # The lattice-pruning paths specifically, under the race detector at
 # Parallelism 8 (TestLatticePruneDeterministic and friends run inside the
@@ -45,6 +45,12 @@ go test -timeout 600s -bench=. -benchtime=1x -run='^$' .
 # asserts the warm hit rate.
 echo "== certa-serve smoke (ephemeral port, warm+cold request, snapshot restart) =="
 go run ./scripts/servesmoke
+
+# ringsmoke boots a 2-worker ring behind certa-router, SIGKILLs one
+# worker mid-load and asserts failover keeps every response succeeding
+# byte-identically while the stats surface reports the degraded ring.
+echo "== certa-router smoke (2-worker ring, mid-load worker kill, failover) =="
+go run ./scripts/ringsmoke
 
 echo "== perf probe (anytime call-budget sweep + HTTP serve load + index probe) =="
 go run ./cmd/certa-bench -benchjson BENCH_explain.json -parallelism 4 -call-budget 250,1000,2500,0
@@ -90,6 +96,18 @@ grep -q '"trace_overhead_ns_per_explanation"' BENCH_explain.json
 grep -q '"trace_overhead_pct"' BENCH_explain.json
 echo "telemetry section present"
 
+# The scale-out probe must be present: the sharded-ring-vs-single-worker
+# throughput comparison, the per-worker capacity bounds it ran at, and
+# the routing transparency check.
+echo "== bench cluster probe assertions =="
+grep -q '"cluster"' BENCH_explain.json
+grep -q '"speedup_ring_vs_1_worker"' BENCH_explain.json
+grep -q '"per_worker_cache_capacity"' BENCH_explain.json
+grep -q '"per_worker_result_memo"' BENCH_explain.json
+grep -q '"result_memo_hit_rate_ring"' BENCH_explain.json
+grep -q '"routed_byte_identical_to_direct": true' BENCH_explain.json
+echo "cluster section present, routed responses byte-identical to direct"
+
 # Numeric gates. The serve section's flip_memo_hit_rate measures
 # cross-explanation reuse (the load cycles its pairs, so warm passes
 # answer lattice questions from the memo): it must clear 0.2. The
@@ -101,6 +119,12 @@ echo "== bench numeric gates =="
 serve_flip=$(awk -F': ' '/"serve"/{s=1} s && /"flip_memo_hit_rate"/{gsub(/,/,"",$2); print $2; exit}' BENCH_explain.json)
 echo "serve flip_memo_hit_rate: $serve_flip (gate: >= 0.2)"
 awk "BEGIN{exit !($serve_flip >= 0.2)}"
+# The serve probe's load generator must actually contend: a workload
+# that never coalesces identical in-flight requests isn't exercising
+# the layer the probe exists to measure.
+serve_coalesced=$(awk -F': ' '/"serve"/{s=1} s && /"coalesced"/{gsub(/,/,"",$2); print $2; exit}' BENCH_explain.json)
+echo "serve coalesced: $serve_coalesced (gate: > 0)"
+awk "BEGIN{exit !($serve_coalesced > 0)}"
 agreement=$(awk -F': ' '/"pruning"/{p=1} p && /"saliency_top2_agreement"/{gsub(/,/,"",$2); print $2; exit}' BENCH_explain.json)
 echo "pruning saliency_top2_agreement: $agreement (gate: >= 0.9)"
 awk "BEGIN{exit !($agreement >= 0.9)}"
@@ -109,3 +133,9 @@ awk "BEGIN{exit !($agreement >= 0.9)}"
 overhead=$(awk -F': ' '/"telemetry"/{t=1} t && /"trace_overhead_pct"/{gsub(/,/,"",$2); print $2; exit}' BENCH_explain.json)
 echo "telemetry trace_overhead_pct: $overhead (gate: < 2)"
 awk "BEGIN{exit !($overhead < 2)}"
+# The cluster section's headline: the 4-worker ring must deliver at
+# least 3x the single worker's explanation throughput on the cycling
+# blocked-cluster workload at equal per-worker capacity.
+cluster_speedup=$(awk -F': ' '/"cluster"/{c=1} c && /"speedup_ring_vs_1_worker"/{gsub(/,/,"",$2); print $2; exit}' BENCH_explain.json)
+echo "cluster speedup_ring_vs_1_worker: $cluster_speedup (gate: >= 3)"
+awk "BEGIN{exit !($cluster_speedup >= 3)}"
